@@ -1,0 +1,334 @@
+//! The `Difference` binary operator (§5.3).
+//!
+//! "The Difference of two ontologies (O1 − O2) is defined as the terms
+//! and relationships of the first ontology that have not been determined
+//! to exist in the second. This operation allows a local ontology
+//! maintainer to determine the extent of one's ontology that remains
+//! independent of the articulation with other domain ontologies."
+//!
+//! Formal condition (§5.3): `n ∈ N` only if `n ∈ N1`, `n ∉ N2`
+//! (semantically, via the articulation), **and** there is no path from
+//! `n` to any `n′ ∈ N2`. The worked example adds the conservative
+//! garbage-collection step: after removing the determined node (`Car`),
+//! also remove "all nodes that can be reached by a path from Car, but
+//! not by a path from any other node".
+//!
+//! **Directionality.** The bridges encode *directed subset*
+//! relationships (§4.1: `P ⇒ Q` is "a directed subset relationship").
+//! `carrier.Car ⇒ factory.Vehicle` determines `Car` to exist in
+//! `factory` (every car is a vehicle there), but does **not** determine
+//! `Vehicle` to exist in `carrier`: "there is no way to distinguish the
+//! cars from the other vehicles … the articulation generator takes the
+//! more conservative option of retaining all vehicles". A term of `O1`
+//! is therefore *determined* exactly when a **directed** semantic-
+//! implication path leads from it into `O2`.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use onion_articulate::Articulation;
+use onion_graph::rel;
+use onion_graph::traverse::{reachable_from_all, Direction, EdgeFilter};
+use onion_graph::{NodeId, OntGraph};
+use onion_ontology::Ontology;
+
+use crate::Result;
+
+/// What the difference removed and why — returned alongside the graph
+/// so maintainers can see their ontology's independent extent (§5.3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DifferenceReport {
+    /// Terms determined (via the articulation) to exist in the other
+    /// ontology.
+    pub determined: Vec<String>,
+    /// Terms removed because a semantic path leads from them to a
+    /// determined term (formal condition 2).
+    pub reaches_determined: Vec<String>,
+    /// Terms removed as orphans of the removal (the prose GC step).
+    pub orphaned: Vec<String>,
+}
+
+impl DifferenceReport {
+    /// Total removed terms.
+    pub fn removed(&self) -> usize {
+        self.determined.len() + self.reaches_determined.len() + self.orphaned.len()
+    }
+}
+
+/// Terms of `of` with a **directed** implication path (through bridges
+/// and articulation-internal `SubclassOf` edges) into `other`.
+fn determined_terms(art: &Articulation, of: &str, other: &str) -> HashSet<String> {
+    // directed adjacency over qualified terms
+    let mut adj: HashMap<String, Vec<String>> = HashMap::new();
+    for b in &art.bridges {
+        adj.entry(b.src.to_string()).or_default().push(b.dst.to_string());
+    }
+    let art_g = art.ontology.graph();
+    for e in art_g.edges() {
+        if e.label == rel::SUBCLASS_OF {
+            let s = format!("{}.{}", art.name(), art_g.node_label(e.src).expect("live"));
+            let d = format!("{}.{}", art.name(), art_g.node_label(e.dst).expect("live"));
+            adj.entry(s).or_default().push(d);
+        }
+    }
+    let other_prefix = format!("{other}.");
+    let of_prefix = format!("{of}.");
+    let mut determined = HashSet::new();
+    for start in art.bridged_terms(of) {
+        let start_q = format!("{of_prefix}{start}");
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut q: VecDeque<&str> = VecDeque::new();
+        if let Some(first) = adj.get_key_value(start_q.as_str()) {
+            seen.insert(first.0);
+            q.push_back(first.0);
+        }
+        'bfs: while let Some(cur) = q.pop_front() {
+            if let Some(nexts) = adj.get(cur) {
+                for n in nexts {
+                    if n.starts_with(&other_prefix) {
+                        determined.insert(start.to_string());
+                        break 'bfs;
+                    }
+                    if let Some((k, _)) = adj.get_key_value(n.as_str()) {
+                        if seen.insert(k) {
+                            q.push_back(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    determined
+}
+
+/// Computes `o1 − o2` under `articulation`.
+pub fn difference(
+    o1: &Ontology,
+    o2: &Ontology,
+    articulation: &Articulation,
+) -> Result<(OntGraph, DifferenceReport)> {
+    let g = o1.graph();
+    let determined = determined_terms(articulation, o1.name(), o2.name());
+    let det_nodes: Vec<NodeId> =
+        determined.iter().filter_map(|l| g.node_by_label(l)).collect();
+
+    // condition 2: anything with a directed semantic path *to* a
+    // determined node is a specialisation of a shared concept — not
+    // independent. Semantic edges only; attribute attachment stays local.
+    let semantic = EdgeFilter::Labels(vec![
+        rel::SUBCLASS_OF.into(),
+        rel::INSTANCE_OF.into(),
+        rel::SEMANTIC_IMPLICATION.into(),
+    ]);
+    let upstream = reachable_from_all(g, &det_nodes, Direction::Backward, &semantic);
+    let mut removed: HashSet<NodeId> = det_nodes.iter().copied().collect();
+    let mut reaches: Vec<String> = Vec::new();
+    for n in upstream {
+        if removed.insert(n) {
+            reaches.push(g.node_label(n).expect("live").to_string());
+        }
+    }
+
+    // prose GC: delete nodes reachable from the removed set whose every
+    // in-edge comes from removed nodes (fixpoint).
+    let mut orphaned: Vec<String> = Vec::new();
+    let downstream = reachable_from_all(
+        g,
+        &removed.iter().copied().collect::<Vec<_>>(),
+        Direction::Forward,
+        &EdgeFilter::All,
+    );
+    loop {
+        let mut grew = false;
+        for &n in &downstream {
+            if removed.contains(&n) {
+                continue;
+            }
+            let mut has_in = false;
+            let mut all_in_removed = true;
+            for e in g.in_edges(n) {
+                has_in = true;
+                if !removed.contains(&e.src) {
+                    all_in_removed = false;
+                    break;
+                }
+            }
+            if has_in && all_in_removed {
+                removed.insert(n);
+                orphaned.push(g.node_label(n).expect("live").to_string());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // build the surviving graph
+    let mut out = OntGraph::new(format!("{} - {}", o1.name(), o2.name()));
+    for n in g.nodes() {
+        if !removed.contains(&n.id) {
+            out.ensure_node(n.label)?;
+        }
+    }
+    for e in g.edges() {
+        if !removed.contains(&e.src) && !removed.contains(&e.dst) {
+            out.ensure_edge_by_labels(
+                g.node_label(e.src).expect("live"),
+                e.label,
+                g.node_label(e.dst).expect("live"),
+            )?;
+        }
+    }
+    let mut determined: Vec<String> = determined.into_iter().collect();
+    determined.sort();
+    reaches.sort();
+    orphaned.sort();
+    Ok((out, DifferenceReport { determined, reaches_determined: reaches, orphaned }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_articulate::ArticulationGenerator;
+    use onion_ontology::OntologyBuilder;
+
+    /// The §5.3 worked example: carrier has Car; factory has Vehicle;
+    /// the only rule is carrier.Car => factory.Vehicle.
+    fn paper_example() -> (Ontology, Ontology, Articulation) {
+        let carrier = OntologyBuilder::new("carrier")
+            .class_under("Car", "Transportation")
+            .attr("CarStereo", "Car") // upstream of Car (edge points in)
+            .class("Depot") // fully independent
+            .build()
+            .unwrap();
+        let factory = OntologyBuilder::new("factory")
+            .class_under("Vehicle", "Transportation")
+            .class_under("Bus", "Vehicle")
+            .build()
+            .unwrap();
+        let rules = onion_rules::parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
+        let art = ArticulationGenerator::new().generate(&rules, &[&carrier, &factory]).unwrap();
+        (carrier, factory, art)
+    }
+
+    #[test]
+    fn carrier_minus_factory_drops_car() {
+        let (c, f, art) = paper_example();
+        let (d, report) = difference(&c, &f, &art).unwrap();
+        // "Since a Car is a Vehicle, carrier should not contain Car."
+        assert!(!d.contains_label("Car"));
+        assert_eq!(report.determined, vec!["Car"]);
+        // "all nodes that can be reached by a path from Car, but not by a
+        // path from any other node" go too: Transportation was only
+        // reachable from Car
+        assert!(!d.contains_label("Transportation"));
+        assert_eq!(report.orphaned, vec!["Transportation"]);
+        // upstream attribute and independent term survive
+        assert!(d.contains_label("CarStereo"));
+        assert!(d.contains_label("Depot"));
+    }
+
+    #[test]
+    fn factory_minus_carrier_keeps_vehicle() {
+        let (c, f, art) = paper_example();
+        let (d, report) = difference(&f, &c, &art).unwrap();
+        // "the node Vehicle is not deleted": the rule is a directed
+        // subset (cars ⊆ vehicles); nothing determines factory vehicles
+        // to exist in carrier
+        assert!(d.contains_label("Vehicle"));
+        assert!(d.contains_label("Bus"));
+        assert!(d.contains_label("Transportation"));
+        assert_eq!(report.removed(), 0);
+        assert!(report.determined.is_empty());
+    }
+
+    #[test]
+    fn equivalence_bridges_determine_both_ways() {
+        // with an explicit two-way rule pair the concept is determined in
+        // both differences
+        let a = OntologyBuilder::new("a").class("Thing").build().unwrap();
+        let b = OntologyBuilder::new("b").class("Item").build().unwrap();
+        let rules =
+            onion_rules::parse_rules("a.Thing => b.Item\nb.Item => a.Thing\n").unwrap();
+        let art = ArticulationGenerator::new().generate(&rules, &[&a, &b]).unwrap();
+        let (da, ra) = difference(&a, &b, &art).unwrap();
+        let (db, rb) = difference(&b, &a, &art).unwrap();
+        assert!(!da.contains_label("Thing"));
+        assert!(!db.contains_label("Item"));
+        assert_eq!(ra.determined, vec!["Thing"]);
+        assert_eq!(rb.determined, vec!["Item"]);
+    }
+
+    #[test]
+    fn difference_with_empty_articulation_is_identity() {
+        let (c, _, _) = paper_example();
+        let f2 = OntologyBuilder::new("elsewhere").class("X").build().unwrap();
+        let empty = Articulation::new("art");
+        let (d, report) = difference(&c, &f2, &empty).unwrap();
+        assert!(d.same_shape(c.graph()));
+        assert_eq!(report.removed(), 0);
+    }
+
+    #[test]
+    fn subclasses_of_determined_terms_are_removed() {
+        // SUV -S-> Car: SUV has a semantic path to the determined Car —
+        // every SUV is semantically a factory vehicle too
+        let carrier = OntologyBuilder::new("carrier")
+            .class_under("Car", "Transportation")
+            .class_under("SUV", "Car")
+            .class_under("Boat", "Transportation") // sibling: survives
+            .build()
+            .unwrap();
+        let factory = OntologyBuilder::new("factory").class("Vehicle").build().unwrap();
+        let rules = onion_rules::parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
+        let art = ArticulationGenerator::new().generate(&rules, &[&carrier, &factory]).unwrap();
+        let (d, report) = difference(&carrier, &factory, &art).unwrap();
+        assert!(!d.contains_label("SUV"));
+        assert!(report.reaches_determined.contains(&"SUV".to_string()));
+        assert!(d.contains_label("Boat"));
+        assert!(
+            d.contains_label("Transportation"),
+            "Transportation reachable from surviving Boat"
+        );
+    }
+
+    #[test]
+    fn attributes_of_shared_classes_survive() {
+        let carrier = OntologyBuilder::new("carrier")
+            .class("Car")
+            .attr("Price", "Car")
+            .build()
+            .unwrap();
+        let factory = OntologyBuilder::new("factory").class("Vehicle").build().unwrap();
+        let rules = onion_rules::parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
+        let art = ArticulationGenerator::new().generate(&rules, &[&carrier, &factory]).unwrap();
+        let (d, _) = difference(&carrier, &factory, &art).unwrap();
+        // Price points INTO Car (upstream); the local price modelling is
+        // independent even though Car is shared
+        assert!(d.contains_label("Price"));
+        assert_eq!(d.edge_count(), 0, "its edge to the removed Car is gone");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let (c, f, art) = paper_example();
+        let (d, report) = difference(&c, &f, &art).unwrap();
+        assert_eq!(c.term_count() - d.node_count(), report.removed());
+    }
+
+    #[test]
+    fn instance_of_shared_class_is_removed() {
+        let carrier = OntologyBuilder::new("carrier")
+            .class("Car")
+            .instance("MyCar", "Car")
+            .build()
+            .unwrap();
+        let factory = OntologyBuilder::new("factory").class("Vehicle").build().unwrap();
+        let rules = onion_rules::parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
+        let art = ArticulationGenerator::new().generate(&rules, &[&carrier, &factory]).unwrap();
+        let (d, report) = difference(&carrier, &factory, &art).unwrap();
+        // MyCar InstanceOf Car: semantically a vehicle, not independent
+        assert!(!d.contains_label("MyCar"));
+        assert!(report.reaches_determined.contains(&"MyCar".to_string()));
+    }
+}

@@ -1,0 +1,157 @@
+//! The `extract` unary operator — the algebra's *project* (§5).
+//!
+//! Where [`crate::filter`] keeps only what the pattern itself touches,
+//! `extract` carves out the whole region of the ontology anchored at the
+//! pattern's matches: the matched nodes plus everything reachable from
+//! them along the selected edge labels, with those edges. This is the
+//! "carve out portions of an ontology, required by the articulation,
+//! using graph patterns" of §4.
+
+use onion_graph::traverse::{reachable_from_all, Direction, EdgeFilter};
+use onion_graph::{MatchConfig, Matcher, NodeId, OntGraph, Pattern};
+use onion_ontology::Ontology;
+
+use crate::Result;
+
+/// Extracts the subgraph reachable from the matches of `pattern`.
+///
+/// `direction` controls which way reachability flows (e.g.
+/// [`Direction::Backward`] along `SubclassOf` collects the whole subtree
+/// *under* a class, since subclass edges point child → parent);
+/// `edge_filter` restricts which edges are followed and copied.
+pub fn extract(
+    ontology: &Ontology,
+    pattern: &Pattern,
+    config: &MatchConfig,
+    direction: Direction,
+    edge_filter: &EdgeFilter,
+) -> Result<OntGraph> {
+    let g = ontology.graph();
+    let matcher = Matcher::new(g).with_config(config.clone());
+    let matches = matcher.find_all(pattern)?;
+    let seeds: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = matches.iter().flat_map(|m| m.nodes.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let region = reachable_from_all(g, &seeds, direction, edge_filter);
+    let mut out = OntGraph::new(format!("extract({})", g.name()));
+    for &n in &region {
+        out.ensure_node(g.node_label(n).expect("live"))?;
+    }
+    for e in g.edges() {
+        if region.contains(&e.src) && region.contains(&e.dst) {
+            let admissible = match edge_filter {
+                EdgeFilter::All => true,
+                EdgeFilter::Labels(ls) => ls.iter().any(|l| l == e.label),
+            };
+            if admissible {
+                out.ensure_edge_by_labels(
+                    g.node_label(e.src).expect("live"),
+                    e.label,
+                    g.node_label(e.dst).expect("live"),
+                )?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_graph::rel;
+    use onion_ontology::examples::carrier;
+
+    fn seed_pattern(label: &str) -> Pattern {
+        let mut p = Pattern::new();
+        p.node(label);
+        p
+    }
+
+    #[test]
+    fn extract_subtree_under_class() {
+        let c = carrier();
+        let out = extract(
+            &c,
+            &seed_pattern("Cars"),
+            &MatchConfig::default(),
+            Direction::Backward,
+            &EdgeFilter::label(rel::SUBCLASS_OF),
+        )
+        .unwrap();
+        // Cars and its subclass SUV; not Trucks, not attributes
+        assert!(out.contains_label("Cars"));
+        assert!(out.contains_label("SUV"));
+        assert!(!out.contains_label("Trucks"));
+        assert!(!out.contains_label("Price"));
+        assert!(out.has_edge("SUV", rel::SUBCLASS_OF, "Cars"));
+        assert_eq!(out.name(), "extract(carrier)");
+    }
+
+    #[test]
+    fn extract_upward_collects_ancestors() {
+        let c = carrier();
+        let out = extract(
+            &c,
+            &seed_pattern("SUV"),
+            &MatchConfig::default(),
+            Direction::Forward,
+            &EdgeFilter::label(rel::SUBCLASS_OF),
+        )
+        .unwrap();
+        assert!(out.contains_label("SUV"));
+        assert!(out.contains_label("Cars"));
+        assert!(out.contains_label("Transportation"));
+        assert!(!out.contains_label("Trucks"));
+    }
+
+    #[test]
+    fn extract_both_directions_all_edges() {
+        let c = carrier();
+        let out = extract(
+            &c,
+            &seed_pattern("Cars"),
+            &MatchConfig::default(),
+            Direction::Both,
+            &EdgeFilter::All,
+        )
+        .unwrap();
+        // everything connected to Cars (the carrier graph is connected)
+        assert!(out.contains_label("Price"));
+        assert!(out.contains_label("Driver"));
+        assert!(out.contains_label("Trucks"), "via shared Transportation/attributes");
+    }
+
+    #[test]
+    fn extract_no_match_is_empty() {
+        let c = carrier();
+        let out = extract(
+            &c,
+            &seed_pattern("Ghost"),
+            &MatchConfig::default(),
+            Direction::Both,
+            &EdgeFilter::All,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn extract_edge_filter_drops_other_edge_kinds() {
+        let c = carrier();
+        let out = extract(
+            &c,
+            &seed_pattern("Cars"),
+            &MatchConfig::default(),
+            Direction::Backward,
+            &EdgeFilter::Labels(vec![rel::SUBCLASS_OF.into(), rel::INSTANCE_OF.into()]),
+        )
+        .unwrap();
+        assert!(out.contains_label("MyCar"), "instances collected");
+        // attribute edges not followed or copied
+        assert!(!out.contains_label("Price"));
+        assert!(out.edges().all(|e| e.label != rel::ATTRIBUTE_OF));
+    }
+}

@@ -1,0 +1,173 @@
+//! Executable algebraic properties.
+//!
+//! §5: "The algebra forms the basis for the ONION system." These checks
+//! encode the relationships the paper states between the operators —
+//! intersection is contained in union, difference is disjoint from the
+//! determined set, union leaves sources untouched — as reusable
+//! predicates. The property-based tests (workspace `tests/`) run them
+//! over generated ontology pairs.
+
+use onion_articulate::ArticulationGenerator;
+use onion_ontology::Ontology;
+use onion_rules::RuleSet;
+
+use crate::difference::difference;
+use crate::intersect::intersect;
+use crate::union::union;
+use crate::Result;
+
+/// A law-check outcome: `Ok(())` or a description of the violation.
+pub type LawResult = std::result::Result<(), String>;
+
+/// Every intersection term appears (qualified) in the union graph.
+pub fn intersection_in_union(
+    o1: &Ontology,
+    o2: &Ontology,
+    rules: &RuleSet,
+    generator: &ArticulationGenerator,
+) -> Result<LawResult> {
+    let i = intersect(o1, o2, rules, generator)?;
+    let u = union(o1, o2, rules, generator)?;
+    for n in i.graph().nodes() {
+        let q = format!("{}.{}", i.name(), n.label);
+        if !u.graph.contains_label(&q) {
+            return Ok(Err(format!("intersection term {q} missing from union")));
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// The union's node set is exactly `N1 ∪ N2 ∪ NA` (sizes match; all
+/// qualified source terms present).
+pub fn union_node_law(
+    o1: &Ontology,
+    o2: &Ontology,
+    rules: &RuleSet,
+    generator: &ArticulationGenerator,
+) -> Result<LawResult> {
+    let u = union(o1, o2, rules, generator)?;
+    let expected = o1.term_count() + o2.term_count() + u.articulation.ontology.term_count();
+    if u.graph.node_count() != expected {
+        return Ok(Err(format!(
+            "union has {} nodes, expected {expected}",
+            u.graph.node_count()
+        )));
+    }
+    for (o, prefix) in [(o1, o1.name()), (o2, o2.name())] {
+        for n in o.graph().nodes() {
+            let q = format!("{prefix}.{}", n.label);
+            if !u.graph.contains_label(&q) {
+                return Ok(Err(format!("source term {q} missing from union")));
+            }
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// `O1 − O2` never contains a determined term, and is a subgraph of `O1`.
+pub fn difference_disjoint_from_determined(
+    o1: &Ontology,
+    o2: &Ontology,
+    rules: &RuleSet,
+    generator: &ArticulationGenerator,
+) -> Result<LawResult> {
+    let art = generator.generate(rules, &[o1, o2])?;
+    let (d, report) = difference(o1, o2, &art)?;
+    for t in &report.determined {
+        if d.contains_label(t) {
+            return Ok(Err(format!("determined term {t} survived the difference")));
+        }
+    }
+    for n in d.nodes() {
+        if !o1.defines(n.label) {
+            return Ok(Err(format!("difference invented term {}", n.label)));
+        }
+    }
+    for e in d.edges() {
+        let s = d.node_label(e.src).expect("live");
+        let t = d.node_label(e.dst).expect("live");
+        if !o1.graph().has_edge(s, e.label, t) {
+            return Ok(Err(format!("difference invented edge ({s}, {}, {t})", e.label)));
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// With no rules: union is disjoint juxtaposition, intersection is
+/// empty, difference is identity.
+pub fn empty_rules_laws(
+    o1: &Ontology,
+    o2: &Ontology,
+    generator: &ArticulationGenerator,
+) -> Result<LawResult> {
+    let rules = RuleSet::new();
+    let u = union(o1, o2, &rules, generator)?;
+    if u.graph.node_count() != o1.term_count() + o2.term_count() {
+        return Ok(Err("empty-rule union is not a juxtaposition".into()));
+    }
+    let i = intersect(o1, o2, &rules, generator)?;
+    if i.term_count() != 0 {
+        return Ok(Err("empty-rule intersection is not empty".into()));
+    }
+    let art = generator.generate(&rules, &[o1, o2])?;
+    let (d, _) = difference(o1, o2, &art)?;
+    if !d.same_shape(o1.graph()) {
+        return Ok(Err("empty-rule difference is not the identity".into()));
+    }
+    Ok(Ok(()))
+}
+
+/// Runs every law; returns all violations.
+pub fn check_all(
+    o1: &Ontology,
+    o2: &Ontology,
+    rules: &RuleSet,
+    generator: &ArticulationGenerator,
+) -> Result<Vec<String>> {
+    let mut violations = Vec::new();
+    for law in [
+        intersection_in_union(o1, o2, rules, generator)?,
+        union_node_law(o1, o2, rules, generator)?,
+        difference_disjoint_from_determined(o1, o2, rules, generator)?,
+        empty_rules_laws(o1, o2, generator)?,
+    ] {
+        if let Err(v) = law {
+            violations.push(v);
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_ontology::examples::{carrier, factory, fig2_rules};
+
+    #[test]
+    fn fig2_satisfies_all_laws() {
+        let c = carrier();
+        let f = factory();
+        let violations =
+            check_all(&c, &f, &fig2_rules(), &ArticulationGenerator::new()).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn laws_hold_for_single_rule() {
+        let c = carrier();
+        let f = factory();
+        let rules = onion_rules::parse_rules("carrier.Cars => factory.Vehicle\n").unwrap();
+        let violations = check_all(&c, &f, &rules, &ArticulationGenerator::new()).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn laws_hold_both_directions() {
+        let c = carrier();
+        let f = factory();
+        let rules = onion_rules::parse_rules("factory.Truck => carrier.Trucks\n").unwrap();
+        let gen = ArticulationGenerator::new();
+        assert!(check_all(&c, &f, &rules, &gen).unwrap().is_empty());
+        assert!(check_all(&f, &c, &rules, &gen).unwrap().is_empty());
+    }
+}

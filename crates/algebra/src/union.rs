@@ -1,0 +1,131 @@
+//! The `Union` binary operator (§5.1).
+//!
+//! "The union operator takes two ontology graphs, a set of articulation
+//! rules and generates a unified ontology graph where the resulting
+//! unified ontology comprises of the two original ontology graphs
+//! connected by the articulation. … `O1 ∪ᵣᵤₗₑₛ O2 = OU` … such that
+//! `N = N1 ∪ N2 ∪ NA` and `E = E1 ∪ E2 ∪ EA ∪ BridgeEdges`."
+//!
+//! Like the paper's union, the result is computed dynamically from the
+//! sources and the (stored) articulation; nodes are qualified
+//! `source.Term` so the same local term in two sources stays distinct.
+
+use onion_articulate::{Articulation, ArticulationGenerator};
+use onion_graph::OntGraph;
+use onion_ontology::Ontology;
+use onion_rules::RuleSet;
+
+use crate::Result;
+
+/// The result of a union: the unified graph plus the articulation that
+/// connects it (kept so queries can reformulate through the bridges).
+#[derive(Debug, Clone)]
+pub struct UnionResult {
+    /// `N1 ∪ N2 ∪ NA` with `E1 ∪ E2 ∪ EA ∪ BridgeEdges`, qualified labels.
+    pub graph: OntGraph,
+    /// The articulation used.
+    pub articulation: Articulation,
+}
+
+/// Computes `o1 ∪_rules o2` by generating the articulation from `rules`
+/// and materialising the unified graph.
+///
+/// ```
+/// use onion_algebra::union;
+/// use onion_articulate::ArticulationGenerator;
+/// use onion_ontology::examples;
+///
+/// let carrier = examples::carrier();
+/// let factory = examples::factory();
+/// let u = union(&carrier, &factory, &examples::fig2_rules(), &ArticulationGenerator::new())
+///     .unwrap();
+/// assert!(u.graph.contains_label("carrier.Cars"));
+/// assert!(u.graph.contains_label("transport.Vehicle"));
+/// assert!(u.graph.has_edge("carrier.Cars", "SIBridge", "transport.Vehicle"));
+/// ```
+pub fn union(
+    o1: &Ontology,
+    o2: &Ontology,
+    rules: &RuleSet,
+    generator: &ArticulationGenerator,
+) -> Result<UnionResult> {
+    let articulation = generator.generate(rules, &[o1, o2])?;
+    let graph = articulation.unified(&[o1, o2])?;
+    Ok(UnionResult { graph, articulation })
+}
+
+/// Union with a pre-computed articulation (skips regeneration; the form
+/// used when the stored articulation is reused across queries, §5.1).
+pub fn union_with(o1: &Ontology, o2: &Ontology, articulation: &Articulation) -> Result<UnionResult> {
+    let graph = articulation.unified(&[o1, o2])?;
+    Ok(UnionResult { graph, articulation: articulation.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_graph::rel;
+    use onion_ontology::examples::{carrier, factory, fig2_rules};
+
+    #[test]
+    fn union_contains_both_sources_and_articulation() {
+        let c = carrier();
+        let f = factory();
+        let u = union(&c, &f, &fig2_rules(), &ArticulationGenerator::new()).unwrap();
+        // N = N1 ∪ N2 ∪ NA
+        let n_sources = c.term_count() + f.term_count();
+        let n_art = u.articulation.ontology.term_count();
+        assert_eq!(u.graph.node_count(), n_sources + n_art);
+        // the three namespaces coexist
+        assert!(u.graph.contains_label("carrier.Cars"));
+        assert!(u.graph.contains_label("factory.Vehicle"));
+        assert!(u.graph.contains_label("transport.Vehicle"));
+        // E contains source edges and bridges
+        assert!(u.graph.has_edge("carrier.SUV", rel::SUBCLASS_OF, "carrier.Cars"));
+        assert!(u.graph.has_edge("carrier.Cars", rel::SI_BRIDGE, "transport.Vehicle"));
+    }
+
+    #[test]
+    fn union_edge_count_is_sum_of_parts() {
+        let c = carrier();
+        let f = factory();
+        let u = union(&c, &f, &fig2_rules(), &ArticulationGenerator::new()).unwrap();
+        let expected = c.graph().edge_count()
+            + f.graph().edge_count()
+            + u.articulation.ontology.graph().edge_count()
+            + u.articulation.bridges.len();
+        assert_eq!(u.graph.edge_count(), expected);
+    }
+
+    #[test]
+    fn union_is_dynamic_sources_untouched() {
+        let c = carrier();
+        let f = factory();
+        let before_c = c.graph().edge_count();
+        let before_f = f.graph().edge_count();
+        let _ = union(&c, &f, &fig2_rules(), &ArticulationGenerator::new()).unwrap();
+        assert_eq!(c.graph().edge_count(), before_c);
+        assert_eq!(f.graph().edge_count(), before_f);
+    }
+
+    #[test]
+    fn union_with_reuses_articulation() {
+        let c = carrier();
+        let f = factory();
+        let gen = ArticulationGenerator::new();
+        let art = gen.generate(&fig2_rules(), &[&c, &f]).unwrap();
+        let u1 = union_with(&c, &f, &art).unwrap();
+        let u2 = union(&c, &f, &fig2_rules(), &gen).unwrap();
+        assert!(u1.graph.same_shape(&u2.graph));
+    }
+
+    #[test]
+    fn empty_rules_union_is_disjoint_juxtaposition() {
+        let c = carrier();
+        let f = factory();
+        let u = union(&c, &f, &RuleSet::new(), &ArticulationGenerator::new()).unwrap();
+        assert_eq!(u.graph.node_count(), c.term_count() + f.term_count());
+        assert_eq!(u.graph.edge_count(), c.graph().edge_count() + f.graph().edge_count());
+        assert!(u.articulation.bridges.is_empty());
+    }
+}

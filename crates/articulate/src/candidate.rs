@@ -1,0 +1,116 @@
+//! Candidate articulation rules, as proposed by SKAT matchers.
+
+use onion_rules::ArticulationRule;
+
+/// A rule proposal with confidence and provenance, awaiting expert
+/// review (§2.4: "Articulation rules are proposed by SKAT … and verified
+/// by the expert").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateRule {
+    /// The proposed rule.
+    pub rule: ArticulationRule,
+    /// Matcher confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Which matcher produced it (e.g. `"exact-label"`, `"synonym"`).
+    pub provenance: String,
+    /// Short human-readable justification shown to the expert.
+    pub evidence: String,
+}
+
+impl CandidateRule {
+    /// Creates a candidate.
+    pub fn new(
+        rule: ArticulationRule,
+        confidence: f64,
+        provenance: &str,
+        evidence: impl Into<String>,
+    ) -> Self {
+        CandidateRule {
+            rule,
+            confidence: confidence.clamp(0.0, 1.0),
+            provenance: provenance.to_string(),
+            evidence: evidence.into(),
+        }
+    }
+
+    /// Deduplicates candidates by rule, keeping the highest-confidence
+    /// proposal and concatenating provenance. Result is sorted by
+    /// descending confidence, ties by rule text for determinism.
+    pub fn merge(candidates: Vec<CandidateRule>) -> Vec<CandidateRule> {
+        let mut merged: Vec<CandidateRule> = Vec::new();
+        for c in candidates {
+            match merged.iter_mut().find(|m| m.rule == c.rule) {
+                Some(m) => {
+                    if !m.provenance.split('+').any(|p| p == c.provenance) {
+                        m.provenance = format!("{}+{}", m.provenance, c.provenance);
+                    }
+                    if c.confidence > m.confidence {
+                        m.confidence = c.confidence;
+                        m.evidence = c.evidence;
+                    }
+                }
+                None => merged.push(c),
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("confidences are finite")
+                .then_with(|| a.rule.to_string().cmp(&b.rule.to_string()))
+        });
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_rules::Term;
+
+    fn rule(a: &str, b: &str) -> ArticulationRule {
+        ArticulationRule::term_implies(Term::qualified("o1", a), Term::qualified("o2", b))
+    }
+
+    #[test]
+    fn confidence_clamped() {
+        let c = CandidateRule::new(rule("A", "B"), 1.5, "x", "");
+        assert_eq!(c.confidence, 1.0);
+        let c = CandidateRule::new(rule("A", "B"), -0.5, "x", "");
+        assert_eq!(c.confidence, 0.0);
+    }
+
+    #[test]
+    fn merge_keeps_max_confidence_and_joins_provenance() {
+        let merged = CandidateRule::merge(vec![
+            CandidateRule::new(rule("A", "B"), 0.5, "similarity", "sim=0.5"),
+            CandidateRule::new(rule("A", "B"), 0.9, "synonym", "lexicon"),
+            CandidateRule::new(rule("C", "D"), 0.7, "exact-label", ""),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].confidence, 0.9);
+        assert_eq!(merged[0].provenance, "similarity+synonym");
+        assert_eq!(merged[0].evidence, "lexicon");
+        assert_eq!(merged[1].confidence, 0.7);
+    }
+
+    #[test]
+    fn merge_sorts_by_confidence_then_text() {
+        let merged = CandidateRule::merge(vec![
+            CandidateRule::new(rule("Z", "Z"), 0.8, "a", ""),
+            CandidateRule::new(rule("A", "A"), 0.8, "a", ""),
+            CandidateRule::new(rule("M", "M"), 0.9, "a", ""),
+        ]);
+        assert_eq!(merged[0].rule, rule("M", "M"));
+        assert_eq!(merged[1].rule, rule("A", "A"));
+        assert_eq!(merged[2].rule, rule("Z", "Z"));
+    }
+
+    #[test]
+    fn merge_does_not_duplicate_provenance() {
+        let merged = CandidateRule::merge(vec![
+            CandidateRule::new(rule("A", "B"), 0.5, "synonym", ""),
+            CandidateRule::new(rule("A", "B"), 0.6, "synonym", ""),
+        ]);
+        assert_eq!(merged[0].provenance, "synonym");
+    }
+}

@@ -1,0 +1,744 @@
+//! The articulation generator: confirmed rules → articulation ontology
+//! graph + semantic bridges, per the translation walked through in §4.1
+//! of the paper.
+//!
+//! The translation, rule shape by rule shape (each is tested against the
+//! paper's own example below):
+//!
+//! * **simple** `o1.A ⇒ o2.B`: ensure articulation node `B`; add the edge
+//!   set of the paper's example —
+//!   `EA[{(o1.A, SIBridge, art.B), (o2.B, SIBridge, art.B),
+//!   (art.B, SIBridge, o2.B)}]` — the last two making `o2.B` and `art.B`
+//!   equivalent;
+//! * **cascaded** `o1.A ⇒ art.X ⇒ o2.B`: add node `X` to the articulation
+//!   and the bridges `(o1.A, SIBridge, art.X)`, `(art.X, SIBridge, o2.B)`;
+//! * **intra-articulation** `art.X ⇒ art.Y`: a `SubclassOf` edge inside
+//!   the articulation graph ("indicating that the class Owner is a
+//!   subclass of the class Person");
+//! * **conjunction** `(p ∧ q) ⇒ r`: a synthesised node labeled by the
+//!   predicate text (`CargoCarrierVehicle`), bridged as a specialisation
+//!   of each conjunct and of `r`; additionally every source class that is
+//!   a (transitive) subclass of *all* conjuncts is bridged under the new
+//!   node ("all subclasses of Vehicle that are also subclasses of
+//!   CargoCarrier, e.g, Truck, are made subclasses of
+//!   CargoCarrierVehicle");
+//! * **disjunction** `p ⇒ (q ∨ r)`: a synthesised union node
+//!   (`CarsTrucks`) that each disjunct and `p` specialise;
+//! * **functional** `F(): a ⇒ b`: a bridge labeled `F` from `a` to the
+//!   articulation term `b`, with the reverse bridge labeled by `F`'s
+//!   registered inverse when known.
+
+use std::collections::HashSet;
+
+use onion_graph::rel;
+use onion_ontology::Ontology;
+use onion_rules::{ArticulationRule, ConversionRegistry, RuleExpr, RuleSet, Term};
+use onion_rules::horn::{lower_rules, HornProgram};
+use onion_rules::infer::{FactBase, InferenceEngine};
+use onion_rules::properties::RelationRegistry;
+
+use crate::articulation::{Articulation, Bridge, BridgeKind};
+use crate::{ArticulateError, Result};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Name of the articulation ontology (Fig. 2 uses `transport`).
+    pub art_name: String,
+    /// Conversion functions for functional rules (used to wire inverse
+    /// bridges).
+    pub conversions: ConversionRegistry,
+    /// Run the inference engine to derive additional source→articulation
+    /// bridges (transitive semantic implication; §2.4 "The inference
+    /// engine … derive[s] more rules if possible").
+    pub expand_with_inference: bool,
+    /// Inherit `SubclassOf` structure into the articulation ontology from
+    /// the source portions its terms are anchored to (§4.2).
+    pub inherit_structure: bool,
+    /// Error on rules referencing terms absent from their source
+    /// ontology (on: the SKAT pipeline only proposes existing terms).
+    pub strict_terms: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            art_name: "transport".into(),
+            conversions: ConversionRegistry::standard(),
+            expand_with_inference: false,
+            inherit_structure: true,
+            strict_terms: true,
+        }
+    }
+}
+
+/// The articulation generator (§2.4 "ArtiGen" in Fig. 1).
+#[derive(Debug, Clone, Default)]
+pub struct ArticulationGenerator {
+    config: GeneratorConfig,
+}
+
+/// Internal: where an expression anchors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Anchor {
+    /// A term in a source ontology.
+    Source(Term),
+    /// A node (by label) in the articulation ontology.
+    Art(String),
+}
+
+impl ArticulationGenerator {
+    /// Generator with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generator with custom configuration.
+    pub fn with_config(config: GeneratorConfig) -> Self {
+        ArticulationGenerator { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the articulation of `sources` under `rules`.
+    pub fn generate(&self, rules: &RuleSet, sources: &[&Ontology]) -> Result<Articulation> {
+        let mut art = Articulation::new(&self.config.art_name);
+        for rule in rules.iter() {
+            self.apply_rule(rule, sources, &mut art)?;
+            art.rules.push(rule.clone());
+        }
+        if self.config.inherit_structure {
+            self.inherit_structure(&mut art, sources)?;
+        }
+        if self.config.expand_with_inference {
+            self.expand(&mut art, sources)?;
+        }
+        Ok(art)
+    }
+
+    /// Applies one additional confirmed rule to an existing articulation
+    /// (used by the iterative engine and incremental maintenance). Every
+    /// bridge the rule generates is recorded as supported by it, so
+    /// maintenance can retract exactly these bridges if the rule is
+    /// later dropped.
+    pub fn apply_rule(
+        &self,
+        rule: &ArticulationRule,
+        sources: &[&Ontology],
+        art: &mut Articulation,
+    ) -> Result<()> {
+        let rule_key = rule.to_string();
+        match rule {
+            ArticulationRule::Implication { chain } => {
+                let mut anchors = Vec::with_capacity(chain.len());
+                for expr in chain {
+                    anchors.push(self.resolve_expr(expr, sources, art, &rule_key)?);
+                }
+                for pair in anchors.windows(2) {
+                    self.link_pair(&pair[0], &pair[1], art, &rule_key)?;
+                }
+                Ok(())
+            }
+            ArticulationRule::Functional { function, from, to } => {
+                self.apply_functional(function, from, to, sources, art, &rule_key)
+            }
+        }
+    }
+
+    fn art_term(&self, art: &Articulation, label: &str) -> Term {
+        Term::qualified(art.name(), label)
+    }
+
+    fn find_source<'a>(&self, sources: &[&'a Ontology], name: &str) -> Option<&'a Ontology> {
+        sources.iter().copied().find(|o| o.name() == name)
+    }
+
+    /// Resolves a term to an anchor, creating articulation nodes on
+    /// demand. Unqualified terms live in the articulation namespace.
+    fn resolve_term(
+        &self,
+        term: &Term,
+        sources: &[&Ontology],
+        art: &mut Articulation,
+    ) -> Result<Anchor> {
+        match term.ontology.as_deref() {
+            None => {
+                art.ontology.graph_mut().ensure_node(&term.name)?;
+                Ok(Anchor::Art(term.name.clone()))
+            }
+            Some(o) if o == art.name() => {
+                art.ontology.graph_mut().ensure_node(&term.name)?;
+                Ok(Anchor::Art(term.name.clone()))
+            }
+            Some(o) => match self.find_source(sources, o) {
+                None => Err(ArticulateError::UnknownOntology(o.to_string())),
+                Some(src) => {
+                    if self.config.strict_terms && !src.defines(&term.name) {
+                        return Err(ArticulateError::UnknownTerm(term.to_string()));
+                    }
+                    Ok(Anchor::Source(term.clone()))
+                }
+            },
+        }
+    }
+
+    /// Resolves an expression, synthesising intersection/union classes
+    /// for And/Or per §4.1.
+    fn resolve_expr(
+        &self,
+        expr: &RuleExpr,
+        sources: &[&Ontology],
+        art: &mut Articulation,
+        rule_key: &str,
+    ) -> Result<Anchor> {
+        match expr {
+            RuleExpr::Term(t) => self.resolve_term(t, sources, art),
+            RuleExpr::And(members) => {
+                let label = expr.default_label();
+                art.ontology.graph_mut().ensure_node(&label)?;
+                let mut member_anchors = Vec::with_capacity(members.len());
+                for m in members {
+                    member_anchors.push(self.resolve_expr(m, sources, art, rule_key)?);
+                }
+                // the intersection class specialises each conjunct
+                for a in &member_anchors {
+                    match a {
+                        Anchor::Source(t) => {
+                            art.add_bridge_supported(
+                                Bridge::si(
+                                    self.art_term(art, &label),
+                                    t.clone(),
+                                    BridgeKind::Rule,
+                                ),
+                                rule_key,
+                            );
+                        }
+                        Anchor::Art(m) => {
+                            let m = m.clone();
+                            art.ontology
+                                .graph_mut()
+                                .ensure_edge_by_labels(&label, rel::SUBCLASS_OF, &m)?;
+                        }
+                    }
+                }
+                // common subclasses of all conjuncts slot under the new
+                // class (the paper's Truck example)
+                self.bridge_common_subclasses(&label, &member_anchors, sources, art, rule_key)?;
+                Ok(Anchor::Art(label))
+            }
+            RuleExpr::Or(members) => {
+                let label = expr.default_label();
+                art.ontology.graph_mut().ensure_node(&label)?;
+                for m in members {
+                    let a = self.resolve_expr(m, sources, art, rule_key)?;
+                    match a {
+                        Anchor::Source(t) => {
+                            art.add_bridge_supported(
+                                Bridge::si(t, self.art_term(art, &label), BridgeKind::Rule),
+                                rule_key,
+                            );
+                        }
+                        Anchor::Art(m) => {
+                            art.ontology
+                                .graph_mut()
+                                .ensure_edge_by_labels(&m, rel::SUBCLASS_OF, &label)?;
+                        }
+                    }
+                }
+                Ok(Anchor::Art(label))
+            }
+        }
+    }
+
+    /// For conjuncts anchored in one source ontology, bridge every class
+    /// that is a transitive subclass of all of them under `label`.
+    fn bridge_common_subclasses(
+        &self,
+        label: &str,
+        members: &[Anchor],
+        sources: &[&Ontology],
+        art: &mut Articulation,
+        rule_key: &str,
+    ) -> Result<()> {
+        let mut terms: Vec<&Term> = Vec::new();
+        for m in members {
+            match m {
+                Anchor::Source(t) => terms.push(t),
+                Anchor::Art(_) => return Ok(()), // mixed anchors: skip closure step
+            }
+        }
+        let Some(first_onto) = terms.first().and_then(|t| t.ontology.as_deref()) else {
+            return Ok(());
+        };
+        if !terms.iter().all(|t| t.in_ontology(first_onto)) {
+            return Ok(()); // conjuncts span ontologies: no common subclass set
+        }
+        let Some(src) = self.find_source(sources, first_onto) else {
+            return Ok(());
+        };
+        let mut common: Option<HashSet<String>> = None;
+        for t in &terms {
+            let subs: HashSet<String> = src.subclasses(&t.name).into_iter().collect();
+            common = Some(match common {
+                None => subs,
+                Some(prev) => prev.intersection(&subs).cloned().collect(),
+            });
+        }
+        let mut common: Vec<String> = common.unwrap_or_default().into_iter().collect();
+        common.sort();
+        for sub in common {
+            art.add_bridge_supported(
+                Bridge::si(
+                    Term::qualified(first_onto, &sub),
+                    self.art_term(art, label),
+                    BridgeKind::Rule,
+                ),
+                rule_key,
+            );
+        }
+        Ok(())
+    }
+
+    /// Links one implication pair per the §4.1 case analysis.
+    fn link_pair(
+        &self,
+        l: &Anchor,
+        r: &Anchor,
+        art: &mut Articulation,
+        rule_key: &str,
+    ) -> Result<()> {
+        match (l, r) {
+            (Anchor::Source(a), Anchor::Source(b)) => {
+                // the paper's simple-bridge translation: art node named
+                // after the RHS, equivalent to the RHS source term
+                let label = b.name.clone();
+                art.ontology.graph_mut().ensure_node(&label)?;
+                let art_t = self.art_term(art, &label);
+                art.add_bridge_supported(
+                    Bridge::si(a.clone(), art_t.clone(), BridgeKind::Rule),
+                    rule_key,
+                );
+                art.add_bridge_supported(
+                    Bridge::si(b.clone(), art_t.clone(), BridgeKind::Rule),
+                    rule_key,
+                );
+                art.add_bridge_supported(
+                    Bridge::si(art_t, b.clone(), BridgeKind::Equivalence),
+                    rule_key,
+                );
+            }
+            (Anchor::Source(a), Anchor::Art(x)) => {
+                art.add_bridge_supported(
+                    Bridge::si(a.clone(), self.art_term(art, x), BridgeKind::Rule),
+                    rule_key,
+                );
+            }
+            (Anchor::Art(x), Anchor::Source(b)) => {
+                art.add_bridge_supported(
+                    Bridge::si(self.art_term(art, x), b.clone(), BridgeKind::Rule),
+                    rule_key,
+                );
+            }
+            (Anchor::Art(x), Anchor::Art(y)) => {
+                // intra-articulation structure: Owner => Person becomes a
+                // SubclassOf edge in the articulation graph
+                let (x, y) = (x.clone(), y.clone());
+                art.ontology.graph_mut().ensure_edge_by_labels(&x, rel::SUBCLASS_OF, &y)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_functional(
+        &self,
+        function: &str,
+        from: &Term,
+        to: &Term,
+        sources: &[&Ontology],
+        art: &mut Articulation,
+        rule_key: &str,
+    ) -> Result<()> {
+        let from_anchor = self.resolve_term(from, sources, art)?;
+        let to_anchor = self.resolve_term(to, sources, art)?;
+        // normalise: functional bridges always target an articulation term
+        let (to_art_label, to_source) = match to_anchor {
+            Anchor::Art(l) => (l, None),
+            Anchor::Source(t) => {
+                art.ontology.graph_mut().ensure_node(&t.name)?;
+                (t.name.clone(), Some(t))
+            }
+        };
+        let art_t = self.art_term(art, &to_art_label);
+        let from_term = match from_anchor {
+            Anchor::Source(t) => t,
+            Anchor::Art(l) => self.art_term(art, &l),
+        };
+        art.add_bridge_supported(
+            Bridge::functional(from_term.clone(), function, art_t.clone()),
+            rule_key,
+        );
+        if let Some(inv) = self.config.conversions.get(function).and_then(|c| c.inverse_name()) {
+            art.add_bridge_supported(Bridge::functional(art_t.clone(), inv, from_term), rule_key);
+        }
+        if let Some(src_t) = to_source {
+            // keep the source metric term equivalent to the articulation one
+            art.add_bridge_supported(
+                Bridge::si(src_t.clone(), art_t.clone(), BridgeKind::Rule),
+                rule_key,
+            );
+            art.add_bridge_supported(Bridge::si(art_t, src_t, BridgeKind::Equivalence), rule_key);
+        }
+        Ok(())
+    }
+
+    /// §4.2 structure inheritance: articulation nodes anchored (by any
+    /// bridge) to source terms inherit the `SubclassOf` relationships of
+    /// those terms.
+    fn inherit_structure(&self, art: &mut Articulation, sources: &[&Ontology]) -> Result<()> {
+        // art label -> anchored (ontology, term) pairs
+        let mut anchors: Vec<(String, String, String)> = Vec::new(); // (art label, onto, term)
+        let art_name = art.name().to_string();
+        for b in &art.bridges {
+            if b.label != rel::SI_BRIDGE {
+                continue;
+            }
+            let (art_end, src_end) = if b.src.in_ontology(&art_name) {
+                (&b.src, &b.dst)
+            } else if b.dst.in_ontology(&art_name) {
+                (&b.dst, &b.src)
+            } else {
+                continue;
+            };
+            if let Some(o) = src_end.ontology.as_deref() {
+                if o != art_name {
+                    anchors.push((art_end.name.clone(), o.to_string(), src_end.name.clone()));
+                }
+            }
+        }
+        // Precompute each referenced source's subclass closure once;
+        // anchors are then checked by set membership instead of per-pair
+        // BFS (this loop is quadratic in anchors and dominated the B5
+        // union numbers before).
+        let mut closures: std::collections::HashMap<&str, HashSet<(String, String)>> =
+            std::collections::HashMap::new();
+        for (_, onto, _) in &anchors {
+            let onto = onto.as_str();
+            if closures.contains_key(onto) {
+                continue;
+            }
+            let Some(src) = self.find_source(sources, onto) else { continue };
+            let g = src.graph();
+            let pairs = onion_graph::closure::transitive_pairs(
+                g,
+                &onion_graph::traverse::EdgeFilter::label(rel::SUBCLASS_OF),
+            );
+            let set: HashSet<(String, String)> = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    (
+                        g.node_label(a).expect("live").to_string(),
+                        g.node_label(b).expect("live").to_string(),
+                    )
+                })
+                .collect();
+            closures.insert(src.name(), set);
+        }
+        let mut new_edges: Vec<(String, String)> = Vec::new();
+        for (xl, xo, xt) in &anchors {
+            let Some(closure) = closures.get(xo.as_str()) else { continue };
+            for (yl, yo, yt) in &anchors {
+                if xl == yl || xo != yo || xt == yt {
+                    continue;
+                }
+                if closure.contains(&(xt.clone(), yt.clone())) {
+                    new_edges.push((xl.clone(), yl.clone()));
+                }
+            }
+        }
+        new_edges.sort();
+        new_edges.dedup();
+        for (x, y) in new_edges {
+            // never create a subclass cycle in the articulation graph
+            if !art.ontology.is_subclass(&y, &x) && x != y {
+                art.ontology.graph_mut().ensure_edge_by_labels(&x, rel::SUBCLASS_OF, &y)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inference expansion: derive transitive semantic implications and
+    /// add the source→articulation ones as [`BridgeKind::Derived`]
+    /// bridges.
+    fn expand(&self, art: &mut Articulation, sources: &[&Ontology]) -> Result<()> {
+        let mut fb = FactBase::new();
+        // seed: existing SI bridges
+        for b in &art.bridges {
+            if b.label == rel::SI_BRIDGE {
+                fb.add("si", &[&b.src.to_string(), &b.dst.to_string()]);
+            }
+        }
+        // seed: source subclass edges and articulation-internal subclass
+        // edges, qualified
+        for o in sources.iter().copied().chain([&art.ontology]) {
+            let g = o.graph();
+            for e in g.edges() {
+                if e.label == rel::SUBCLASS_OF {
+                    let s = format!("{}.{}", g.name(), g.node_label(e.src).expect("live"));
+                    let d = format!("{}.{}", g.name(), g.node_label(e.dst).expect("live"));
+                    fb.add("subclassof", &[&s, &d]);
+                }
+            }
+        }
+        // seed: rule lowering (synthesised classes appear as synth.*)
+        for atom in lower_rules(&art.rules.rules) {
+            fb.add_atom(&atom);
+        }
+        let program = HornProgram::standard(&RelationRegistry::onion_default());
+        InferenceEngine::new(program).run(&mut fb)?;
+
+        let art_prefix = format!("{}.", art.name());
+        let source_names: Vec<&str> = sources.iter().map(|o| o.name()).collect();
+        let mut derived: Vec<(String, String)> = fb
+            .query2("si", None, None)
+            .into_iter()
+            .filter(|(a, b)| {
+                // keep source-term -> articulation-term implications
+                b.starts_with(&art_prefix)
+                    && source_names.iter().any(|s| a.starts_with(&format!("{s}.")))
+            })
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        derived.sort();
+        for (a, b) in derived {
+            let (ao, an) = a.split_once('.').expect("qualified");
+            let (_, bn) = b.split_once('.').expect("qualified");
+            if art.ontology.defines(bn) {
+                art.add_bridge(Bridge::si(
+                    Term::qualified(ao, an),
+                    Term::qualified(art.name(), bn),
+                    BridgeKind::Derived,
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_ontology::examples::{carrier, factory};
+    use onion_ontology::OntologyBuilder;
+    use onion_rules::parse_rules;
+
+    fn gen() -> ArticulationGenerator {
+        ArticulationGenerator::new()
+    }
+
+    fn simple_sources() -> (Ontology, Ontology) {
+        let carrier = OntologyBuilder::new("carrier")
+            .class_under("Car", "Transportation")
+            .build()
+            .unwrap();
+        let factory = OntologyBuilder::new("factory")
+            .class_under("Vehicle", "Transportation")
+            .build()
+            .unwrap();
+        (carrier, factory)
+    }
+
+    #[test]
+    fn simple_rule_matches_paper_edge_set() {
+        // §4.1: (carrier.Car => factory.Vehicle) is translated to
+        // EA[{(carrier.Car, SIBridge, transport.Vehicle),
+        //     (factory.Vehicle, SIBridge, transport.Vehicle),
+        //     (transport.Vehicle, SIBridge, factory.Vehicle)}]
+        let (c, f) = simple_sources();
+        let rules = parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.defines("Vehicle"));
+        let have: HashSet<String> = art.bridges.iter().map(|b| b.to_string()).collect();
+        for expected in [
+            "carrier.Car -[SIBridge]-> transport.Vehicle",
+            "factory.Vehicle -[SIBridge]-> transport.Vehicle",
+            "transport.Vehicle -[SIBridge]-> factory.Vehicle",
+        ] {
+            assert!(have.contains(expected), "missing {expected}; have {have:?}");
+        }
+        assert_eq!(art.bridges.len(), 3);
+    }
+
+    #[test]
+    fn cascaded_rule_matches_paper() {
+        // §4.1: carrier.Car => transport.PassengerCar => factory.Vehicle
+        let (c, f) = simple_sources();
+        let rules =
+            parse_rules("carrier.Car => transport.PassengerCar => factory.Vehicle\n").unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.defines("PassengerCar"));
+        let have: HashSet<String> = art.bridges.iter().map(|b| b.to_string()).collect();
+        assert!(have.contains("carrier.Car -[SIBridge]-> transport.PassengerCar"));
+        assert!(have.contains("transport.PassengerCar -[SIBridge]-> factory.Vehicle"));
+        assert_eq!(art.bridges.len(), 2);
+    }
+
+    #[test]
+    fn intra_articulation_rule_becomes_subclass_edge() {
+        // §4.1: (transport.Owner => transport.Person) adds an edge to the
+        // articulation graph making Owner a subclass of Person
+        let (c, f) = simple_sources();
+        let rules = parse_rules("transport.Owner => transport.Person\n").unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.is_subclass("Owner", "Person"));
+        assert!(art.bridges.is_empty());
+    }
+
+    #[test]
+    fn conjunction_rule_matches_paper() {
+        // §4.1: ((factory.CargoCarrier ∧ factory.Vehicle) => carrier.Trucks)
+        // introduces CargoCarrierVehicle, subclass of Vehicle, CargoCarrier
+        // and Trucks; Truck (subclass of both conjuncts) slots under it.
+        let c = carrier();
+        let f = factory();
+        let rules =
+            parse_rules("(factory.CargoCarrier & factory.Vehicle) => carrier.Trucks\n").unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.defines("CargoCarrierVehicle"));
+        let have: HashSet<String> = art.bridges.iter().map(|b| b.to_string()).collect();
+        for expected in [
+            "transport.CargoCarrierVehicle -[SIBridge]-> factory.CargoCarrier",
+            "transport.CargoCarrierVehicle -[SIBridge]-> factory.Vehicle",
+            "transport.CargoCarrierVehicle -[SIBridge]-> carrier.Trucks",
+            // common subclasses of the conjuncts: GoodsVehicle and Truck
+            "factory.Truck -[SIBridge]-> transport.CargoCarrierVehicle",
+            "factory.GoodsVehicle -[SIBridge]-> transport.CargoCarrierVehicle",
+        ] {
+            assert!(have.contains(expected), "missing {expected}; have {have:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_rule_matches_paper() {
+        // §4.1: (factory.Vehicle => (carrier.Cars ∨ carrier.Trucks))
+        // introduces CarsTrucks with Cars, Trucks and Vehicle under it.
+        let c = carrier();
+        let f = factory();
+        let rules = parse_rules("factory.Vehicle => (carrier.Cars | carrier.Trucks)\n").unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.defines("CarsTrucks"));
+        let have: HashSet<String> = art.bridges.iter().map(|b| b.to_string()).collect();
+        for expected in [
+            "carrier.Cars -[SIBridge]-> transport.CarsTrucks",
+            "carrier.Trucks -[SIBridge]-> transport.CarsTrucks",
+            "factory.Vehicle -[SIBridge]-> transport.CarsTrucks",
+        ] {
+            assert!(have.contains(expected), "missing {expected}; have {have:?}");
+        }
+    }
+
+    #[test]
+    fn functional_rule_creates_conversion_bridges() {
+        let c = carrier();
+        let f = factory();
+        let rules =
+            parse_rules("DGToEuroFn(): carrier.DutchGuilders => transport.Euro\n").unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.defines("Euro"));
+        let have: HashSet<String> = art.bridges.iter().map(|b| b.to_string()).collect();
+        assert!(have.contains("carrier.DutchGuilders -[DGToEuroFn]-> transport.Euro"));
+        // inverse wired from the registry
+        assert!(have.contains("transport.Euro -[EuroToDGFn]-> carrier.DutchGuilders"));
+    }
+
+    #[test]
+    fn functional_rule_without_registered_inverse() {
+        let c = carrier();
+        let f = factory();
+        // nothing registered in the conversion registry
+        let cfg =
+            GeneratorConfig { conversions: ConversionRegistry::new(), ..Default::default() };
+        let rules = parse_rules("MysteryFn(): carrier.DutchGuilders => transport.Euro\n").unwrap();
+        let art = ArticulationGenerator::with_config(cfg).generate(&rules, &[&c, &f]).unwrap();
+        assert_eq!(art.bridges.len(), 1, "forward bridge only");
+    }
+
+    #[test]
+    fn strict_terms_reject_unknown() {
+        let (c, f) = simple_sources();
+        let rules = parse_rules("carrier.Ghost => factory.Vehicle\n").unwrap();
+        let err = gen().generate(&rules, &[&c, &f]).unwrap_err();
+        assert!(matches!(err, ArticulateError::UnknownTerm(t) if t == "carrier.Ghost"));
+        // non-strict mode lets it pass (term treated as declared)
+        let cfg = GeneratorConfig { strict_terms: false, ..Default::default() };
+        let art = ArticulationGenerator::with_config(cfg).generate(&rules, &[&c, &f]).unwrap();
+        assert_eq!(art.bridges.len(), 3);
+    }
+
+    #[test]
+    fn unknown_ontology_rejected() {
+        let (c, f) = simple_sources();
+        let rules = parse_rules("nowhere.X => factory.Vehicle\n").unwrap();
+        let err = gen().generate(&rules, &[&c, &f]).unwrap_err();
+        assert!(matches!(err, ArticulateError::UnknownOntology(o) if o == "nowhere"));
+    }
+
+    #[test]
+    fn inherit_structure_lifts_source_subclasses() {
+        // carrier.SUV -> transport.SUV and carrier.Cars -> transport.Cars
+        // equivalences; SUV subclassOf Cars in carrier should appear in
+        // the articulation.
+        let c = carrier();
+        let f = factory();
+        let rules = parse_rules(
+            "carrier.SUV => transport.SUV\ncarrier.Cars => transport.Cars\n",
+        )
+        .unwrap();
+        let art = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert!(art.ontology.is_subclass("SUV", "Cars"), "structure inherited per §4.2");
+    }
+
+    #[test]
+    fn expansion_derives_transitive_bridges() {
+        let c = carrier();
+        let f = factory();
+        let cfg = GeneratorConfig { expand_with_inference: true, ..Default::default() };
+        let rules = parse_rules("carrier.Cars => transport.Vehicle\n").unwrap();
+        let art = ArticulationGenerator::with_config(cfg).generate(&rules, &[&c, &f]).unwrap();
+        // carrier.SUV subclassOf carrier.Cars, so SUV => transport.Vehicle
+        // should be derivable
+        assert!(
+            art.bridges.iter().any(|b| b.kind == BridgeKind::Derived
+                && b.src == Term::qualified("carrier", "SUV")
+                && b.dst == Term::qualified("transport", "Vehicle")),
+            "bridges: {:?}",
+            art.bridges.iter().map(|b| b.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let c = carrier();
+        let f = factory();
+        let rules = onion_ontology::examples::fig2_rules();
+        let a1 = gen().generate(&rules, &[&c, &f]).unwrap();
+        let a2 = gen().generate(&rules, &[&c, &f]).unwrap();
+        assert_eq!(a1.bridges, a2.bridges);
+        assert!(a1.ontology.graph().same_shape(a2.ontology.graph()));
+    }
+
+    #[test]
+    fn fig2_rules_generate_cleanly() {
+        let c = carrier();
+        let f = factory();
+        let art = gen().generate(&onion_ontology::examples::fig2_rules(), &[&c, &f]).unwrap();
+        let (terms, bridges, rules) = art.stats();
+        assert!(terms >= 8, "articulation terms: {terms}");
+        assert!(bridges >= 12, "bridges: {bridges}");
+        assert_eq!(rules, onion_ontology::examples::fig2_rules().len());
+        // articulation ontology is itself consistent
+        assert!(onion_ontology::consistency::check(&art.ontology).is_empty());
+    }
+}

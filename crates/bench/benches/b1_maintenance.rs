@@ -1,0 +1,66 @@
+//! B1 — maintenance cost under source updates (paper §1/§6 claim:
+//! global schemas are "huge and difficult-to-maintain"; articulations
+//! evolve independently).
+//!
+//! Series: for each ontology size, apply a 20-op update batch (10%
+//! targeting bridged terms) three ways:
+//!   * `onion-incremental` — triage + scoped repair (`apply_delta`);
+//!   * `onion-rebuild`     — regenerate the articulation from rules;
+//!   * `global-merge`      — re-merge everything (the §1 baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_bench::{articulated, pair, truth_rules};
+use onion_core::articulate::maintain::{apply_delta, rebuild};
+use onion_core::prelude::*;
+use onion_core::testkit::{update_stream, GlobalMerge, UpdateSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_maintenance");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &concepts in &[200usize, 1000, 4000] {
+        let p = pair(11, concepts, 0.1);
+        let art = articulated(&p);
+        let generator = ArticulationGenerator::new();
+        let spec = UpdateSpec { seed: 3, ops: 20, bridged_fraction: 0.1, delete_fraction: 0.2 };
+        let ops = update_stream(&p.left, &art, &spec);
+        // the evolved source (what the world looks like after the batch)
+        let mut evolved_graph = p.left.graph().clone();
+        onion_core::graph::ops::apply_all(&mut evolved_graph, &ops).unwrap();
+        let evolved = Ontology::from_graph(evolved_graph).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("onion-incremental", concepts),
+            &concepts,
+            |b, _| {
+                b.iter(|| {
+                    let mut a = art.clone();
+                    apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("onion-rebuild", concepts),
+            &concepts,
+            |b, _| {
+                b.iter(|| rebuild(&art, &[&evolved, &p.right], &generator).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global-merge", concepts),
+            &concepts,
+            |b, _| {
+                b.iter(|| GlobalMerge::rebuild(&[&evolved, &p.right], &p.lexicon))
+            },
+        );
+        // context: a fresh generation for scale reference
+        let _ = truth_rules(&p);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

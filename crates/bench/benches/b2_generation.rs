@@ -1,0 +1,51 @@
+//! B2 — articulation generation cost vs ontology size and overlap
+//! (paper §2.4/§4: semi-automatic generation is the scalable path).
+//!
+//! Two series:
+//!   * `propose` — one SKAT pipeline pass (exact + synonym + similarity);
+//!   * `engine`  — the full propose → oracle-confirm → generate loop.
+//!
+//! Candidate *quality* (precision/recall vs the planted truth) is
+//! reported by the `experiments` binary; wall time is measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_bench::pair;
+use onion_core::articulate::{ExactLabelMatcher, SimilarityMatcher, SynonymMatcher};
+use onion_core::prelude::*;
+
+fn pipeline(lex: &Lexicon) -> MatcherPipeline {
+    MatcherPipeline::new()
+        .with(ExactLabelMatcher)
+        .with(SynonymMatcher::new(lex.clone()))
+        .with(SimilarityMatcher { threshold: 0.9, max_pairs: 2_000_000 })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_generation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &concepts in &[100usize, 400] {
+        for &overlap in &[0.05f64, 0.25] {
+            let p = pair(17, concepts, overlap);
+            let id = format!("n{concepts}_ov{}", (overlap * 100.0) as u32);
+            let pl = pipeline(&p.lexicon);
+            group.bench_with_input(BenchmarkId::new("propose", &id), &id, |b, _| {
+                b.iter(|| pl.propose(&p.left, &p.right, &RuleSet::new()))
+            });
+            group.bench_with_input(BenchmarkId::new("engine", &id), &id, |b, _| {
+                b.iter(|| {
+                    let engine = ArticulationEngine::new(pipeline(&p.lexicon))
+                        .with_config(EngineConfig { max_rounds: 2, ..Default::default() });
+                    let mut oracle = OracleExpert::new(p.truth.iter().cloned());
+                    engine.run(&p.left, &p.right, &mut oracle, RuleSet::new()).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! B3 — graph-pattern matching throughput (paper §3): exact matching vs
+//! the two fuzzy relaxations (synonym node labels, relaxed edge labels),
+//! across pattern shapes and graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_core::lexicon::SynonymEquiv;
+use onion_core::prelude::*;
+use onion_core::testkit::{generate_ontology, OntologySpec};
+
+fn patterns() -> Vec<(&'static str, Pattern)> {
+    let mut edge = Pattern::new();
+    let a = edge.any_node();
+    let b = edge.any_node();
+    edge.edge(a, "SubclassOf", b);
+
+    let mut path3 = Pattern::new();
+    let x = path3.any_node();
+    let y = path3.any_node();
+    let z = path3.any_node();
+    path3.edge(x, "SubclassOf", y).edge(y, "SubclassOf", z);
+
+    let mut star = Pattern::new();
+    let hub = star.any_node();
+    let c1 = star.any_node();
+    let c2 = star.any_node();
+    star.edge(c1, "SubclassOf", hub).edge(c2, "SubclassOf", hub);
+
+    vec![("edge2", edge), ("path3", path3), ("star3", star)]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b3_patterns");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let lexicon = onion_core::lexicon::generator::generate(&Default::default());
+    for &classes in &[1000usize, 8000] {
+        let o = generate_ontology(&OntologySpec::sized("g", 23, classes));
+        let g = o.graph();
+        for (name, p) in patterns() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("exact/{name}"), classes),
+                &classes,
+                |b, _| b.iter(|| Matcher::new(g).count(&p).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("synonym/{name}"), classes),
+                &classes,
+                |b, _| {
+                    b.iter(|| {
+                        Matcher::with_equiv(g, SynonymEquiv::new(&lexicon)).count(&p).unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("relaxed-edges/{name}"), classes),
+                &classes,
+                |b, _| {
+                    let cfg = MatchConfig { relax_edge_labels: true, ..Default::default() };
+                    b.iter(|| Matcher::new(g).with_config(cfg.clone()).count(&p).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

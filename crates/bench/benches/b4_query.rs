@@ -1,0 +1,70 @@
+//! B4 — query answering across the articulation (paper §2.3/§5.1) vs
+//! the pre-merged global schema: reformulation + two-source execution
+//! with metric conversion against direct global lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_bench::{articulated, instance_kbs, pair};
+use onion_core::prelude::*;
+use onion_core::testkit::GlobalMerge;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &instances in &[1000usize, 10_000] {
+        let p = pair(31, 400, 0.25);
+        let art = articulated(&p);
+        let (lkb, rkb) = instance_kbs(&p, instances);
+        let lw = InMemoryWrapper::new(lkb.clone());
+        let rw = InMemoryWrapper::new(rkb.clone());
+        let conversions = ConversionRegistry::standard();
+        // the articulation class with the most mapped sources: pick the
+        // first truth pair's target class name
+        // the simple-rule translation names the articulation node after
+        // the RHS (right-side) term
+        let class = p.truth[0].1.split_once('.').unwrap().1.to_string();
+        let query = Query::all(&class)
+            .select("Price")
+            .filter("Price", CmpOp::Lt, Value::Num(25_000.0));
+
+        group.bench_with_input(BenchmarkId::new("onion", instances), &instances, |b, _| {
+            let sources: Vec<&Ontology> = vec![&p.left, &p.right];
+            let wrappers: Vec<&dyn Wrapper> = vec![&lw, &rw];
+            b.iter(|| execute(&query, &art, &sources, &conversions, &wrappers).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("onion-plan-only", instances), &instances, |b, _| {
+            let sources: Vec<&Ontology> = vec![&p.left, &p.right];
+            b.iter(|| onion_core::query::plan(&query, &art, &sources, &conversions).unwrap())
+        });
+
+        // baseline: the global schema answers by scanning all instances
+        // whose merged class matches
+        let gm = GlobalMerge::build(&[&p.left, &p.right], &p.lexicon);
+        let global_class = gm.global_label("right", &class).unwrap_or(&class).to_string();
+        group.bench_with_input(BenchmarkId::new("global-merge", instances), &instances, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (kb, source) in [(&lkb, "left"), (&rkb, "right")] {
+                    for inst in kb.instances() {
+                        let classes = gm.classes_of(source, &inst.class);
+                        if classes.iter().any(|cl| cl == &global_class) {
+                            if let Some(Value::Num(n)) = inst.attrs.get("Price") {
+                                if *n < 25_000.0 {
+                                    hits += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

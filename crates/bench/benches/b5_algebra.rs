@@ -1,0 +1,46 @@
+//! B5 — the §5 algebra operators' runtime vs ontology size and bridge
+//! density: Union, Intersection, Difference (including the §5.3
+//! reachability-based conservative semantics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_bench::{articulated, pair, truth_rules};
+use onion_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_algebra");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &concepts in &[200usize, 1000, 4000] {
+        for &overlap in &[0.1f64, 0.4] {
+            if concepts == 4000 && overlap > 0.2 {
+                continue; // the 40% point at 4000 concepts exceeds the bench budget
+            }
+            let p = pair(43, concepts, overlap);
+            let rules = truth_rules(&p);
+            let art = articulated(&p);
+            let generator = ArticulationGenerator::new();
+            let id = format!("n{concepts}_ov{}", (overlap * 100.0) as u32);
+
+            group.bench_with_input(BenchmarkId::new("union", &id), &id, |b, _| {
+                b.iter(|| union(&p.left, &p.right, &rules, &generator).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("union-cached-art", &id), &id, |b, _| {
+                b.iter(|| {
+                    onion_core::algebra::union::union_with(&p.left, &p.right, &art).unwrap()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("intersection", &id), &id, |b, _| {
+                b.iter(|| intersect(&p.left, &p.right, &rules, &generator).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("difference", &id), &id, |b, _| {
+                b.iter(|| difference(&p.left, &p.right, &art).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

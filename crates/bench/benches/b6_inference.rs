@@ -1,0 +1,65 @@
+//! B6 — the §4.1 claim that restricting to Horn clauses admits "a much
+//! lighter (and faster) inference engine": semi-naive vs naive vs the
+//! unindexed full-closure baseline on transitive-closure workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn chain_facts(n: usize) -> FactBase {
+    let mut fb = FactBase::new();
+    for i in 0..n {
+        fb.add("si", &[&format!("t{i}"), &format!("t{}", i + 1)]);
+    }
+    fb
+}
+
+fn random_facts(n: usize, seed: u64) -> FactBase {
+    // sparse random implication graph: n nodes, 2n edges
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fb = FactBase::new();
+    for _ in 0..2 * n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        fb.add("si", &[&format!("t{a}"), &format!("t{b}")]);
+    }
+    fb
+}
+
+fn program() -> HornProgram {
+    HornProgram::parse("si(X, Z) :- si(X, Y), si(Y, Z).").unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_inference");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // chains stress depth; random graphs stress breadth
+    type MakeFacts = fn(usize) -> FactBase;
+    let workloads: [(&str, MakeFacts); 2] =
+        [("chain", chain_facts), ("random", |n| random_facts(n, 7))];
+    for &n in &[32usize, 64] {
+        for (workload, make) in workloads {
+            for strat in [Strategy::SemiNaive, Strategy::Naive, Strategy::FullClosure] {
+                let id = format!("{workload}/{strat:?}");
+                group.bench_with_input(BenchmarkId::new(id, n), &n, |b, &n| {
+                    b.iter(|| {
+                        let mut fb = make(n);
+                        InferenceEngine::new(program())
+                            .with_strategy(strat)
+                            .run(&mut fb)
+                            .unwrap()
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! B7 — composability (§4.2): cost of adding the k-th source.
+//!
+//! * `onion-add-kth`  — articulate the new source against the existing
+//!   articulation ladder (one new step, earlier steps untouched);
+//! * `global-remerge` — the baseline's only option: merge all k sources
+//!   from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_core::algebra::compose::{add_source, compose_all};
+use onion_core::prelude::*;
+use onion_core::testkit::{generate_ontology, GlobalMerge, OntologySpec};
+
+fn sources(k: usize) -> Vec<Ontology> {
+    (0..k)
+        .map(|i| {
+            let mut spec = OntologySpec::sized(&format!("src{i}"), 100 + i as u64, 150);
+            spec.attr_density = 0.2;
+            spec.instance_density = 0.0;
+            generate_ontology(&spec)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b7_compose");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let lexicon = transport_lexicon();
+    for &k in &[3usize, 5] {
+        let all = sources(k);
+        let refs: Vec<&Ontology> = all.iter().collect();
+        // pre-build the ladder over the first k-1 sources
+        let prefix: Vec<&Ontology> = refs[..k - 1].to_vec();
+
+        group.bench_with_input(BenchmarkId::new("onion-add-kth", k), &k, |b, _| {
+            b.iter(|| {
+                let mut comp = compose_all(&prefix, &lexicon, &mut ThresholdExpert::new(0.9)).unwrap();
+                // measured effect includes only the incremental step in
+                // spirit; the prefix build is identical across arms and
+                // measured separately below
+                add_source(&mut comp, refs[k - 1], &lexicon, &mut ThresholdExpert::new(0.9)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("onion-prefix-only", k), &k, |b, _| {
+            b.iter(|| compose_all(&prefix, &lexicon, &mut ThresholdExpert::new(0.9)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("global-remerge", k), &k, |b, _| {
+            b.iter(|| GlobalMerge::rebuild(&refs, &lexicon))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! B8 — difference-guided update triage (§5.3): the fraction of source
+//! updates requiring articulation maintenance tracks the updates'
+//! articulation locality, and triage itself is cheap regardless.
+//!
+//! Arms per locality setting:
+//!   * `triage+repair` — the ONION maintenance path;
+//!   * `no-triage`     — repair-everything strawman (rebuild per batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onion_bench::{articulated, pair};
+use onion_core::articulate::maintain::{apply_delta, rebuild, triage};
+use onion_core::prelude::*;
+use onion_core::testkit::{update_stream, UpdateSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b8_difference_triage");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let p = pair(59, 1000, 0.2);
+    let art = articulated(&p);
+    let generator = ArticulationGenerator::new();
+    for &bridged in &[0.0f64, 0.25, 0.75] {
+        let spec = UpdateSpec {
+            seed: 13,
+            ops: 50,
+            bridged_fraction: bridged,
+            delete_fraction: 0.2,
+        };
+        let ops = update_stream(&p.left, &art, &spec);
+        let mut evolved_graph = p.left.graph().clone();
+        onion_core::graph::ops::apply_all(&mut evolved_graph, &ops).unwrap();
+        let evolved = Ontology::from_graph(evolved_graph).unwrap();
+        let id = format!("bridged{}", (bridged * 100.0) as u32);
+
+        group.bench_with_input(BenchmarkId::new("triage-only", &id), &id, |b, _| {
+            b.iter(|| triage(&art, "left", &ops))
+        });
+        group.bench_with_input(BenchmarkId::new("triage+repair", &id), &id, |b, _| {
+            b.iter(|| {
+                let mut a = art.clone();
+                apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("no-triage-rebuild", &id), &id, |b, _| {
+            b.iter(|| rebuild(&art, &[&evolved, &p.right], &generator).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,467 @@
+//! Prints the full experiment tables recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p onion-bench --release --bin experiments
+//! ```
+//!
+//! Each section regenerates one DESIGN.md experiment (E1–E2, B1–B8) and
+//! prints the series in "who wins, by what factor, where is the
+//! crossover" form. Wall times are medians of several in-process
+//! repetitions — indicative shapes, not Criterion-grade statistics (use
+//! `cargo bench` for those).
+
+use std::time::Instant;
+
+use onion_bench::{articulated, instance_kbs, pair, truth_rules};
+use onion_core::algebra::compose::{add_source, compose_all};
+use onion_core::articulate::maintain::{apply_delta, rebuild, triage};
+use onion_core::prelude::*;
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy};
+use onion_core::testkit::{
+    generate_ontology, precision_recall, update_stream, GlobalMerge, OntologySpec, UpdateSpec,
+};
+
+fn median_micros(mut reps: usize, mut f: impl FnMut()) -> f64 {
+    reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+fn main() {
+    println!("# ONION reproduction — experiment run\n");
+    e1_fig2();
+    e2_pipeline();
+    b1_maintenance();
+    b2_generation();
+    b2b_matcher_ablation();
+    b3_patterns();
+    b4_query();
+    b5_algebra();
+    b6_inference();
+    b7_compose();
+    b8_triage();
+    println!("\ndone.");
+}
+
+fn e1_fig2() {
+    println!("## E1 — Fig. 2 regeneration\n");
+    let c = examples::carrier();
+    let f = examples::factory();
+    let art = ArticulationGenerator::new()
+        .generate(&examples::fig2_rules(), &[&c, &f])
+        .expect("fig2 generates");
+    let (terms, bridges, rules) = art.stats();
+    let unified = art.unified(&[&c, &f]).expect("unified");
+    println!("| artefact | nodes | edges |");
+    println!("|---|---|---|");
+    println!("| carrier | {} | {} |", c.term_count(), c.graph().edge_count());
+    println!("| factory | {} | {} |", f.term_count(), f.graph().edge_count());
+    println!(
+        "| articulation (transport) | {terms} | {} + {bridges} bridges |",
+        art.ontology.graph().edge_count()
+    );
+    println!("| unified (computed) | {} | {} |", unified.node_count(), unified.edge_count());
+    println!("| rules | {rules} | — |");
+    println!();
+}
+
+fn e2_pipeline() {
+    println!("## E2 — Fig. 1 architecture walkthrough\n");
+    let mut onion = onion_core::OnionSystem::with_transport_lexicon();
+    onion.add_source(examples::carrier());
+    onion.add_source(examples::factory());
+    onion.add_rules(examples::fig2_rules_text()).expect("rules parse");
+    let report = onion.articulate("carrier", "factory", &mut AcceptAll).expect("articulates");
+    let mut ckb = KnowledgeBase::new("carrier");
+    ckb.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+    let mut fkb = KnowledgeBase::new("factory");
+    fkb.add(Instance::new("pc7", "PassengerCar").with("Price", Value::Num(653.3)));
+    onion.add_knowledge_base(ckb);
+    onion.add_knowledge_base(fkb);
+    let rs = onion.query("find Vehicle(Price)").expect("query runs");
+    println!(
+        "engine: {} rounds, {}/{} candidates accepted; query `find Vehicle(Price)` → {} rows, all normalised to 1000 EUR",
+        report.rounds, report.accepted, report.proposed, rs.len()
+    );
+    println!();
+}
+
+fn b1_maintenance() {
+    println!("## B1 — maintenance after a 20-op source update (10% bridged)\n");
+    println!("| concepts | onion incremental | onion rebuild | global re-merge | incr. speedup vs merge |");
+    println!("|---|---|---|---|---|");
+    for &concepts in &[200usize, 1000, 4000] {
+        let p = pair(11, concepts, 0.1);
+        let art = articulated(&p);
+        let generator = ArticulationGenerator::new();
+        let spec = UpdateSpec { seed: 3, ops: 20, bridged_fraction: 0.1, delete_fraction: 0.2 };
+        let ops = update_stream(&p.left, &art, &spec);
+        let mut g = p.left.graph().clone();
+        onion_core::graph::ops::apply_all(&mut g, &ops).unwrap();
+        let evolved = Ontology::from_graph(g).unwrap();
+
+        let incr = median_micros(9, || {
+            let mut a = art.clone();
+            apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None).unwrap();
+        });
+        let reb = median_micros(5, || {
+            rebuild(&art, &[&evolved, &p.right], &generator).unwrap();
+        });
+        let merge = median_micros(5, || {
+            GlobalMerge::rebuild(&[&evolved, &p.right], &p.lexicon);
+        });
+        println!(
+            "| {concepts} | {} | {} | {} | {:.0}× |",
+            fmt_us(incr),
+            fmt_us(reb),
+            fmt_us(merge),
+            merge / incr
+        );
+    }
+    println!();
+}
+
+fn b2_generation() {
+    println!("## B2 — articulation generation: time and quality vs overlap\n");
+    println!("| concepts | overlap | propose | engine (oracle) | precision | recall |");
+    println!("|---|---|---|---|---|---|");
+    for &concepts in &[100usize, 400, 1600] {
+        for &overlap in &[0.05f64, 0.25] {
+            let p = pair(17, concepts, overlap);
+            let pipeline = || {
+                MatcherPipeline::new()
+                    .with(onion_core::articulate::ExactLabelMatcher)
+                    .with(onion_core::articulate::SynonymMatcher::new(p.lexicon.clone()))
+                    .with(onion_core::articulate::SimilarityMatcher {
+                        threshold: 0.9,
+                        max_pairs: 2_000_000,
+                    })
+            };
+            let propose = median_micros(5, || {
+                pipeline().propose(&p.left, &p.right, &RuleSet::new());
+            });
+            let mut art_holder = None;
+            let engine_t = median_micros(3, || {
+                let engine = ArticulationEngine::new(pipeline())
+                    .with_config(EngineConfig { max_rounds: 2, ..Default::default() });
+                let mut oracle = OracleExpert::new(p.truth.iter().cloned());
+                let (art, _) =
+                    engine.run(&p.left, &p.right, &mut oracle, RuleSet::new()).unwrap();
+                art_holder = Some(art);
+            });
+            let art = art_holder.expect("ran at least once");
+            let m = precision_recall(&art.rules.rules, &p.truth_set());
+            println!(
+                "| {concepts} | {:.0}% | {} | {} | {:.2} | {:.2} |",
+                overlap * 100.0,
+                fmt_us(propose),
+                fmt_us(engine_t),
+                m.precision(),
+                m.recall()
+            );
+        }
+    }
+    println!();
+}
+
+fn b2b_matcher_ablation() {
+    println!("## B2b — matcher-mix ablation (400 concepts, 25% overlap, 50% renamed)\n");
+    println!("| matcher mix | candidates | precision | recall | f1 |");
+    println!("|---|---|---|---|---|");
+    let p = pair(17, 400, 0.25);
+    type MkPipeline<'a> = Box<dyn Fn() -> MatcherPipeline + 'a>;
+    let mixes: Vec<(&str, MkPipeline)> = vec![
+        (
+            "exact only",
+            Box::new(|| MatcherPipeline::new().with(onion_core::articulate::ExactLabelMatcher)),
+        ),
+        (
+            "exact+synonym",
+            Box::new(|| {
+                MatcherPipeline::new()
+                    .with(onion_core::articulate::ExactLabelMatcher)
+                    .with(onion_core::articulate::SynonymMatcher::new(p.lexicon.clone()))
+            }),
+        ),
+        (
+            "exact+similarity",
+            Box::new(|| {
+                MatcherPipeline::new()
+                    .with(onion_core::articulate::ExactLabelMatcher)
+                    .with(onion_core::articulate::SimilarityMatcher {
+                        threshold: 0.9,
+                        max_pairs: 2_000_000,
+                    })
+            }),
+        ),
+        (
+            "exact+synonym+similarity",
+            Box::new(|| {
+                MatcherPipeline::new()
+                    .with(onion_core::articulate::ExactLabelMatcher)
+                    .with(onion_core::articulate::SynonymMatcher::new(p.lexicon.clone()))
+                    .with(onion_core::articulate::SimilarityMatcher {
+                        threshold: 0.9,
+                        max_pairs: 2_000_000,
+                    })
+            }),
+        ),
+    ];
+    for (name, mk) in mixes {
+        let candidates = mk().propose(&p.left, &p.right, &RuleSet::new());
+        // quality as-if accepted wholesale (the automatic end of §1)
+        let rules: Vec<ArticulationRule> =
+            candidates.iter().map(|c| c.rule.clone()).collect();
+        let m = precision_recall(&rules, &p.truth_set());
+        println!(
+            "| {name} | {} | {:.2} | {:.2} | {:.2} |",
+            candidates.len(),
+            m.precision(),
+            m.recall(),
+            m.f1()
+        );
+    }
+    println!();
+}
+
+fn b3_patterns() {
+    println!("## B3 — pattern matching (path3 pattern, matches/run)\n");
+    println!("| classes | exact | relaxed edges | matches |");
+    println!("|---|---|---|---|");
+    for &classes in &[1000usize, 8000] {
+        let o = generate_ontology(&OntologySpec::sized("g", 23, classes));
+        let g = o.graph();
+        let mut p3 = Pattern::new();
+        let x = p3.any_node();
+        let y = p3.any_node();
+        let z = p3.any_node();
+        p3.edge(x, "SubclassOf", y).edge(y, "SubclassOf", z);
+        let mut count = 0usize;
+        let exact = median_micros(5, || {
+            count = Matcher::new(g).count(&p3).unwrap();
+        });
+        let relaxed = median_micros(5, || {
+            let cfg = MatchConfig { relax_edge_labels: true, ..Default::default() };
+            Matcher::new(g).with_config(cfg).count(&p3).unwrap();
+        });
+        println!("| {classes} | {} | {} | {count} |", fmt_us(exact), fmt_us(relaxed));
+    }
+    println!();
+}
+
+fn b4_query() {
+    println!("## B4 — cross-source query vs global schema\n");
+    println!("| instances | onion (plan+exec) | plan only | global scan | rows |");
+    println!("|---|---|---|---|---|");
+    for &instances in &[1000usize, 10_000] {
+        let p = pair(31, 400, 0.25);
+        let art = articulated(&p);
+        let (lkb, rkb) = instance_kbs(&p, instances);
+        let lw = InMemoryWrapper::new(lkb.clone());
+        let rw = InMemoryWrapper::new(rkb.clone());
+        let conversions = ConversionRegistry::standard();
+        // the simple-rule translation names the articulation node after
+        // the RHS (right-side) term
+        let class = p.truth[0].1.split_once('.').unwrap().1.to_string();
+        let query = Query::all(&class)
+            .select("Price")
+            .filter("Price", CmpOp::Lt, Value::Num(25_000.0));
+        let sources: Vec<&Ontology> = vec![&p.left, &p.right];
+        let wrappers: Vec<&dyn Wrapper> = vec![&lw, &rw];
+
+        let mut rows = 0usize;
+        let onion_t = median_micros(7, || {
+            rows = execute(&query, &art, &sources, &conversions, &wrappers).unwrap().len();
+        });
+        let plan_t = median_micros(7, || {
+            onion_core::query::plan(&query, &art, &sources, &conversions).unwrap();
+        });
+        let gm = GlobalMerge::build(&[&p.left, &p.right], &p.lexicon);
+        let global_class = gm.global_label("right", &class).unwrap_or(&class).to_string();
+        let global_t = median_micros(7, || {
+            let mut hits = 0usize;
+            for (kb, source) in [(&lkb, "left"), (&rkb, "right")] {
+                for inst in kb.instances() {
+                    if gm.classes_of(source, &inst.class).iter().any(|c| c == &global_class) {
+                        if let Some(Value::Num(n)) = inst.attrs.get("Price") {
+                            if *n < 25_000.0 {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(hits);
+        });
+        println!(
+            "| {instances} | {} | {} | {} | {rows} |",
+            fmt_us(onion_t),
+            fmt_us(plan_t),
+            fmt_us(global_t)
+        );
+    }
+    println!();
+}
+
+fn b5_algebra() {
+    println!("## B5 — algebra operators (overlap 10% / 40%)\n");
+    println!("| concepts | overlap | union | union (cached art) | intersection | difference |");
+    println!("|---|---|---|---|---|---|");
+    for &concepts in &[200usize, 1000, 4000] {
+        for &overlap in &[0.1f64, 0.4] {
+            let p = pair(43, concepts, overlap);
+            let rules = truth_rules(&p);
+            let art = articulated(&p);
+            let generator = ArticulationGenerator::new();
+            let u = median_micros(5, || {
+                union(&p.left, &p.right, &rules, &generator).unwrap();
+            });
+            let uc = median_micros(5, || {
+                onion_core::algebra::union::union_with(&p.left, &p.right, &art).unwrap();
+            });
+            let i = median_micros(5, || {
+                intersect(&p.left, &p.right, &rules, &generator).unwrap();
+            });
+            let d = median_micros(5, || {
+                difference(&p.left, &p.right, &art).unwrap();
+            });
+            println!(
+                "| {concepts} | {:.0}% | {} | {} | {} | {} |",
+                overlap * 100.0,
+                fmt_us(u),
+                fmt_us(uc),
+                fmt_us(i),
+                fmt_us(d)
+            );
+        }
+    }
+    println!();
+}
+
+fn b6_inference() {
+    println!("## B6 — Horn engines on transitive closure (chain workload)\n");
+    println!("| facts | semi-naive | naive | full-closure | atoms examined (sn / fc) |");
+    println!("|---|---|---|---|---|");
+    for &n in &[32usize, 96] {
+        let program = HornProgram::parse("si(X, Z) :- si(X, Y), si(Y, Z).").unwrap();
+        let mut times = Vec::new();
+        let mut efforts = Vec::new();
+        for strat in [Strategy::SemiNaive, Strategy::Naive, Strategy::FullClosure] {
+            let mut effort = 0usize;
+            let t = median_micros(3, || {
+                let mut fb = FactBase::new();
+                for i in 0..n {
+                    fb.add("si", &[&format!("t{i}"), &format!("t{}", i + 1)]);
+                }
+                let stats = InferenceEngine::new(program.clone())
+                    .with_strategy(strat)
+                    .run(&mut fb)
+                    .unwrap();
+                effort = stats.atoms_examined;
+            });
+            times.push(t);
+            efforts.push(effort);
+        }
+        println!(
+            "| {n} | {} | {} | {} | {} / {} |",
+            fmt_us(times[0]),
+            fmt_us(times[1]),
+            fmt_us(times[2]),
+            efforts[0],
+            efforts[2]
+        );
+    }
+    println!();
+}
+
+fn b7_compose() {
+    println!("## B7 — adding the k-th source\n");
+    println!("| k | onion add k-th (incl. prefix) | prefix only | derived add-cost | global re-merge |");
+    println!("|---|---|---|---|---|");
+    let lexicon = transport_lexicon();
+    for &k in &[3usize, 5, 8] {
+        let all: Vec<Ontology> = (0..k)
+            .map(|i| {
+                let mut spec = OntologySpec::sized(&format!("src{i}"), 100 + i as u64, 150);
+                spec.attr_density = 0.2;
+                spec.instance_density = 0.0;
+                generate_ontology(&spec)
+            })
+            .collect();
+        let refs: Vec<&Ontology> = all.iter().collect();
+        let prefix: Vec<&Ontology> = refs[..k - 1].to_vec();
+        let full = median_micros(3, || {
+            let mut comp = compose_all(&prefix, &lexicon, &mut ThresholdExpert::new(0.9)).unwrap();
+            add_source(&mut comp, refs[k - 1], &lexicon, &mut ThresholdExpert::new(0.9)).unwrap();
+        });
+        let prefix_t = median_micros(3, || {
+            compose_all(&prefix, &lexicon, &mut ThresholdExpert::new(0.9)).unwrap();
+        });
+        let merge = median_micros(3, || {
+            GlobalMerge::rebuild(&refs, &lexicon);
+        });
+        println!(
+            "| {k} | {} | {} | {} | {} |",
+            fmt_us(full),
+            fmt_us(prefix_t),
+            fmt_us((full - prefix_t).max(0.0)),
+            fmt_us(merge)
+        );
+    }
+    println!();
+}
+
+fn b8_triage() {
+    println!("## B8 — difference-guided triage vs update locality (50 ops)\n");
+    println!("| bridged fraction | relevant ops | triage | triage+repair | no-triage rebuild |");
+    println!("|---|---|---|---|---|");
+    let p = pair(59, 1000, 0.2);
+    let art = articulated(&p);
+    let generator = ArticulationGenerator::new();
+    for &bridged in &[0.0f64, 0.25, 0.75] {
+        let spec =
+            UpdateSpec { seed: 13, ops: 50, bridged_fraction: bridged, delete_fraction: 0.2 };
+        let ops = update_stream(&p.left, &art, &spec);
+        let mut g = p.left.graph().clone();
+        onion_core::graph::ops::apply_all(&mut g, &ops).unwrap();
+        let evolved = Ontology::from_graph(g).unwrap();
+        let (relevant, _) = triage(&art, "left", &ops);
+        let t_triage = median_micros(9, || {
+            triage(&art, "left", &ops);
+        });
+        let t_repair = median_micros(7, || {
+            let mut a = art.clone();
+            apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None).unwrap();
+        });
+        let t_rebuild = median_micros(5, || {
+            rebuild(&art, &[&evolved, &p.right], &generator).unwrap();
+        });
+        println!(
+            "| {:.0}% | {}/{} | {} | {} | {} |",
+            bridged * 100.0,
+            relevant.len(),
+            ops.len(),
+            fmt_us(t_triage),
+            fmt_us(t_repair),
+            fmt_us(t_rebuild)
+        );
+    }
+    println!();
+}

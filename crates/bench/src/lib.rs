@@ -1,0 +1,68 @@
+//! Shared scaffolding for the experiment benches (B1–B8 in DESIGN.md).
+//!
+//! Each bench target regenerates one experiment's series; the
+//! `experiments` binary (`cargo run -p onion-bench --release --bin
+//! experiments`) prints the full set of tables recorded in
+//! EXPERIMENTS.md.
+
+use onion_core::prelude::*;
+use onion_core::testkit::{overlap_pair, OverlapPair, OverlapSpec};
+
+/// Builds the standard experiment pair: `concepts` total concepts,
+/// `overlap` shared fraction, half of the shared concepts renamed.
+pub fn pair(seed: u64, concepts: usize, overlap: f64) -> OverlapPair {
+    overlap_pair(&OverlapSpec { seed, concepts, overlap, rename_prob: 0.5, max_children: 5 })
+}
+
+/// Rule set bridging every planted truth pair (the confirmed
+/// articulation for a generated pair).
+pub fn truth_rules(pair: &OverlapPair) -> RuleSet {
+    let mut rs = RuleSet::new();
+    for (l, r) in &pair.truth {
+        let (lo, ln) = l.split_once('.').expect("qualified");
+        let (ro, rn) = r.split_once('.').expect("qualified");
+        rs.push(ArticulationRule::term_implies(
+            Term::qualified(lo, ln),
+            Term::qualified(ro, rn),
+        ));
+    }
+    rs
+}
+
+/// Generates the articulation for a pair from its planted truth.
+pub fn articulated(pair: &OverlapPair) -> Articulation {
+    ArticulationGenerator::new()
+        .generate(&truth_rules(pair), &[&pair.left, &pair.right])
+        .expect("truth rules generate")
+}
+
+/// Populates one knowledge base per side with `n` instances spread over
+/// the source's classes, each carrying a numeric `Price`.
+pub fn instance_kbs(p: &OverlapPair, n: usize) -> (KnowledgeBase, KnowledgeBase) {
+    let mut left = KnowledgeBase::new("left");
+    let mut right = KnowledgeBase::new("right");
+    for (kb, onto) in [(&mut left, &p.left), (&mut right, &p.right)] {
+        let classes: Vec<String> = onto.graph().nodes().map(|x| x.label.to_string()).collect();
+        for i in 0..n {
+            let class = &classes[i % classes.len()];
+            let id = format!("{}_{i}", kb.name());
+            kb.add(Instance::new(&id, class).with("Price", Value::Num(((i * 37) % 50_000) as f64)));
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaffolding_builds() {
+        let p = pair(1, 60, 0.25);
+        let art = articulated(&p);
+        assert_eq!(art.rules.len(), p.truth.len());
+        let (l, r) = instance_kbs(&p, 50);
+        assert_eq!(l.len(), 50);
+        assert_eq!(r.len(), 50);
+    }
+}

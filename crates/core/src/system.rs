@@ -1,0 +1,323 @@
+//! [`OnionSystem`]: the assembled architecture of the paper's Fig. 1.
+
+use std::collections::BTreeMap;
+
+use onion_articulate::{
+    Articulation, ArticulationEngine, ArticulationGenerator, EngineConfig, EngineReport, Expert,
+    MatcherPipeline,
+};
+use onion_graph::OntGraph;
+use onion_lexicon::Lexicon;
+use onion_ontology::Ontology;
+use onion_query::{InMemoryWrapper, KnowledgeBase, Query, ResultSet, Wrapper};
+use onion_rules::{parse_rules, ConversionRegistry, RuleSet};
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum SystemError {
+    /// Named ontology is not loaded.
+    UnknownSource(String),
+    /// No articulation generated yet.
+    NotArticulated,
+    /// Rule text failed to parse.
+    Rules(onion_rules::RuleError),
+    /// Articulation failed.
+    Articulate(onion_articulate::ArticulateError),
+    /// Algebra failed.
+    Algebra(onion_algebra::AlgebraError),
+    /// Query failed.
+    Query(onion_query::QueryError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::UnknownSource(s) => write!(f, "unknown source ontology {s:?}"),
+            SystemError::NotArticulated => write!(f, "no articulation generated yet"),
+            SystemError::Rules(e) => write!(f, "{e}"),
+            SystemError::Articulate(e) => write!(f, "{e}"),
+            SystemError::Algebra(e) => write!(f, "{e}"),
+            SystemError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// Result alias for the facade.
+pub type Result<T> = std::result::Result<T, SystemError>;
+
+/// The assembled ONION system: data layer + articulation engine +
+/// algebra + query system (paper Fig. 1).
+pub struct OnionSystem {
+    lexicon: Lexicon,
+    conversions: ConversionRegistry,
+    sources: BTreeMap<String, Ontology>,
+    kbs: BTreeMap<String, InMemoryWrapper>,
+    rules: RuleSet,
+    articulation: Option<Articulation>,
+    engine_config: EngineConfig,
+}
+
+impl OnionSystem {
+    /// System with an explicit lexicon.
+    pub fn new(lexicon: Lexicon) -> Self {
+        OnionSystem {
+            lexicon,
+            conversions: ConversionRegistry::standard(),
+            sources: BTreeMap::new(),
+            kbs: BTreeMap::new(),
+            rules: RuleSet::new(),
+            articulation: None,
+            engine_config: EngineConfig::default(),
+        }
+    }
+
+    /// System with the built-in transportation lexicon (the Fig. 2
+    /// domain).
+    pub fn with_transport_lexicon() -> Self {
+        Self::new(onion_lexicon::builtin::transport_lexicon())
+    }
+
+    /// Replaces the engine configuration (articulation namespace,
+    /// rounds, inference expansion …).
+    pub fn set_engine_config(&mut self, config: EngineConfig) {
+        self.engine_config = config;
+    }
+
+    /// Replaces the conversion registry.
+    pub fn set_conversions(&mut self, conversions: ConversionRegistry) {
+        self.conversions = conversions;
+    }
+
+    // ------------------------------------------------------------------
+    // data layer
+    // ------------------------------------------------------------------
+
+    /// Loads a source ontology.
+    pub fn add_source(&mut self, ontology: Ontology) {
+        self.sources.insert(ontology.name().to_string(), ontology);
+    }
+
+    /// Loads instance data for a source.
+    pub fn add_knowledge_base(&mut self, kb: KnowledgeBase) {
+        self.kbs.insert(kb.name().to_string(), InMemoryWrapper::new(kb));
+    }
+
+    /// Loaded source names.
+    pub fn sources(&self) -> Vec<&str> {
+        self.sources.keys().map(String::as_str).collect()
+    }
+
+    /// A loaded source by name.
+    pub fn source(&self, name: &str) -> Option<&Ontology> {
+        self.sources.get(name)
+    }
+
+    /// Mutable access to a loaded source (to apply updates).
+    pub fn source_mut(&mut self, name: &str) -> Option<&mut Ontology> {
+        self.sources.get_mut(name)
+    }
+
+    /// Adds expert articulation rules in the textual syntax.
+    pub fn add_rules(&mut self, text: &str) -> Result<usize> {
+        let rs = parse_rules(text).map_err(SystemError::Rules)?;
+        Ok(self.rules.extend_dedup(&rs))
+    }
+
+    /// The confirmed rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    // ------------------------------------------------------------------
+    // articulation
+    // ------------------------------------------------------------------
+
+    fn get_source(&self, name: &str) -> Result<&Ontology> {
+        self.sources
+            .get(name)
+            .ok_or_else(|| SystemError::UnknownSource(name.to_string()))
+    }
+
+    /// Runs the iterative articulation engine between two loaded
+    /// sources, seeding it with the rules added so far. The confirmed
+    /// rules and generated articulation are stored on the system.
+    pub fn articulate(
+        &mut self,
+        left: &str,
+        right: &str,
+        expert: &mut dyn Expert,
+    ) -> Result<EngineReport> {
+        let l = self.get_source(left)?;
+        let r = self.get_source(right)?;
+        let engine = ArticulationEngine::new(MatcherPipeline::standard(self.lexicon.clone()))
+            .with_config(self.engine_config.clone());
+        let (articulation, report) =
+            engine.run(l, r, expert, self.rules.clone()).map_err(SystemError::Articulate)?;
+        self.rules = articulation.rules.clone();
+        self.articulation = Some(articulation);
+        Ok(report)
+    }
+
+    /// Generates the articulation purely from the added rules (no
+    /// matcher proposals — the "manual expert" path).
+    pub fn articulate_from_rules(&mut self, left: &str, right: &str) -> Result<&Articulation> {
+        let l = self.get_source(left)?;
+        let r = self.get_source(right)?;
+        let generator = ArticulationGenerator::with_config(self.engine_config.generator.clone());
+        let articulation =
+            generator.generate(&self.rules, &[l, r]).map_err(SystemError::Articulate)?;
+        self.articulation = Some(articulation);
+        Ok(self.articulation.as_ref().expect("just set"))
+    }
+
+    /// The current articulation.
+    pub fn articulation(&self) -> Option<&Articulation> {
+        self.articulation.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // algebra
+    // ------------------------------------------------------------------
+
+    fn articulated_pair(&self) -> Result<(&Articulation, Vec<&Ontology>)> {
+        let art = self.articulation.as_ref().ok_or(SystemError::NotArticulated)?;
+        let names = art.source_names();
+        let mut sources = Vec::with_capacity(names.len());
+        for n in names {
+            sources.push(self.get_source(n)?);
+        }
+        Ok((art, sources))
+    }
+
+    /// The unified ontology graph (§5.1 Union), computed on demand.
+    pub fn union(&self) -> Result<OntGraph> {
+        let (art, sources) = self.articulated_pair()?;
+        art.unified(&sources).map_err(SystemError::Articulate)
+    }
+
+    /// The intersection ontology (§5.2) — the articulation ontology.
+    pub fn intersection(&self) -> Result<&Ontology> {
+        Ok(&self.articulation.as_ref().ok_or(SystemError::NotArticulated)?.ontology)
+    }
+
+    /// The difference `left − right` (§5.3).
+    pub fn difference(
+        &self,
+        left: &str,
+        right: &str,
+    ) -> Result<(OntGraph, onion_algebra::DifferenceReport)> {
+        let art = self.articulation.as_ref().ok_or(SystemError::NotArticulated)?;
+        let l = self.get_source(left)?;
+        let r = self.get_source(right)?;
+        onion_algebra::difference(l, r, art).map_err(SystemError::Algebra)
+    }
+
+    // ------------------------------------------------------------------
+    // query system
+    // ------------------------------------------------------------------
+
+    /// Plans and executes a textual query (articulation vocabulary)
+    /// against the loaded knowledge bases.
+    pub fn query(&self, text: &str) -> Result<ResultSet> {
+        let q = Query::parse(text).map_err(SystemError::Query)?;
+        self.run_query(&q)
+    }
+
+    /// Executes a pre-built query.
+    pub fn run_query(&self, query: &Query) -> Result<ResultSet> {
+        let (art, sources) = self.articulated_pair()?;
+        let wrappers: Vec<&dyn Wrapper> =
+            self.kbs.values().map(|w| w as &dyn Wrapper).collect();
+        onion_query::execute(query, art, &sources, &self.conversions, &wrappers)
+            .map_err(SystemError::Query)
+    }
+
+    /// Renders the query plan for a textual query (the viewer's
+    /// "explain").
+    pub fn explain(&self, text: &str) -> Result<String> {
+        let q = Query::parse(text).map_err(SystemError::Query)?;
+        let (art, sources) = self.articulated_pair()?;
+        let plan = onion_query::plan(&q, art, &sources, &self.conversions)
+            .map_err(SystemError::Query)?;
+        Ok(plan.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_articulate::AcceptAll;
+    use onion_ontology::examples::{carrier, factory, fig2_rules_text};
+    use onion_query::{Instance, Value};
+
+    fn loaded() -> OnionSystem {
+        let mut s = OnionSystem::with_transport_lexicon();
+        s.add_source(carrier());
+        s.add_source(factory());
+        s
+    }
+
+    #[test]
+    fn sources_listed_sorted() {
+        let s = loaded();
+        assert_eq!(s.sources(), vec!["carrier", "factory"]);
+        assert!(s.source("carrier").is_some());
+        assert!(s.source("nope").is_none());
+    }
+
+    #[test]
+    fn rules_then_manual_articulation() {
+        let mut s = loaded();
+        let added = s.add_rules(fig2_rules_text()).unwrap();
+        assert!(added >= 10);
+        let art = s.articulate_from_rules("carrier", "factory").unwrap();
+        assert!(art.bridges.len() >= 12);
+        assert!(s.union().unwrap().node_count() > 0);
+        assert_eq!(s.intersection().unwrap().name(), "transport");
+    }
+
+    #[test]
+    fn engine_articulation_and_query() {
+        let mut s = loaded();
+        s.add_rules(fig2_rules_text()).unwrap();
+        let report = s.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+        assert!(report.accepted > 0);
+
+        let mut ckb = KnowledgeBase::new("carrier");
+        ckb.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+        s.add_knowledge_base(ckb);
+        let rs = s.query("find Vehicle(Price)").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!((rs.rows[0].attrs["Price"].as_num().unwrap() - 1000.0).abs() < 1e-6);
+
+        let plan = s.explain("find Vehicle(Price) where Price < 5000").unwrap();
+        assert!(plan.contains("carrier"));
+    }
+
+    #[test]
+    fn difference_through_facade() {
+        let mut s = loaded();
+        s.add_rules("carrier.Cars => factory.Vehicle\n").unwrap();
+        s.articulate_from_rules("carrier", "factory").unwrap();
+        let (d, report) = s.difference("carrier", "factory").unwrap();
+        assert!(!d.contains_label("Cars"));
+        assert_eq!(report.determined, vec!["Cars"]);
+        let (d2, r2) = s.difference("factory", "carrier").unwrap();
+        assert!(d2.contains_label("Vehicle"));
+        assert_eq!(r2.removed(), 0);
+    }
+
+    #[test]
+    fn errors_for_missing_pieces() {
+        let mut s = OnionSystem::with_transport_lexicon();
+        assert!(matches!(s.union(), Err(SystemError::NotArticulated)));
+        assert!(matches!(
+            s.articulate("a", "b", &mut AcceptAll),
+            Err(SystemError::UnknownSource(_))
+        ));
+        assert!(matches!(s.add_rules("not a rule"), Err(SystemError::Rules(_))));
+        assert!(matches!(s.query("find X"), Err(SystemError::NotArticulated)));
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-label transitive closure.
+//!
+//! The paper's ontologies carry rules such as "the transitive nature of
+//! the `SubclassOf` relationship" (§2.5), and the articulation generator
+//! materialises "the transitive closure of the edges" in expert-selected
+//! portions (§4.2). This module computes closures as pair sets or writes
+//! them back into a graph as new edges.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::graph::{NodeId, OntGraph};
+use crate::traverse::EdgeFilter;
+use crate::Result;
+
+/// All pairs `(a, b)` with a non-empty directed path from `a` to `b`
+/// using only `filter`-admitted edges. Self-pairs appear only for nodes
+/// on cycles.
+pub fn transitive_pairs(g: &OntGraph, filter: &EdgeFilter) -> HashSet<(NodeId, NodeId)> {
+    let mut pairs = HashSet::new();
+    // adjacency restricted to the filter
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for e in g.edges() {
+        if admits(filter, e.label) {
+            adj.entry(e.src).or_default().push(e.dst);
+        }
+    }
+    for start in g.node_ids() {
+        if !adj.contains_key(&start) {
+            continue;
+        }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut q: VecDeque<NodeId> = VecDeque::new();
+        q.push_back(start);
+        // note: `start` not pre-inserted, so a path back to start is found
+        while let Some(n) = q.pop_front() {
+            if let Some(next) = adj.get(&n) {
+                for &m in next {
+                    if seen.insert(m) {
+                        pairs.insert((start, m));
+                        q.push_back(m);
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn admits(filter: &EdgeFilter, label: &str) -> bool {
+    match filter {
+        EdgeFilter::All => true,
+        EdgeFilter::Labels(ls) => ls.iter().any(|x| x == label),
+    }
+}
+
+/// Materialises the transitive closure of `label` edges: for every path
+/// `a →* b` adds the edge `(a, label, b)` unless present. Returns the
+/// number of edges added.
+///
+/// Self-loops discovered through cycles are **not** added (a term being
+/// its own subclass carries no information and consistency checking
+/// rejects subclass cycles separately).
+pub fn materialize_closure(g: &mut OntGraph, label: &str) -> Result<usize> {
+    let pairs = transitive_pairs(g, &EdgeFilter::label(label));
+    let mut added = 0;
+    for (a, b) in pairs {
+        if a == b {
+            continue;
+        }
+        if g.find_edge(a, label, b).is_none() {
+            g.add_edge(a, label, b)?;
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+/// The closure *reduction*: removes `label` edges implied by transitivity
+/// through other `label` edges (the inverse of
+/// [`materialize_closure`]; the viewer uses the reduced form since "all
+/// transitive semantic implications are not displayed … unless requested"
+/// §4.2). Returns the number of edges removed.
+pub fn transitive_reduce(g: &mut OntGraph, label: &str) -> Result<usize> {
+    // Collect candidate edges first.
+    let edges: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .filter(|e| e.label == label)
+        .map(|e| (e.src, e.dst))
+        .collect();
+    let mut removed = 0;
+    for (a, b) in edges {
+        // Is there an alternative path a -> b of length >= 2 avoiding the
+        // direct edge?
+        if indirect_path_exists(g, a, b, label) {
+            let e = g
+                .find_edge(a, label, b)
+                .expect("edge collected above and not yet deleted");
+            g.delete_edge(e)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+fn indirect_path_exists(g: &OntGraph, a: NodeId, b: NodeId, label: &str) -> bool {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut q: VecDeque<NodeId> = VecDeque::new();
+    // start from a's label-successors other than the direct hop to b
+    for e in g.out_edges(a) {
+        if e.label == label && e.dst != b && seen.insert(e.dst) {
+            q.push_back(e.dst);
+        }
+    }
+    while let Some(n) = q.pop_front() {
+        if n == b {
+            return true;
+        }
+        for e in g.out_edges(n) {
+            if e.label == label {
+                // never traverse the direct edge under test — a cycle can
+                // lead back to `a`, and a "path" finishing with (a, b)
+                // itself must not justify deleting (a, b)
+                if n == a && e.dst == b {
+                    continue;
+                }
+                if e.dst == b {
+                    return true;
+                }
+                if seen.insert(e.dst) {
+                    q.push_back(e.dst);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// All ancestors of `n` along `label` edges (excluding `n` unless cyclic):
+/// e.g. all superclasses under `SubclassOf`.
+pub fn ancestors(g: &OntGraph, n: NodeId, label: &str) -> HashSet<NodeId> {
+    follow(g, n, label, true)
+}
+
+/// All descendants of `n` along `label` edges: e.g. all subclasses.
+pub fn descendants(g: &OntGraph, n: NodeId, label: &str) -> HashSet<NodeId> {
+    follow(g, n, label, false)
+}
+
+fn follow(g: &OntGraph, n: NodeId, label: &str, up: bool) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut q: VecDeque<NodeId> = VecDeque::new();
+    q.push_back(n);
+    while let Some(cur) = q.pop_front() {
+        let next: Vec<NodeId> = if up {
+            g.out_neighbors(cur, label).collect()
+        } else {
+            g.in_neighbors(cur, label).collect()
+        };
+        for m in next {
+            if seen.insert(m) {
+                q.push_back(m);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    fn hierarchy() -> OntGraph {
+        // SUV -S-> Car -S-> Vehicle, Truck -S-> Vehicle
+        let mut g = OntGraph::new("t");
+        for (a, b) in [("SUV", "Car"), ("Car", "Vehicle"), ("Truck", "Vehicle")] {
+            g.ensure_edge_by_labels(a, rel::SUBCLASS_OF, b).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn transitive_pairs_of_chain() {
+        let g = hierarchy();
+        let pairs = transitive_pairs(&g, &EdgeFilter::label(rel::SUBCLASS_OF));
+        let lbl = |n: NodeId| g.node_label(n).unwrap().to_string();
+        let set: HashSet<(String, String)> =
+            pairs.into_iter().map(|(a, b)| (lbl(a), lbl(b))).collect();
+        assert!(set.contains(&("SUV".into(), "Vehicle".into())));
+        assert!(set.contains(&("SUV".into(), "Car".into())));
+        assert!(set.contains(&("Car".into(), "Vehicle".into())));
+        assert!(!set.contains(&("Vehicle".into(), "SUV".into())));
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn pairs_include_cycle_self_pairs() {
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("A", "S", "B").unwrap();
+        g.ensure_edge_by_labels("B", "S", "A").unwrap();
+        let pairs = transitive_pairs(&g, &EdgeFilter::All);
+        let a = g.node_by_label("A").unwrap();
+        let b = g.node_by_label("B").unwrap();
+        assert!(pairs.contains(&(a, a)));
+        assert!(pairs.contains(&(b, b)));
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn materialize_adds_only_missing() {
+        let mut g = hierarchy();
+        let added = materialize_closure(&mut g, rel::SUBCLASS_OF).unwrap();
+        assert_eq!(added, 1); // SUV -> Vehicle
+        assert!(g.has_edge("SUV", rel::SUBCLASS_OF, "Vehicle"));
+        // idempotent
+        assert_eq!(materialize_closure(&mut g, rel::SUBCLASS_OF).unwrap(), 0);
+    }
+
+    #[test]
+    fn materialize_skips_cycle_self_loops() {
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("A", "S", "B").unwrap();
+        g.ensure_edge_by_labels("B", "S", "A").unwrap();
+        materialize_closure(&mut g, "S").unwrap();
+        assert!(!g.has_edge("A", "S", "A"));
+        assert!(!g.has_edge("B", "S", "B"));
+    }
+
+    #[test]
+    fn materialize_ignores_other_labels() {
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("A", "S", "B").unwrap();
+        g.ensure_edge_by_labels("B", "other", "C").unwrap();
+        materialize_closure(&mut g, "S").unwrap();
+        assert!(!g.has_edge("A", "S", "C"));
+    }
+
+    #[test]
+    fn reduce_inverts_materialize() {
+        let mut g = hierarchy();
+        materialize_closure(&mut g, rel::SUBCLASS_OF).unwrap();
+        let removed = transitive_reduce(&mut g, rel::SUBCLASS_OF).unwrap();
+        assert_eq!(removed, 1);
+        assert!(g.same_shape(&hierarchy()));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let g = hierarchy();
+        let suv = g.node_by_label("SUV").unwrap();
+        let vehicle = g.node_by_label("Vehicle").unwrap();
+        let anc = ancestors(&g, suv, rel::SUBCLASS_OF);
+        assert_eq!(anc.len(), 2); // Car, Vehicle
+        let desc = descendants(&g, vehicle, rel::SUBCLASS_OF);
+        assert_eq!(desc.len(), 3); // Car, SUV, Truck
+        assert!(desc.contains(&suv));
+    }
+
+    #[test]
+    fn ancestors_of_root_is_empty() {
+        let g = hierarchy();
+        let vehicle = g.node_by_label("Vehicle").unwrap();
+        assert!(ancestors(&g, vehicle, rel::SUBCLASS_OF).is_empty());
+    }
+}

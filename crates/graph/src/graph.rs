@@ -1,0 +1,934 @@
+//! The directed labeled graph `G = (N, E)` of the paper's §3.
+//!
+//! Nodes and edges are stored in append-only arenas with tombstone
+//! deletion, so [`NodeId`]s and [`EdgeId`]s remain stable across deletions
+//! (the articulation maintains long-lived references into source
+//! ontologies). A per-label index supports the paper's convention of
+//! addressing nodes by their label in *consistent* ontologies, where every
+//! term is depicted by exactly one node (§1, §3 end).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::label::{Interner, LabelId};
+use crate::ops::GraphOp;
+use crate::Result;
+
+/// Stable identifier of a node within one [`OntGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw arena index (includes tombstoned slots).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Stable identifier of an edge within one [`OntGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Raw arena index (includes tombstoned slots).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: LabelId,
+    out: Vec<EdgeId>,
+    inc: Vec<EdgeId>,
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeData {
+    src: NodeId,
+    label: LabelId,
+    dst: NodeId,
+    alive: bool,
+}
+
+/// A borrowed view of a live node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef<'g> {
+    /// The node's id.
+    pub id: NodeId,
+    /// The node's label `λ(n)`.
+    pub label: &'g str,
+}
+
+/// A borrowed view of a live edge `(n1, α, n2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'g> {
+    /// The edge's id.
+    pub id: EdgeId,
+    /// Source node id `n1`.
+    pub src: NodeId,
+    /// Edge label `α = δ(e)`.
+    pub label: &'g str,
+    /// Target node id `n2`.
+    pub dst: NodeId,
+}
+
+/// A directed labeled graph with interned labels.
+///
+/// `OntGraph` implements the data layer of the paper's §2.1 / §3: a finite
+/// set of labeled nodes `N`, a finite set of labeled edges `E`, the label
+/// functions `λ` and `δ`, and the four transformation primitives `NA`,
+/// `ND`, `EA`, `ED`.
+///
+/// ```
+/// use onion_graph::{rel, OntGraph};
+///
+/// let mut g = OntGraph::new("carrier");
+/// g.ensure_edge_by_labels("Car", rel::SUBCLASS_OF, "Vehicle").unwrap();
+/// g.ensure_edge_by_labels("Price", rel::ATTRIBUTE_OF, "Car").unwrap();
+/// assert_eq!(g.node_count(), 3); // Car, Vehicle, Price
+/// assert!(g.has_edge("Car", "SubclassOf", "Vehicle"));
+///
+/// // ND removes the node and its incident edges
+/// g.delete_node_by_label("Car").unwrap();
+/// assert_eq!(g.edge_count(), 0);
+/// ```
+///
+/// Two label regimes are supported:
+///
+/// * **consistent** (`unique_labels = true`, the paper's default for
+///   ontologies, §1): a term may label at most one node, so nodes are
+///   addressable by label;
+/// * **free** (`unique_labels = false`): duplicate node labels are
+///   allowed; useful for instance-level graphs where several individuals
+///   share a display label.
+///
+/// Edges are *set*-semantics: at most one edge per `(src, label, dst)`
+/// triple, matching the paper's definition of `E` as a set.
+#[derive(Debug, Clone)]
+pub struct OntGraph {
+    name: String,
+    interner: Interner,
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    by_label: HashMap<LabelId, Vec<NodeId>>,
+    edge_set: HashSet<(NodeId, LabelId, NodeId)>,
+    unique_labels: bool,
+    live_nodes: usize,
+    live_edges: usize,
+    journal: Option<Vec<GraphOp>>,
+}
+
+impl OntGraph {
+    /// Creates an empty *consistent* graph (unique node labels), the mode
+    /// used for ontologies throughout the paper.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_mode(name, true)
+    }
+
+    /// Creates an empty graph allowing duplicate node labels.
+    pub fn new_multi(name: impl Into<String>) -> Self {
+        Self::with_mode(name, false)
+    }
+
+    fn with_mode(name: impl Into<String>, unique_labels: bool) -> Self {
+        OntGraph {
+            name: name.into(),
+            interner: Interner::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            by_label: HashMap::new(),
+            edge_set: HashSet::new(),
+            unique_labels,
+            live_nodes: 0,
+            live_edges: 0,
+            journal: None,
+        }
+    }
+
+    /// The graph's name (the ontology name, e.g. `"carrier"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the graph.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Whether node labels are enforced unique (consistent-ontology mode).
+    pub fn unique_labels(&self) -> bool {
+        self.unique_labels
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// True if the graph has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.live_nodes == 0
+    }
+
+    /// Access to the label interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interns a label in this graph's namespace.
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        self.interner.intern(label)
+    }
+
+    /// Resolves an interned label id to its string.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        self.interner.resolve(id)
+    }
+
+    /// Looks up a label id without interning.
+    pub fn label_id(&self, label: &str) -> Option<LabelId> {
+        self.interner.get(label)
+    }
+
+    // ------------------------------------------------------------------
+    // Journal
+    // ------------------------------------------------------------------
+
+    /// Starts recording transformation primitives into an op journal.
+    ///
+    /// The journal is the mechanism behind incremental articulation
+    /// maintenance: source-ontology deltas are replayed against the
+    /// articulation instead of rebuilding it (§5.3, DESIGN.md B1).
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Stops journaling and returns the recorded ops.
+    pub fn take_journal(&mut self) -> Vec<GraphOp> {
+        self.journal.take().unwrap_or_default()
+    }
+
+    /// Returns the ops recorded so far without stopping the journal.
+    pub fn journal(&self) -> &[GraphOp] {
+        self.journal.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, op: impl FnOnce(&Self) -> GraphOp) {
+        if self.journal.is_none() {
+            return;
+        }
+        let entry = op(self);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(entry);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node primitives (NA / ND)
+    // ------------------------------------------------------------------
+
+    /// `NA` — node addition (§3). Adds a node labeled `label`.
+    ///
+    /// Errors with [`GraphError::DuplicateLabel`] in consistent mode if a
+    /// live node already carries the label, and with
+    /// [`GraphError::EmptyLabel`] if the label is empty (`λ` must map to a
+    /// non-null string).
+    pub fn add_node(&mut self, label: &str) -> Result<NodeId> {
+        if label.is_empty() {
+            return Err(GraphError::EmptyLabel);
+        }
+        let lid = self.interner.intern(label);
+        if self.unique_labels {
+            if let Some(v) = self.by_label.get(&lid) {
+                if !v.is_empty() {
+                    return Err(GraphError::DuplicateLabel(label.to_string()));
+                }
+            }
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { label: lid, out: Vec::new(), inc: Vec::new(), alive: true });
+        self.by_label.entry(lid).or_default().push(id);
+        self.live_nodes += 1;
+        self.record(|_| GraphOp::node_add(label));
+        Ok(id)
+    }
+
+    /// Returns the node labeled `label`, creating it if absent.
+    ///
+    /// In multi-label mode this returns the *first* live node with the
+    /// label, creating one only when none exists.
+    pub fn ensure_node(&mut self, label: &str) -> Result<NodeId> {
+        if let Some(id) = self.node_by_label(label) {
+            return Ok(id);
+        }
+        self.add_node(label)
+    }
+
+    /// `ND` — node deletion (§3). Removes the node and all incident edges.
+    pub fn delete_node(&mut self, id: NodeId) -> Result<()> {
+        if !self.is_live_node(id) {
+            return Err(GraphError::NodeNotFound(format!("{id:?}")));
+        }
+        // Collect incident edges first (both directions), then kill them.
+        let incident: Vec<EdgeId> = self.nodes[id.index()]
+            .out
+            .iter()
+            .chain(self.nodes[id.index()].inc.iter())
+            .copied()
+            .filter(|&e| self.edges[e.index()].alive)
+            .collect();
+        for e in incident {
+            // A self-loop appears in both lists; delete_edge is idempotent
+            // through the liveness check.
+            if self.edges[e.index()].alive {
+                self.delete_edge(e)?;
+            }
+        }
+        let lid = self.nodes[id.index()].label;
+        let label = self.interner.resolve(lid).to_string();
+        self.nodes[id.index()].alive = false;
+        if let Some(v) = self.by_label.get_mut(&lid) {
+            v.retain(|&n| n != id);
+        }
+        self.live_nodes -= 1;
+        self.record(|_| GraphOp::node_delete(label.clone()));
+        Ok(())
+    }
+
+    /// Deletes the node addressed by `label` (consistent-ontology
+    /// convenience, §3 end).
+    pub fn delete_node_by_label(&mut self, label: &str) -> Result<()> {
+        let id = self
+            .node_by_label(label)
+            .ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
+        self.delete_node(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Edge primitives (EA / ED)
+    // ------------------------------------------------------------------
+
+    /// `EA` — edge addition (§3). Adds the edge `(src, label, dst)`.
+    ///
+    /// Errors if either endpoint is dead or if the identical triple is
+    /// already present (`E` is a set).
+    pub fn add_edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> Result<EdgeId> {
+        if label.is_empty() {
+            return Err(GraphError::EmptyLabel);
+        }
+        if !self.is_live_node(src) {
+            return Err(GraphError::NodeNotFound(format!("{src:?}")));
+        }
+        if !self.is_live_node(dst) {
+            return Err(GraphError::NodeNotFound(format!("{dst:?}")));
+        }
+        let lid = self.interner.intern(label);
+        if self.edge_set.contains(&(src, lid, dst)) {
+            return Err(GraphError::DuplicateEdge(format!(
+                "({}, {label}, {})",
+                self.node_label(src).unwrap_or("?"),
+                self.node_label(dst).unwrap_or("?"),
+            )));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData { src, label: lid, dst, alive: true });
+        self.nodes[src.index()].out.push(id);
+        self.nodes[dst.index()].inc.push(id);
+        self.edge_set.insert((src, lid, dst));
+        self.live_edges += 1;
+        self.record(|g| {
+            GraphOp::edge_add(
+                g.node_label(src).expect("live src"),
+                label,
+                g.node_label(dst).expect("live dst"),
+            )
+        });
+        Ok(id)
+    }
+
+    /// Adds the edge if absent, returning the existing id otherwise.
+    pub fn ensure_edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> Result<EdgeId> {
+        if let Some(lid) = self.interner.get(label) {
+            if self.edge_set.contains(&(src, lid, dst)) {
+                return self
+                    .find_edge(src, label, dst)
+                    .ok_or_else(|| GraphError::EdgeNotFound(label.to_string()));
+            }
+        }
+        self.add_edge(src, label, dst)
+    }
+
+    /// Label-addressed [`OntGraph::ensure_edge`], creating missing endpoint
+    /// nodes; this is the workhorse used by format importers and the
+    /// articulation generator.
+    pub fn ensure_edge_by_labels(&mut self, src: &str, label: &str, dst: &str) -> Result<EdgeId> {
+        let s = self.ensure_node(src)?;
+        let d = self.ensure_node(dst)?;
+        self.ensure_edge(s, label, d)
+    }
+
+    /// `ED` — edge deletion (§3).
+    pub fn delete_edge(&mut self, id: EdgeId) -> Result<()> {
+        if !self.is_live_edge(id) {
+            return Err(GraphError::EdgeNotFound(format!("{id:?}")));
+        }
+        let EdgeData { src, label, dst, .. } = self.edges[id.index()];
+        self.edges[id.index()].alive = false;
+        self.edge_set.remove(&(src, label, dst));
+        self.live_edges -= 1;
+        let (s, l, d) = (
+            self.node_label(src).unwrap_or("?").to_string(),
+            self.interner.resolve(label).to_string(),
+            self.node_label(dst).unwrap_or("?").to_string(),
+        );
+        self.record(|_| GraphOp::edge_delete(s.clone(), l.clone(), d.clone()));
+        Ok(())
+    }
+
+    /// Deletes the edge addressed by its `(src, label, dst)` labels.
+    pub fn delete_edge_by_labels(&mut self, src: &str, label: &str, dst: &str) -> Result<()> {
+        let id = self
+            .find_edge_by_labels(src, label, dst)
+            .ok_or_else(|| GraphError::EdgeNotFound(format!("({src}, {label}, {dst})")))?;
+        self.delete_edge(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// True if `id` refers to a live node.
+    pub fn is_live_node(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// True if `id` refers to a live edge.
+    pub fn is_live_edge(&self, id: EdgeId) -> bool {
+        self.edges.get(id.index()).map(|e| e.alive).unwrap_or(false)
+    }
+
+    /// The label `λ(n)` of a live node.
+    pub fn node_label(&self, id: NodeId) -> Option<&str> {
+        self.nodes
+            .get(id.index())
+            .filter(|n| n.alive)
+            .map(|n| self.interner.resolve(n.label))
+    }
+
+    /// The interned label id of a live node.
+    pub fn node_label_id(&self, id: NodeId) -> Option<LabelId> {
+        self.nodes.get(id.index()).filter(|n| n.alive).map(|n| n.label)
+    }
+
+    /// The first live node carrying `label`, if any.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        let lid = self.interner.get(label)?;
+        self.by_label.get(&lid).and_then(|v| v.first().copied())
+    }
+
+    /// All live nodes carrying `label` (singleton in consistent mode).
+    pub fn nodes_by_label(&self, label: &str) -> &[NodeId] {
+        self.interner
+            .get(label)
+            .and_then(|lid| self.by_label.get(&lid))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// True if some live node carries `label`.
+    pub fn contains_label(&self, label: &str) -> bool {
+        !self.nodes_by_label(label).is_empty()
+    }
+
+    /// Looks up a live edge by endpoints and label.
+    pub fn find_edge(&self, src: NodeId, label: &str, dst: NodeId) -> Option<EdgeId> {
+        let lid = self.interner.get(label)?;
+        if !self.edge_set.contains(&(src, lid, dst)) {
+            return None;
+        }
+        self.nodes[src.index()]
+            .out
+            .iter()
+            .copied()
+            .find(|&e| {
+                let ed = &self.edges[e.index()];
+                ed.alive && ed.label == lid && ed.dst == dst
+            })
+    }
+
+    /// Label-addressed [`OntGraph::find_edge`].
+    pub fn find_edge_by_labels(&self, src: &str, label: &str, dst: &str) -> Option<EdgeId> {
+        let s = self.node_by_label(src)?;
+        let d = self.node_by_label(dst)?;
+        self.find_edge(s, label, d)
+    }
+
+    /// True if the edge `(src, label, dst)` exists (by labels).
+    pub fn has_edge(&self, src: &str, label: &str, dst: &str) -> bool {
+        self.find_edge_by_labels(src, label, dst).is_some()
+    }
+
+    /// The `(src, label, dst)` view of a live edge.
+    pub fn edge(&self, id: EdgeId) -> Option<EdgeRef<'_>> {
+        let e = self.edges.get(id.index()).filter(|e| e.alive)?;
+        Some(EdgeRef { id, src: e.src, label: self.interner.resolve(e.label), dst: e.dst })
+    }
+
+    /// The interned label id of a live edge.
+    pub fn edge_label_id(&self, id: EdgeId) -> Option<LabelId> {
+        self.edges.get(id.index()).filter(|e| e.alive).map(|e| e.label)
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration
+    // ------------------------------------------------------------------
+
+    /// Iterates all live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_>> + '_ {
+        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, n)| NodeRef {
+            id: NodeId(i as u32),
+            label: self.interner.resolve(n.label),
+        })
+    }
+
+    /// Iterates all live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Iterates all live edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_>> + '_ {
+        self.edges.iter().enumerate().filter(|(_, e)| e.alive).map(|(i, e)| EdgeRef {
+            id: EdgeId(i as u32),
+            src: e.src,
+            label: self.interner.resolve(e.label),
+            dst: e.dst,
+        })
+    }
+
+    /// Iterates the live out-edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_>> + '_ {
+        self.incident(n, true)
+    }
+
+    /// Iterates the live in-edges of `n`.
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_>> + '_ {
+        self.incident(n, false)
+    }
+
+    fn incident(&self, n: NodeId, out: bool) -> impl Iterator<Item = EdgeRef<'_>> + '_ {
+        let list: &[EdgeId] = match self.nodes.get(n.index()).filter(|d| d.alive) {
+            Some(d) => {
+                if out {
+                    &d.out
+                } else {
+                    &d.inc
+                }
+            }
+            None => &[],
+        };
+        list.iter().copied().filter_map(move |e| self.edge(e))
+    }
+
+    /// Out-neighbors of `n` reachable via edges labeled `label`.
+    pub fn out_neighbors<'g>(
+        &'g self,
+        n: NodeId,
+        label: &str,
+    ) -> impl Iterator<Item = NodeId> + 'g {
+        let lid = self.interner.get(label);
+        self.out_edges(n)
+            .filter(move |e| lid.map(|l| self.edge_label_id(e.id) == Some(l)).unwrap_or(false))
+            .map(|e| e.dst)
+    }
+
+    /// In-neighbors of `n` via edges labeled `label`.
+    pub fn in_neighbors<'g>(&'g self, n: NodeId, label: &str) -> impl Iterator<Item = NodeId> + 'g {
+        let lid = self.interner.get(label);
+        self.in_edges(n)
+            .filter(move |e| lid.map(|l| self.edge_label_id(e.id) == Some(l)).unwrap_or(false))
+            .map(|e| e.src)
+    }
+
+    /// Out-degree (live edges only).
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out_edges(n).count()
+    }
+
+    /// In-degree (live edges only).
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.in_edges(n).count()
+    }
+
+    /// All distinct edge labels in use on live edges.
+    pub fn edge_labels(&self) -> Vec<&str> {
+        let mut seen: HashSet<LabelId> = HashSet::new();
+        for e in self.edges.iter().filter(|e| e.alive) {
+            seen.insert(e.label);
+        }
+        let mut v: Vec<&str> = seen.into_iter().map(|l| self.interner.resolve(l)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-graph operations
+    // ------------------------------------------------------------------
+
+    /// Copies all live nodes and edges of `other` into `self`.
+    ///
+    /// Nodes are merged **by label**: a node of `other` whose label already
+    /// exists in `self` maps onto the existing node. Returns the
+    /// node-id mapping from `other` into `self`. This is the primitive
+    /// behind both ontology union (§5.1) and the global-merge baseline.
+    pub fn merge_from(&mut self, other: &OntGraph) -> Result<HashMap<NodeId, NodeId>> {
+        let mut map: HashMap<NodeId, NodeId> = HashMap::with_capacity(other.node_count());
+        for n in other.nodes() {
+            let here = self.ensure_node(n.label)?;
+            map.insert(n.id, here);
+        }
+        for e in other.edges() {
+            let s = map[&e.src];
+            let d = map[&e.dst];
+            self.ensure_edge(s, e.label, d)?;
+        }
+        Ok(map)
+    }
+
+    /// Builds a compacted copy with tombstones removed and dense ids.
+    ///
+    /// Returns the new graph and the old-to-new node-id mapping.
+    pub fn compacted(&self) -> (OntGraph, HashMap<NodeId, NodeId>) {
+        let mut g = OntGraph::with_mode(self.name.clone(), self.unique_labels);
+        let mut map = HashMap::with_capacity(self.live_nodes);
+        for n in self.nodes() {
+            let id = g.add_node(n.label).expect("labels unique in source graph");
+            map.insert(n.id, id);
+        }
+        for e in self.edges() {
+            g.add_edge(map[&e.src], e.label, map[&e.dst]).expect("edges unique in source graph");
+        }
+        (g, map)
+    }
+
+    /// Structural equality on the `(label, edge-label, label)` level,
+    /// ignoring ids, tombstones, names and insertion order.
+    ///
+    /// Only meaningful for consistent graphs (unique labels), which is how
+    /// the paper compares ontologies.
+    pub fn same_shape(&self, other: &OntGraph) -> bool {
+        if self.node_count() != other.node_count() || self.edge_count() != other.edge_count() {
+            return false;
+        }
+        for n in self.nodes() {
+            if !other.contains_label(n.label) {
+                return false;
+            }
+        }
+        for e in self.edges() {
+            let s = self.node_label(e.src).expect("live");
+            let d = self.node_label(e.dst).expect("live");
+            if !other.has_edge(s, e.label, d) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sorted list of node labels (test/diagnostic helper).
+    pub fn node_labels_sorted(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.nodes().map(|n| n.label).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted `(src, label, dst)` triples (test/diagnostic helper).
+    pub fn edge_triples_sorted(&self) -> Vec<(String, String, String)> {
+        let mut v: Vec<(String, String, String)> = self
+            .edges()
+            .map(|e| {
+                (
+                    self.node_label(e.src).expect("live").to_string(),
+                    e.label.to_string(),
+                    self.node_label(e.dst).expect("live").to_string(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> OntGraph {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        g.add_edge(a, "SubclassOf", b).unwrap();
+        g.add_edge(b, "SubclassOf", c).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_and_count() {
+        let g = abc();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        let mut g = OntGraph::new("t");
+        assert_eq!(g.add_node(""), Err(GraphError::EmptyLabel));
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        assert_eq!(g.add_edge(a, "", b), Err(GraphError::EmptyLabel));
+    }
+
+    #[test]
+    fn duplicate_label_rejected_in_consistent_mode() {
+        let mut g = OntGraph::new("t");
+        g.add_node("Car").unwrap();
+        assert!(matches!(g.add_node("Car"), Err(GraphError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_allowed_in_multi_mode() {
+        let mut g = OntGraph::new_multi("t");
+        let a = g.add_node("Car").unwrap();
+        let b = g.add_node("Car").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(g.nodes_by_label("Car").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = abc();
+        let a = g.node_by_label("A").unwrap();
+        let b = g.node_by_label("B").unwrap();
+        assert!(matches!(g.add_edge(a, "SubclassOf", b), Err(GraphError::DuplicateEdge(_))));
+        // but a different label between the same nodes is fine
+        g.add_edge(a, "related", b).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn ensure_node_returns_existing() {
+        let mut g = abc();
+        let a = g.node_by_label("A").unwrap();
+        assert_eq!(g.ensure_node("A").unwrap(), a);
+        assert_eq!(g.node_count(), 3);
+        let d = g.ensure_node("D").unwrap();
+        assert_eq!(g.node_label(d), Some("D"));
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn ensure_edge_is_idempotent() {
+        let mut g = OntGraph::new("t");
+        let e1 = g.ensure_edge_by_labels("A", "S", "B").unwrap();
+        let e2 = g.ensure_edge_by_labels("A", "S", "B").unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn delete_node_removes_incident_edges() {
+        let mut g = abc();
+        let b = g.node_by_label("B").unwrap();
+        g.delete_node(b).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.contains_label("B"));
+        assert!(g.contains_label("A"));
+        // ids of survivors still valid
+        let a = g.node_by_label("A").unwrap();
+        assert_eq!(g.node_label(a), Some("A"));
+    }
+
+    #[test]
+    fn delete_node_with_self_loop() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        g.add_edge(a, "self", a).unwrap();
+        g.delete_node(a).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn delete_edge_then_readd() {
+        let mut g = abc();
+        let a = g.node_by_label("A").unwrap();
+        let b = g.node_by_label("B").unwrap();
+        let e = g.find_edge(a, "SubclassOf", b).unwrap();
+        g.delete_edge(e).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.find_edge(a, "SubclassOf", b).is_none());
+        // set-semantics allow re-adding after delete
+        g.add_edge(a, "SubclassOf", b).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn deleting_dead_entities_errors() {
+        let mut g = abc();
+        let a = g.node_by_label("A").unwrap();
+        g.delete_node(a).unwrap();
+        assert!(g.delete_node(a).is_err());
+        assert!(g.delete_node_by_label("A").is_err());
+        assert!(g.delete_edge_by_labels("A", "SubclassOf", "B").is_err());
+    }
+
+    #[test]
+    fn label_reusable_after_delete() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        g.delete_node(a).unwrap();
+        let a2 = g.add_node("A").unwrap();
+        assert_ne!(a, a2);
+        assert_eq!(g.node_by_label("A"), Some(a2));
+    }
+
+    #[test]
+    fn neighbors_filtered_by_label() {
+        let mut g = OntGraph::new("t");
+        let car = g.add_node("Car").unwrap();
+        let veh = g.add_node("Vehicle").unwrap();
+        let price = g.add_node("Price").unwrap();
+        g.add_edge(car, "SubclassOf", veh).unwrap();
+        g.add_edge(price, "AttributeOf", car).unwrap();
+        let subs: Vec<NodeId> = g.out_neighbors(car, "SubclassOf").collect();
+        assert_eq!(subs, vec![veh]);
+        let attrs: Vec<NodeId> = g.in_neighbors(car, "AttributeOf").collect();
+        assert_eq!(attrs, vec![price]);
+        assert_eq!(g.out_neighbors(car, "NoSuch").count(), 0);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = abc();
+        let b = g.node_by_label("B").unwrap();
+        assert_eq!(g.out_degree(b), 1);
+        assert_eq!(g.in_degree(b), 1);
+    }
+
+    #[test]
+    fn edge_labels_sorted_unique() {
+        let mut g = abc();
+        g.ensure_edge_by_labels("A", "AttributeOf", "C").unwrap();
+        assert_eq!(g.edge_labels(), vec!["AttributeOf", "SubclassOf"]);
+    }
+
+    #[test]
+    fn merge_from_unions_by_label() {
+        let mut g1 = abc();
+        let mut g2 = OntGraph::new("u");
+        g2.ensure_edge_by_labels("B", "SubclassOf", "D").unwrap();
+        let map = g1.merge_from(&g2).unwrap();
+        assert_eq!(g1.node_count(), 4); // A B C D — B merged
+        assert_eq!(g1.edge_count(), 3);
+        let b2 = g2.node_by_label("B").unwrap();
+        assert_eq!(g1.node_label(map[&b2]), Some("B"));
+    }
+
+    #[test]
+    fn compacted_drops_tombstones() {
+        let mut g = abc();
+        g.delete_node_by_label("B").unwrap();
+        let (c, map) = g.compacted();
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(map.len(), 2);
+        assert!(c.contains_label("A") && c.contains_label("C"));
+    }
+
+    #[test]
+    fn same_shape_ignores_ids_and_order() {
+        let g1 = abc();
+        let mut g2 = OntGraph::new("other-name");
+        // build in a different order
+        g2.ensure_edge_by_labels("B", "SubclassOf", "C").unwrap();
+        g2.ensure_edge_by_labels("A", "SubclassOf", "B").unwrap();
+        assert!(g1.same_shape(&g2));
+        g2.ensure_edge_by_labels("A", "SubclassOf", "C").unwrap();
+        assert!(!g1.same_shape(&g2));
+    }
+
+    #[test]
+    fn journal_records_all_four_primitives() {
+        let mut g = OntGraph::new("t");
+        g.enable_journal();
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let e = g.add_edge(a, "S", b).unwrap();
+        g.delete_edge(e).unwrap();
+        g.delete_node(b).unwrap();
+        let j = g.take_journal();
+        assert_eq!(j.len(), 5);
+        assert!(matches!(j[0], GraphOp::NodeAdd { .. }));
+        assert!(matches!(j[2], GraphOp::EdgeAdd { .. }));
+        assert!(matches!(j[3], GraphOp::EdgeDelete { .. }));
+        assert!(matches!(j[4], GraphOp::NodeDelete { .. }));
+    }
+
+    #[test]
+    fn journal_records_cascaded_edge_deletes_before_node_delete() {
+        let mut g = abc();
+        g.enable_journal();
+        g.delete_node_by_label("B").unwrap();
+        let j = g.take_journal();
+        // two incident edges then the node itself
+        assert_eq!(j.len(), 3);
+        assert!(matches!(j[0], GraphOp::EdgeDelete { .. }));
+        assert!(matches!(j[1], GraphOp::EdgeDelete { .. }));
+        assert!(matches!(j[2], GraphOp::NodeDelete { .. }));
+    }
+
+    #[test]
+    fn edge_triples_sorted_roundtrip() {
+        let g = abc();
+        let t = g.edge_triples_sorted();
+        assert_eq!(
+            t,
+            vec![
+                ("A".to_string(), "SubclassOf".to_string(), "B".to_string()),
+                ("B".to_string(), "SubclassOf".to_string(), "C".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,582 @@
+//! Backtracking subgraph pattern matcher (§3 of the paper).
+//!
+//! A pattern matches into a graph via a total mapping `f` from pattern
+//! nodes to graph nodes such that (1) corresponding node labels agree and
+//! (2) every pattern edge `(n1, α, n2)` maps to a graph edge
+//! `(f(n1), α, f(n2))`. The paper additionally allows the domain expert to
+//! *relax* matching: node labels may match through a synonym set, and
+//! edge-label equality may be dropped. Both relaxations are expressed here
+//! through the [`LabelEquiv`] trait, which `onion-lexicon` implements for
+//! its WordNet-style lexicon.
+//!
+//! The matcher performs candidate-ordered backtracking: pattern nodes are
+//! visited most-constrained-first along pattern connectivity, candidates
+//! for connected nodes are generated from already-matched neighbours, and
+//! all edges into the matched prefix are verified on assignment.
+
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, OntGraph};
+use crate::pattern::{EdgeConstraint, NodeConstraint, Pattern};
+use crate::Result;
+
+/// Pluggable label-equivalence used for fuzzy matching.
+///
+/// `ExactEquiv` gives the paper's strict match. A lexicon-backed
+/// implementation can relax node labels to synonyms (§3: "enable nodes to
+/// match not only if they have the exact same label but also if they are
+/// synonyms as defined by the expert").
+pub trait LabelEquiv {
+    /// Are a pattern node label and a graph node label equivalent?
+    fn node_equiv(&self, pattern_label: &str, graph_label: &str) -> bool;
+
+    /// Are a pattern edge label and a graph edge label equivalent?
+    /// Defaults to strict equality.
+    fn edge_equiv(&self, pattern_label: &str, graph_label: &str) -> bool {
+        pattern_label == graph_label
+    }
+}
+
+/// Strict equality on both node and edge labels (the paper's default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEquiv;
+
+impl LabelEquiv for ExactEquiv {
+    fn node_equiv(&self, p: &str, g: &str) -> bool {
+        p == g
+    }
+}
+
+/// ASCII-case-insensitive label equivalence; a cheap fuzzy mode used by
+/// the SKAT matcher pipeline before consulting the lexicon.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseInsensitiveEquiv;
+
+impl LabelEquiv for CaseInsensitiveEquiv {
+    fn node_equiv(&self, p: &str, g: &str) -> bool {
+        p.eq_ignore_ascii_case(g)
+    }
+
+    fn edge_equiv(&self, p: &str, g: &str) -> bool {
+        p.eq_ignore_ascii_case(g)
+    }
+}
+
+/// Matcher configuration. The default is the paper's strict semantics:
+/// unlimited matches, non-injective mapping, exact edge labels.
+#[derive(Debug, Clone, Default)]
+pub struct MatchConfig {
+    /// Stop after this many matches (0 = unlimited).
+    pub max_matches: usize,
+    /// Require the node mapping to be injective (distinct pattern nodes
+    /// map to distinct graph nodes). The paper's `f` is a total mapping,
+    /// not necessarily injective, so the default is `false`.
+    pub injective: bool,
+    /// Treat every pattern edge constraint as [`EdgeConstraint::Any`]
+    /// (the paper's second relaxation: "the second condition that requires
+    /// edges to have the same label may not be strictly enforced").
+    pub relax_edge_labels: bool,
+}
+
+/// One match of a pattern into a graph: the mapping `f` plus variable
+/// bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// `nodes[i]` is the graph node matched by pattern node `i`.
+    pub nodes: Vec<NodeId>,
+    /// Variable name → bound graph node.
+    pub bindings: HashMap<String, NodeId>,
+}
+
+impl Match {
+    /// The graph node bound to `var`, if the pattern binds it.
+    pub fn get(&self, var: &str) -> Option<NodeId> {
+        self.bindings.get(var).copied()
+    }
+}
+
+/// A pattern matcher over one graph.
+pub struct Matcher<'g, E: LabelEquiv = ExactEquiv> {
+    graph: &'g OntGraph,
+    equiv: E,
+    config: MatchConfig,
+}
+
+impl<'g> Matcher<'g, ExactEquiv> {
+    /// Strict matcher with default config.
+    pub fn new(graph: &'g OntGraph) -> Self {
+        Matcher { graph, equiv: ExactEquiv, config: MatchConfig::default() }
+    }
+}
+
+impl<'g, E: LabelEquiv> Matcher<'g, E> {
+    /// Matcher with a custom equivalence (e.g. lexicon synonyms).
+    pub fn with_equiv(graph: &'g OntGraph, equiv: E) -> Self {
+        Matcher { graph, equiv, config: MatchConfig::default() }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: MatchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Finds all matches (subject to `max_matches`).
+    pub fn find_all(&self, pattern: &Pattern) -> Result<Vec<Match>> {
+        pattern.validate()?;
+        let mut out = Vec::new();
+        self.search(pattern, &mut out)?;
+        Ok(out)
+    }
+
+    /// Finds the first match, if any.
+    pub fn find_first(&self, pattern: &Pattern) -> Result<Option<Match>> {
+        pattern.validate()?;
+        let saved = self.config.max_matches;
+        let mut cfg = self.config.clone();
+        cfg.max_matches = 1;
+        let m = Matcher { graph: self.graph, equiv: EquivRef(&self.equiv), config: cfg }
+            .find_all_inner(pattern)?;
+        let _ = saved;
+        Ok(m.into_iter().next())
+    }
+
+    /// True if the pattern matches anywhere in the graph.
+    pub fn matches(&self, pattern: &Pattern) -> Result<bool> {
+        Ok(self.find_first(pattern)?.is_some())
+    }
+
+    /// Number of matches (respecting `max_matches` if non-zero).
+    pub fn count(&self, pattern: &Pattern) -> Result<usize> {
+        Ok(self.find_all(pattern)?.len())
+    }
+
+    fn find_all_inner(&self, pattern: &Pattern) -> Result<Vec<Match>> {
+        let mut out = Vec::new();
+        self.search(pattern, &mut out)?;
+        Ok(out)
+    }
+
+    fn node_ok(&self, pc: &NodeConstraint, g: NodeId) -> bool {
+        match pc {
+            NodeConstraint::Any => true,
+            NodeConstraint::Label(l) => {
+                let gl = self.graph.node_label(g).expect("candidate nodes are live");
+                self.equiv.node_equiv(l, gl)
+            }
+        }
+    }
+
+    fn edge_label_ok(&self, pc: &EdgeConstraint, graph_label: &str) -> bool {
+        if self.config.relax_edge_labels {
+            return true;
+        }
+        match pc {
+            EdgeConstraint::Any => true,
+            EdgeConstraint::Label(l) => self.equiv.edge_equiv(l, graph_label),
+        }
+    }
+
+    /// Does the graph contain an edge (src, ~label, dst) compatible with
+    /// the constraint?
+    fn has_compatible_edge(&self, src: NodeId, pc: &EdgeConstraint, dst: NodeId) -> bool {
+        self.graph
+            .out_edges(src)
+            .any(|e| e.dst == dst && self.edge_label_ok(pc, e.label))
+    }
+
+    fn search(&self, pattern: &Pattern, out: &mut Vec<Match>) -> Result<()> {
+        let n = pattern.node_count();
+        // Order: most-constrained-first seed, then breadth-first along
+        // pattern connectivity so later nodes can be generated from
+        // matched neighbours.
+        let order = plan_order(pattern, self.graph);
+        // adjacency: for pattern node i, edges (edge index, other, outgoing?)
+        let mut adj: Vec<Vec<(usize, usize, bool)>> = vec![Vec::new(); n];
+        for (ei, e) in pattern.edges.iter().enumerate() {
+            adj[e.src].push((ei, e.dst, true));
+            adj[e.dst].push((ei, e.src, false));
+        }
+        let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+        self.extend_match(pattern, &order, &adj, 0, &mut assignment, out);
+        Ok(())
+    }
+
+    fn emit(&self, pattern: &Pattern, assignment: &[Option<NodeId>], out: &mut Vec<Match>) {
+        let nodes: Vec<NodeId> = assignment.iter().map(|a| a.expect("complete")).collect();
+        let mut bindings = HashMap::new();
+        for (i, pn) in pattern.nodes.iter().enumerate() {
+            if let Some(v) = &pn.var {
+                bindings.insert(v.clone(), nodes[i]);
+            }
+        }
+        out.push(Match { nodes, bindings });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend_match(
+        &self,
+        pattern: &Pattern,
+        order: &[usize],
+        adj: &[Vec<(usize, usize, bool)>],
+        depth: usize,
+        assignment: &mut Vec<Option<NodeId>>,
+        out: &mut Vec<Match>,
+    ) -> bool {
+        if self.config.max_matches != 0 && out.len() >= self.config.max_matches {
+            return true; // signal: stop
+        }
+        if depth == order.len() {
+            self.emit(pattern, assignment, out);
+            return self.config.max_matches != 0 && out.len() >= self.config.max_matches;
+        }
+        let pi = order[depth];
+        let candidates = self.candidates_for(pattern, adj, pi, assignment);
+        for g in candidates {
+            if self.config.injective && assignment.iter().flatten().any(|&a| a == g) {
+                continue;
+            }
+            if !self.node_ok(&pattern.nodes[pi].constraint, g) {
+                continue;
+            }
+            // verify all pattern edges between pi and assigned nodes
+            let mut ok = true;
+            for &(ei, other, outgoing) in &adj[pi] {
+                if let Some(og) = assignment[other] {
+                    let pc = &pattern.edges[ei].constraint;
+                    let present = if outgoing {
+                        self.has_compatible_edge(g, pc, og)
+                    } else {
+                        self.has_compatible_edge(og, pc, g)
+                    };
+                    if !present {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            assignment[pi] = Some(g);
+            let stop = self.extend_match(pattern, order, adj, depth + 1, assignment, out);
+            assignment[pi] = None;
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Candidate graph nodes for pattern node `pi` given the current
+    /// partial assignment: neighbours of an already-assigned pattern
+    /// neighbour when possible, otherwise a label-index or full scan.
+    fn candidates_for(
+        &self,
+        pattern: &Pattern,
+        adj: &[Vec<(usize, usize, bool)>],
+        pi: usize,
+        assignment: &[Option<NodeId>],
+    ) -> Vec<NodeId> {
+        // Prefer generation from an assigned neighbour.
+        for &(ei, other, outgoing) in &adj[pi] {
+            if let Some(og) = assignment[other] {
+                let pc = &pattern.edges[ei].constraint;
+                let mut v: Vec<NodeId> = if outgoing {
+                    // pattern edge pi -> other; candidates are in-neighbours of og
+                    self.graph
+                        .in_edges(og)
+                        .filter(|e| self.edge_label_ok(pc, e.label))
+                        .map(|e| e.src)
+                        .collect()
+                } else {
+                    self.graph
+                        .out_edges(og)
+                        .filter(|e| self.edge_label_ok(pc, e.label))
+                        .map(|e| e.dst)
+                        .collect()
+                };
+                v.sort_unstable();
+                v.dedup();
+                return v;
+            }
+        }
+        // Seed node: use the label index when the equivalence is exact
+        // per-label; otherwise scan.
+        match &pattern.nodes[pi].constraint {
+            NodeConstraint::Label(l) => {
+                let exact: Vec<NodeId> = self.graph.nodes_by_label(l).to_vec();
+                // Under a fuzzy equivalence the label index may miss
+                // synonym nodes; always also scan when equiv says a
+                // non-identical label could match. We detect this cheaply
+                // by scanning only if the exact bucket is empty or the
+                // equivalence is non-strict for some other label. To stay
+                // correct for arbitrary `LabelEquiv` impls we scan unless
+                // the exact bucket is provably complete — i.e. we test
+                // every distinct node label once.
+                let mut v = exact;
+                for node in self.graph.nodes() {
+                    if node.label != l && self.equiv.node_equiv(l, node.label) {
+                        v.push(node.id);
+                    }
+                }
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            NodeConstraint::Any => self.graph.node_ids().collect(),
+        }
+    }
+}
+
+/// Borrowed-equivalence adapter so `find_first` can clone config without
+/// requiring `E: Clone`.
+struct EquivRef<'a, E: LabelEquiv>(&'a E);
+
+impl<E: LabelEquiv> LabelEquiv for EquivRef<'_, E> {
+    fn node_equiv(&self, p: &str, g: &str) -> bool {
+        self.0.node_equiv(p, g)
+    }
+    fn edge_equiv(&self, p: &str, g: &str) -> bool {
+        self.0.edge_equiv(p, g)
+    }
+}
+
+/// Chooses the matching order: the most selective labeled node first,
+/// then BFS along pattern connectivity; disconnected components are
+/// seeded by their own most selective node.
+fn plan_order(pattern: &Pattern, graph: &OntGraph) -> Vec<usize> {
+    let n = pattern.node_count();
+    let mut selectivity: Vec<usize> = pattern
+        .nodes
+        .iter()
+        .map(|pn| match &pn.constraint {
+            NodeConstraint::Label(l) => graph.nodes_by_label(l).len().max(1),
+            NodeConstraint::Any => graph.node_count().max(1),
+        })
+        .collect();
+    // Weight by degree in the pattern: high-degree pattern nodes prune more.
+    let mut pat_degree = vec![0usize; n];
+    for e in &pattern.edges {
+        pat_degree[e.src] += 1;
+        pat_degree[e.dst] += 1;
+    }
+    for i in 0..n {
+        selectivity[i] = selectivity[i].saturating_sub(pat_degree[i].min(selectivity[i] - 1));
+    }
+
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &pattern.edges {
+        adj[e.src].push(e.dst);
+        adj[e.dst].push(e.src);
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        // best unplaced seed
+        let seed = (0..n)
+            .filter(|&i| !placed[i])
+            .min_by_key(|&i| selectivity[i])
+            .expect("unplaced node exists");
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(seed);
+        placed[seed] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            // visit neighbours most-selective-first
+            let mut nbrs: Vec<usize> = adj[u].iter().copied().filter(|&v| !placed[v]).collect();
+            nbrs.sort_by_key(|&v| selectivity[v]);
+            for v in nbrs {
+                if !placed[v] {
+                    placed[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    /// carrier-like fragment:
+    ///   Car -S-> Vehicle, Truck -S-> Vehicle,
+    ///   Price -A-> Car, Owner -A-> Car, Owner -A-> Truck
+    fn sample() -> OntGraph {
+        let mut g = OntGraph::new("t");
+        for (s, l, d) in [
+            ("Car", rel::SUBCLASS_OF, "Vehicle"),
+            ("Truck", rel::SUBCLASS_OF, "Vehicle"),
+            ("Price", rel::ATTRIBUTE_OF, "Car"),
+            ("Owner", rel::ATTRIBUTE_OF, "Car"),
+            ("Owner", rel::ATTRIBUTE_OF, "Truck"),
+        ] {
+            g.ensure_edge_by_labels(s, l, d).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let g = sample();
+        let mut p = Pattern::new();
+        p.node("Car");
+        let m = Matcher::new(&g).find_all(&p).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(g.node_label(m[0].nodes[0]), Some("Car"));
+    }
+
+    #[test]
+    fn edge_pattern_exact() {
+        let g = sample();
+        let p = Pattern::parse("Car -SubclassOf-> Vehicle").unwrap();
+        assert!(Matcher::new(&g).matches(&p).unwrap());
+        let p = Pattern::parse("Vehicle -SubclassOf-> Car").unwrap();
+        assert!(!Matcher::new(&g).matches(&p).unwrap());
+    }
+
+    #[test]
+    fn wildcard_node_enumerates_subclasses() {
+        let g = sample();
+        let p = Pattern::parse("X: * -SubclassOf-> Vehicle").unwrap();
+        // "X: *" is not step syntax; build manually instead
+        let _ = p;
+        let mut p = Pattern::new();
+        let x = p.any_var_node("X");
+        let v = p.node("Vehicle");
+        p.edge(x, rel::SUBCLASS_OF, v);
+        let ms = Matcher::new(&g).find_all(&p).unwrap();
+        let mut found: Vec<&str> =
+            ms.iter().map(|m| g.node_label(m.get("X").unwrap()).unwrap()).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec!["Car", "Truck"]);
+    }
+
+    #[test]
+    fn attribute_pattern_with_variable_binding() {
+        let g = sample();
+        // the paper's truck(O: owner, ...) shape — binds the Owner node
+        let p = Pattern::parse("Truck(O: Owner)").unwrap();
+        let ms = Matcher::new(&g).find_all(&p).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.node_label(ms[0].get("O").unwrap()), Some("Owner"));
+    }
+
+    #[test]
+    fn path_pattern_any_edges() {
+        let g = sample();
+        // Price : Car — any edge from Price to Car
+        let p = Pattern::parse("Price:Car").unwrap();
+        assert!(Matcher::new(&g).matches(&p).unwrap());
+        // no edge Price -> Vehicle
+        let p = Pattern::parse("Price:Vehicle").unwrap();
+        assert!(!Matcher::new(&g).matches(&p).unwrap());
+    }
+
+    #[test]
+    fn triangle_pattern_requires_all_edges() {
+        let mut g = sample();
+        let p = Pattern::parse("Owner -AttributeOf-> Car -SubclassOf-> Vehicle").unwrap();
+        assert!(Matcher::new(&g).matches(&p).unwrap());
+        g.delete_edge_by_labels("Owner", "AttributeOf", "Car").unwrap();
+        assert!(!Matcher::new(&g).matches(&p).unwrap());
+    }
+
+    #[test]
+    fn max_matches_limits_results() {
+        let g = sample();
+        let mut p = Pattern::new();
+        p.any_node();
+        let cfg = MatchConfig { max_matches: 3, ..Default::default() };
+        let ms = Matcher::new(&g).with_config(cfg).find_all(&p).unwrap();
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn injective_mode_prevents_node_reuse() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        g.add_edge(a, "loop", a).unwrap();
+        let mut p = Pattern::new();
+        let x = p.any_node();
+        let y = p.any_node();
+        p.edge(x, "loop", y);
+        // homomorphism: x=y=A matches the self loop
+        assert!(Matcher::new(&g).matches(&p).unwrap());
+        let cfg = MatchConfig { injective: true, ..Default::default() };
+        assert!(!Matcher::new(&g).with_config(cfg).matches(&p).unwrap());
+    }
+
+    #[test]
+    fn relaxed_edge_labels() {
+        let g = sample();
+        let p = Pattern::parse("Price -SubclassOf-> Car").unwrap(); // wrong label
+        assert!(!Matcher::new(&g).matches(&p).unwrap());
+        let cfg = MatchConfig { relax_edge_labels: true, ..Default::default() };
+        assert!(Matcher::new(&g).with_config(cfg).matches(&p).unwrap());
+    }
+
+    #[test]
+    fn case_insensitive_equiv() {
+        let g = sample();
+        let p = Pattern::parse("car -subclassof-> vehicle").unwrap();
+        assert!(!Matcher::new(&g).matches(&p).unwrap());
+        let m = Matcher::with_equiv(&g, CaseInsensitiveEquiv);
+        assert!(m.matches(&p).unwrap());
+    }
+
+    /// Synonym-style custom equivalence: the §3 relaxation.
+    struct Syn;
+    impl LabelEquiv for Syn {
+        fn node_equiv(&self, p: &str, g: &str) -> bool {
+            p == g || (p == "Automobile" && g == "Car") || (p == "Car" && g == "Automobile")
+        }
+    }
+
+    #[test]
+    fn synonym_equiv_finds_nonidentical_seed() {
+        let g = sample();
+        let mut p = Pattern::new();
+        let a = p.node("Automobile");
+        let v = p.node("Vehicle");
+        p.edge(a, rel::SUBCLASS_OF, v);
+        let ms = Matcher::with_equiv(&g, Syn).find_all(&p).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.node_label(ms[0].nodes[0]), Some("Car"));
+    }
+
+    #[test]
+    fn count_and_find_first_agree() {
+        let g = sample();
+        let mut p = Pattern::new();
+        let x = p.any_node();
+        let v = p.node("Vehicle");
+        p.edge(x, rel::SUBCLASS_OF, v);
+        let m = Matcher::new(&g);
+        assert_eq!(m.count(&p).unwrap(), 2);
+        assert!(m.find_first(&p).unwrap().is_some());
+    }
+
+    #[test]
+    fn disconnected_pattern_is_cross_product() {
+        let g = sample();
+        let mut p = Pattern::new();
+        p.node("Car");
+        p.node("Truck");
+        let ms = Matcher::new(&g).find_all(&p).unwrap();
+        assert_eq!(ms.len(), 1); // 1 Car × 1 Truck
+        assert!(!p.is_connected());
+    }
+
+    #[test]
+    fn no_match_in_empty_graph() {
+        let g = OntGraph::new("empty");
+        let mut p = Pattern::new();
+        p.node("Anything");
+        assert!(!Matcher::new(&g).matches(&p).unwrap());
+    }
+}

@@ -1,0 +1,298 @@
+//! The four graph transformation primitives as replayable values.
+//!
+//! §3 of the paper defines node addition (`NA`), node deletion (`ND`),
+//! edge addition (`EA`) and edge deletion (`ED`). [`GraphOp`] reifies them
+//! in *label-addressed* form — the paper's own convention for consistent
+//! ontologies, where a term's label identifies its node — so that an op
+//! stream recorded against one graph can be replayed against another
+//! (incremental articulation maintenance, §5.3) or logged for audit.
+
+use crate::graph::OntGraph;
+use crate::{GraphError, Result};
+
+/// A single label-addressed transformation primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphOp {
+    /// `NA`: add a node, optionally with adjacent edges
+    /// `{(N, αᵢ, mⱼ)}` as in the paper's definition.
+    NodeAdd {
+        /// Label of the new node.
+        label: String,
+        /// Outgoing adjacent edges `(edge-label, target-node-label)`.
+        out_edges: Vec<(String, String)>,
+        /// Incoming adjacent edges `(source-node-label, edge-label)`.
+        in_edges: Vec<(String, String)>,
+    },
+    /// `ND`: delete the node carrying `label` (and incident edges).
+    NodeDelete {
+        /// Label of the node to delete.
+        label: String,
+    },
+    /// `EA`: add the edge set `{(mᵢ, αⱼ, mₖ)}`.
+    EdgeAdd {
+        /// `(src-label, edge-label, dst-label)` triples to add.
+        edges: Vec<(String, String, String)>,
+    },
+    /// `ED`: delete the edge set `{(mᵢ, αⱼ, mₖ)}`.
+    EdgeDelete {
+        /// `(src-label, edge-label, dst-label)` triples to remove.
+        edges: Vec<(String, String, String)>,
+    },
+}
+
+impl GraphOp {
+    /// Shorthand for a bare node addition.
+    pub fn node_add(label: impl Into<String>) -> Self {
+        GraphOp::NodeAdd { label: label.into(), out_edges: Vec::new(), in_edges: Vec::new() }
+    }
+
+    /// Shorthand for a node addition with adjacent out-edges.
+    pub fn node_add_with(
+        label: impl Into<String>,
+        out_edges: Vec<(String, String)>,
+        in_edges: Vec<(String, String)>,
+    ) -> Self {
+        GraphOp::NodeAdd { label: label.into(), out_edges, in_edges }
+    }
+
+    /// Shorthand for a node deletion.
+    pub fn node_delete(label: impl Into<String>) -> Self {
+        GraphOp::NodeDelete { label: label.into() }
+    }
+
+    /// Shorthand for a single edge addition.
+    pub fn edge_add(
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        GraphOp::EdgeAdd { edges: vec![(src.into(), label.into(), dst.into())] }
+    }
+
+    /// Shorthand for a single edge deletion.
+    pub fn edge_delete(
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        GraphOp::EdgeDelete { edges: vec![(src.into(), label.into(), dst.into())] }
+    }
+
+    /// Applies the primitive to `g`.
+    ///
+    /// Application is **idempotent-friendly**: adding an already-present
+    /// node or edge is a no-op rather than an error, because replayed
+    /// journals routinely overlap with state the articulation generator
+    /// has already produced. Deleting a missing element *is* an error —
+    /// a delta that removes something unknown signals divergence.
+    pub fn apply(&self, g: &mut OntGraph) -> Result<()> {
+        match self {
+            GraphOp::NodeAdd { label, out_edges, in_edges } => {
+                let n = g.ensure_node(label)?;
+                for (el, dst) in out_edges {
+                    let d = g.ensure_node(dst)?;
+                    g.ensure_edge(n, el, d)?;
+                }
+                for (src, el) in in_edges {
+                    let s = g.ensure_node(src)?;
+                    g.ensure_edge(s, el, n)?;
+                }
+                Ok(())
+            }
+            GraphOp::NodeDelete { label } => g.delete_node_by_label(label),
+            GraphOp::EdgeAdd { edges } => {
+                for (s, l, d) in edges {
+                    g.ensure_edge_by_labels(s, l, d)?;
+                }
+                Ok(())
+            }
+            GraphOp::EdgeDelete { edges } => {
+                for (s, l, d) in edges {
+                    g.delete_edge_by_labels(s, l, d)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The inverse primitive, where derivable.
+    ///
+    /// `NodeDelete` is not invertible from the op alone (the incident
+    /// edges are lost), so it returns `None`; callers needing undo must
+    /// capture the node's neighbourhood first (see
+    /// [`GraphOp::capture_node_delete`]).
+    pub fn inverse(&self) -> Option<GraphOp> {
+        match self {
+            GraphOp::NodeAdd { label, out_edges, in_edges } => {
+                if out_edges.is_empty() && in_edges.is_empty() {
+                    Some(GraphOp::node_delete(label.clone()))
+                } else {
+                    // Deleting the node also removes the adjacent edges.
+                    Some(GraphOp::node_delete(label.clone()))
+                }
+            }
+            GraphOp::NodeDelete { .. } => None,
+            GraphOp::EdgeAdd { edges } => Some(GraphOp::EdgeDelete { edges: edges.clone() }),
+            GraphOp::EdgeDelete { edges } => Some(GraphOp::EdgeAdd { edges: edges.clone() }),
+        }
+    }
+
+    /// Builds a `NodeAdd` op that would restore `label`'s node and its
+    /// current neighbourhood in `g`; the undo record for a `NodeDelete`.
+    pub fn capture_node_delete(g: &OntGraph, label: &str) -> Result<GraphOp> {
+        let n = g
+            .node_by_label(label)
+            .ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
+        let out_edges = g
+            .out_edges(n)
+            .map(|e| (e.label.to_string(), g.node_label(e.dst).expect("live").to_string()))
+            .collect();
+        let in_edges = g
+            .in_edges(n)
+            .map(|e| (g.node_label(e.src).expect("live").to_string(), e.label.to_string()))
+            .collect();
+        Ok(GraphOp::NodeAdd { label: label.to_string(), out_edges, in_edges })
+    }
+
+    /// Labels this op touches (used by the maintenance engine to decide
+    /// whether a source delta intersects the articulation, §5.3).
+    pub fn touched_labels(&self) -> Vec<&str> {
+        match self {
+            GraphOp::NodeAdd { label, out_edges, in_edges } => {
+                let mut v = vec![label.as_str()];
+                v.extend(out_edges.iter().map(|(_, d)| d.as_str()));
+                v.extend(in_edges.iter().map(|(s, _)| s.as_str()));
+                v
+            }
+            GraphOp::NodeDelete { label } => vec![label.as_str()],
+            GraphOp::EdgeAdd { edges } | GraphOp::EdgeDelete { edges } => edges
+                .iter()
+                .flat_map(|(s, _, d)| [s.as_str(), d.as_str()])
+                .collect(),
+        }
+    }
+
+    /// True if this op only adds (never removes) structure.
+    pub fn is_additive(&self) -> bool {
+        matches!(self, GraphOp::NodeAdd { .. } | GraphOp::EdgeAdd { .. })
+    }
+}
+
+/// Applies a sequence of ops, stopping at the first error.
+pub fn apply_all(g: &mut OntGraph, ops: &[GraphOp]) -> Result<usize> {
+    for (i, op) in ops.iter().enumerate() {
+        op.apply(g).map_err(|e| match e {
+            GraphError::Parse { .. } => e,
+            other => GraphError::Parse { line: i, msg: format!("op {i}: {other}") },
+        })?;
+    }
+    Ok(ops.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_add_with_adjacent_edges() {
+        let mut g = OntGraph::new("t");
+        g.add_node("Vehicle").unwrap();
+        let op = GraphOp::node_add_with(
+            "Car",
+            vec![("SubclassOf".into(), "Vehicle".into())],
+            vec![("Price".into(), "AttributeOf".into())],
+        );
+        op.apply(&mut g).unwrap();
+        assert!(g.has_edge("Car", "SubclassOf", "Vehicle"));
+        assert!(g.has_edge("Price", "AttributeOf", "Car"));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn apply_is_idempotent_for_additions() {
+        let mut g = OntGraph::new("t");
+        let op = GraphOp::edge_add("A", "S", "B");
+        op.apply(&mut g).unwrap();
+        op.apply(&mut g).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn deletes_of_missing_elements_error() {
+        let mut g = OntGraph::new("t");
+        assert!(GraphOp::node_delete("ghost").apply(&mut g).is_err());
+        assert!(GraphOp::edge_delete("a", "s", "b").apply(&mut g).is_err());
+    }
+
+    #[test]
+    fn edge_ops_roundtrip_through_inverse() {
+        let mut g = OntGraph::new("t");
+        let add = GraphOp::edge_add("A", "S", "B");
+        add.apply(&mut g).unwrap();
+        let del = add.inverse().unwrap();
+        del.apply(&mut g).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        let re_add = del.inverse().unwrap();
+        re_add.apply(&mut g).unwrap();
+        assert!(g.has_edge("A", "S", "B"));
+    }
+
+    #[test]
+    fn node_delete_has_no_blind_inverse() {
+        assert!(GraphOp::node_delete("X").inverse().is_none());
+    }
+
+    #[test]
+    fn capture_node_delete_restores_neighbourhood() {
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("Car", "SubclassOf", "Vehicle").unwrap();
+        g.ensure_edge_by_labels("Price", "AttributeOf", "Car").unwrap();
+        let undo = GraphOp::capture_node_delete(&g, "Car").unwrap();
+        g.delete_node_by_label("Car").unwrap();
+        assert_eq!(g.edge_count(), 0);
+        undo.apply(&mut g).unwrap();
+        assert!(g.has_edge("Car", "SubclassOf", "Vehicle"));
+        assert!(g.has_edge("Price", "AttributeOf", "Car"));
+    }
+
+    #[test]
+    fn touched_labels_cover_endpoints() {
+        let op = GraphOp::edge_add("A", "S", "B");
+        let mut t = op.touched_labels();
+        t.sort_unstable();
+        assert_eq!(t, vec!["A", "B"]);
+        let op = GraphOp::node_add_with("N", vec![("e".into(), "X".into())], vec![]);
+        assert!(op.touched_labels().contains(&"X"));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_graph() {
+        let mut g = OntGraph::new("src");
+        g.enable_journal();
+        g.ensure_edge_by_labels("Car", "SubclassOf", "Vehicle").unwrap();
+        g.ensure_edge_by_labels("Truck", "SubclassOf", "Vehicle").unwrap();
+        g.delete_node_by_label("Truck").unwrap();
+        let journal = g.take_journal();
+
+        let mut replay = OntGraph::new("replay");
+        apply_all(&mut replay, &journal).unwrap();
+        assert!(replay.same_shape(&g));
+    }
+
+    #[test]
+    fn apply_all_reports_failing_index() {
+        let mut g = OntGraph::new("t");
+        let ops =
+            vec![GraphOp::edge_add("A", "S", "B"), GraphOp::node_delete("ghost")];
+        let err = apply_all(&mut g, &ops).unwrap_err();
+        assert!(err.to_string().contains("op 1"));
+    }
+
+    #[test]
+    fn is_additive_classification() {
+        assert!(GraphOp::node_add("x").is_additive());
+        assert!(GraphOp::edge_add("a", "l", "b").is_additive());
+        assert!(!GraphOp::node_delete("x").is_additive());
+        assert!(!GraphOp::edge_delete("a", "l", "b").is_additive());
+    }
+}

@@ -1,0 +1,223 @@
+//! Path enumeration and distance metrics.
+//!
+//! Supporting machinery for the §5.3 Difference semantics ("there exists
+//! no path from n to any n′") and for articulation diagnostics: when the
+//! expert asks *why* two terms are semantically connected, the viewer
+//! shows the bridge paths between them.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::{NodeId, OntGraph};
+use crate::traverse::{EdgeFilter, Direction};
+
+/// Enumerates simple (node-repetition-free) directed paths from `a` to
+/// `b`, up to `max_len` edges and at most `max_paths` results. Paths are
+/// node sequences including both endpoints.
+pub fn all_simple_paths(
+    g: &OntGraph,
+    a: NodeId,
+    b: NodeId,
+    filter: &EdgeFilter,
+    max_len: usize,
+    max_paths: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    if !g.is_live_node(a) || !g.is_live_node(b) || max_paths == 0 {
+        return out;
+    }
+    let mut path = vec![a];
+    let mut on_path = std::collections::HashSet::from([a]);
+    dfs_paths(g, a, b, filter, max_len, max_paths, &mut path, &mut on_path, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths(
+    g: &OntGraph,
+    cur: NodeId,
+    b: NodeId,
+    filter: &EdgeFilter,
+    max_len: usize,
+    max_paths: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut std::collections::HashSet<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if out.len() >= max_paths {
+        return;
+    }
+    if cur == b && path.len() > 1 {
+        out.push(path.clone());
+        return;
+    }
+    if path.len() > max_len {
+        return;
+    }
+    // single-node query a == b: count the trivial path once
+    if cur == b && path.len() == 1 {
+        out.push(path.clone());
+        return;
+    }
+    let nexts: Vec<NodeId> = g
+        .out_edges(cur)
+        .filter(|e| admits(filter, e.label))
+        .map(|e| e.dst)
+        .collect();
+    for n in nexts {
+        if on_path.contains(&n) {
+            continue;
+        }
+        path.push(n);
+        on_path.insert(n);
+        dfs_paths(g, n, b, filter, max_len, max_paths, path, on_path, out);
+        path.pop();
+        on_path.remove(&n);
+    }
+}
+
+fn admits(filter: &EdgeFilter, label: &str) -> bool {
+    match filter {
+        EdgeFilter::All => true,
+        EdgeFilter::Labels(ls) => ls.iter().any(|x| x == label),
+    }
+}
+
+/// BFS distances (in edges) from `start` to every reachable node.
+pub fn distances(
+    g: &OntGraph,
+    start: NodeId,
+    dir: Direction,
+    filter: &EdgeFilter,
+) -> HashMap<NodeId, usize> {
+    let mut dist = HashMap::new();
+    if !g.is_live_node(start) {
+        return dist;
+    }
+    dist.insert(start, 0);
+    let mut q = VecDeque::from([start]);
+    while let Some(n) = q.pop_front() {
+        let d = dist[&n];
+        let fwd = matches!(dir, Direction::Forward | Direction::Both);
+        let bwd = matches!(dir, Direction::Backward | Direction::Both);
+        let mut push = |m: NodeId, dist: &mut HashMap<NodeId, usize>, q: &mut VecDeque<NodeId>| {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(m) {
+                e.insert(d + 1);
+                q.push_back(m);
+            }
+        };
+        if fwd {
+            let outs: Vec<NodeId> =
+                g.out_edges(n).filter(|e| admits(filter, e.label)).map(|e| e.dst).collect();
+            for m in outs {
+                push(m, &mut dist, &mut q);
+            }
+        }
+        if bwd {
+            let ins: Vec<NodeId> =
+                g.in_edges(n).filter(|e| admits(filter, e.label)).map(|e| e.src).collect();
+            for m in ins {
+                push(m, &mut dist, &mut q);
+            }
+        }
+    }
+    dist
+}
+
+/// The longest shortest path (diameter) of the graph treated as
+/// undirected, per connected component; `None` for an empty graph.
+pub fn diameter(g: &OntGraph, filter: &EdgeFilter) -> Option<usize> {
+    let mut best = None;
+    for n in g.node_ids() {
+        let d = distances(g, n, Direction::Both, filter);
+        if let Some(&m) = d.values().max() {
+            best = Some(best.map_or(m, |b: usize| b.max(m)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (OntGraph, Vec<NodeId>) {
+        // a -> b -> d, a -> c -> d, a -> d (direct)
+        let mut g = OntGraph::new("t");
+        let ids: Vec<NodeId> =
+            ["a", "b", "c", "d"].iter().map(|l| g.add_node(l).unwrap()).collect();
+        g.add_edge(ids[0], "e", ids[1]).unwrap();
+        g.add_edge(ids[1], "e", ids[3]).unwrap();
+        g.add_edge(ids[0], "e", ids[2]).unwrap();
+        g.add_edge(ids[2], "e", ids[3]).unwrap();
+        g.add_edge(ids[0], "e", ids[3]).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn finds_all_three_paths() {
+        let (g, ids) = diamond();
+        let paths = all_simple_paths(&g, ids[0], ids[3], &EdgeFilter::All, 10, 100);
+        assert_eq!(paths.len(), 3);
+        let lens: Vec<usize> = {
+            let mut v: Vec<usize> = paths.iter().map(Vec::len).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(lens, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn respects_max_len_and_max_paths() {
+        let (g, ids) = diamond();
+        let short = all_simple_paths(&g, ids[0], ids[3], &EdgeFilter::All, 1, 100);
+        assert_eq!(short.len(), 1, "only the direct edge fits");
+        let capped = all_simple_paths(&g, ids[0], ids[3], &EdgeFilter::All, 10, 2);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn no_path_means_empty() {
+        let (g, ids) = diamond();
+        assert!(all_simple_paths(&g, ids[3], ids[0], &EdgeFilter::All, 10, 10).is_empty());
+    }
+
+    #[test]
+    fn cycle_does_not_loop_forever() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        g.add_edge(a, "e", b).unwrap();
+        g.add_edge(b, "e", a).unwrap();
+        let paths = all_simple_paths(&g, a, b, &EdgeFilter::All, 10, 100);
+        assert_eq!(paths.len(), 1, "simple paths only");
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let (g, ids) = diamond();
+        let p = all_simple_paths(&g, ids[0], ids[0], &EdgeFilter::All, 10, 10);
+        assert_eq!(p, vec![vec![ids[0]]]);
+    }
+
+    #[test]
+    fn distances_and_diameter() {
+        let (g, ids) = diamond();
+        let d = distances(&g, ids[0], Direction::Forward, &EdgeFilter::All);
+        assert_eq!(d[&ids[0]], 0);
+        assert_eq!(d[&ids[1]], 1);
+        assert_eq!(d[&ids[3]], 1, "direct edge wins");
+        assert_eq!(diameter(&g, &EdgeFilter::All), Some(2));
+        assert_eq!(diameter(&OntGraph::new("empty"), &EdgeFilter::All), None);
+    }
+
+    #[test]
+    fn filter_restricts_paths() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        g.add_edge(a, "S", b).unwrap();
+        g.add_edge(a, "other", b).unwrap();
+        let paths = all_simple_paths(&g, a, b, &EdgeFilter::label("S"), 10, 10);
+        assert_eq!(paths.len(), 1);
+    }
+}

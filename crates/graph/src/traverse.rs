@@ -1,0 +1,546 @@
+//! Traversals and reachability over ontology graphs.
+//!
+//! These underpin several parts of the paper: transitive `SubclassOf`
+//! reasoning (§2.5), the articulation generator's structure inheritance
+//! (§4.2 "the transitive closure of the edges"), and the Difference
+//! operator's path condition (§5.3: a node survives only if "there exists
+//! no path from n to any n′ in N2").
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::graph::{NodeId, OntGraph};
+
+/// Which edge direction a traversal follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to target.
+    Forward,
+    /// Follow edges from target to source.
+    Backward,
+    /// Treat edges as undirected.
+    Both,
+}
+
+/// Edge-label filter for traversals.
+#[derive(Debug, Clone)]
+pub enum EdgeFilter {
+    /// Follow every edge.
+    All,
+    /// Follow only edges whose label is in this set.
+    Labels(Vec<String>),
+}
+
+impl EdgeFilter {
+    /// Filter for a single label.
+    pub fn label(l: &str) -> Self {
+        EdgeFilter::Labels(vec![l.to_string()])
+    }
+
+    fn admits(&self, label: &str) -> bool {
+        match self {
+            EdgeFilter::All => true,
+            EdgeFilter::Labels(ls) => ls.iter().any(|x| x == label),
+        }
+    }
+}
+
+fn neighbors<'g>(
+    g: &'g OntGraph,
+    n: NodeId,
+    dir: Direction,
+    filter: &'g EdgeFilter,
+) -> impl Iterator<Item = NodeId> + 'g {
+    let fwd = matches!(dir, Direction::Forward | Direction::Both);
+    let bwd = matches!(dir, Direction::Backward | Direction::Both);
+    let out = g
+        .out_edges(n)
+        .filter(move |e| fwd && filter.admits(e.label))
+        .map(|e| e.dst);
+    let inc = g
+        .in_edges(n)
+        .filter(move |e| bwd && filter.admits(e.label))
+        .map(|e| e.src);
+    out.chain(inc)
+}
+
+/// Breadth-first order from `start` (inclusive).
+pub fn bfs(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    if !g.is_live_node(start) {
+        return order;
+    }
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut q = VecDeque::new();
+    seen.insert(start);
+    q.push_back(start);
+    while let Some(n) = q.pop_front() {
+        order.push(n);
+        for m in neighbors(g, n, dir, filter) {
+            if seen.insert(m) {
+                q.push_back(m);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first preorder from `start` (inclusive), deterministic by
+/// insertion order of edges.
+pub fn dfs(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    if !g.is_live_node(start) {
+        return order;
+    }
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        order.push(n);
+        // push in reverse so the first edge is visited first
+        let ns: Vec<NodeId> = neighbors(g, n, dir, filter).collect();
+        for m in ns.into_iter().rev() {
+            if !seen.contains(&m) {
+                stack.push(m);
+            }
+        }
+    }
+    order
+}
+
+/// The set of nodes reachable from `start` (inclusive).
+pub fn reachable(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> HashSet<NodeId> {
+    bfs(g, start, dir, filter).into_iter().collect()
+}
+
+/// The set of nodes reachable from any node in `starts` (inclusive).
+pub fn reachable_from_all(
+    g: &OntGraph,
+    starts: &[NodeId],
+    dir: Direction,
+    filter: &EdgeFilter,
+) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut q: VecDeque<NodeId> = VecDeque::new();
+    for &s in starts {
+        if g.is_live_node(s) && seen.insert(s) {
+            q.push_back(s);
+        }
+    }
+    while let Some(n) = q.pop_front() {
+        for m in neighbors(g, n, dir, filter) {
+            if seen.insert(m) {
+                q.push_back(m);
+            }
+        }
+    }
+    seen
+}
+
+/// True if a (directed, filtered) path from `a` to `b` exists.
+pub fn has_path(g: &OntGraph, a: NodeId, b: NodeId, filter: &EdgeFilter) -> bool {
+    if a == b {
+        return g.is_live_node(a);
+    }
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut q = VecDeque::new();
+    seen.insert(a);
+    q.push_back(a);
+    while let Some(n) = q.pop_front() {
+        for m in neighbors(g, n, Direction::Forward, filter) {
+            if m == b {
+                return true;
+            }
+            if seen.insert(m) {
+                q.push_back(m);
+            }
+        }
+    }
+    false
+}
+
+/// Shortest directed path from `a` to `b` as a node sequence (inclusive),
+/// or `None` when unreachable.
+pub fn shortest_path(
+    g: &OntGraph,
+    a: NodeId,
+    b: NodeId,
+    filter: &EdgeFilter,
+) -> Option<Vec<NodeId>> {
+    if !g.is_live_node(a) || !g.is_live_node(b) {
+        return None;
+    }
+    if a == b {
+        return Some(vec![a]);
+    }
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut q = VecDeque::new();
+    q.push_back(a);
+    prev.insert(a, a);
+    while let Some(n) = q.pop_front() {
+        for m in neighbors(g, n, Direction::Forward, filter) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = prev.entry(m) {
+                slot.insert(n);
+                if m == b {
+                    let mut path = vec![b];
+                    let mut cur = b;
+                    while cur != a {
+                        cur = prev[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// Topological order of the subgraph induced by `filter`ed edges.
+///
+/// Returns `Err(cycle_nodes)` with one witness cycle's nodes when the
+/// filtered subgraph is cyclic — used by consistency checking to reject
+/// cyclic `SubclassOf` hierarchies.
+pub fn topo_sort(g: &OntGraph, filter: &EdgeFilter) -> std::result::Result<Vec<NodeId>, Vec<NodeId>> {
+    let mut indeg: HashMap<NodeId, usize> = g.node_ids().map(|n| (n, 0)).collect();
+    for e in g.edges() {
+        if filter.admits(e.label) {
+            *indeg.get_mut(&e.dst).expect("live node") += 1;
+        }
+    }
+    let mut q: VecDeque<NodeId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut order = Vec::with_capacity(indeg.len());
+    while let Some(n) = q.pop_front() {
+        order.push(n);
+        for e in g.out_edges(n) {
+            if filter.admits(e.label) {
+                let d = indeg.get_mut(&e.dst).expect("live node");
+                *d -= 1;
+                if *d == 0 {
+                    q.push_back(e.dst);
+                }
+            }
+        }
+    }
+    if order.len() == indeg.len() {
+        Ok(order)
+    } else {
+        // find one witness cycle among remaining nodes
+        let remaining: HashSet<NodeId> =
+            indeg.into_iter().filter(|&(_, d)| d > 0).map(|(n, _)| n).collect();
+        Err(find_cycle_within(g, &remaining, filter))
+    }
+}
+
+fn find_cycle_within(g: &OntGraph, within: &HashSet<NodeId>, filter: &EdgeFilter) -> Vec<NodeId> {
+    // walk forward from an arbitrary node until a repeat
+    let start = *within.iter().min().expect("non-empty remainder");
+    let mut path = vec![start];
+    let mut on_path: HashMap<NodeId, usize> = HashMap::new();
+    on_path.insert(start, 0);
+    let mut cur = start;
+    loop {
+        let next = g
+            .out_edges(cur)
+            .filter(|e| filter.admits(e.label) && within.contains(&e.dst))
+            .map(|e| e.dst)
+            .next()
+            .expect("every remaining node has an admissible out-edge in the cyclic core");
+        if let Some(&i) = on_path.get(&next) {
+            return path[i..].to_vec();
+        }
+        on_path.insert(next, path.len());
+        path.push(next);
+        cur = next;
+    }
+}
+
+/// Strongly connected components (Tarjan, iterative).
+///
+/// Components are returned in reverse topological order of the condensed
+/// graph; singleton components without self-loops are included.
+pub fn tarjan_scc(g: &OntGraph, filter: &EdgeFilter) -> Vec<Vec<NodeId>> {
+    #[derive(Clone, Copy)]
+    struct Meta {
+        index: u32,
+        low: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let cap = g.node_ids().map(|n| n.index() + 1).max().unwrap_or(0);
+    let mut meta =
+        vec![Meta { index: 0, low: 0, on_stack: false, visited: false }; cap];
+    let mut counter: u32 = 0;
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut components = Vec::new();
+
+    // Iterative Tarjan with an explicit call stack.
+    enum Frame {
+        Enter(NodeId),
+        Resume(NodeId, Vec<NodeId>, usize),
+    }
+
+    for root in g.node_ids() {
+        if meta[root.index()].visited {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(root)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    let m = &mut meta[v.index()];
+                    m.visited = true;
+                    m.index = counter;
+                    m.low = counter;
+                    counter += 1;
+                    m.on_stack = true;
+                    stack.push(v);
+                    let succ: Vec<NodeId> = g
+                        .out_edges(v)
+                        .filter(|e| filter.admits(e.label))
+                        .map(|e| e.dst)
+                        .collect();
+                    call.push(Frame::Resume(v, succ, 0));
+                }
+                Frame::Resume(v, succ, mut i) => {
+                    let mut descended = false;
+                    while i < succ.len() {
+                        let w = succ[i];
+                        i += 1;
+                        if !meta[w.index()].visited {
+                            call.push(Frame::Resume(v, succ.clone(), i));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if meta[w.index()].on_stack {
+                            let wl = meta[w.index()].index;
+                            let m = &mut meta[v.index()];
+                            m.low = m.low.min(wl);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // all successors done
+                    if meta[v.index()].low == meta[v.index()].index {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack non-empty");
+                            meta[w.index()].on_stack = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                    // propagate lowlink to parent Resume frame
+                    if let Some(Frame::Resume(p, _, _)) = call.last() {
+                        let p = *p;
+                        let vl = meta[v.index()].low;
+                        let pm = &mut meta[p.index()];
+                        pm.low = pm.low.min(vl);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (OntGraph, Vec<NodeId>) {
+        let mut g = OntGraph::new("t");
+        let ids: Vec<NodeId> =
+            ["A", "B", "C", "D"].iter().map(|l| g.add_node(l).unwrap()).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], "S", w[1]).unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_order_from_chain_head() {
+        let (g, ids) = chain();
+        let order = bfs(&g, ids[0], Direction::Forward, &EdgeFilter::All);
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let (g, ids) = chain();
+        let fwd = bfs(&g, ids[3], Direction::Forward, &EdgeFilter::All);
+        assert_eq!(fwd, vec![ids[3]]);
+        let bwd = bfs(&g, ids[3], Direction::Backward, &EdgeFilter::All);
+        assert_eq!(bwd.len(), 4);
+        let both = bfs(&g, ids[1], Direction::Both, &EdgeFilter::All);
+        assert_eq!(both.len(), 4);
+    }
+
+    #[test]
+    fn bfs_respects_edge_filter() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        g.add_edge(a, "S", b).unwrap();
+        g.add_edge(a, "A", c).unwrap();
+        let only_s = bfs(&g, a, Direction::Forward, &EdgeFilter::label("S"));
+        assert_eq!(only_s, vec![a, b]);
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        let d = g.add_node("D").unwrap();
+        g.add_edge(a, "e", b).unwrap();
+        g.add_edge(b, "e", d).unwrap();
+        g.add_edge(a, "e", c).unwrap();
+        let order = dfs(&g, a, Direction::Forward, &EdgeFilter::All);
+        assert_eq!(order, vec![a, b, d, c], "first edge explored deeply first");
+    }
+
+    #[test]
+    fn dead_start_yields_empty() {
+        let (mut g, ids) = chain();
+        g.delete_node(ids[0]).unwrap();
+        assert!(bfs(&g, ids[0], Direction::Forward, &EdgeFilter::All).is_empty());
+        assert!(dfs(&g, ids[0], Direction::Forward, &EdgeFilter::All).is_empty());
+    }
+
+    #[test]
+    fn has_path_and_shortest_path() {
+        let (g, ids) = chain();
+        assert!(has_path(&g, ids[0], ids[3], &EdgeFilter::All));
+        assert!(!has_path(&g, ids[3], ids[0], &EdgeFilter::All));
+        let p = shortest_path(&g, ids[0], ids[3], &EdgeFilter::All).unwrap();
+        assert_eq!(p, ids);
+        assert!(shortest_path(&g, ids[3], ids[0], &EdgeFilter::All).is_none());
+        assert_eq!(shortest_path(&g, ids[1], ids[1], &EdgeFilter::All).unwrap(), vec![ids[1]]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        g.add_edge(a, "e", b).unwrap();
+        g.add_edge(b, "e", c).unwrap();
+        g.add_edge(a, "short", c).unwrap();
+        let p = shortest_path(&g, a, c, &EdgeFilter::All).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn reachable_from_all_unions_sources() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        let d = g.add_node("D").unwrap();
+        g.add_edge(a, "e", b).unwrap();
+        g.add_edge(c, "e", d).unwrap();
+        let r = reachable_from_all(&g, &[a, c], Direction::Forward, &EdgeFilter::All);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn topo_sort_on_dag() {
+        let (g, ids) = chain();
+        let order = topo_sort(&g, &EdgeFilter::All).unwrap();
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for e in g.edges() {
+            assert!(pos[&e.src] < pos[&e.dst]);
+        }
+        assert_eq!(order.len(), ids.len());
+    }
+
+    #[test]
+    fn topo_sort_reports_cycle_witness() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        g.add_edge(a, "S", b).unwrap();
+        g.add_edge(b, "S", c).unwrap();
+        g.add_edge(c, "S", a).unwrap();
+        let cycle = topo_sort(&g, &EdgeFilter::All).unwrap_err();
+        assert_eq!(cycle.len(), 3);
+        // witness is a real cycle: each consecutive pair has an edge
+        for i in 0..cycle.len() {
+            let u = cycle[i];
+            let v = cycle[(i + 1) % cycle.len()];
+            assert!(g.out_edges(u).any(|e| e.dst == v));
+        }
+    }
+
+    #[test]
+    fn topo_sort_cycle_limited_to_filtered_labels() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        g.add_edge(a, "S", b).unwrap();
+        g.add_edge(b, "other", a).unwrap();
+        // full graph is cyclic, S-subgraph is not
+        assert!(topo_sort(&g, &EdgeFilter::All).is_err());
+        assert!(topo_sort(&g, &EdgeFilter::label("S")).is_ok());
+    }
+
+    #[test]
+    fn scc_finds_cycle_component() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let c = g.add_node("C").unwrap();
+        let d = g.add_node("D").unwrap();
+        g.add_edge(a, "e", b).unwrap();
+        g.add_edge(b, "e", a).unwrap();
+        g.add_edge(b, "e", c).unwrap();
+        g.add_edge(c, "e", d).unwrap();
+        let mut comps = tarjan_scc(&g, &EdgeFilter::All);
+        comps.iter_mut().for_each(|c| c.sort_unstable());
+        comps.sort_by_key(|c| c.len());
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[2], {
+            let mut v = vec![a, b];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let (g, _) = chain();
+        let comps = tarjan_scc(&g, &EdgeFilter::All);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_respects_filter() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        g.add_edge(a, "S", b).unwrap();
+        g.add_edge(b, "other", a).unwrap();
+        let comps = tarjan_scc(&g, &EdgeFilter::label("S"));
+        assert_eq!(comps.len(), 2);
+        let comps = tarjan_scc(&g, &EdgeFilter::All);
+        assert_eq!(comps.len(), 1);
+    }
+}

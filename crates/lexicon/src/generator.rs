@@ -1,0 +1,138 @@
+//! Seeded random lexicon generation for scale experiments.
+//!
+//! Benchmarks B2/B3 need lexicons much larger than the built-in
+//! transportation lexicon, with a controllable fraction of synonymy. The
+//! generator produces pronounceable pseudo-words, groups them into
+//! synsets of configurable size, and links synsets into a hypernym
+//! forest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lexicon::Lexicon;
+
+/// Parameters for random lexicon generation.
+#[derive(Debug, Clone)]
+pub struct LexiconSpec {
+    /// RNG seed; equal seeds give equal lexicons.
+    pub seed: u64,
+    /// Number of synsets to create.
+    pub synsets: usize,
+    /// Words per synset (min, max inclusive).
+    pub words_per_synset: (usize, usize),
+    /// Probability that a synset gets a hypernym link to an earlier one.
+    pub hypernym_prob: f64,
+}
+
+impl Default for LexiconSpec {
+    fn default() -> Self {
+        LexiconSpec { seed: 42, synsets: 100, words_per_synset: (2, 4), hypernym_prob: 0.6 }
+    }
+}
+
+const ONSETS: &[&str] =
+    &["b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "k", "l", "m", "n", "p", "pr", "s", "st", "t", "tr", "v", "z"];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
+const CODAS: &[&str] = &["n", "r", "l", "s", "t", "x", "nd", "rk", "st", ""];
+
+/// Generates one pronounceable pseudo-word of 2–3 syllables.
+pub fn pseudo_word(rng: &mut StdRng) -> String {
+    let syllables = rng.gen_range(2..=3);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        w.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+    }
+    w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+    w
+}
+
+/// Generates a lexicon per `spec`. Words are globally unique across the
+/// lexicon (a generated word is suffixed on collision), so synonymy is
+/// exactly the planted synset structure.
+pub fn generate(spec: &LexiconSpec) -> Lexicon {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut lex = Lexicon::new();
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut ids = Vec::with_capacity(spec.synsets);
+    for i in 0..spec.synsets {
+        let (lo, hi) = spec.words_per_synset;
+        let n = rng.gen_range(lo..=hi.max(lo));
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut w = pseudo_word(&mut rng);
+            while !used.insert(w.clone()) {
+                w.push_str(&format!("{}", rng.gen_range(0..100)));
+            }
+            words.push(w);
+        }
+        let id = lex.add_synset(words.iter().map(String::as_str), None);
+        if i > 0 && rng.gen_bool(spec.hypernym_prob) {
+            let parent = ids[rng.gen_range(0..ids.len())];
+            lex.add_hypernym(id, parent);
+        }
+        ids.push(id);
+    }
+    lex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let spec = LexiconSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.synset_count(), b.synset_count());
+        assert_eq!(a.word_count(), b.word_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&LexiconSpec { seed: 1, ..Default::default() });
+        let b = generate(&LexiconSpec { seed: 2, ..Default::default() });
+        // almost surely different word sets
+        assert!(a.word_count() > 0 && b.word_count() > 0);
+        let some_word_differs = a.synset(crate::SynsetId(0)).words != b.synset(crate::SynsetId(0)).words;
+        assert!(some_word_differs);
+    }
+
+    #[test]
+    fn synset_count_matches_spec() {
+        let lex = generate(&LexiconSpec { synsets: 25, ..Default::default() });
+        assert_eq!(lex.synset_count(), 25);
+    }
+
+    #[test]
+    fn planted_synonymy_holds() {
+        let lex = generate(&LexiconSpec::default());
+        for i in 0..lex.synset_count() {
+            let s = lex.synset(crate::SynsetId(i as u32));
+            if s.words.len() >= 2 {
+                assert!(lex.are_synonyms(&s.words[0], &s.words[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn words_unique_across_synsets() {
+        let lex = generate(&LexiconSpec { synsets: 200, ..Default::default() });
+        // every word indexes exactly one synset
+        for i in 0..lex.synset_count() {
+            let s = lex.synset(crate::SynsetId(i as u32));
+            for w in &s.words {
+                assert_eq!(lex.synsets_of(w).len(), 1, "word {w:?} should be unambiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn hypernym_prob_zero_gives_forest_of_roots() {
+        let lex = generate(&LexiconSpec { hypernym_prob: 0.0, ..Default::default() });
+        for i in 0..lex.synset_count() {
+            assert!(lex.direct_hypernyms(crate::SynsetId(i as u32)).is_empty());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Label normalisation for lexical matching.
+//!
+//! Ontology labels arrive as `CargoCarrier`, `passenger_car`, `Trucks` or
+//! `"Goods Vehicle"`; WordNet keys are lowercase lemmas. This module
+//! bridges the two: compound splitting (CamelCase, snake_case,
+//! whitespace), case folding, and a light plural stemmer sufficient for
+//! noun-phrase ontology terms (the paper's node labels are noun phrases,
+//! §3).
+
+/// Splits a label into lowercase word tokens.
+///
+/// Boundaries: whitespace, `_`, `-`, `.`, and lower→upper CamelCase
+/// transitions. Runs of uppercase are kept together until a lowercase
+/// letter follows (`XMLParser` → `xml`, `parser`).
+pub fn tokenize(label: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = label.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_whitespace() || c == '_' || c == '-' || c == '.' {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        if c.is_uppercase() && !cur.is_empty() {
+            let prev = chars[i - 1];
+            let next_lower = chars.get(i + 1).map(|n| n.is_lowercase()).unwrap_or(false);
+            if prev.is_lowercase() || prev.is_numeric() || (prev.is_uppercase() && next_lower) {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        }
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Reduces a lowercase token to a singular-ish stem.
+///
+/// Handles the regular English plural patterns that dominate ontology
+/// vocabularies: `-ies`→`y`, `-sses`→`ss`, `-xes`/`-ches`/`-shes` drop
+/// `es`, otherwise a trailing `-s` (but not `-ss`/`-us`) is dropped.
+pub fn stem(token: &str) -> String {
+    let t = token;
+    if t.len() > 3 && t.ends_with("ies") {
+        return format!("{}y", &t[..t.len() - 3]);
+    }
+    if t.len() > 4 && t.ends_with("sses") {
+        return t[..t.len() - 2].to_string();
+    }
+    if t.len() > 3 && (t.ends_with("xes") || t.ends_with("ches") || t.ends_with("shes") || t.ends_with("zes"))
+    {
+        return t[..t.len() - 2].to_string();
+    }
+    if t.len() > 2 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") && !t.ends_with("is")
+    {
+        return t[..t.len() - 1].to_string();
+    }
+    t.to_string()
+}
+
+/// Full normalisation: tokenize, stem each token, join with spaces.
+///
+/// `Trucks` → `truck`; `CargoCarrier` → `cargo carrier`;
+/// `passenger_cars` → `passenger car`.
+pub fn normalize(label: &str) -> String {
+    let toks: Vec<String> = tokenize(label).into_iter().map(|t| stem(&t)).collect();
+    toks.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_camel_case() {
+        assert_eq!(tokenize("CargoCarrier"), vec!["cargo", "carrier"]);
+        assert_eq!(tokenize("PassengerCar"), vec!["passenger", "car"]);
+        assert_eq!(tokenize("car"), vec!["car"]);
+    }
+
+    #[test]
+    fn tokenize_acronym_runs() {
+        assert_eq!(tokenize("XMLParser"), vec!["xml", "parser"]);
+        assert_eq!(tokenize("SUV"), vec!["suv"]);
+        assert_eq!(tokenize("PSToEuroFn"), vec!["ps", "to", "euro", "fn"]);
+    }
+
+    #[test]
+    fn tokenize_separators() {
+        assert_eq!(tokenize("passenger_car"), vec!["passenger", "car"]);
+        assert_eq!(tokenize("goods vehicle"), vec!["goods", "vehicle"]);
+        assert_eq!(tokenize("semi-trailer"), vec!["semi", "trailer"]);
+        assert_eq!(tokenize("a.b"), vec!["a", "b"]);
+        assert_eq!(tokenize("  spaced   out "), vec!["spaced", "out"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_symbols() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("___").is_empty());
+        assert_eq!(tokenize("price2000"), vec!["price2000"]);
+    }
+
+    #[test]
+    fn stem_plurals() {
+        assert_eq!(stem("cars"), "car");
+        assert_eq!(stem("trucks"), "truck");
+        assert_eq!(stem("lorries"), "lorry");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("branches"), "branch");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("buses"), "buse"); // imperfect but stable
+    }
+
+    #[test]
+    fn stem_leaves_non_plurals() {
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("bus"), "bus");
+        assert_eq!(stem("chassis"), "chassis");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("price"), "price");
+    }
+
+    #[test]
+    fn normalize_combines() {
+        assert_eq!(normalize("Trucks"), "truck");
+        assert_eq!(normalize("CargoCarriers"), "cargo carrier");
+        assert_eq!(normalize("passenger_cars"), "passenger car");
+        assert_eq!(normalize("GoodsVehicle"), "good vehicle"); // goods→good: acceptable fold
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for l in ["Trucks", "CargoCarrier", "passenger_cars", "SUV", "My Car"] {
+            let once = normalize(l);
+            assert_eq!(normalize(&once), once, "normalize({l:?}) not idempotent");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! String similarity metrics for candidate bridge generation.
+//!
+//! When the lexicon has no entry for a pair of labels, SKAT-style
+//! matchers fall back to lexical similarity. All metrics return a score
+//! in `[0, 1]`, 1 meaning identical.
+
+use crate::normalize::normalize;
+
+/// Levenshtein edit distance (unit costs), iterative two-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len`, 1.0 for two empty strings.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches_a.is_empty() {
+        return 0.0;
+    }
+    let m = matches_a.len() as f64;
+    // transpositions: compare matched characters in order
+    let b_matched: Vec<char> = {
+        let mut idx: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+        idx.sort_unstable();
+        idx.into_iter().map(|j| b[j]).collect()
+    };
+    let t = matches_a
+        .iter()
+        .map(|&(i, _)| a[i])
+        .zip(b_matched.iter())
+        .filter(|(x, y)| x != *y)
+        .count() as f64
+        / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard 0.1 prefix scale capped at 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Character-bigram Dice coefficient.
+pub fn bigram_dice(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> Vec<(char, char)> {
+        let cs: Vec<char> = s.chars().collect();
+        cs.windows(2).map(|w| (w[0], w[1])).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut gb_pool = gb.clone();
+    let mut overlap = 0usize;
+    for g in &ga {
+        if let Some(pos) = gb_pool.iter().position(|x| x == g) {
+            gb_pool.swap_remove(pos);
+            overlap += 1;
+        }
+    }
+    2.0 * overlap as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Token-set similarity after [`normalize`]: Dice coefficient over the
+/// normalised word multisets. `CargoCarrier` vs `cargo_carriers` → 1.0.
+pub fn token_sim(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    if na.is_empty() && nb.is_empty() {
+        return 1.0;
+    }
+    let sa: Vec<&str> = na.split(' ').filter(|s| !s.is_empty()).collect();
+    let sb: Vec<&str> = nb.split(' ').filter(|s| !s.is_empty()).collect();
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let mut pool = sb.clone();
+    let mut overlap = 0usize;
+    for t in &sa {
+        if let Some(pos) = pool.iter().position(|x| x == t) {
+            pool.swap_remove(pos);
+            overlap += 1;
+        }
+    }
+    2.0 * overlap as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// The combined label similarity used by the SKAT similarity matcher:
+/// the maximum of token similarity and Jaro-Winkler over normalised
+/// strings. Robust to both compounding and small typos.
+pub fn label_sim(a: &str, b: &str) -> f64 {
+    let t = token_sim(a, b);
+    let jw = jaro_winkler(&normalize(a), &normalize(b));
+    t.max(jw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("car", "car"), 0);
+        assert_eq!(levenshtein("car", "cart"), 1);
+    }
+
+    #[test]
+    fn levenshtein_symmetry() {
+        assert_eq!(levenshtein("truck", "trucks"), levenshtein("trucks", "truck"));
+    }
+
+    #[test]
+    fn levenshtein_sim_range() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("a", "a"), 1.0);
+        assert_eq!(levenshtein_sim("a", "b"), 0.0);
+        let s = levenshtein_sim("vehicle", "vehicles");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-4);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let j = jaro("prefixAB", "prefixBA");
+        let jw = jaro_winkler("prefixAB", "prefixBA");
+        assert!(jw > j);
+        assert!(jw <= 1.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn bigram_dice_basics() {
+        assert_eq!(bigram_dice("night", "night"), 1.0);
+        assert!(bigram_dice("night", "nacht") > 0.0);
+        assert_eq!(bigram_dice("a", "a"), 1.0); // no bigrams but identical
+        assert_eq!(bigram_dice("", ""), 1.0);
+        assert_eq!(bigram_dice("ab", "cd"), 0.0);
+    }
+
+    #[test]
+    fn token_sim_handles_compounds() {
+        assert_eq!(token_sim("CargoCarrier", "cargo_carriers"), 1.0);
+        assert_eq!(token_sim("GoodsVehicle", "VehicleGoods"), 1.0); // set semantics
+        assert!(token_sim("CargoCarrier", "Carrier") > 0.6);
+        assert_eq!(token_sim("Car", "Truck"), 0.0);
+    }
+
+    #[test]
+    fn label_sim_combines_metrics() {
+        // plural/compound handled via tokens
+        assert_eq!(label_sim("Trucks", "truck"), 1.0);
+        // typo handled via jaro-winkler
+        assert!(label_sim("Vehicle", "Vehcile") > 0.9);
+        // unrelated labels score below the typo band (Jaro floors near 0.7
+        // for same-alphabet words, so "low" means below ~0.8 here)
+        assert!(label_sim("Price", "Driver") < 0.8);
+        assert!(label_sim("Price", "Driver") < label_sim("Vehicle", "Vehcile"));
+    }
+
+    #[test]
+    fn all_metrics_bounded() {
+        let pairs = [
+            ("Car", "Automobile"),
+            ("", "x"),
+            ("CargoCarrier", "carrier of cargo"),
+            ("SUV", "suv"),
+        ];
+        for (a, b) in pairs {
+            for f in [levenshtein_sim, jaro, jaro_winkler, bigram_dice, token_sim, label_sim] {
+                let s = f(a, b);
+                assert!((0.0..=1.0).contains(&s), "{a:?} vs {b:?} gave {s}");
+            }
+        }
+    }
+}

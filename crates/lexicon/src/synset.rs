@@ -1,0 +1,64 @@
+//! Synonym sets (synsets) — the WordNet unit of meaning.
+
+use std::fmt;
+
+/// Identifier of a synset within one [`crate::Lexicon`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SynsetId(pub(crate) u32);
+
+impl SynsetId {
+    /// Raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SynsetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Syn{}", self.0)
+    }
+}
+
+/// A set of words sharing one meaning, with an optional gloss.
+///
+/// Words are stored in normalised form (see [`crate::normalize`]); the
+/// lexicon performs normalisation on lookup so callers can use raw
+/// ontology labels like `CargoCarrier`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Synset {
+    /// Normalised member words.
+    pub words: Vec<String>,
+    /// Short definition, if any.
+    pub gloss: Option<String>,
+}
+
+impl Synset {
+    /// Creates a synset from raw words (already normalised by the caller).
+    pub fn new(words: Vec<String>, gloss: Option<String>) -> Self {
+        Synset { words, gloss }
+    }
+
+    /// True if the normalised `word` is a member.
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.iter().any(|w| w == word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_member() {
+        let s = Synset::new(vec!["car".into(), "automobile".into()], Some("a motor vehicle".into()));
+        assert!(s.contains("car"));
+        assert!(s.contains("automobile"));
+        assert!(!s.contains("truck"));
+    }
+
+    #[test]
+    fn synset_id_debug() {
+        assert_eq!(format!("{:?}", SynsetId(3)), "Syn3");
+        assert_eq!(SynsetId(3).index(), 3);
+    }
+}

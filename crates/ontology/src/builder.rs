@@ -1,0 +1,145 @@
+//! Fluent construction of ontologies.
+//!
+//! The builder reads like the class declarations the viewer would show:
+//!
+//! ```
+//! use onion_ontology::OntologyBuilder;
+//!
+//! let carrier = OntologyBuilder::new("carrier")
+//!     .class("Transportation")
+//!     .class_under("Cars", "Transportation")
+//!     .class_under("SUV", "Cars")
+//!     .attr("Price", "Cars")
+//!     .instance("MyCar", "Cars")
+//!     .build()
+//!     .unwrap();
+//! assert!(carrier.is_subclass("SUV", "Transportation"));
+//! ```
+
+use onion_graph::GraphError;
+
+use crate::ontology::Ontology;
+use crate::Result;
+
+/// Fluent ontology builder; errors are deferred to [`OntologyBuilder::build`]
+/// so chains stay readable.
+#[derive(Debug)]
+pub struct OntologyBuilder {
+    ontology: Ontology,
+    deferred_error: Option<GraphError>,
+}
+
+impl OntologyBuilder {
+    /// Starts building an ontology called `name`.
+    pub fn new(name: &str) -> Self {
+        OntologyBuilder { ontology: Ontology::new(name), deferred_error: None }
+    }
+
+    fn run(mut self, f: impl FnOnce(&mut Ontology) -> Result<()>) -> Self {
+        if self.deferred_error.is_none() {
+            if let Err(e) = f(&mut self.ontology) {
+                self.deferred_error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Declares a root class.
+    pub fn class(self, name: &str) -> Self {
+        self.run(|o| o.graph_mut().ensure_node(name).map(|_| ()))
+    }
+
+    /// Declares `name` as a subclass of `parent` (creating both).
+    pub fn class_under(self, name: &str, parent: &str) -> Self {
+        self.run(|o| o.subclass(name, parent))
+    }
+
+    /// Attaches attribute `attr` to `class`.
+    pub fn attr(self, attr: &str, class: &str) -> Self {
+        self.run(|o| o.attribute(attr, class))
+    }
+
+    /// Declares an instance of `class`.
+    pub fn instance(self, name: &str, class: &str) -> Self {
+        self.run(|o| o.instance(name, class))
+    }
+
+    /// Adds an arbitrary verb edge.
+    pub fn relate(self, src: &str, verb: &str, dst: &str) -> Self {
+        self.run(|o| o.relate(src, verb, dst))
+    }
+
+    /// Adds a local structuring rule (parsed, e.g. `Owner => Person`).
+    pub fn local_rule(self, rule: &str) -> Self {
+        self.run(|o| match onion_rules::parser::parse_rule(rule) {
+            Ok(r) => {
+                o.local_rules_mut().push(r);
+                Ok(())
+            }
+            Err(e) => Err(GraphError::Parse { line: 0, msg: e.to_string() }),
+        })
+    }
+
+    /// Finishes, returning the first deferred error if any occurred.
+    pub fn build(self) -> Result<Ontology> {
+        match self.deferred_error {
+            Some(e) => Err(e),
+            None => Ok(self.ontology),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_hierarchy() {
+        let o = OntologyBuilder::new("t")
+            .class("Root")
+            .class_under("A", "Root")
+            .class_under("B", "A")
+            .attr("P", "A")
+            .instance("i", "B")
+            .relate("A", "likes", "B")
+            .build()
+            .unwrap();
+        assert!(o.is_subclass("B", "Root"));
+        assert_eq!(o.attributes_of("A"), vec!["P"]);
+        assert_eq!(o.instances_of("B"), vec!["i"]);
+        assert!(o.graph().has_edge("A", "likes", "B"));
+    }
+
+    #[test]
+    fn first_error_is_reported() {
+        let err = OntologyBuilder::new("t")
+            .class("A")
+            .class_under("", "A") // empty label
+            .class("B")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::EmptyLabel);
+    }
+
+    #[test]
+    fn local_rules_accumulate() {
+        let o = OntologyBuilder::new("t")
+            .class("Owner")
+            .class("Person")
+            .local_rule("Owner => Person")
+            .build()
+            .unwrap();
+        assert_eq!(o.local_rules().len(), 1);
+    }
+
+    #[test]
+    fn bad_local_rule_errors() {
+        assert!(OntologyBuilder::new("t").local_rule("not a rule").build().is_err());
+    }
+
+    #[test]
+    fn duplicate_class_is_idempotent() {
+        let o = OntologyBuilder::new("t").class("A").class("A").build().unwrap();
+        assert_eq!(o.term_count(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Ontology consistency checks.
+//!
+//! "The ontologies considered in this paper are consistent, that is, a
+//! term in an ontology does not refer to different concepts within one
+//! knowledge base. A consistent vocabulary is needed for unambiguous
+//! querying and unifying information from multiple sources." (§1)
+//!
+//! Label uniqueness is enforced structurally by the graph; this module
+//! checks the semantic invariants on top:
+//!
+//! * the `SubclassOf` hierarchy must be acyclic (a cycle makes every
+//!   member class the same concept under transitivity);
+//! * every relation declared transitive must be acyclic for the same
+//!   reason, unless it is also declared symmetric;
+//! * `InstanceOf` sources should not simultaneously be classes (have
+//!   subclasses or instances of their own) — a smell, reported as a
+//!   warning;
+//! * attribute nodes should not be instance nodes.
+
+use onion_graph::traverse::{topo_sort, EdgeFilter};
+use onion_graph::rel;
+
+use crate::ontology::Ontology;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violates consistency; articulation should refuse the ontology.
+    Error,
+    /// Suspicious modelling; the expert should review.
+    Warning,
+}
+
+/// One consistency finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyIssue {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Machine-readable kind.
+    pub kind: IssueKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Kinds of findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssueKind {
+    /// A transitive relation contains a cycle.
+    RelationCycle {
+        /// The relation label.
+        relation: String,
+        /// Labels on one witness cycle.
+        cycle: Vec<String>,
+    },
+    /// A node is used both as an instance and as a class.
+    InstanceIsClass {
+        /// The offending node's label.
+        node: String,
+    },
+    /// A node is used both as an attribute and as an instance.
+    AttributeIsInstance {
+        /// The offending node's label.
+        node: String,
+    },
+}
+
+/// Runs all checks, returning findings in deterministic order.
+pub fn check(ontology: &Ontology) -> Vec<ConsistencyIssue> {
+    let mut issues = Vec::new();
+    let g = ontology.graph();
+
+    // 1. transitive relations must be acyclic (unless symmetric)
+    let mut transitive_rels: Vec<String> = ontology
+        .relations()
+        .iter()
+        .filter(|(_, p)| p.transitive && !p.symmetric)
+        .map(|(n, _)| n.to_string())
+        .collect();
+    // SubclassOf is always checked even if the registry was emptied.
+    if !transitive_rels.iter().any(|r| r == rel::SUBCLASS_OF) {
+        transitive_rels.push(rel::SUBCLASS_OF.to_string());
+    }
+    transitive_rels.sort();
+    for relation in transitive_rels {
+        if let Err(cycle) = topo_sort(g, &EdgeFilter::label(&relation)) {
+            let mut labels: Vec<String> = cycle
+                .iter()
+                .map(|&n| g.node_label(n).expect("live").to_string())
+                .collect();
+            // rotate so the smallest label leads: deterministic reporting
+            if let Some(min_pos) = labels
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1))
+                .map(|(i, _)| i)
+            {
+                labels.rotate_left(min_pos);
+            }
+            issues.push(ConsistencyIssue {
+                severity: Severity::Error,
+                message: format!(
+                    "transitive relation {relation:?} has cycle: {}",
+                    labels.join(" -> ")
+                ),
+                kind: IssueKind::RelationCycle { relation, cycle: labels },
+            });
+        }
+    }
+
+    // 2. instance/class and attribute/instance smells
+    let mut smells: Vec<(bool, String)> = Vec::new(); // (is_instance_class, node)
+    for n in g.node_ids() {
+        let is_instance = g.out_neighbors(n, rel::INSTANCE_OF).next().is_some();
+        if !is_instance {
+            continue;
+        }
+        let label = g.node_label(n).expect("live").to_string();
+        let is_class = g.in_neighbors(n, rel::SUBCLASS_OF).next().is_some()
+            || g.in_neighbors(n, rel::INSTANCE_OF).next().is_some();
+        if is_class {
+            smells.push((true, label.clone()));
+        }
+        let is_attribute = g.out_neighbors(n, rel::ATTRIBUTE_OF).next().is_some();
+        if is_attribute {
+            smells.push((false, label));
+        }
+    }
+    smells.sort();
+    for (is_ic, node) in smells {
+        if is_ic {
+            issues.push(ConsistencyIssue {
+                severity: Severity::Warning,
+                message: format!("{node:?} is both an instance and a class"),
+                kind: IssueKind::InstanceIsClass { node },
+            });
+        } else {
+            issues.push(ConsistencyIssue {
+                severity: Severity::Warning,
+                message: format!("{node:?} is both an attribute and an instance"),
+                kind: IssueKind::AttributeIsInstance { node },
+            });
+        }
+    }
+
+    issues
+}
+
+/// True if `ontology` has no `Error`-severity findings.
+pub fn is_consistent(ontology: &Ontology) -> bool {
+    check(ontology).iter().all(|i| i.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OntologyBuilder;
+
+    #[test]
+    fn clean_ontology_passes() {
+        let o = OntologyBuilder::new("t")
+            .class_under("Car", "Vehicle")
+            .attr("Price", "Car")
+            .instance("MyCar", "Car")
+            .build()
+            .unwrap();
+        assert!(check(&o).is_empty());
+        assert!(is_consistent(&o));
+    }
+
+    #[test]
+    fn subclass_cycle_is_error() {
+        let o = OntologyBuilder::new("t")
+            .class_under("A", "B")
+            .class_under("B", "C")
+            .class_under("C", "A")
+            .build()
+            .unwrap();
+        let issues = check(&o);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Error);
+        match &issues[0].kind {
+            IssueKind::RelationCycle { relation, cycle } => {
+                assert_eq!(relation, "SubclassOf");
+                assert_eq!(cycle.len(), 3);
+                assert_eq!(cycle[0], "A", "rotated to smallest label");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!is_consistent(&o));
+    }
+
+    #[test]
+    fn symmetric_transitive_relation_may_cycle() {
+        let mut o = OntologyBuilder::new("t")
+            .relate("A", "sameAs", "B")
+            .relate("B", "sameAs", "A")
+            .build()
+            .unwrap();
+        o.relations_mut().declare(
+            "sameAs",
+            onion_rules::properties::RelationProperties::none().transitive().symmetric(),
+        );
+        assert!(check(&o).is_empty());
+    }
+
+    #[test]
+    fn custom_transitive_relation_checked() {
+        let mut o = OntologyBuilder::new("t")
+            .relate("A", "partOf", "B")
+            .relate("B", "partOf", "A")
+            .build()
+            .unwrap();
+        o.relations_mut()
+            .declare("partOf", onion_rules::properties::RelationProperties::none().transitive());
+        let issues = check(&o);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(&issues[0].kind, IssueKind::RelationCycle { relation, .. } if relation == "partOf"));
+    }
+
+    #[test]
+    fn instance_as_class_warns() {
+        let o = OntologyBuilder::new("t")
+            .instance("Weird", "Car")
+            .class_under("Sub", "Weird")
+            .build()
+            .unwrap();
+        let issues = check(&o);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Warning);
+        assert!(matches!(&issues[0].kind, IssueKind::InstanceIsClass { node } if node == "Weird"));
+        assert!(is_consistent(&o), "warnings do not break consistency");
+    }
+
+    #[test]
+    fn attribute_as_instance_warns() {
+        let o = OntologyBuilder::new("t")
+            .attr("Price", "Car")
+            .instance("Price", "Attribute")
+            .build()
+            .unwrap();
+        let issues = check(&o);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(&i.kind, IssueKind::AttributeIsInstance { node } if node == "Price")));
+    }
+
+    #[test]
+    fn self_loop_subclass_is_cycle() {
+        let o = OntologyBuilder::new("t").class_under("A", "A").build().unwrap();
+        let issues = check(&o);
+        assert!(matches!(&issues[0].kind, IssueKind::RelationCycle { cycle, .. } if cycle.len() == 1));
+    }
+}

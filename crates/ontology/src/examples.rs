@@ -1,0 +1,204 @@
+//! The paper's Fig. 2 running example, reconstructed.
+//!
+//! Fig. 2 shows "selected portions of two ontologies … carrier and
+//! factory … related to a transportation application … greatly
+//! simplified", articulated through a `transport`(ation) ontology. The
+//! published figure is partially ambiguous (several "most obvious edges
+//! have been omitted" by the authors), so this module fixes a **canonical
+//! reconstruction** containing every node and relationship the paper's
+//! prose references:
+//!
+//! * the `carrier:car:driver` path pattern (§3 "Example") — `Cars` has an
+//!   outgoing edge to `Driver`;
+//! * the `truck(O: owner, model)` attribute pattern (§3) — `Trucks` has
+//!   `Owner` and `Model` attributes;
+//! * `MyCar`, an instance of `Cars` with a `Price` of 2000 (Fig. 2 list);
+//! * the conjunction example (§4.1): `factory.CargoCarrier ∧
+//!   factory.Vehicle ⇒ carrier.Trucks`, with `Truck` a subclass of both
+//!   `Vehicle` and `CargoCarrier` (via `GoodsVehicle`);
+//! * the disjunction example (§4.1): `factory.Vehicle ⇒ carrier.Cars ∨
+//!   carrier.Trucks`;
+//! * the functional rules (§4.1/Fig. 2): carrier prices in Dutch
+//!   Guilders, factory prices in Pound Sterling, normalised to the Euro
+//!   (`DGToEuroFn`, `PSToEuroFn` and inverses);
+//! * the intra-articulation rule `transport.Owner ⇒ transport.Person`
+//!   (§4.1).
+//!
+//! Experiment E1 regenerates the articulation from [`fig2_rules`] and
+//! asserts the exact node/edge inventory (see `tests/fig2_exact.rs` at
+//! the workspace root).
+
+use crate::builder::OntologyBuilder;
+use crate::ontology::Ontology;
+
+/// The `carrier` source ontology (left side of Fig. 2).
+///
+/// A logistics operator's view: fleets of cars and trucks, drivers,
+/// owners, prices in Dutch Guilders.
+pub fn carrier() -> Ontology {
+    OntologyBuilder::new("carrier")
+        .class("Transportation")
+        .class_under("Cars", "Transportation")
+        .class_under("Trucks", "Transportation")
+        .class_under("SUV", "Cars")
+        .instance("MyCar", "Cars")
+        .attr("Price", "Cars")
+        .attr("Price", "Trucks")
+        .attr("Owner", "Cars")
+        .attr("Owner", "Trucks")
+        .attr("Model", "Trucks")
+        .attr("Price", "MyCar")
+        .attr("2000", "Price")
+        .relate("Cars", "hasDriver", "Driver")
+        .relate("Price", "expressedIn", "DutchGuilders")
+        .build()
+        .expect("carrier ontology is well-formed")
+}
+
+/// The `factory` source ontology (right side of Fig. 2).
+///
+/// A manufacturer's view: vehicles and cargo carriers, buyers, persons,
+/// prices in Pound Sterling.
+pub fn factory() -> Ontology {
+    OntologyBuilder::new("factory")
+        .class("Transportation")
+        .class_under("Vehicle", "Transportation")
+        .class_under("CargoCarrier", "Transportation")
+        .class_under("GoodsVehicle", "Vehicle")
+        .class_under("GoodsVehicle", "CargoCarrier")
+        .class_under("Truck", "GoodsVehicle")
+        .class_under("PassengerCar", "Vehicle")
+        .class_under("Driver", "Person")
+        .class_under("Buyer", "Person")
+        .class_under("Owner", "Person")
+        .attr("Price", "Vehicle")
+        .attr("Weight", "GoodsVehicle")
+        .attr("Buyer", "Factory")
+        .attr("Owner", "Vehicle")
+        .relate("Price", "expressedIn", "PoundSterling")
+        .local_rule("factory.Owner => factory.Person")
+        .build()
+        .expect("factory ontology is well-formed")
+}
+
+/// The canonical Fig. 2 articulation rule set, in the paper's textual
+/// syntax. `transport` is the articulation ontology's name.
+pub fn fig2_rules_text() -> &'static str {
+    "\
+# --- Fig. 2 articulation: carrier <-> factory via transport -----------
+# equivalent roots
+carrier.Transportation => factory.Transportation
+
+# cars: carrier.Cars and factory.PassengerCar specialise transport.Vehicle
+carrier.Cars => factory.Vehicle
+factory.PassengerCar => transport.Vehicle
+
+# trucks are equivalent concepts (via the conjunction of §4.1)
+(factory.CargoCarrier & factory.Vehicle) => carrier.Trucks
+carrier.Trucks => transport.CargoCarrierVehicle
+
+# cargo carriers
+factory.CargoCarrier => transport.CargoCarrier
+
+# the §4.1 disjunction: a factory vehicle is one of carrier's kinds
+factory.Vehicle => (carrier.Cars | carrier.Trucks)
+
+# intra-articulation structure (§4.1 Owner => Person example)
+transport.Owner => transport.Person
+transport.Vehicle => transport.Transportation
+transport.CargoCarrier => transport.Transportation
+
+# price normalisation (§4.1 functional rules; Fig. 2 PSToEuroFn/EuroToPSFn)
+DGToEuroFn(): carrier.DutchGuilders => transport.Euro
+PSToEuroFn(): factory.PoundSterling => transport.Euro
+"
+}
+
+/// Parses [`fig2_rules_text`] into a rule set.
+pub fn fig2_rules() -> onion_rules::RuleSet {
+    onion_rules::parse_rules(fig2_rules_text()).expect("canonical rules parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency;
+
+    #[test]
+    fn carrier_supports_paper_prose() {
+        let c = carrier();
+        assert_eq!(c.name(), "carrier");
+        // §3 path pattern carrier:car:driver — outgoing edge Cars -> Driver
+        assert!(c.graph().has_edge("Cars", "hasDriver", "Driver"));
+        // §3 attribute pattern truck(O: owner, model)
+        assert_eq!(c.attributes_of("Trucks"), vec!["Model", "Owner", "Price"]);
+        // Fig. 2 instance data
+        assert_eq!(c.instances_of("Cars"), vec!["MyCar"]);
+        assert!(c.graph().has_edge("2000", "AttributeOf", "Price"));
+        // SUV under Cars
+        assert!(c.is_subclass("SUV", "Transportation"));
+        // currency annotation
+        assert!(c.graph().has_edge("Price", "expressedIn", "DutchGuilders"));
+    }
+
+    #[test]
+    fn factory_supports_paper_prose() {
+        let f = factory();
+        // §4.1 conjunction needs Truck under both Vehicle and CargoCarrier
+        assert!(f.is_subclass("Truck", "Vehicle"));
+        assert!(f.is_subclass("Truck", "CargoCarrier"));
+        // people taxonomy
+        assert!(f.is_subclass("Buyer", "Person"));
+        assert!(f.is_subclass("Owner", "Person"));
+        // price in sterling
+        assert!(f.graph().has_edge("Price", "expressedIn", "PoundSterling"));
+        // weight on goods vehicles, inherited by trucks
+        assert!(f.attributes_inherited("Truck").contains(&"Weight".to_string()));
+    }
+
+    #[test]
+    fn both_ontologies_are_consistent() {
+        assert!(consistency::check(&carrier()).is_empty());
+        assert!(consistency::check(&factory()).is_empty());
+    }
+
+    #[test]
+    fn fig2_rules_parse_and_cover_examples() {
+        let rs = fig2_rules();
+        assert!(rs.len() >= 10);
+        let text = rs.to_string();
+        assert!(text.contains("(factory.CargoCarrier & factory.Vehicle) => carrier.Trucks"));
+        assert!(text.contains("factory.Vehicle => (carrier.Cars | carrier.Trucks)"));
+        assert!(text.contains("DGToEuroFn(): carrier.DutchGuilders => transport.Euro"));
+        assert!(text.contains("transport.Owner => transport.Person"));
+        // every qualified ontology is one of the three
+        assert_eq!(rs.ontologies(), vec!["carrier", "factory", "transport"]);
+    }
+
+    #[test]
+    fn rule_terms_resolve_in_their_source_ontologies() {
+        let c = carrier();
+        let f = factory();
+        for rule in fig2_rules().iter() {
+            for term in rule.terms() {
+                match term.ontology.as_deref() {
+                    Some("carrier") => {
+                        assert!(
+                            c.defines(&term.name),
+                            "carrier should define {:?}",
+                            term.name
+                        );
+                    }
+                    Some("factory") => {
+                        assert!(
+                            f.defines(&term.name),
+                            "factory should define {:?}",
+                            term.name
+                        );
+                    }
+                    _ => {} // articulation terms are created by the generator
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Query representation and textual syntax.
+//!
+//! Queries are phrased in the articulation ontology's vocabulary, in a
+//! small form that matches the paper's attribute-pattern notation:
+//!
+//! ```text
+//! find Vehicle(Price, Owner) where Price < 10000 and Owner = "Ann"
+//! ```
+//!
+//! * `Vehicle` — a class of the articulation ontology;
+//! * the parenthesised list — attributes to return (empty means "id
+//!   only");
+//! * `where` — conjunctive comparisons on attribute values. Numbers are
+//!   interpreted in the articulation's metric space (e.g. Euro) and
+//!   converted per source by the reformulator.
+
+use std::fmt;
+
+use crate::{QueryError, Result};
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric (all numerics are f64; ontology instance data is small).
+    Num(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Numeric accessor.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    /// Evaluates `left op right`. Mixed types compare unequal (and
+    /// order-compare false).
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        match (left, right) {
+            (Value::Num(a), Value::Num(b)) => match self {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Gt => a > b,
+            },
+            (Value::Str(a), Value::Str(b)) => match self {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Gt => a > b,
+            },
+            _ => self == CmpOp::Ne,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One conjunctive condition `attr op value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Attribute name (articulation vocabulary).
+    pub attr: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Comparison value (articulation metric space).
+    pub value: Value,
+}
+
+impl Condition {
+    /// Builds a condition.
+    pub fn new(attr: &str, op: CmpOp, value: Value) -> Self {
+        Condition { attr: attr.to_string(), op, value }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// A query against the articulation ontology.
+///
+/// ```
+/// use onion_query::{CmpOp, Query, Value};
+///
+/// let q = Query::parse("find Vehicle(Price) where Price < 10000").unwrap();
+/// assert_eq!(q.class, "Vehicle");
+/// assert_eq!(q.select, vec!["Price"]);
+/// assert_eq!(q.conditions[0].op, CmpOp::Lt);
+/// assert_eq!(q.conditions[0].value, Value::Num(10000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Class (articulation vocabulary, unqualified).
+    pub class: String,
+    /// Attributes to project (articulation vocabulary).
+    pub select: Vec<String>,
+    /// Conjunctive conditions.
+    pub conditions: Vec<Condition>,
+}
+
+impl Query {
+    /// Query for all instances of `class`.
+    pub fn all(class: &str) -> Self {
+        Query { class: class.to_string(), select: Vec::new(), conditions: Vec::new() }
+    }
+
+    /// Adds a projected attribute.
+    pub fn select(mut self, attr: &str) -> Self {
+        self.select.push(attr.to_string());
+        self
+    }
+
+    /// Adds a condition.
+    pub fn filter(mut self, attr: &str, op: CmpOp, value: Value) -> Self {
+        self.conditions.push(Condition::new(attr, op, value));
+        self
+    }
+
+    /// Parses the textual form (see module docs).
+    pub fn parse(input: &str) -> Result<Query> {
+        let s = input.trim();
+        let rest = s
+            .strip_prefix("find ")
+            .ok_or_else(|| QueryError::Parse("query must start with 'find'".into()))?;
+        let (head, where_part) = match rest.find(" where ") {
+            Some(i) => (&rest[..i], Some(&rest[i + 7..])),
+            None => (rest, None),
+        };
+        let head = head.trim();
+        let (class, select) = match head.find('(') {
+            Some(i) => {
+                let class = head[..i].trim();
+                let args = head[i..]
+                    .strip_prefix('(')
+                    .and_then(|a| a.strip_suffix(')'))
+                    .ok_or_else(|| QueryError::Parse("unbalanced parentheses".into()))?;
+                let select: Vec<String> = args
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                (class.to_string(), select)
+            }
+            None => (head.to_string(), Vec::new()),
+        };
+        if class.is_empty() || class.contains(char::is_whitespace) {
+            return Err(QueryError::Parse(format!("bad class name {class:?}")));
+        }
+        let mut q = Query { class, select, conditions: Vec::new() };
+        if let Some(w) = where_part {
+            for clause in w.split(" and ") {
+                q.conditions.push(parse_condition(clause.trim())?);
+            }
+        }
+        Ok(q)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "find {}", self.class)?;
+        if !self.select.is_empty() {
+            write!(f, "({})", self.select.join(", "))?;
+        }
+        for (i, c) in self.conditions.iter().enumerate() {
+            write!(f, " {} {c}", if i == 0 { "where" } else { "and" })?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_condition(s: &str) -> Result<Condition> {
+    // longest operators first
+    for (tok, op) in [
+        ("<=", CmpOp::Le),
+        (">=", CmpOp::Ge),
+        ("!=", CmpOp::Ne),
+        ("<", CmpOp::Lt),
+        (">", CmpOp::Gt),
+        ("=", CmpOp::Eq),
+    ] {
+        if let Some(i) = s.find(tok) {
+            let attr = s[..i].trim();
+            let val = s[i + tok.len()..].trim();
+            if attr.is_empty() || val.is_empty() {
+                return Err(QueryError::Parse(format!("bad condition {s:?}")));
+            }
+            let value = if let Some(stripped) = val.strip_prefix('"') {
+                let inner = stripped
+                    .strip_suffix('"')
+                    .ok_or_else(|| QueryError::Parse(format!("unterminated string in {s:?}")))?;
+                Value::Str(inner.to_string())
+            } else if let Ok(n) = val.parse::<f64>() {
+                Value::Num(n)
+            } else {
+                Value::Str(val.to_string())
+            };
+            return Ok(Condition::new(attr, op, value));
+        }
+    }
+    Err(QueryError::Parse(format!("no operator in condition {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_query() {
+        let q = Query::parse("find Vehicle(Price, Owner) where Price < 10000 and Owner = \"Ann\"")
+            .unwrap();
+        assert_eq!(q.class, "Vehicle");
+        assert_eq!(q.select, vec!["Price", "Owner"]);
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.conditions[0], Condition::new("Price", CmpOp::Lt, Value::Num(10000.0)));
+        assert_eq!(
+            q.conditions[1],
+            Condition::new("Owner", CmpOp::Eq, Value::Str("Ann".into()))
+        );
+    }
+
+    #[test]
+    fn parse_minimal_query() {
+        let q = Query::parse("find Vehicle").unwrap();
+        assert_eq!(q.class, "Vehicle");
+        assert!(q.select.is_empty());
+        assert!(q.conditions.is_empty());
+    }
+
+    #[test]
+    fn parse_empty_projection() {
+        let q = Query::parse("find Vehicle()").unwrap();
+        assert!(q.select.is_empty());
+    }
+
+    #[test]
+    fn parse_operators() {
+        for (src, op) in [
+            ("find C where A < 1", CmpOp::Lt),
+            ("find C where A <= 1", CmpOp::Le),
+            ("find C where A = 1", CmpOp::Eq),
+            ("find C where A != 1", CmpOp::Ne),
+            ("find C where A >= 1", CmpOp::Ge),
+            ("find C where A > 1", CmpOp::Gt),
+        ] {
+            assert_eq!(Query::parse(src).unwrap().conditions[0].op, op, "{src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "Vehicle",
+            "find ",
+            "find V(a",
+            "find V where",
+            "find V where Price",
+            "find V where Price < ",
+            "find V where O = \"open",
+        ] {
+            assert!(Query::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "find Vehicle",
+            "find Vehicle(Price)",
+            "find Vehicle(Price, Owner) where Price < 10000",
+            "find Vehicle where Owner = \"Ann\" and Price >= 2",
+        ] {
+            let q = Query::parse(src).unwrap();
+            let q2 = Query::parse(&q.to_string()).unwrap();
+            assert_eq!(q, q2, "roundtrip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn cmp_eval_numbers_and_strings() {
+        assert!(CmpOp::Lt.eval(&Value::Num(1.0), &Value::Num(2.0)));
+        assert!(!CmpOp::Lt.eval(&Value::Num(2.0), &Value::Num(2.0)));
+        assert!(CmpOp::Le.eval(&Value::Num(2.0), &Value::Num(2.0)));
+        assert!(CmpOp::Eq.eval(&Value::Str("a".into()), &Value::Str("a".into())));
+        assert!(CmpOp::Gt.eval(&Value::Str("b".into()), &Value::Str("a".into())));
+        // mixed types: only != holds
+        assert!(CmpOp::Ne.eval(&Value::Num(1.0), &Value::Str("1".into())));
+        assert!(!CmpOp::Eq.eval(&Value::Num(1.0), &Value::Str("1".into())));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Num(2000.0).to_string(), "2000");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn builder_api() {
+        let q = Query::all("Vehicle").select("Price").filter("Price", CmpOp::Lt, Value::Num(5.0));
+        assert_eq!(q.to_string(), "find Vehicle(Price) where Price < 5");
+    }
+}

@@ -1,0 +1,80 @@
+//! Source wrappers (Fig. 1: "Wrapper" boxes between the query engine
+//! and the knowledge bases).
+
+use std::cell::Cell;
+
+use crate::ast::Condition;
+use crate::kb::{Instance, KnowledgeBase};
+use crate::Result;
+
+/// A queryable source of instances.
+pub trait Wrapper {
+    /// The source ontology this wrapper serves.
+    fn source(&self) -> &str;
+
+    /// Fetches instances of any of `classes` satisfying `conditions`
+    /// (all in the source's local vocabulary).
+    fn fetch(&self, classes: &[String], conditions: &[Condition]) -> Result<Vec<Instance>>;
+}
+
+/// Wrapper over an in-memory [`KnowledgeBase`], counting calls so tests
+/// and benches can observe plan behaviour (e.g. that pruned sources are
+/// never consulted).
+#[derive(Debug)]
+pub struct InMemoryWrapper {
+    kb: KnowledgeBase,
+    calls: Cell<usize>,
+}
+
+impl InMemoryWrapper {
+    /// Wraps a knowledge base.
+    pub fn new(kb: KnowledgeBase) -> Self {
+        InMemoryWrapper { kb, calls: Cell::new(0) }
+    }
+
+    /// How many fetches have been served.
+    pub fn calls(&self) -> usize {
+        self.calls.get()
+    }
+
+    /// Read access to the underlying KB.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+}
+
+impl Wrapper for InMemoryWrapper {
+    fn source(&self) -> &str {
+        self.kb.name()
+    }
+
+    fn fetch(&self, classes: &[String], conditions: &[Condition]) -> Result<Vec<Instance>> {
+        self.calls.set(self.calls.get() + 1);
+        Ok(self.kb.query(classes, conditions).into_iter().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Value};
+
+    #[test]
+    fn wrapper_serves_and_counts() {
+        let mut kb = KnowledgeBase::new("carrier");
+        kb.add(Instance::new("car1", "Cars").with("Price", Value::Num(4000.0)));
+        kb.add(Instance::new("truck1", "Trucks").with("Price", Value::Num(9000.0)));
+        let w = InMemoryWrapper::new(kb);
+        assert_eq!(w.source(), "carrier");
+        assert_eq!(w.calls(), 0);
+        let got = w
+            .fetch(
+                &["Cars".to_string()],
+                &[Condition::new("Price", CmpOp::Lt, Value::Num(5000.0))],
+            )
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, "car1");
+        assert_eq!(w.calls(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Seeded synthetic ontology generation.
+
+use onion_lexicon::generator::pseudo_word;
+use onion_ontology::{Ontology, OntologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for one synthetic ontology.
+#[derive(Debug, Clone)]
+pub struct OntologySpec {
+    /// Ontology name.
+    pub name: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of classes (excluding the single root).
+    pub classes: usize,
+    /// Maximum children per class; the tree is built by attaching each
+    /// new class under a uniformly random earlier class with spare
+    /// capacity, giving naturally varied depth.
+    pub max_children: usize,
+    /// Expected attributes per class.
+    pub attr_density: f64,
+    /// Expected instances per *leaf* class.
+    pub instance_density: f64,
+}
+
+impl OntologySpec {
+    /// A spec with sensible defaults for `classes` classes.
+    pub fn sized(name: &str, seed: u64, classes: usize) -> Self {
+        OntologySpec {
+            name: name.to_string(),
+            seed,
+            classes,
+            max_children: 6,
+            attr_density: 0.5,
+            instance_density: 0.3,
+        }
+    }
+}
+
+/// Generates class labels: a pseudo-word plus a disambiguating ordinal
+/// (labels must be unique within a consistent ontology).
+pub fn class_label(rng: &mut StdRng, ordinal: usize) -> String {
+    let w = pseudo_word(rng);
+    let mut chars = w.chars();
+    let first = chars.next().map(|c| c.to_uppercase().to_string()).unwrap_or_default();
+    format!("{first}{}{ordinal}", chars.as_str())
+}
+
+/// Generates an ontology per `spec`. Equal specs generate identical
+/// ontologies.
+pub fn generate_ontology(spec: &OntologySpec) -> Ontology {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let root = "Root".to_string();
+    let mut builder = OntologyBuilder::new(&spec.name).class(&root);
+    let mut nodes: Vec<String> = vec![root];
+    let mut child_count: Vec<usize> = vec![0];
+
+    for i in 0..spec.classes {
+        let label = class_label(&mut rng, i);
+        // pick a parent with spare capacity
+        let mut parent_idx = rng.gen_range(0..nodes.len());
+        let mut guard = 0;
+        while child_count[parent_idx] >= spec.max_children && guard < 32 {
+            parent_idx = rng.gen_range(0..nodes.len());
+            guard += 1;
+        }
+        builder = builder.class_under(&label, &nodes[parent_idx].clone());
+        child_count[parent_idx] += 1;
+        nodes.push(label);
+        child_count.push(0);
+
+        // attributes
+        if rng.gen_bool(spec.attr_density.clamp(0.0, 1.0)) {
+            let attr = format!("attr_{}", pseudo_word(&mut rng));
+            builder = builder.attr(&attr, &nodes[nodes.len() - 1].clone());
+        }
+    }
+    // instances on leaves
+    let leaves: Vec<String> = nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| child_count[i] == 0)
+        .map(|(_, l)| l.clone())
+        .collect();
+    for (i, leaf) in leaves.iter().enumerate() {
+        if rng.gen_bool(spec.instance_density.clamp(0.0, 1.0)) {
+            builder = builder.instance(&format!("inst_{i}"), leaf);
+        }
+    }
+    builder.build().expect("generated ontology is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = OntologySpec::sized("t", 7, 50);
+        let a = generate_ontology(&spec);
+        let b = generate_ontology(&spec);
+        assert!(a.graph().same_shape(b.graph()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_ontology(&OntologySpec::sized("t", 1, 50));
+        let b = generate_ontology(&OntologySpec::sized("t", 2, 50));
+        assert!(!a.graph().same_shape(b.graph()));
+    }
+
+    #[test]
+    fn class_count_respected() {
+        let o = generate_ontology(&OntologySpec::sized("t", 3, 120));
+        // classes + root (+ attributes + instances on top)
+        let subclass_edges =
+            o.graph().edges().filter(|e| e.label == "SubclassOf").count();
+        assert_eq!(subclass_edges, 120, "every class has exactly one parent");
+    }
+
+    #[test]
+    fn generated_ontology_is_consistent() {
+        let o = generate_ontology(&OntologySpec::sized("t", 11, 200));
+        assert!(onion_ontology::consistency::check(&o).is_empty());
+    }
+
+    #[test]
+    fn branching_capped() {
+        let spec = OntologySpec { max_children: 2, ..OntologySpec::sized("t", 5, 60) };
+        let o = generate_ontology(&spec);
+        let g = o.graph();
+        for n in g.node_ids() {
+            let kids = g.in_neighbors(n, "SubclassOf").count();
+            // the capacity guard is probabilistic with a retry bound, so
+            // allow a small overflow margin
+            assert!(kids <= 4, "node has {kids} children");
+        }
+    }
+
+    #[test]
+    fn densities_zero_give_bare_taxonomy() {
+        let spec = OntologySpec {
+            attr_density: 0.0,
+            instance_density: 0.0,
+            ..OntologySpec::sized("t", 9, 40)
+        };
+        let o = generate_ontology(&spec);
+        assert!(o.graph().edges().all(|e| e.label == "SubclassOf"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Precision/recall against planted ground truth.
+
+use std::collections::HashSet;
+
+use onion_rules::ArticulationRule;
+
+/// Precision/recall/F1 summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrMetrics {
+    /// Proposals that are in the truth.
+    pub true_positives: usize,
+    /// Proposals not in the truth.
+    pub false_positives: usize,
+    /// Truth pairs never proposed.
+    pub false_negatives: usize,
+}
+
+impl PrMetrics {
+    /// `tp / (tp + fp)`, 1.0 when nothing was proposed.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`, 1.0 when the truth is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores simple-implication rules against truth pairs (either
+/// direction of a pair counts — the articulation makes them equivalent).
+pub fn precision_recall(
+    rules: &[ArticulationRule],
+    truth: &HashSet<(String, String)>,
+) -> PrMetrics {
+    let mut found: HashSet<(String, String)> = HashSet::new();
+    let mut false_positives = 0usize;
+    for rule in rules {
+        if !rule.is_simple_implication() {
+            continue; // compound rules are not pair claims
+        }
+        let terms = rule.terms();
+        let pair = (terms[0].to_string(), terms[1].to_string());
+        let rev = (pair.1.clone(), pair.0.clone());
+        if truth.contains(&pair) {
+            found.insert(pair);
+        } else if truth.contains(&rev) {
+            found.insert(rev);
+        } else {
+            false_positives += 1;
+        }
+    }
+    PrMetrics {
+        true_positives: found.len(),
+        false_positives,
+        false_negatives: truth.len() - found.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_rules::Term;
+
+    fn rule(a: &str, b: &str) -> ArticulationRule {
+        let (ao, an) = a.split_once('.').unwrap();
+        let (bo, bn) = b.split_once('.').unwrap();
+        ArticulationRule::term_implies(Term::qualified(ao, an), Term::qualified(bo, bn))
+    }
+
+    fn truth(pairs: &[(&str, &str)]) -> HashSet<(String, String)> {
+        pairs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect()
+    }
+
+    #[test]
+    fn perfect_score() {
+        let t = truth(&[("l.A", "r.B")]);
+        let m = precision_recall(&[rule("l.A", "r.B")], &t);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn reverse_direction_counts() {
+        let t = truth(&[("l.A", "r.B")]);
+        let m = precision_recall(&[rule("r.B", "l.A")], &t);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 0);
+    }
+
+    #[test]
+    fn false_positive_and_negative() {
+        let t = truth(&[("l.A", "r.B"), ("l.C", "r.D")]);
+        let m = precision_recall(&[rule("l.A", "r.B"), rule("l.X", "r.Y")], &t);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let t = truth(&[("l.A", "r.B")]);
+        let m = precision_recall(&[rule("l.A", "r.B"), rule("l.A", "r.B")], &t);
+        assert_eq!(m.true_positives, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = precision_recall(&[], &truth(&[]));
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        let m = precision_recall(&[], &truth(&[("l.A", "r.B")]));
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Controlled-overlap ontology pairs with planted ground truth.
+//!
+//! Experiment B2 needs pairs of ontologies that share a known fraction
+//! of concepts, where the shared concepts may be *renamed* differently
+//! on each side (so exact label matching alone cannot find them, but a
+//! lexicon that knows the synonym pairs can). The generator plants:
+//!
+//! * `concepts × overlap` shared concepts, each appearing in both
+//!   ontologies (same meaning, possibly different label);
+//! * the remaining concepts split between the two sides;
+//! * a ground-truth list of qualified-term pairs;
+//! * a lexicon whose synsets cover exactly the planted renames.
+
+use onion_lexicon::generator::pseudo_word;
+use onion_lexicon::Lexicon;
+use onion_ontology::{Ontology, OntologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for an overlapping pair.
+#[derive(Debug, Clone)]
+pub struct OverlapSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Total distinct concepts across both sides.
+    pub concepts: usize,
+    /// Fraction of concepts present in both ontologies (0..=1).
+    pub overlap: f64,
+    /// Probability that a shared concept is *renamed* on the second side
+    /// (found only via the lexicon).
+    pub rename_prob: f64,
+    /// Maximum children per class in each tree.
+    pub max_children: usize,
+}
+
+impl Default for OverlapSpec {
+    fn default() -> Self {
+        OverlapSpec { seed: 42, concepts: 100, overlap: 0.2, rename_prob: 0.5, max_children: 5 }
+    }
+}
+
+/// A generated pair plus its planted truth.
+#[derive(Debug)]
+pub struct OverlapPair {
+    /// First ontology (named `left`).
+    pub left: Ontology,
+    /// Second ontology (named `right`).
+    pub right: Ontology,
+    /// Ground-truth equivalences as qualified strings
+    /// `("left.X", "right.Y")`.
+    pub truth: Vec<(String, String)>,
+    /// Lexicon covering the planted renames (synonym per renamed pair).
+    pub lexicon: Lexicon,
+}
+
+impl OverlapPair {
+    /// Ground truth as a set for membership checks.
+    pub fn truth_set(&self) -> std::collections::HashSet<(String, String)> {
+        self.truth.iter().cloned().collect()
+    }
+}
+
+fn unique_label(rng: &mut StdRng, used: &mut std::collections::HashSet<String>, ord: usize) -> String {
+    loop {
+        let w = pseudo_word(rng);
+        let mut chars = w.chars();
+        let first = chars.next().map(|c| c.to_uppercase().to_string()).unwrap_or_default();
+        let label = format!("{first}{}{ord}", chars.as_str());
+        if used.insert(label.clone()) {
+            return label;
+        }
+    }
+}
+
+/// Generates an overlapping pair per `spec`.
+pub fn overlap_pair(spec: &OverlapSpec) -> OverlapPair {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut used = std::collections::HashSet::new();
+    let shared_n = ((spec.concepts as f64) * spec.overlap.clamp(0.0, 1.0)).round() as usize;
+    let rest = spec.concepts - shared_n;
+    let left_only_n = rest / 2;
+    let right_only_n = rest - left_only_n;
+
+    let mut lexicon = Lexicon::new();
+    let mut truth = Vec::with_capacity(shared_n);
+
+    // planted shared concepts: (left label, right label)
+    let mut shared: Vec<(String, String)> = Vec::with_capacity(shared_n);
+    for i in 0..shared_n {
+        let l = unique_label(&mut rng, &mut used, i);
+        let r = if rng.gen_bool(spec.rename_prob.clamp(0.0, 1.0)) {
+            let r = unique_label(&mut rng, &mut used, i);
+            lexicon.add_synset([l.as_str(), r.as_str()], None);
+            r
+        } else {
+            l.clone()
+        };
+        truth.push((format!("left.{l}"), format!("right.{r}")));
+        shared.push((l, r));
+    }
+    let left_only: Vec<String> =
+        (0..left_only_n).map(|i| unique_label(&mut rng, &mut used, shared_n + i)).collect();
+    let right_only: Vec<String> = (0..right_only_n)
+        .map(|i| unique_label(&mut rng, &mut used, shared_n + left_only_n + i))
+        .collect();
+
+    let left = build_tree(
+        "left",
+        shared.iter().map(|(l, _)| l.clone()).chain(left_only).collect(),
+        spec.max_children,
+        &mut rng,
+    );
+    let right = build_tree(
+        "right",
+        shared.iter().map(|(_, r)| r.clone()).chain(right_only).collect(),
+        spec.max_children,
+        &mut rng,
+    );
+    OverlapPair { left, right, truth, lexicon }
+}
+
+fn build_tree(
+    name: &str,
+    mut labels: Vec<String>,
+    max_children: usize,
+    rng: &mut StdRng,
+) -> Ontology {
+    // shuffle so shared concepts scatter through the hierarchy
+    for i in (1..labels.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        labels.swap(i, j);
+    }
+    let mut builder = OntologyBuilder::new(name).class("Root");
+    let mut nodes = vec!["Root".to_string()];
+    let mut child_count = vec![0usize];
+    for label in labels {
+        let mut parent = rng.gen_range(0..nodes.len());
+        let mut guard = 0;
+        while child_count[parent] >= max_children && guard < 32 {
+            parent = rng.gen_range(0..nodes.len());
+            guard += 1;
+        }
+        builder = builder.class_under(&label, &nodes[parent].clone());
+        child_count[parent] += 1;
+        nodes.push(label);
+        child_count.push(0);
+    }
+    builder.build().expect("generated tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = overlap_pair(&OverlapSpec::default());
+        let b = overlap_pair(&OverlapSpec::default());
+        assert_eq!(a.truth, b.truth);
+        assert!(a.left.graph().same_shape(b.left.graph()));
+        assert!(a.right.graph().same_shape(b.right.graph()));
+    }
+
+    #[test]
+    fn overlap_fraction_respected() {
+        let spec = OverlapSpec { concepts: 200, overlap: 0.25, ..Default::default() };
+        let p = overlap_pair(&spec);
+        assert_eq!(p.truth.len(), 50);
+        // each ontology holds shared + its half of the rest + Root
+        assert_eq!(p.left.term_count(), 50 + 75 + 1);
+        assert_eq!(p.right.term_count(), 50 + 75 + 1);
+    }
+
+    #[test]
+    fn truth_terms_exist() {
+        let p = overlap_pair(&OverlapSpec::default());
+        for (l, r) in &p.truth {
+            let ln = l.strip_prefix("left.").unwrap();
+            let rn = r.strip_prefix("right.").unwrap();
+            assert!(p.left.defines(ln), "left missing {ln}");
+            assert!(p.right.defines(rn), "right missing {rn}");
+        }
+    }
+
+    #[test]
+    fn renamed_pairs_covered_by_lexicon() {
+        let spec = OverlapSpec { rename_prob: 1.0, ..Default::default() };
+        let p = overlap_pair(&spec);
+        for (l, r) in &p.truth {
+            let ln = l.strip_prefix("left.").unwrap();
+            let rn = r.strip_prefix("right.").unwrap();
+            assert_ne!(ln, rn, "rename_prob 1.0 renames everything");
+            assert!(p.lexicon.are_synonyms(ln, rn), "lexicon should know {ln} ~ {rn}");
+        }
+    }
+
+    #[test]
+    fn no_renames_means_shared_labels() {
+        let spec = OverlapSpec { rename_prob: 0.0, ..Default::default() };
+        let p = overlap_pair(&spec);
+        for (l, r) in &p.truth {
+            assert_eq!(
+                l.strip_prefix("left.").unwrap(),
+                r.strip_prefix("right.").unwrap()
+            );
+        }
+        assert_eq!(p.lexicon.synset_count(), 0);
+    }
+
+    #[test]
+    fn zero_overlap_is_disjoint() {
+        let spec = OverlapSpec { overlap: 0.0, ..Default::default() };
+        let p = overlap_pair(&spec);
+        assert!(p.truth.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! ASCII renderings of ontologies and articulations.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use onion_articulate::Articulation;
+use onion_graph::{rel, NodeId};
+use onion_ontology::Ontology;
+
+/// Renders the subclass forest of an ontology with attribute and
+/// instance annotations, as the viewer would show it:
+///
+/// ```text
+/// ontology carrier
+/// └─ Transportation
+///    ├─ Cars  [Price, Owner]  {MyCar}
+///    │  └─ SUV
+///    └─ Trucks  [Model, Owner, Price]
+/// ```
+pub fn render_ontology(o: &Ontology) -> String {
+    let g = o.graph();
+    let mut out = format!("ontology {}\n", o.name());
+    // roots: nodes with no outgoing SubclassOf edge that head a hierarchy,
+    // plus isolated class nodes that are not attributes/instances
+    let mut is_attr_or_inst: HashSet<NodeId> = HashSet::new();
+    for e in g.edges() {
+        if e.label == rel::ATTRIBUTE_OF || e.label == rel::INSTANCE_OF {
+            is_attr_or_inst.insert(e.src);
+        }
+    }
+    let mut roots: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| g.out_neighbors(n, rel::SUBCLASS_OF).next().is_none())
+        .filter(|n| !is_attr_or_inst.contains(n))
+        .collect();
+    roots.sort_by_key(|&n| g.node_label(n).map(str::to_string));
+    let count = roots.len();
+    for (i, root) in roots.into_iter().enumerate() {
+        render_node(o, root, "", i + 1 == count, &mut out, &mut HashSet::new());
+    }
+    out
+}
+
+fn render_node(
+    o: &Ontology,
+    n: NodeId,
+    prefix: &str,
+    last: bool,
+    out: &mut String,
+    on_path: &mut HashSet<NodeId>,
+) {
+    let g = o.graph();
+    let label = g.node_label(n).expect("live");
+    let connector = if last { "└─ " } else { "├─ " };
+    let mut line = format!("{prefix}{connector}{label}");
+    let attrs = o.attributes_of(label);
+    if !attrs.is_empty() {
+        let _ = write!(line, "  [{}]", attrs.join(", "));
+    }
+    let insts = o.instances_of(label);
+    if !insts.is_empty() {
+        let _ = write!(line, "  {{{}}}", insts.join(", "));
+    }
+    out.push_str(&line);
+    out.push('\n');
+    if !on_path.insert(n) {
+        out.push_str(&format!("{prefix}   (cycle)\n"));
+        return;
+    }
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    let mut children: Vec<NodeId> = g.in_neighbors(n, rel::SUBCLASS_OF).collect();
+    children.sort_by_key(|&c| g.node_label(c).map(str::to_string));
+    let total = children.len();
+    for (i, c) in children.into_iter().enumerate() {
+        render_node(o, c, &child_prefix, i + 1 == total, out, on_path);
+    }
+    on_path.remove(&n);
+}
+
+/// Renders an articulation: its ontology tree followed by the bridge
+/// list grouped by kind.
+pub fn render_articulation(a: &Articulation) -> String {
+    let mut out = render_ontology(&a.ontology);
+    out.push_str(&format!("bridges ({}):\n", a.bridges.len()));
+    let mut bridges: Vec<String> =
+        a.bridges.iter().map(|b| format!("  {} ({:?})", b, b.kind)).collect();
+    bridges.sort();
+    for b in bridges {
+        out.push_str(&b);
+        out.push('\n');
+    }
+    out.push_str(&format!("rules ({}):\n", a.rules.len()));
+    for r in a.rules.iter() {
+        out.push_str(&format!("  {r}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_articulate::ArticulationGenerator;
+    use onion_ontology::examples::{carrier, factory, fig2_rules};
+    use onion_ontology::OntologyBuilder;
+
+    #[test]
+    fn renders_hierarchy_with_annotations() {
+        let c = carrier();
+        let text = render_ontology(&c);
+        assert!(text.starts_with("ontology carrier\n"));
+        assert!(text.contains("Transportation"));
+        assert!(text.contains("└─ SUV") || text.contains("├─ SUV"));
+        assert!(text.contains("[") && text.contains("Price"), "attributes listed");
+        assert!(text.contains("{MyCar}"), "instances listed");
+        // child indented under parent
+        let cars_line = text.lines().find(|l| l.contains("Cars")).unwrap();
+        let suv_line = text.lines().find(|l| l.contains("SUV")).unwrap();
+        let indent = |l: &str| l.chars().take_while(|c| !c.is_alphanumeric()).count();
+        assert!(indent(suv_line) > indent(cars_line));
+    }
+
+    #[test]
+    fn renders_cycles_without_hanging() {
+        let o = OntologyBuilder::new("weird")
+            .class_under("A", "B")
+            .class_under("B", "A")
+            .build()
+            .unwrap();
+        let text = render_ontology(&o);
+        // both nodes are non-roots (each has an outgoing subclass edge), so
+        // the forest is empty — but rendering must not hang or panic
+        assert!(text.starts_with("ontology weird"));
+    }
+
+    #[test]
+    fn renders_articulation_with_bridges() {
+        let c = carrier();
+        let f = factory();
+        let art = ArticulationGenerator::new().generate(&fig2_rules(), &[&c, &f]).unwrap();
+        let text = render_articulation(&art);
+        assert!(text.contains("ontology transport"));
+        assert!(text.contains("bridges ("));
+        assert!(text.contains("SIBridge"));
+        assert!(text.contains("rules ("));
+        assert!(text.contains("DGToEuroFn"));
+    }
+
+    #[test]
+    fn empty_ontology_renders_header_only() {
+        let o = OntologyBuilder::new("empty").build().unwrap();
+        assert_eq!(render_ontology(&o), "ontology empty\n");
+    }
+}

@@ -1,0 +1,264 @@
+//! Scripted viewer sessions.
+//!
+//! §2.2 describes the expert's workflow: call ontologies into view,
+//! refine, "import additional ontologies into the system, drop an
+//! ontology from further consideration and, most importantly, specify
+//! articulation rules", or "call upon the articulation generator to
+//! visualize possible semantic bridges". [`Session`] replays that
+//! workflow from a command list, producing a transcript.
+
+use std::collections::BTreeMap;
+
+use onion_articulate::{AcceptAll, Articulation, ArticulationEngine, MatcherPipeline};
+use onion_lexicon::Lexicon;
+use onion_ontology::Ontology;
+use onion_rules::{parse_rules, RuleSet};
+
+use crate::ascii;
+
+/// One viewer action.
+#[derive(Debug, Clone)]
+pub enum SessionCommand {
+    /// Bring an ontology into view (boxed: ontologies dwarf the other
+    /// command payloads).
+    Load(Box<Ontology>),
+    /// Import from the adjacency-list text format.
+    ImportText(String),
+    /// Drop an ontology from consideration.
+    Drop(String),
+    /// Add expert articulation rules (textual syntax).
+    AddRules(String),
+    /// Run the articulation engine between two loaded ontologies.
+    Articulate {
+        /// Left ontology name.
+        left: String,
+        /// Right ontology name.
+        right: String,
+    },
+    /// Render an ontology into the transcript.
+    Show(String),
+    /// Render the current articulation into the transcript.
+    ShowArticulation,
+}
+
+/// A replayable expert session.
+pub struct Session {
+    lexicon: Lexicon,
+    ontologies: BTreeMap<String, Ontology>,
+    rules: RuleSet,
+    articulation: Option<Articulation>,
+    transcript: String,
+}
+
+impl Session {
+    /// New session with the lexicon SKAT should consult.
+    pub fn new(lexicon: Lexicon) -> Self {
+        Session {
+            lexicon,
+            ontologies: BTreeMap::new(),
+            rules: RuleSet::new(),
+            articulation: None,
+            transcript: String::new(),
+        }
+    }
+
+    /// Loaded ontology names.
+    pub fn loaded(&self) -> Vec<&str> {
+        self.ontologies.keys().map(String::as_str).collect()
+    }
+
+    /// The current articulation, if one was generated.
+    pub fn articulation(&self) -> Option<&Articulation> {
+        self.articulation.as_ref()
+    }
+
+    /// The session transcript so far.
+    pub fn transcript(&self) -> &str {
+        &self.transcript
+    }
+
+    fn log(&mut self, line: impl AsRef<str>) {
+        self.transcript.push_str(line.as_ref());
+        if !line.as_ref().ends_with('\n') {
+            self.transcript.push('\n');
+        }
+    }
+
+    /// Executes one command; errors are logged into the transcript and
+    /// returned.
+    pub fn execute(&mut self, cmd: SessionCommand) -> Result<(), String> {
+        match cmd {
+            SessionCommand::Load(o) => {
+                self.log(format!("> load {}", o.name()));
+                self.ontologies.insert(o.name().to_string(), *o);
+                Ok(())
+            }
+            SessionCommand::ImportText(text) => {
+                self.log("> import (text)");
+                match onion_ontology::import::from_text(&text) {
+                    Ok(o) => {
+                        self.log(format!("  imported {}", o.name()));
+                        self.ontologies.insert(o.name().to_string(), o);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        let msg = format!("  import failed: {e}");
+                        self.log(&msg);
+                        Err(msg)
+                    }
+                }
+            }
+            SessionCommand::Drop(name) => {
+                self.log(format!("> drop {name}"));
+                if self.ontologies.remove(&name).is_none() {
+                    let msg = format!("  no ontology named {name:?}");
+                    self.log(&msg);
+                    return Err(msg);
+                }
+                Ok(())
+            }
+            SessionCommand::AddRules(text) => {
+                self.log("> add rules");
+                match parse_rules(&text) {
+                    Ok(rs) => {
+                        let added = self.rules.extend_dedup(&rs);
+                        self.log(format!("  {added} new rule(s)"));
+                        Ok(())
+                    }
+                    Err(e) => {
+                        let msg = format!("  rule parse failed: {e}");
+                        self.log(&msg);
+                        Err(msg)
+                    }
+                }
+            }
+            SessionCommand::Articulate { left, right } => {
+                self.log(format!("> articulate {left} {right}"));
+                let (Some(l), Some(r)) =
+                    (self.ontologies.get(&left), self.ontologies.get(&right))
+                else {
+                    let msg = "  both ontologies must be loaded".to_string();
+                    self.log(&msg);
+                    return Err(msg);
+                };
+                let engine =
+                    ArticulationEngine::new(MatcherPipeline::standard(self.lexicon.clone()));
+                match engine.run(l, r, &mut AcceptAll, self.rules.clone()) {
+                    Ok((art, report)) => {
+                        self.log(format!(
+                            "  {} rounds, {} proposed, {} accepted; {} bridges",
+                            report.rounds,
+                            report.proposed,
+                            report.accepted,
+                            art.bridges.len()
+                        ));
+                        self.articulation = Some(art);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        let msg = format!("  articulation failed: {e}");
+                        self.log(&msg);
+                        Err(msg)
+                    }
+                }
+            }
+            SessionCommand::Show(name) => {
+                self.log(format!("> show {name}"));
+                match self.ontologies.get(&name) {
+                    Some(o) => {
+                        let text = ascii::render_ontology(o);
+                        self.log(text);
+                        Ok(())
+                    }
+                    None => {
+                        let msg = format!("  no ontology named {name:?}");
+                        self.log(&msg);
+                        Err(msg)
+                    }
+                }
+            }
+            SessionCommand::ShowArticulation => {
+                self.log("> show articulation");
+                match &self.articulation {
+                    Some(a) => {
+                        let text = ascii::render_articulation(a);
+                        self.log(text);
+                        Ok(())
+                    }
+                    None => {
+                        let msg = "  no articulation generated yet".to_string();
+                        self.log(&msg);
+                        Err(msg)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs a whole script, stopping at the first error.
+    pub fn run(&mut self, script: Vec<SessionCommand>) -> Result<(), String> {
+        for cmd in script {
+            self.execute(cmd)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_lexicon::builtin::transport_lexicon;
+    use onion_ontology::examples::{carrier, factory};
+
+    #[test]
+    fn full_session_workflow() {
+        let mut s = Session::new(transport_lexicon());
+        s.run(vec![
+            SessionCommand::Load(Box::new(carrier())),
+            SessionCommand::Load(Box::new(factory())),
+            SessionCommand::AddRules(
+                "DGToEuroFn(): carrier.DutchGuilders => transport.Euro\n".into(),
+            ),
+            SessionCommand::Articulate { left: "carrier".into(), right: "factory".into() },
+            SessionCommand::Show("carrier".into()),
+            SessionCommand::ShowArticulation,
+        ])
+        .unwrap();
+        assert_eq!(s.loaded(), vec!["carrier", "factory"]);
+        let art = s.articulation().unwrap();
+        assert!(!art.bridges.is_empty());
+        assert!(art.ontology.defines("Euro"), "expert rule included");
+        let t = s.transcript();
+        assert!(t.contains("> articulate carrier factory"));
+        assert!(t.contains("accepted"));
+        assert!(t.contains("ontology transport"));
+    }
+
+    #[test]
+    fn import_and_drop() {
+        let mut s = Session::new(transport_lexicon());
+        s.execute(SessionCommand::ImportText(
+            "ontology depot\nedge Shed SubclassOf Building\n".into(),
+        ))
+        .unwrap();
+        assert_eq!(s.loaded(), vec!["depot"]);
+        s.execute(SessionCommand::Drop("depot".into())).unwrap();
+        assert!(s.loaded().is_empty());
+    }
+
+    #[test]
+    fn errors_are_logged_and_returned() {
+        let mut s = Session::new(transport_lexicon());
+        assert!(s.execute(SessionCommand::Drop("ghost".into())).is_err());
+        assert!(s.execute(SessionCommand::Show("ghost".into())).is_err());
+        assert!(s.execute(SessionCommand::ShowArticulation).is_err());
+        assert!(s.execute(SessionCommand::AddRules("not a rule".into())).is_err());
+        assert!(s
+            .execute(SessionCommand::Articulate { left: "a".into(), right: "b".into() })
+            .is_err());
+        assert!(s.execute(SessionCommand::ImportText("garbage here".into())).is_err());
+        let t = s.transcript();
+        assert!(t.contains("no ontology named"));
+        assert!(t.contains("rule parse failed"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Functional rules at work: a cross-currency vehicle marketplace.
+//!
+//! ```text
+//! cargo run --example currency_trade
+//! ```
+//!
+//! The paper's §4.1 motivates functional rules with prices "expressed in
+//! terms of Dutch Guilders and Pound Sterling [that] might need to be
+//! normalized with respect to, say the Euro". This example builds a
+//! little marketplace on exactly that: a Dutch fleet seller, a British
+//! manufacturer, a buyer thinking in Euros — and shows condition
+//! pushdown converting the buyer's budget into each source's currency.
+
+use onion_core::prelude::*;
+use onion_core::OnionSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dutch = OntologyBuilder::new("dutch")
+        .class_under("Auto", "Voorraad")
+        .attr("Prijs", "Auto")
+        .relate("Prijs", "expressedIn", "Gulden")
+        .build()?;
+    let british = OntologyBuilder::new("british")
+        .class_under("Car", "Stock")
+        .attr("Price", "Car")
+        .relate("Price", "expressedIn", "Pounds")
+        .build()?;
+
+    let mut onion = OnionSystem::with_transport_lexicon();
+    onion.add_source(dutch);
+    onion.add_source(british);
+    // the expert writes the whole articulation by hand here: class
+    // bridges, attribute bridges, and the two functional rules
+    onion.add_rules(
+        "dutch.Auto => transport.Car\n\
+         british.Car => transport.Car\n\
+         dutch.Prijs => transport.Price\n\
+         british.Price => transport.Price\n\
+         DGToEuroFn(): dutch.Gulden => transport.Euro\n\
+         PSToEuroFn(): british.Pounds => transport.Euro\n",
+    )?;
+    onion.articulate_from_rules("dutch", "british")?;
+
+    let mut dutch_kb = KnowledgeBase::new("dutch");
+    dutch_kb.add(Instance::new("opel", "Auto").with("Prijs", Value::Num(11018.55))); // 5000 EUR
+    dutch_kb.add(Instance::new("daf", "Auto").with("Prijs", Value::Num(44074.20))); // 20000 EUR
+    let mut british_kb = KnowledgeBase::new("british");
+    british_kb.add(Instance::new("mini", "Car").with("Price", Value::Num(3266.50))); // 5000 EUR
+    british_kb.add(Instance::new("jag", "Car").with("Price", Value::Num(32665.00))); // 50000 EUR
+    onion.add_knowledge_base(dutch_kb);
+    onion.add_knowledge_base(british_kb);
+
+    let budget_query = "find Car(Price) where Price < 10000";
+    println!("buyer's question (Euro): {budget_query}\n");
+    println!("{}", onion.explain(budget_query)?);
+    let rs = onion.query(budget_query)?;
+    println!("{rs}");
+    assert_eq!(rs.len(), 2, "opel (5000 EUR) and mini (5000 EUR)");
+
+    // round-trip sanity: 1 EUR worth of guilders -> euro -> guilders
+    let conv = ConversionRegistry::standard();
+    let eur = conv.apply("DGToEuroFn", 2.20371)?;
+    let back = conv.apply_inverse("DGToEuroFn", eur)?;
+    println!("fixed rate check: 2.20371 NLG = {eur} EUR = {back} NLG");
+    Ok(())
+}

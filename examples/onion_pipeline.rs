@@ -1,0 +1,79 @@
+//! Experiment E2: the full Fig. 1 architecture, end to end.
+//!
+//! ```text
+//! cargo run --example onion_pipeline
+//! ```
+//!
+//! Drives every box of the paper's architecture diagram in order:
+//! wrappers/import (data layer) → SKAT proposals → expert confirmation →
+//! articulation generation → inference expansion → algebra → query
+//! reformulation and execution → viewer rendering.
+
+use onion_core::prelude::*;
+use onion_core::{articulate, viewer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- data layer: one ontology imported per supported format --------
+    let carrier = examples::carrier(); // built programmatically
+    let factory_xml = onion_core::graph::xml::to_xml(examples::factory().graph());
+    let factory = onion_core::ontology::import::from_xml(&factory_xml)?; // via XML
+    println!("loaded {} ({} terms) and {} ({} terms)", carrier.name(), carrier.term_count(), factory.name(), factory.term_count());
+
+    // --- SKAT proposes, a threshold expert reviews ---------------------
+    let pipeline = MatcherPipeline::standard(transport_lexicon());
+    let candidates = pipeline.propose(&carrier, &factory, &RuleSet::new());
+    println!("\nSKAT proposed {} candidate rules; top five:", candidates.len());
+    for c in candidates.iter().take(5) {
+        println!("  [{:.2}] {}  ({}: {})", c.confidence, c.rule, c.provenance, c.evidence);
+    }
+
+    let mut expert = ThresholdExpert::new(0.8);
+    let mut generator = GeneratorConfig::default();
+    generator.expand_with_inference = true; // derive transitive bridges
+    let config = EngineConfig { generator, ..Default::default() };
+    let engine = ArticulationEngine::new(MatcherPipeline::standard(transport_lexicon()))
+        .with_config(config);
+    let seed = parse_rules(
+        "DGToEuroFn(): carrier.DutchGuilders => transport.Euro\n\
+         PSToEuroFn(): factory.PoundSterling => transport.Euro\n",
+    )?;
+    let (art, report) = engine.run(&carrier, &factory, &mut expert, seed)?;
+    println!(
+        "\nengine: {} rounds, {} proposed, {} accepted, {} rejected",
+        report.rounds, report.proposed, report.accepted, report.rejected
+    );
+    let derived =
+        art.bridges.iter().filter(|b| b.kind == articulate::BridgeKind::Derived).count();
+    println!("bridges: {} total, {derived} derived by the inference engine", art.bridges.len());
+
+    // --- algebra --------------------------------------------------------
+    let unified = art.unified(&[&carrier, &factory])?;
+    println!("\nunion: {} nodes / {} edges", unified.node_count(), unified.edge_count());
+    println!("intersection: {} articulation terms", art.ontology.term_count());
+    let (diff, dreport) = difference(&carrier, &factory, &art)?;
+    println!(
+        "difference carrier−factory: {} of {} terms independent ({} determined)",
+        diff.node_count(),
+        carrier.term_count(),
+        dreport.determined.len()
+    );
+
+    // --- query system ----------------------------------------------------
+    let mut carrier_kb = KnowledgeBase::new("carrier");
+    carrier_kb.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+    carrier_kb.add(Instance::new("t1", "Trucks").with("Price", Value::Num(66111.3)));
+    let mut factory_kb = KnowledgeBase::new("factory");
+    factory_kb.add(Instance::new("t7", "Truck").with("Price", Value::Num(19599.0)));
+    let cw = InMemoryWrapper::new(carrier_kb);
+    let fw = InMemoryWrapper::new(factory_kb);
+    let conversions = ConversionRegistry::standard();
+    let q = Query::parse("find Truck(Price)").or_else(|_| Query::parse("find Trucks(Price)"))?;
+    let sources: Vec<&Ontology> = vec![&carrier, &factory];
+    let wrappers: Vec<&dyn Wrapper> = vec![&cw, &fw];
+    let rs = execute(&q, &art, &sources, &conversions, &wrappers)?;
+    println!("\nquery `{q}` → {} rows (prices in EUR):\n{rs}", rs.len());
+
+    // --- viewer -----------------------------------------------------------
+    println!("{}", viewer::render_articulation(&art));
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: articulate two ontologies and query across them.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the shortest path through the system: load the paper's Fig. 2
+//! ontologies, let the engine propose bridges (auto-accepting expert),
+//! then ask one cross-source query with currency normalisation.
+
+use onion_core::prelude::*;
+use onion_core::OnionSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. load the Fig. 2 source ontologies
+    let mut onion = OnionSystem::with_transport_lexicon();
+    onion.add_source(examples::carrier());
+    onion.add_source(examples::factory());
+
+    // 2. seed the expert rules from the paper and run the engine
+    onion.add_rules(examples::fig2_rules_text())?;
+    let report = onion.articulate("carrier", "factory", &mut AcceptAll)?;
+    println!(
+        "articulation: {} rounds, {} proposed, {} accepted, {} rejected",
+        report.rounds, report.proposed, report.accepted, report.rejected
+    );
+    let art = onion.articulation().expect("articulated");
+    let (terms, bridges, rules) = art.stats();
+    println!("articulation ontology: {terms} terms, {bridges} bridges, {rules} rules\n");
+
+    // 3. add instance data: carrier prices in Dutch Guilders, factory
+    //    prices in Pound Sterling
+    let mut carrier_kb = KnowledgeBase::new("carrier");
+    carrier_kb.add(
+        Instance::new("MyCar", "Cars")
+            .with("Price", Value::Num(2203.71)) // = 1000 EUR
+            .with("Owner", Value::Str("Mitra".into())),
+    );
+    carrier_kb.add(Instance::new("suv1", "SUV").with("Price", Value::Num(44074.2))); // 20k EUR
+    let mut factory_kb = KnowledgeBase::new("factory");
+    factory_kb.add(Instance::new("pc7", "PassengerCar").with("Price", Value::Num(3266.5))); // 5k EUR
+    factory_kb.add(Instance::new("truck9", "Truck").with("Price", Value::Num(13066.0))); // 20k EUR
+    onion.add_knowledge_base(carrier_kb);
+    onion.add_knowledge_base(factory_kb);
+
+    // 4. one query, answered by both sources, prices normalised to Euro
+    let question = "find Vehicle(Price, Owner) where Price < 10000";
+    println!("query: {question}");
+    println!("{}", onion.explain(question)?);
+    let results = onion.query(question)?;
+    println!("{results}");
+    assert_eq!(results.len(), 2, "MyCar (1000 EUR) and pc7 (5000 EUR)");
+    Ok(())
+}

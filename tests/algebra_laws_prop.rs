@@ -1,0 +1,91 @@
+//! Property-based checks of the ontology algebra laws (§5) over
+//! generated overlap pairs and rule subsets.
+
+use proptest::prelude::*;
+
+use onion_core::algebra::laws;
+use onion_core::prelude::*;
+use onion_core::testkit::{overlap_pair, OverlapSpec};
+
+fn spec_strategy() -> impl Strategy<Value = OverlapSpec> {
+    (0u64..1000, 10usize..40, 0.0f64..0.6, 0.0f64..1.0).prop_map(
+        |(seed, concepts, overlap, rename_prob)| OverlapSpec {
+            seed,
+            concepts,
+            overlap,
+            rename_prob,
+            max_children: 4,
+        },
+    )
+}
+
+/// Builds a rule set bridging a subset of the pair's planted truth.
+fn rules_from_truth(pair: &onion_core::testkit::OverlapPair, take: usize) -> RuleSet {
+    let mut rs = RuleSet::new();
+    for (l, r) in pair.truth.iter().take(take) {
+        let (lo, ln) = l.split_once('.').expect("qualified");
+        let (ro, rn) = r.split_once('.').expect("qualified");
+        rs.push(ArticulationRule::term_implies(
+            Term::qualified(lo, ln),
+            Term::qualified(ro, rn),
+        ));
+    }
+    rs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// All §5 laws hold on arbitrary planted pairs and truth-subset rules.
+    #[test]
+    fn algebra_laws_hold(spec in spec_strategy(), take in 0usize..20) {
+        let pair = overlap_pair(&spec);
+        let rules = rules_from_truth(&pair, take);
+        let generator = ArticulationGenerator::new();
+        let violations =
+            laws::check_all(&pair.left, &pair.right, &rules, &generator).unwrap();
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// Difference shrinks monotonically as more concepts are bridged.
+    #[test]
+    fn difference_monotone_in_rules(spec in spec_strategy()) {
+        let pair = overlap_pair(&spec);
+        let generator = ArticulationGenerator::new();
+        let mut previous = usize::MAX;
+        for take in [0usize, 2, 8, usize::MAX] {
+            let take = take.min(pair.truth.len());
+            let rules = rules_from_truth(&pair, take);
+            let art = generator.generate(&rules, &[&pair.left, &pair.right]).unwrap();
+            let (d, _) = difference(&pair.left, &pair.right, &art).unwrap();
+            prop_assert!(d.node_count() <= previous,
+                "difference grew from {previous} to {} at take={take}", d.node_count());
+            previous = d.node_count();
+        }
+    }
+
+    /// Union node count equals the sum of parts (no accidental merging).
+    #[test]
+    fn union_preserves_sources(spec in spec_strategy(), take in 0usize..10) {
+        let pair = overlap_pair(&spec);
+        let rules = rules_from_truth(&pair, take);
+        let generator = ArticulationGenerator::new();
+        let u = union(&pair.left, &pair.right, &rules, &generator).unwrap();
+        prop_assert_eq!(
+            u.graph.node_count(),
+            pair.left.term_count() + pair.right.term_count()
+                + u.articulation.ontology.term_count()
+        );
+    }
+
+    /// Intersection terms never exceed the bridged vocabulary.
+    #[test]
+    fn intersection_bounded_by_rules(spec in spec_strategy(), take in 0usize..10) {
+        let pair = overlap_pair(&spec);
+        let rules = rules_from_truth(&pair, take);
+        let generator = ArticulationGenerator::new();
+        let i = intersect(&pair.left, &pair.right, &rules, &generator).unwrap();
+        // each simple rule introduces at most one articulation term
+        prop_assert!(i.term_count() <= rules.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration across every crate: engine → algebra → query,
+//! on both the Fig. 2 example and synthetic workloads.
+
+use onion_core::prelude::*;
+use onion_core::testkit::{self, overlap_pair, precision_recall, OverlapSpec};
+use onion_core::OnionSystem;
+
+#[test]
+fn fig2_full_stack() {
+    let mut onion = OnionSystem::with_transport_lexicon();
+    onion.add_source(examples::carrier());
+    onion.add_source(examples::factory());
+    onion.add_rules(examples::fig2_rules_text()).unwrap();
+    let report = onion.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+    assert!(report.accepted > 0);
+    assert!(report.rounds >= 2);
+
+    // algebra over the engine's articulation
+    let u = onion.union().unwrap();
+    assert!(u.node_count() > examples::carrier().term_count());
+    let i = onion.intersection().unwrap();
+    assert!(i.term_count() > 0);
+    let (d, _) = onion.difference("carrier", "factory").unwrap();
+    assert!(d.node_count() < examples::carrier().term_count());
+
+    // query across both sources
+    let mut ckb = KnowledgeBase::new("carrier");
+    ckb.add(Instance::new("c1", "Cars").with("Price", Value::Num(2203.71)));
+    let mut fkb = KnowledgeBase::new("factory");
+    fkb.add(Instance::new("f1", "PassengerCar").with("Price", Value::Num(653.3)));
+    onion.add_knowledge_base(ckb);
+    onion.add_knowledge_base(fkb);
+    let rs = onion.query("find Vehicle(Price)").unwrap();
+    assert_eq!(rs.len(), 2);
+    for row in &rs.rows {
+        let eur = row.attrs["Price"].as_num().unwrap();
+        assert!((eur - 1000.0).abs() < 1e-6, "all prices normalise to 1000 EUR");
+    }
+}
+
+#[test]
+fn oracle_expert_recovers_planted_truth() {
+    // B2's logic as a correctness test: on a planted-overlap pair, the
+    // oracle-reviewed engine should find every recoverable pair and
+    // nothing else.
+    let pair = overlap_pair(&OverlapSpec {
+        seed: 99,
+        concepts: 60,
+        overlap: 0.3,
+        rename_prob: 0.5,
+        max_children: 4,
+    });
+    let pipeline = MatcherPipeline::new()
+        .with(onion_core::articulate::ExactLabelMatcher)
+        .with(onion_core::articulate::SynonymMatcher::new(pair.lexicon.clone()));
+    let engine = ArticulationEngine::new(pipeline);
+    let mut expert = OracleExpert::new(pair.truth.iter().cloned());
+    let (art, report) = engine.run(&pair.left, &pair.right, &mut expert, RuleSet::new()).unwrap();
+    let metrics = precision_recall(&art.rules.rules, &pair.truth_set());
+    assert_eq!(metrics.precision(), 1.0, "oracle admits no false bridges");
+    assert_eq!(
+        metrics.recall(),
+        1.0,
+        "exact+synonym matchers recover every planted pair (tp={}, fn={}, report={report:?})",
+        metrics.true_positives,
+        metrics.false_negatives,
+    );
+}
+
+#[test]
+fn accept_all_on_synthetic_pair_has_lower_precision() {
+    // the automated end of the §1 spectrum: accept everything the
+    // matchers propose, measure the quality cost
+    let pair = overlap_pair(&OverlapSpec {
+        seed: 7,
+        concepts: 80,
+        overlap: 0.25,
+        rename_prob: 0.3,
+        max_children: 4,
+    });
+    let pipeline = MatcherPipeline::standard(pair.lexicon.clone());
+    let engine = ArticulationEngine::new(pipeline);
+    let (art_all, _) =
+        engine.run(&pair.left, &pair.right, &mut AcceptAll, RuleSet::new()).unwrap();
+    let all_metrics = precision_recall(&art_all.rules.rules, &pair.truth_set());
+
+    let pipeline = MatcherPipeline::standard(pair.lexicon.clone());
+    let engine = ArticulationEngine::new(pipeline);
+    let mut oracle = OracleExpert::new(pair.truth.iter().cloned());
+    let (art_oracle, _) =
+        engine.run(&pair.left, &pair.right, &mut oracle, RuleSet::new()).unwrap();
+    let oracle_metrics = precision_recall(&art_oracle.rules.rules, &pair.truth_set());
+
+    assert!(all_metrics.recall() >= oracle_metrics.recall() - 1e-9);
+    assert!(
+        all_metrics.precision() <= oracle_metrics.precision(),
+        "expert review should not hurt precision (all={:.2}, oracle={:.2})",
+        all_metrics.precision(),
+        oracle_metrics.precision()
+    );
+}
+
+#[test]
+fn global_merge_baseline_agrees_on_shared_concepts() {
+    // both architectures must agree on *what* is shared; they differ in
+    // cost and maintainability, not semantics
+    let pair = overlap_pair(&OverlapSpec {
+        seed: 21,
+        concepts: 40,
+        overlap: 0.5,
+        rename_prob: 1.0,
+        max_children: 4,
+    });
+    let gm = testkit::GlobalMerge::build(&[&pair.left, &pair.right], &pair.lexicon);
+    for (l, r) in &pair.truth {
+        let ln = l.strip_prefix("left.").unwrap();
+        let rn = r.strip_prefix("right.").unwrap();
+        assert_eq!(
+            gm.global_label("left", ln),
+            gm.global_label("right", rn),
+            "baseline should unify planted pair {ln} ~ {rn}"
+        );
+    }
+}
+
+#[test]
+fn viewer_session_drives_the_same_flow() {
+    use onion_core::viewer::{Session, SessionCommand};
+    let mut s = Session::new(transport_lexicon());
+    s.run(vec![
+        SessionCommand::Load(Box::new(examples::carrier())),
+        SessionCommand::Load(Box::new(examples::factory())),
+        SessionCommand::AddRules(examples::fig2_rules_text().to_string()),
+        SessionCommand::Articulate { left: "carrier".into(), right: "factory".into() },
+        SessionCommand::ShowArticulation,
+    ])
+    .unwrap();
+    assert!(s.articulation().unwrap().bridges.len() >= 20);
+    assert!(s.transcript().contains("ontology transport"));
+}

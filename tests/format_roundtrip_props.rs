@@ -1,0 +1,129 @@
+//! Property-based round-trips for the interchange formats (§2.1): text,
+//! XML, rule syntax, Horn syntax and query syntax all print-then-parse
+//! to the same value.
+
+use proptest::prelude::*;
+
+use onion_core::graph::{text, xml};
+use onion_core::prelude::*;
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::parser::parse_rule;
+
+/// Labels exercising quoting: plain words, spaces, quotes, XML entities.
+fn gnarly_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}",
+        Just("has space".to_string()),
+        Just("quo\"te".to_string()),
+        Just("amp&lt".to_string()),
+        Just("tick'mark".to_string()),
+        Just("<angled>".to_string()),
+    ]
+}
+
+fn edge_list() -> impl Strategy<Value = Vec<(String, String, String)>> {
+    prop::collection::vec((gnarly_label(), "[a-z]{1,6}", gnarly_label()), 0..20)
+}
+
+/// Lowercase ontology names avoiding the rule grammar's reserved words
+/// (`and` / `or` must be quoted when used as identifiers).
+fn ontology_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}".prop_map(|s| {
+        if s == "or" || s == "and" {
+            format!("{s}x")
+        } else {
+            s
+        }
+    })
+}
+
+fn build(edges: &[(String, String, String)]) -> OntGraph {
+    let mut g = OntGraph::new("roundtrip");
+    for (a, l, b) in edges {
+        if a != b {
+            let _ = g.ensure_edge_by_labels(a, l, b);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_roundtrip(edges in edge_list()) {
+        let g = build(&edges);
+        let serialized = text::to_text(&g);
+        let parsed = text::from_text(&serialized).unwrap();
+        prop_assert!(g.same_shape(&parsed));
+        prop_assert_eq!(g.name(), parsed.name());
+    }
+
+    #[test]
+    fn xml_roundtrip(edges in edge_list()) {
+        let g = build(&edges);
+        let serialized = xml::to_xml(&g);
+        let parsed = xml::from_xml(&serialized).unwrap();
+        prop_assert!(g.same_shape(&parsed));
+    }
+
+    #[test]
+    fn rule_roundtrip(
+        o1 in ontology_name(), t1 in "[A-Z][a-z]{1,6}",
+        o2 in ontology_name(), t2 in "[A-Z][a-z]{1,6}",
+        t3 in "[A-Z][a-z]{1,6}",
+        shape in 0u8..5,
+    ) {
+        let src = match shape {
+            0 => format!("{o1}.{t1} => {o2}.{t2}"),
+            1 => format!("{o1}.{t1} => transport.{t3} => {o2}.{t2}"),
+            2 => format!("({o1}.{t1} & {o1}.{t3}) => {o2}.{t2}"),
+            3 => format!("{o1}.{t1} => ({o2}.{t2} | {o2}.{t3})"),
+            _ => format!("ConvFn(): {o1}.{t1} => {o2}.{t2}"),
+        };
+        let rule = parse_rule(&src).unwrap();
+        let reparsed = parse_rule(&rule.to_string()).unwrap();
+        prop_assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn horn_roundtrip(
+        consts in prop::collection::vec("[a-z]{1,5}(\\.[A-Z][a-z]{1,4})?", 1..6)
+    ) {
+        let mut src = String::from("p(X, Z) :- p(X, Y), p(Y, Z).\n");
+        for c in &consts {
+            src.push_str(&format!("p(\"{c}\", \"{c}x\").\n"));
+        }
+        let prog = HornProgram::parse(&src).unwrap();
+        let printed: String =
+            prog.clauses.iter().map(|c| format!("{c}\n")).collect();
+        let reparsed = HornProgram::parse(&printed).unwrap();
+        prop_assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn query_roundtrip(
+        class in "[A-Z][a-z]{1,8}",
+        attrs in prop::collection::vec("[A-Z][a-z]{1,6}", 0..3),
+        bound in 0.0f64..100000.0,
+    ) {
+        let mut q = Query::all(&class);
+        for a in &attrs {
+            q = q.select(a);
+        }
+        if let Some(a) = attrs.first() {
+            q = q.filter(a, CmpOp::Lt, Value::Num(bound.round()));
+        }
+        let reparsed = Query::parse(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Importing the same graph through text and XML yields the same shape.
+    #[test]
+    fn formats_agree(edges in edge_list()) {
+        let g = build(&edges);
+        let via_text = text::from_text(&text::to_text(&g)).unwrap();
+        let via_xml = xml::from_xml(&xml::to_xml(&g)).unwrap();
+        prop_assert!(via_text.same_shape(&via_xml));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the graph substrate: transformation
+//! primitives, closure, pattern matching.
+
+use proptest::prelude::*;
+
+use onion_core::graph::closure::{materialize_closure, transitive_pairs, transitive_reduce};
+use onion_core::graph::ops::{apply_all, GraphOp};
+use onion_core::graph::traverse::{has_path, EdgeFilter};
+use onion_core::prelude::*;
+
+/// A small label alphabet keeps collision (and thus interesting merges)
+/// likely.
+fn label() -> impl Strategy<Value = String> {
+    (0u8..12).prop_map(|i| format!("n{i}"))
+}
+
+fn edge_list() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((label(), label()), 0..40)
+}
+
+fn graph_from(edges: &[(String, String)]) -> OntGraph {
+    let mut g = OntGraph::new("prop");
+    for (a, b) in edges {
+        if a != b {
+            let _ = g.ensure_edge_by_labels(a, "S", b);
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Journal replay reproduces the graph exactly.
+    #[test]
+    fn journal_replay_is_faithful(edges in edge_list(), delete in prop::collection::vec(label(), 0..6)) {
+        let mut g = OntGraph::new("orig");
+        g.enable_journal();
+        for (a, b) in &edges {
+            if a != b {
+                let _ = g.ensure_edge_by_labels(a, "S", b);
+            }
+        }
+        for d in &delete {
+            let _ = g.delete_node_by_label(d);
+        }
+        let journal = g.take_journal();
+        let mut replay = OntGraph::new("replay");
+        apply_all(&mut replay, &journal).unwrap();
+        prop_assert!(replay.same_shape(&g));
+    }
+
+    /// Closure materialisation then reduction returns to a graph with
+    /// the same reachability.
+    #[test]
+    fn closure_roundtrip_preserves_reachability(edges in edge_list()) {
+        let g0 = graph_from(&edges);
+        let pairs_before = transitive_pairs(&g0, &EdgeFilter::label("S"));
+        let mut g = g0.clone();
+        materialize_closure(&mut g, "S").unwrap();
+        transitive_reduce(&mut g, "S").unwrap();
+        let pairs_after = transitive_pairs(&g, &EdgeFilter::label("S"));
+        prop_assert_eq!(pairs_before, pairs_after);
+    }
+
+    /// After materialisation, every transitive pair has a direct edge.
+    #[test]
+    fn materialized_closure_is_complete(edges in edge_list()) {
+        let mut g = graph_from(&edges);
+        materialize_closure(&mut g, "S").unwrap();
+        for (a, b) in transitive_pairs(&g, &EdgeFilter::label("S")) {
+            if a != b {
+                prop_assert!(g.find_edge(a, "S", b).is_some());
+            }
+        }
+    }
+
+    /// has_path agrees with membership in the transitive closure.
+    #[test]
+    fn has_path_agrees_with_closure(edges in edge_list()) {
+        let g = graph_from(&edges);
+        let pairs = transitive_pairs(&g, &EdgeFilter::All);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        for &a in nodes.iter().take(8) {
+            for &b in nodes.iter().take(8) {
+                if a == b { continue; }
+                let reported = has_path(&g, a, b, &EdgeFilter::All);
+                prop_assert_eq!(reported, pairs.contains(&(a, b)));
+            }
+        }
+    }
+
+    /// Node deletion removes exactly the incident edges.
+    #[test]
+    fn deletion_is_local(edges in edge_list(), victim in label()) {
+        let mut g = graph_from(&edges);
+        let Some(v) = g.node_by_label(&victim) else { return Ok(()); };
+        let incident = g.out_degree(v) + g.in_degree(v);
+        let edges_before = g.edge_count();
+        let nodes_before = g.node_count();
+        g.delete_node(v).unwrap();
+        prop_assert_eq!(g.edge_count(), edges_before - incident);
+        prop_assert_eq!(g.node_count(), nodes_before - 1);
+    }
+
+    /// A single-edge pattern matches exactly the edges with that label.
+    #[test]
+    fn single_edge_pattern_counts_edges(edges in edge_list()) {
+        let g = graph_from(&edges);
+        let mut p = Pattern::new();
+        let x = p.any_node();
+        let y = p.any_node();
+        p.edge(x, "S", y);
+        let matches = Matcher::new(&g).find_all(&p).unwrap();
+        prop_assert_eq!(matches.len(), g.edge_count());
+    }
+
+    /// Matching a pattern extracted from the graph itself always succeeds.
+    #[test]
+    fn self_extracted_patterns_match(edges in edge_list()) {
+        let g = graph_from(&edges);
+        for e in g.edges().take(5) {
+            let s = g.node_label(e.src).unwrap();
+            let d = g.node_label(e.dst).unwrap();
+            let mut p = Pattern::new();
+            let a = p.node(s);
+            let b = p.node(d);
+            p.edge(a, e.label, b);
+            prop_assert!(Matcher::new(&g).matches(&p).unwrap());
+        }
+    }
+
+    /// merge_from is idempotent: merging the same graph twice changes
+    /// nothing the second time.
+    #[test]
+    fn merge_from_idempotent(edges in edge_list()) {
+        let src = graph_from(&edges);
+        let mut dst = OntGraph::new("dst");
+        dst.merge_from(&src).unwrap();
+        let nodes = dst.node_count();
+        let edge_count = dst.edge_count();
+        dst.merge_from(&src).unwrap();
+        prop_assert_eq!(dst.node_count(), nodes);
+        prop_assert_eq!(dst.edge_count(), edge_count);
+    }
+
+    /// Inverses of edge ops really undo them.
+    #[test]
+    fn edge_op_inverse_roundtrip(edges in edge_list()) {
+        let mut g = graph_from(&edges);
+        let snapshot = g.edge_triples_sorted();
+        let op = GraphOp::edge_add("fresh_a", "S", "fresh_b");
+        op.apply(&mut g).unwrap();
+        op.inverse().unwrap().apply(&mut g).unwrap();
+        // fresh nodes remain but edges are restored
+        prop_assert_eq!(g.edge_triples_sorted(), snapshot);
+    }
+}

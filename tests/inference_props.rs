@@ -1,0 +1,151 @@
+//! Property-based equivalence of the inference strategies (§4.1 / B6):
+//! semi-naive, naive and the full-closure baseline must compute the same
+//! least fixpoint on arbitrary fact bases, and closure inference must
+//! agree with graph reachability.
+
+use proptest::prelude::*;
+
+use onion_core::graph::closure::transitive_pairs;
+use onion_core::graph::traverse::EdgeFilter;
+use onion_core::prelude::*;
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy as InferStrategy};
+
+fn edge_list() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..10, 0u8..10), 0..30)
+}
+
+fn sorted_facts(fb: &FactBase, pred: &str) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = fb
+        .query2(pred, None, None)
+        .into_iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// All three strategies derive identical fixpoints.
+    #[test]
+    fn strategies_agree(edges in edge_list()) {
+        let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut results = Vec::new();
+        for strat in [InferStrategy::SemiNaive, InferStrategy::Naive, InferStrategy::FullClosure] {
+            let mut fb = FactBase::new();
+            for (a, b) in &edges {
+                fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+            }
+            InferenceEngine::new(program.clone())
+                .with_strategy(strat)
+                .run(&mut fb)
+                .unwrap();
+            results.push(sorted_facts(&fb, "p"));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+
+    /// Horn transitivity agrees with graph transitive closure.
+    #[test]
+    fn horn_closure_matches_graph_closure(edges in edge_list()) {
+        // graph side
+        let mut g = OntGraph::new("t");
+        for (a, b) in &edges {
+            if a != b {
+                let _ = g.ensure_edge_by_labels(&format!("n{a}"), "S", &format!("n{b}"));
+            }
+        }
+        let mut graph_pairs: Vec<(String, String)> =
+            transitive_pairs(&g, &EdgeFilter::label("S"))
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| {
+                    (
+                        g.node_label(a).unwrap().to_string(),
+                        g.node_label(b).unwrap().to_string(),
+                    )
+                })
+                .collect();
+        graph_pairs.sort();
+        graph_pairs.dedup();
+
+        // horn side
+        let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut fb = FactBase::new();
+        for (a, b) in &edges {
+            if a != b {
+                fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+            }
+        }
+        InferenceEngine::new(program).run(&mut fb).unwrap();
+        let horn_pairs: Vec<(String, String)> = sorted_facts(&fb, "p")
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .collect();
+        prop_assert_eq!(graph_pairs, horn_pairs);
+    }
+
+    /// Inference is monotone: adding facts never removes derivations.
+    #[test]
+    fn inference_monotone(edges in edge_list(), extra in (0u8..10, 0u8..10)) {
+        let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut fb1 = FactBase::new();
+        for (a, b) in &edges {
+            fb1.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+        }
+        InferenceEngine::new(program.clone()).run(&mut fb1).unwrap();
+        let small = sorted_facts(&fb1, "p");
+
+        let mut fb2 = FactBase::new();
+        for (a, b) in &edges {
+            fb2.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+        }
+        fb2.add("p", &[&format!("n{}", extra.0), &format!("n{}", extra.1)]);
+        InferenceEngine::new(program).run(&mut fb2).unwrap();
+        let big = sorted_facts(&fb2, "p");
+        for fact in &small {
+            prop_assert!(big.contains(fact), "lost fact {fact:?}");
+        }
+    }
+
+    /// Running the engine twice adds nothing (fixpoint is a fixpoint).
+    #[test]
+    fn fixpoint_is_stable(edges in edge_list()) {
+        let program = HornProgram::parse(
+            "p(X, Z) :- p(X, Y), p(Y, Z). q(Y, X) :- p(X, Y).",
+        )
+        .unwrap();
+        let mut fb = FactBase::new();
+        for (a, b) in &edges {
+            fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+        }
+        InferenceEngine::new(program.clone()).run(&mut fb).unwrap();
+        let size = fb.len();
+        let stats = InferenceEngine::new(program).run(&mut fb).unwrap();
+        prop_assert_eq!(fb.len(), size);
+        prop_assert_eq!(stats.derived, 0);
+    }
+
+    /// Semi-naive never examines more candidate atoms than full-closure.
+    #[test]
+    fn seminaive_no_worse_than_fullclosure(edges in edge_list()) {
+        let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut effort = Vec::new();
+        for strat in [InferStrategy::SemiNaive, InferStrategy::FullClosure] {
+            let mut fb = FactBase::new();
+            for (a, b) in &edges {
+                fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+            }
+            let stats = InferenceEngine::new(program.clone())
+                .with_strategy(strat)
+                .run(&mut fb)
+                .unwrap();
+            effort.push(stats.atoms_examined);
+        }
+        prop_assert!(effort[0] <= effort[1],
+            "semi-naive {} > full-closure {}", effort[0], effort[1]);
+    }
+}
