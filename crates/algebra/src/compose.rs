@@ -12,7 +12,10 @@
 //! articulation ontology. Experiment B7 compares the cost of adding the
 //! k-th source this way against re-merging everything globally.
 
-use onion_articulate::{Articulation, ArticulationEngine, EngineConfig, EngineReport, Expert, GeneratorConfig, MatcherPipeline};
+use onion_articulate::{
+    Articulation, ArticulationEngine, EngineConfig, EngineReport, Expert, GeneratorConfig,
+    MatcherPipeline,
+};
 use onion_lexicon::Lexicon;
 use onion_ontology::Ontology;
 use onion_rules::RuleSet;
@@ -88,8 +91,7 @@ pub fn add_source(
 
 fn step_engine(step: usize, lexicon: &Lexicon) -> ArticulationEngine {
     // each step gets its own namespace so qualified terms stay unambiguous
-    let generator =
-        GeneratorConfig { art_name: format!("art{}", step + 1), ..Default::default() };
+    let generator = GeneratorConfig { art_name: format!("art{}", step + 1), ..Default::default() };
     let config = EngineConfig { max_rounds: 3, generator };
     ArticulationEngine::new(MatcherPipeline::standard(lexicon.clone())).with_config(config)
 }
@@ -124,10 +126,16 @@ mod tests {
         assert_eq!(comp.steps[0].name(), "art1");
         assert_eq!(comp.steps[1].name(), "art2");
         // the second step bridges art1 terms to retailer terms
-        assert!(comp.top().bridges.iter().any(|b| b.src.in_ontology("art1")
-            || b.dst.in_ontology("art1")));
-        assert!(comp.top().bridges.iter().any(|b| b.src.in_ontology("retailer")
-            || b.dst.in_ontology("retailer")));
+        assert!(comp
+            .top()
+            .bridges
+            .iter()
+            .any(|b| b.src.in_ontology("art1") || b.dst.in_ontology("art1")));
+        assert!(comp
+            .top()
+            .bridges
+            .iter()
+            .any(|b| b.src.in_ontology("retailer") || b.dst.in_ontology("retailer")));
     }
 
     #[test]

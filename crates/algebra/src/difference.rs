@@ -108,8 +108,7 @@ pub fn difference(
 ) -> Result<(OntGraph, DifferenceReport)> {
     let g = o1.graph();
     let determined = determined_terms(articulation, o1.name(), o2.name());
-    let det_nodes: Vec<NodeId> =
-        determined.iter().filter_map(|l| g.node_by_label(l)).collect();
+    let det_nodes: Vec<NodeId> = determined.iter().filter_map(|l| g.node_by_label(l)).collect();
 
     // condition 2: anything with a directed semantic path *to* a
     // determined node is a specialisation of a shared concept — not
@@ -248,8 +247,7 @@ mod tests {
         // both differences
         let a = OntologyBuilder::new("a").class("Thing").build().unwrap();
         let b = OntologyBuilder::new("b").class("Item").build().unwrap();
-        let rules =
-            onion_rules::parse_rules("a.Thing => b.Item\nb.Item => a.Thing\n").unwrap();
+        let rules = onion_rules::parse_rules("a.Thing => b.Item\nb.Item => a.Thing\n").unwrap();
         let art = ArticulationGenerator::new().generate(&rules, &[&a, &b]).unwrap();
         let (da, ra) = difference(&a, &b, &art).unwrap();
         let (db, rb) = difference(&b, &a, &art).unwrap();
@@ -286,19 +284,13 @@ mod tests {
         assert!(!d.contains_label("SUV"));
         assert!(report.reaches_determined.contains(&"SUV".to_string()));
         assert!(d.contains_label("Boat"));
-        assert!(
-            d.contains_label("Transportation"),
-            "Transportation reachable from surviving Boat"
-        );
+        assert!(d.contains_label("Transportation"), "Transportation reachable from surviving Boat");
     }
 
     #[test]
     fn attributes_of_shared_classes_survive() {
-        let carrier = OntologyBuilder::new("carrier")
-            .class("Car")
-            .attr("Price", "Car")
-            .build()
-            .unwrap();
+        let carrier =
+            OntologyBuilder::new("carrier").class("Car").attr("Price", "Car").build().unwrap();
         let factory = OntologyBuilder::new("factory").class("Vehicle").build().unwrap();
         let rules = onion_rules::parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
         let art = ArticulationGenerator::new().generate(&rules, &[&carrier, &factory]).unwrap();
@@ -318,11 +310,8 @@ mod tests {
 
     #[test]
     fn instance_of_shared_class_is_removed() {
-        let carrier = OntologyBuilder::new("carrier")
-            .class("Car")
-            .instance("MyCar", "Car")
-            .build()
-            .unwrap();
+        let carrier =
+            OntologyBuilder::new("carrier").class("Car").instance("MyCar", "Car").build().unwrap();
         let factory = OntologyBuilder::new("factory").class("Vehicle").build().unwrap();
         let rules = onion_rules::parse_rules("carrier.Car => factory.Vehicle\n").unwrap();
         let art = ArticulationGenerator::new().generate(&rules, &[&carrier, &factory]).unwrap();

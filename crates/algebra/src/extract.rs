@@ -1,6 +1,6 @@
 //! The `extract` unary operator — the algebra's *project* (§5).
 //!
-//! Where [`crate::filter`] keeps only what the pattern itself touches,
+//! Where [`crate::filter()`] keeps only what the pattern itself touches,
 //! `extract` carves out the whole region of the ontology anchored at the
 //! pattern's matches: the matched nodes plus everything reachable from
 //! them along the selected edge labels, with those edges. This is the

@@ -70,10 +70,8 @@ mod tests {
             .build()
             .unwrap();
         let rules = onion_rules::parse_rules("transport.Vehicle => retail.Vehicle\n").unwrap();
-        let cfg = onion_articulate::GeneratorConfig {
-            art_name: "art2".into(),
-            ..Default::default()
-        };
+        let cfg =
+            onion_articulate::GeneratorConfig { art_name: "art2".into(), ..Default::default() };
         let second = ArticulationGenerator::with_config(cfg).generate(&rules, &[&i, &third]);
         assert!(second.is_ok());
         assert!(second.unwrap().ontology.defines("Vehicle"));

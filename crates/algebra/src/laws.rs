@@ -48,10 +48,7 @@ pub fn union_node_law(
     let u = union(o1, o2, rules, generator)?;
     let expected = o1.term_count() + o2.term_count() + u.articulation.ontology.term_count();
     if u.graph.node_count() != expected {
-        return Ok(Err(format!(
-            "union has {} nodes, expected {expected}",
-            u.graph.node_count()
-        )));
+        return Ok(Err(format!("union has {} nodes, expected {expected}", u.graph.node_count())));
     }
     for (o, prefix) in [(o1, o1.name()), (o2, o2.name())] {
         for n in o.graph().nodes() {
@@ -147,8 +144,7 @@ mod tests {
     fn fig2_satisfies_all_laws() {
         let c = carrier();
         let f = factory();
-        let violations =
-            check_all(&c, &f, &fig2_rules(), &ArticulationGenerator::new()).unwrap();
+        let violations = check_all(&c, &f, &fig2_rules(), &ArticulationGenerator::new()).unwrap();
         assert!(violations.is_empty(), "{violations:?}");
     }
 

@@ -3,17 +3,17 @@
 //! The ontology algebra of the paper's §5 — "the machinery to support
 //! the composition of ontologies via the articulation".
 //!
-//! * Unary operators [`filter`] and [`extract`] "work on a single
+//! * Unary operators [`filter()`] and [`extract()`] "work on a single
 //!   ontology … analogous to the select and project operations in
 //!   relational algebra": given a graph pattern they return selected
 //!   portions of the ontology graph.
-//! * Binary [`union`]: the two source graphs connected by the
+//! * Binary [`union()`]: the two source graphs connected by the
 //!   articulation — `OU = (N1 ∪ N2 ∪ NA, E1 ∪ E2 ∪ EA ∪ BridgeEdges)`
 //!   (§5.1), computed dynamically, never stored.
-//! * Binary [`intersect`]: the articulation ontology itself — "the
+//! * Binary [`intersect()`]: the articulation ontology itself — "the
 //!   portions of knowledge bases that deal with similar concepts"
 //!   (§5.2); the composable unit that makes articulation scale.
-//! * Binary [`difference`]: "the terms and relationships of the first
+//! * Binary [`difference()`]: "the terms and relationships of the first
 //!   ontology that have not been determined to exist in the second"
 //!   (§5.3), with the paper's conservative path semantics; the basis for
 //!   independent source evolution.

@@ -56,7 +56,11 @@ pub fn union(
 
 /// Union with a pre-computed articulation (skips regeneration; the form
 /// used when the stored articulation is reused across queries, §5.1).
-pub fn union_with(o1: &Ontology, o2: &Ontology, articulation: &Articulation) -> Result<UnionResult> {
+pub fn union_with(
+    o1: &Ontology,
+    o2: &Ontology,
+    articulation: &Articulation,
+) -> Result<UnionResult> {
     let graph = articulation.unified(&[o1, o2])?;
     Ok(UnionResult { graph, articulation: articulation.clone() })
 }

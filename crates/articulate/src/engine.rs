@@ -160,9 +160,8 @@ mod tests {
         // round 1, grows from round-1 acceptances in round 2
         let c = carrier();
         let f = factory();
-        let pipeline = MatcherPipeline::new()
-            .with(ExactLabelMatcher)
-            .with(StructuralMatcher::default());
+        let pipeline =
+            MatcherPipeline::new().with(ExactLabelMatcher).with(StructuralMatcher::default());
         let eng = ArticulationEngine::new(pipeline);
         let mut seed = RuleSet::new();
         seed.push(onion_rules::parser::parse_rule("carrier.Cars => factory.Vehicle").unwrap());
@@ -190,9 +189,8 @@ mod tests {
     fn expert_supplied_rules_included() {
         let c = carrier();
         let f = factory();
-        let supplied = parse_rules("PSToEuroFn(): factory.PoundSterling => transport.Euro\n")
-            .unwrap()
-            .rules;
+        let supplied =
+            parse_rules("PSToEuroFn(): factory.PoundSterling => transport.Euro\n").unwrap().rules;
         let mut expert = ScriptedExpert::new(vec![]).with_supplied_rules(supplied);
         let (art, report) = engine().run(&c, &f, &mut expert, RuleSet::new()).unwrap();
         assert_eq!(report.supplied, 1);
@@ -217,7 +215,8 @@ mod tests {
         let c = carrier();
         let f = factory();
         let cfg = EngineConfig { max_rounds: 1, ..Default::default() };
-        let (_, report) = engine().with_config(cfg).run(&c, &f, &mut AcceptAll, RuleSet::new()).unwrap();
+        let (_, report) =
+            engine().with_config(cfg).run(&c, &f, &mut AcceptAll, RuleSet::new()).unwrap();
         assert_eq!(report.rounds, 1);
     }
 

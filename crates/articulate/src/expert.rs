@@ -220,10 +220,8 @@ mod tests {
 
     #[test]
     fn scripted_supplies_rules_once() {
-        let r = ArticulationRule::term_implies(
-            Term::qualified("a", "X"),
-            Term::qualified("b", "Y"),
-        );
+        let r =
+            ArticulationRule::term_implies(Term::qualified("a", "X"), Term::qualified("b", "Y"));
         let mut e = ScriptedExpert::new(vec![]).with_supplied_rules(vec![r.clone()]);
         assert_eq!(e.supply_rules(), vec![r]);
         assert!(e.supply_rules().is_empty(), "supplied only once");
@@ -246,8 +244,8 @@ mod tests {
 
     #[test]
     fn oracle_noise_flips_periodically() {
-        let mut e = OracleExpert::new([("o1.A".to_string(), "o2.B".to_string())])
-            .with_noise_period(2);
+        let mut e =
+            OracleExpert::new([("o1.A".to_string(), "o2.B".to_string())]).with_noise_period(2);
         assert_eq!(e.review(&cand("A", "B", 1.0)), Verdict::Accept); // 1st: true verdict
         assert_eq!(e.review(&cand("A", "B", 1.0)), Verdict::Reject); // 2nd: flipped
         assert_eq!(e.review(&cand("X", "Y", 1.0)), Verdict::Reject); // 3rd: true verdict

@@ -32,10 +32,10 @@ use std::collections::HashSet;
 
 use onion_graph::rel;
 use onion_ontology::Ontology;
-use onion_rules::{ArticulationRule, ConversionRegistry, RuleExpr, RuleSet, Term};
 use onion_rules::horn::{lower_rules, HornProgram};
 use onion_rules::infer::{FactBase, InferenceEngine};
 use onion_rules::properties::RelationRegistry;
+use onion_rules::{ArticulationRule, ConversionRegistry, RuleExpr, RuleSet, Term};
 
 use crate::articulation::{Articulation, Bridge, BridgeKind};
 use crate::{ArticulateError, Result};
@@ -50,7 +50,7 @@ pub struct GeneratorConfig {
     pub conversions: ConversionRegistry,
     /// Run the inference engine to derive additional source→articulation
     /// bridges (transitive semantic implication; §2.4 "The inference
-    /// engine … derive[s] more rules if possible").
+    /// engine … derive\[s\] more rules if possible").
     pub expand_with_inference: bool,
     /// Inherit `SubclassOf` structure into the articulation ontology from
     /// the source portions its terms are anchored to (§4.2).
@@ -208,19 +208,17 @@ impl ArticulationGenerator {
                     match a {
                         Anchor::Source(t) => {
                             art.add_bridge_supported(
-                                Bridge::si(
-                                    self.art_term(art, &label),
-                                    t.clone(),
-                                    BridgeKind::Rule,
-                                ),
+                                Bridge::si(self.art_term(art, &label), t.clone(), BridgeKind::Rule),
                                 rule_key,
                             );
                         }
                         Anchor::Art(m) => {
                             let m = m.clone();
-                            art.ontology
-                                .graph_mut()
-                                .ensure_edge_by_labels(&label, rel::SUBCLASS_OF, &m)?;
+                            art.ontology.graph_mut().ensure_edge_by_labels(
+                                &label,
+                                rel::SUBCLASS_OF,
+                                &m,
+                            )?;
                         }
                     }
                 }
@@ -242,9 +240,11 @@ impl ArticulationGenerator {
                             );
                         }
                         Anchor::Art(m) => {
-                            art.ontology
-                                .graph_mut()
-                                .ensure_edge_by_labels(&m, rel::SUBCLASS_OF, &label)?;
+                            art.ontology.graph_mut().ensure_edge_by_labels(
+                                &m,
+                                rel::SUBCLASS_OF,
+                                &label,
+                            )?;
                         }
                     }
                 }
@@ -539,10 +539,8 @@ mod tests {
     }
 
     fn simple_sources() -> (Ontology, Ontology) {
-        let carrier = OntologyBuilder::new("carrier")
-            .class_under("Car", "Transportation")
-            .build()
-            .unwrap();
+        let carrier =
+            OntologyBuilder::new("carrier").class_under("Car", "Transportation").build().unwrap();
         let factory = OntologyBuilder::new("factory")
             .class_under("Vehicle", "Transportation")
             .build()
@@ -643,8 +641,7 @@ mod tests {
     fn functional_rule_creates_conversion_bridges() {
         let c = carrier();
         let f = factory();
-        let rules =
-            parse_rules("DGToEuroFn(): carrier.DutchGuilders => transport.Euro\n").unwrap();
+        let rules = parse_rules("DGToEuroFn(): carrier.DutchGuilders => transport.Euro\n").unwrap();
         let art = gen().generate(&rules, &[&c, &f]).unwrap();
         assert!(art.ontology.defines("Euro"));
         let have: HashSet<String> = art.bridges.iter().map(|b| b.to_string()).collect();
@@ -658,8 +655,7 @@ mod tests {
         let c = carrier();
         let f = factory();
         // nothing registered in the conversion registry
-        let cfg =
-            GeneratorConfig { conversions: ConversionRegistry::new(), ..Default::default() };
+        let cfg = GeneratorConfig { conversions: ConversionRegistry::new(), ..Default::default() };
         let rules = parse_rules("MysteryFn(): carrier.DutchGuilders => transport.Euro\n").unwrap();
         let art = ArticulationGenerator::with_config(cfg).generate(&rules, &[&c, &f]).unwrap();
         assert_eq!(art.bridges.len(), 1, "forward bridge only");
@@ -692,10 +688,8 @@ mod tests {
         // the articulation.
         let c = carrier();
         let f = factory();
-        let rules = parse_rules(
-            "carrier.SUV => transport.SUV\ncarrier.Cars => transport.Cars\n",
-        )
-        .unwrap();
+        let rules =
+            parse_rules("carrier.SUV => transport.SUV\ncarrier.Cars => transport.Cars\n").unwrap();
         let art = gen().generate(&rules, &[&c, &f]).unwrap();
         assert!(art.ontology.is_subclass("SUV", "Cars"), "structure inherited per §4.2");
     }

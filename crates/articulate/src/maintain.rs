@@ -142,9 +142,11 @@ pub fn apply_delta(
             let o2 = sources_after[1];
             let candidates = pipeline.propose(o1, o2, &art.rules);
             for cand in candidates {
-                let touches = cand.rule.terms().iter().any(|t| {
-                    t.in_ontology(source_name) && touched_labels.contains(&t.name)
-                });
+                let touches = cand
+                    .rule
+                    .terms()
+                    .iter()
+                    .any(|t| t.in_ontology(source_name) && touched_labels.contains(&t.name));
                 if !touches {
                     continue;
                 }
@@ -193,9 +195,7 @@ mod tests {
         let c = carrier();
         let f = factory();
         let generator = ArticulationGenerator::new();
-        let art = generator
-            .generate(&onion_ontology::examples::fig2_rules(), &[&c, &f])
-            .unwrap();
+        let art = generator.generate(&onion_ontology::examples::fig2_rules(), &[&c, &f]).unwrap();
         (c, f, art, generator)
     }
 
@@ -220,8 +220,7 @@ mod tests {
         c.subclass("Bicycles", "UnbridgedStuff").unwrap();
         let ops = c.graph_mut().take_journal();
         let before = art.bridges.clone();
-        let report =
-            apply_delta(&mut art, "carrier", &ops, &[&c, &f], &generator, None).unwrap();
+        let report = apply_delta(&mut art, "carrier", &ops, &[&c, &f], &generator, None).unwrap();
         assert_eq!(report.ops_relevant, 0);
         assert_eq!(art.bridges, before);
     }
@@ -236,8 +235,7 @@ mod tests {
         c.graph_mut().enable_journal();
         c.graph_mut().delete_node_by_label("Trucks").unwrap();
         let ops = c.graph_mut().take_journal();
-        let report =
-            apply_delta(&mut art, "carrier", &ops, &[&c, &f], &generator, None).unwrap();
+        let report = apply_delta(&mut art, "carrier", &ops, &[&c, &f], &generator, None).unwrap();
         assert!(report.ops_relevant > 0);
         assert!(report.bridges_removed > 0);
         assert!(report.rules_dropped > 0);
@@ -278,9 +276,7 @@ mod tests {
         let (mut c, f, art, generator) = articulated();
         c.subclass("Vans", "Transportation").unwrap();
         let rebuilt = rebuild(&art, &[&c, &f], &generator).unwrap();
-        let fresh = generator
-            .generate(&onion_ontology::examples::fig2_rules(), &[&c, &f])
-            .unwrap();
+        let fresh = generator.generate(&onion_ontology::examples::fig2_rules(), &[&c, &f]).unwrap();
         assert_eq!(rebuilt.bridges, fresh.bridges);
     }
 
@@ -288,8 +284,7 @@ mod tests {
     fn maintenance_report_counts_total_ops() {
         let (c, f, mut art, generator) = articulated();
         let ops = vec![GraphOp::node_add("X"), GraphOp::node_add("Y")];
-        let report =
-            apply_delta(&mut art, "carrier", &ops, &[&c, &f], &generator, None).unwrap();
+        let report = apply_delta(&mut art, "carrier", &ops, &[&c, &f], &generator, None).unwrap();
         assert_eq!(report.ops_total, 2);
         let rules_parse_ok = parse_rules("a.X => b.Y").is_ok();
         assert!(rules_parse_ok); // keep parse_rules import exercised

@@ -172,8 +172,9 @@ pub fn from_text(input: &str) -> Result<Articulation> {
                 if toks.len() != 5 {
                     return Err(parse_err(lineno, "bridge expects KIND SRC LABEL DST"));
                 }
-                let kind = parse_kind(&toks[1])
-                    .ok_or_else(|| parse_err(lineno, format!("unknown bridge kind {:?}", toks[1])))?;
+                let kind = parse_kind(&toks[1]).ok_or_else(|| {
+                    parse_err(lineno, format!("unknown bridge kind {:?}", toks[1]))
+                })?;
                 let src = parse_qualified(&toks[2], lineno)?;
                 let dst = parse_qualified(&toks[4], lineno)?;
                 art.add_bridge(Bridge { src, label: toks[3].clone(), dst, kind });
@@ -181,8 +182,8 @@ pub fn from_text(input: &str) -> Result<Articulation> {
             Some("rule") => {
                 let art = art.as_mut().ok_or_else(|| parse_err(lineno, "missing header"))?;
                 let text = line.strip_prefix("rule ").expect("matched above");
-                let rule = parser::parse_rule(text)
-                    .map_err(|e| parse_err(lineno, e.to_string()))?;
+                let rule =
+                    parser::parse_rule(text).map_err(|e| parse_err(lineno, e.to_string()))?;
                 art.rules.push(rule);
             }
             Some(other) => return Err(parse_err(lineno, format!("unknown directive {other:?}"))),
@@ -230,9 +231,7 @@ mod tests {
     fn bridge_kinds_preserved() {
         let art = fig2_art();
         let back = from_text(&to_text(&art)).unwrap();
-        for kind in
-            [BridgeKind::Rule, BridgeKind::Equivalence, BridgeKind::Functional]
-        {
+        for kind in [BridgeKind::Rule, BridgeKind::Equivalence, BridgeKind::Functional] {
             let orig = art.bridges.iter().filter(|b| b.kind == kind).count();
             let got = back.bridges.iter().filter(|b| b.kind == kind).count();
             assert_eq!(orig, got, "{kind:?} count");

@@ -107,8 +107,7 @@ impl RuleMatcher for SynonymMatcher {
 
     fn propose(&self, o1: &Ontology, o2: &Ontology, _existing: &RuleSet) -> Vec<CandidateRule> {
         let idx2 = normalized_index(o2);
-        let l2_known: Vec<&String> =
-            idx2.keys().filter(|w| self.lexicon.contains(w)).collect();
+        let l2_known: Vec<&String> = idx2.keys().filter(|w| self.lexicon.contains(w)).collect();
         let mut out = Vec::new();
         for l1 in labels(o1) {
             let n1 = normalize(&l1);
@@ -306,10 +305,7 @@ impl MatcherPipeline {
             all.extend(m.propose(o1, o2, existing));
         }
         let merged = CandidateRule::merge(all);
-        merged
-            .into_iter()
-            .filter(|c| !existing.rules.contains(&c.rule))
-            .collect()
+        merged.into_iter().filter(|c| !existing.rules.contains(&c.rule)).collect()
     }
 }
 
@@ -352,8 +348,9 @@ mod tests {
         let b = OntologyBuilder::new("b").class("Car").build().unwrap();
         let m = SynonymMatcher::new(transport_lexicon());
         let cands = m.propose(&a, &b, &RuleSet::new());
-        assert!(cands.iter().any(|c| c.rule.to_string() == "a.Automobile => b.Car"
-            && c.confidence == 0.9));
+        assert!(cands
+            .iter()
+            .any(|c| c.rule.to_string() == "a.Automobile => b.Car" && c.confidence == 0.9));
     }
 
     #[test]
@@ -405,10 +402,13 @@ mod tests {
         }
         let a = ab.build().unwrap();
         let b = bb.build().unwrap();
-        let unlimited = SimilarityMatcher { threshold: 0.9, max_pairs: 10_000 }
-            .propose(&a, &b, &RuleSet::new());
-        let limited = SimilarityMatcher { threshold: 0.9, max_pairs: 5 }
-            .propose(&a, &b, &RuleSet::new());
+        let unlimited = SimilarityMatcher { threshold: 0.9, max_pairs: 10_000 }.propose(
+            &a,
+            &b,
+            &RuleSet::new(),
+        );
+        let limited =
+            SimilarityMatcher { threshold: 0.9, max_pairs: 5 }.propose(&a, &b, &RuleSet::new());
         assert!(limited.len() < unlimited.len());
     }
 
@@ -463,8 +463,7 @@ mod tests {
     fn pipeline_finds_the_fig2_key_bridges() {
         let c = carrier();
         let f = factory();
-        let cands =
-            MatcherPipeline::standard(transport_lexicon()).propose(&c, &f, &RuleSet::new());
+        let cands = MatcherPipeline::standard(transport_lexicon()).propose(&c, &f, &RuleSet::new());
         let texts: Vec<String> = cands.iter().map(|c| c.rule.to_string()).collect();
         // cars are vehicles (lexicon hypernym)
         assert!(texts.contains(&"carrier.Cars => factory.Vehicle".to_string()));

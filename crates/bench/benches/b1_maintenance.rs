@@ -42,20 +42,12 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("onion-rebuild", concepts),
-            &concepts,
-            |b, _| {
-                b.iter(|| rebuild(&art, &[&evolved, &p.right], &generator).unwrap())
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("global-merge", concepts),
-            &concepts,
-            |b, _| {
-                b.iter(|| GlobalMerge::rebuild(&[&evolved, &p.right], &p.lexicon))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("onion-rebuild", concepts), &concepts, |b, _| {
+            b.iter(|| rebuild(&art, &[&evolved, &p.right], &generator).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("global-merge", concepts), &concepts, |b, _| {
+            b.iter(|| GlobalMerge::rebuild(&[&evolved, &p.right], &p.lexicon))
+        });
         // context: a fresh generation for scale reference
         let _ = truth_rules(&p);
     }

@@ -25,9 +25,8 @@ fn bench(c: &mut Criterion) {
         // the simple-rule translation names the articulation node after
         // the RHS (right-side) term
         let class = p.truth[0].1.split_once('.').unwrap().1.to_string();
-        let query = Query::all(&class)
-            .select("Price")
-            .filter("Price", CmpOp::Lt, Value::Num(25_000.0));
+        let query =
+            Query::all(&class).select("Price").filter("Price", CmpOp::Lt, Value::Num(25_000.0));
 
         group.bench_with_input(BenchmarkId::new("onion", instances), &instances, |b, _| {
             let sources: Vec<&Ontology> = vec![&p.left, &p.right];
@@ -35,10 +34,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| execute(&query, &art, &sources, &conversions, &wrappers).unwrap())
         });
 
-        group.bench_with_input(BenchmarkId::new("onion-plan-only", instances), &instances, |b, _| {
-            let sources: Vec<&Ontology> = vec![&p.left, &p.right];
-            b.iter(|| onion_core::query::plan(&query, &art, &sources, &conversions).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("onion-plan-only", instances),
+            &instances,
+            |b, _| {
+                let sources: Vec<&Ontology> = vec![&p.left, &p.right];
+                b.iter(|| onion_core::query::plan(&query, &art, &sources, &conversions).unwrap())
+            },
+        );
 
         // baseline: the global schema answers by scanning all instances
         // whose merged class matches

@@ -27,9 +27,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| union(&p.left, &p.right, &rules, &generator).unwrap())
             });
             group.bench_with_input(BenchmarkId::new("union-cached-art", &id), &id, |b, _| {
-                b.iter(|| {
-                    onion_core::algebra::union::union_with(&p.left, &p.right, &art).unwrap()
-                })
+                b.iter(|| onion_core::algebra::union::union_with(&p.left, &p.right, &art).unwrap())
             });
             group.bench_with_input(BenchmarkId::new("intersection", &id), &id, |b, _| {
                 b.iter(|| intersect(&p.left, &p.right, &rules, &generator).unwrap())

@@ -49,10 +49,7 @@ fn bench(c: &mut Criterion) {
                 group.bench_with_input(BenchmarkId::new(id, n), &n, |b, &n| {
                     b.iter(|| {
                         let mut fb = make(n);
-                        InferenceEngine::new(program())
-                            .with_strategy(strat)
-                            .run(&mut fb)
-                            .unwrap()
+                        InferenceEngine::new(program()).with_strategy(strat).run(&mut fb).unwrap()
                     })
                 });
             }

@@ -36,11 +36,13 @@ fn bench(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("onion-add-kth", k), &k, |b, _| {
             b.iter(|| {
-                let mut comp = compose_all(&prefix, &lexicon, &mut ThresholdExpert::new(0.9)).unwrap();
+                let mut comp =
+                    compose_all(&prefix, &lexicon, &mut ThresholdExpert::new(0.9)).unwrap();
                 // measured effect includes only the incremental step in
                 // spirit; the prefix build is identical across arms and
                 // measured separately below
-                add_source(&mut comp, refs[k - 1], &lexicon, &mut ThresholdExpert::new(0.9)).unwrap()
+                add_source(&mut comp, refs[k - 1], &lexicon, &mut ThresholdExpert::new(0.9))
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("onion-prefix-only", k), &k, |b, _| {

@@ -22,12 +22,8 @@ fn bench(c: &mut Criterion) {
     let art = articulated(&p);
     let generator = ArticulationGenerator::new();
     for &bridged in &[0.0f64, 0.25, 0.75] {
-        let spec = UpdateSpec {
-            seed: 13,
-            ops: 50,
-            bridged_fraction: bridged,
-            delete_fraction: 0.2,
-        };
+        let spec =
+            UpdateSpec { seed: 13, ops: 50, bridged_fraction: bridged, delete_fraction: 0.2 };
         let ops = update_stream(&p.left, &art, &spec);
         let mut evolved_graph = p.left.graph().clone();
         onion_core::graph::ops::apply_all(&mut evolved_graph, &ops).unwrap();
@@ -40,8 +36,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("triage+repair", &id), &id, |b, _| {
             b.iter(|| {
                 let mut a = art.clone();
-                apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None)
-                    .unwrap()
+                apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("no-triage-rebuild", &id), &id, |b, _| {

@@ -162,8 +162,7 @@ fn b2_generation() {
                 let engine = ArticulationEngine::new(pipeline())
                     .with_config(EngineConfig { max_rounds: 2, ..Default::default() });
                 let mut oracle = OracleExpert::new(p.truth.iter().cloned());
-                let (art, _) =
-                    engine.run(&p.left, &p.right, &mut oracle, RuleSet::new()).unwrap();
+                let (art, _) = engine.run(&p.left, &p.right, &mut oracle, RuleSet::new()).unwrap();
                 art_holder = Some(art);
             });
             let art = art_holder.expect("ran at least once");
@@ -203,12 +202,12 @@ fn b2b_matcher_ablation() {
         (
             "exact+similarity",
             Box::new(|| {
-                MatcherPipeline::new()
-                    .with(onion_core::articulate::ExactLabelMatcher)
-                    .with(onion_core::articulate::SimilarityMatcher {
+                MatcherPipeline::new().with(onion_core::articulate::ExactLabelMatcher).with(
+                    onion_core::articulate::SimilarityMatcher {
                         threshold: 0.9,
                         max_pairs: 2_000_000,
-                    })
+                    },
+                )
             }),
         ),
         (
@@ -227,8 +226,7 @@ fn b2b_matcher_ablation() {
     for (name, mk) in mixes {
         let candidates = mk().propose(&p.left, &p.right, &RuleSet::new());
         // quality as-if accepted wholesale (the automatic end of §1)
-        let rules: Vec<ArticulationRule> =
-            candidates.iter().map(|c| c.rule.clone()).collect();
+        let rules: Vec<ArticulationRule> = candidates.iter().map(|c| c.rule.clone()).collect();
         let m = precision_recall(&rules, &p.truth_set());
         println!(
             "| {name} | {} | {:.2} | {:.2} | {:.2} |",
@@ -280,9 +278,8 @@ fn b4_query() {
         // the simple-rule translation names the articulation node after
         // the RHS (right-side) term
         let class = p.truth[0].1.split_once('.').unwrap().1.to_string();
-        let query = Query::all(&class)
-            .select("Price")
-            .filter("Price", CmpOp::Lt, Value::Num(25_000.0));
+        let query =
+            Query::all(&class).select("Price").filter("Price", CmpOp::Lt, Value::Num(25_000.0));
         let sources: Vec<&Ontology> = vec![&p.left, &p.right];
         let wrappers: Vec<&dyn Wrapper> = vec![&lw, &rw];
 
@@ -393,7 +390,9 @@ fn b6_inference() {
 
 fn b7_compose() {
     println!("## B7 — adding the k-th source\n");
-    println!("| k | onion add k-th (incl. prefix) | prefix only | derived add-cost | global re-merge |");
+    println!(
+        "| k | onion add k-th (incl. prefix) | prefix only | derived add-cost | global re-merge |"
+    );
     println!("|---|---|---|---|---|");
     let lexicon = transport_lexicon();
     for &k in &[3usize, 5, 8] {

@@ -21,10 +21,7 @@ pub fn truth_rules(pair: &OverlapPair) -> RuleSet {
     for (l, r) in &pair.truth {
         let (lo, ln) = l.split_once('.').expect("qualified");
         let (ro, rn) = r.split_once('.').expect("qualified");
-        rs.push(ArticulationRule::term_implies(
-            Term::qualified(lo, ln),
-            Term::qualified(ro, rn),
-        ));
+        rs.push(ArticulationRule::term_implies(Term::qualified(lo, ln), Term::qualified(ro, rn)));
     }
     rs
 }

@@ -1,0 +1,286 @@
+//! # criterion — offline stand-in
+//!
+//! The workspace builds hermetically (no crates-io), so the benchmark
+//! surface ONION's `b1`–`b8` targets use is vendored here:
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`), [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Each benchmark warms up, then times `sample_size` samples (stopping
+//! early once `measurement_time` is spent) and prints
+//! `group/id  median ... (n samples)` to stdout. There are no HTML
+//! reports, statistical regressions, or CLI filters — the value here is
+//! that `cargo bench` runs and prints comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 100,
+            default_measurement_time: Duration::from_secs(5),
+            default_warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for drop-in compatibility with the real
+    /// `criterion_group!` expansion; there are no CLI args to read.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).run(&name, f);
+        self
+    }
+
+    /// No-op; reports are printed as each benchmark finishes.
+    pub fn final_summary(&self) {}
+}
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrStr>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        self.run(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, id);
+    }
+}
+
+/// Lets `bench_function` accept either a `&str` or a [`BenchmarkId`].
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrStr(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrStr(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrStr(id.id)
+    }
+}
+
+/// Runs the measured closure and collects samples.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warm_up_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_up_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        let measurement_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            black_box(routine());
+            self.samples.push(sample_start.elapsed());
+            if measurement_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}  (no samples — did the routine call iter?)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{group}/{id}  median {}  range [{} .. {}]  ({} samples)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Identity function the optimizer must assume reads and writes its
+/// argument.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                n + 1
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("union", 200);
+        assert_eq!(id.id, "union/200");
+    }
+}

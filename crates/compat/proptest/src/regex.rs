@@ -1,0 +1,227 @@
+//! String generation from a small regex subset.
+//!
+//! Supports exactly what the workspace's `&str` strategies need:
+//! literal characters, `\`-escapes, character classes with ranges
+//! (`[a-zA-Z0-9_]`), groups `(...)`, and the repetitions `{n}`,
+//! `{m,n}`, `?`, `*`, `+` (unbounded repeats are capped at 8).
+//! Anything else — alternation, anchors, named classes — panics with a
+//! clear message so a future test author knows to extend this module.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One parsed regex element plus its repetition bounds.
+struct Piece {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+enum Node {
+    Lit(char),
+    /// Inclusive char ranges; singletons are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Piece>),
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let pieces = parse_sequence(&mut chars, pattern, false);
+    assert!(chars.next().is_none(), "regex strategy {pattern:?}: unbalanced ')'");
+    let mut out = String::new();
+    emit_sequence(&pieces, rng, &mut out);
+    out
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut CharStream, pattern: &str, in_group: bool) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let node = match c {
+            ')' => {
+                assert!(in_group, "regex strategy {pattern:?}: stray ')'");
+                break;
+            }
+            '(' => {
+                chars.next();
+                let inner = parse_sequence(chars, pattern, true);
+                assert_eq!(chars.next(), Some(')'), "regex strategy {pattern:?}: unclosed '('");
+                Node::Group(inner)
+            }
+            '[' => {
+                chars.next();
+                Node::Class(parse_class(chars, pattern))
+            }
+            '\\' => {
+                chars.next();
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("regex strategy {pattern:?}: trailing '\\'"));
+                Node::Lit(escaped)
+            }
+            '|' | '^' | '$' | '.' => {
+                panic!("regex strategy {pattern:?}: unsupported metacharacter {c:?}")
+            }
+            _ => {
+                chars.next();
+                Node::Lit(c)
+            }
+        };
+        let (min, max) = parse_repetition(chars, pattern);
+        pieces.push(Piece { node, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &mut CharStream, pattern: &str) -> Vec<(char, char)> {
+    assert!(
+        chars.peek() != Some(&'^'),
+        "regex strategy {pattern:?}: negated classes are unsupported"
+    );
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.next().unwrap_or_else(|| panic!("regex strategy {pattern:?}: unclosed '['"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("regex strategy {pattern:?}: trailing '\\'"));
+                ranges.push((escaped, escaped));
+            }
+            lo => {
+                // `a-z` is a range unless the '-' is the closing char.
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next();
+                    if lookahead.peek().is_some_and(|&hi| hi != ']') {
+                        chars.next();
+                        let hi = chars.next().unwrap();
+                        assert!(lo <= hi, "regex strategy {pattern:?}: inverted range");
+                        ranges.push((lo, hi));
+                        continue;
+                    }
+                }
+                ranges.push((lo, lo));
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "regex strategy {pattern:?}: empty class");
+    ranges
+}
+
+/// Cap for `*` and `+`, mirroring proptest's preference for short
+/// strings over pathological ones.
+const UNBOUNDED_CAP: u32 = 8;
+
+fn parse_repetition(chars: &mut CharStream, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => panic!("regex strategy {pattern:?}: unclosed '{{'"),
+                }
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("regex strategy {pattern:?}: bad bound {s:?}"))
+            };
+            match body.split_once(',') {
+                Some((min, max)) => (parse(min), parse(max)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_sequence(pieces: &[Piece], rng: &mut StdRng, out: &mut String) {
+    for piece in pieces {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            emit_node(&piece.node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let size = *hi as u32 - *lo as u32 + 1;
+                if pick < size {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range within char"));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(pattern: &str) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..200).map(|_| super::generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_bounds() {
+        for s in samples("[a-z]{1,6}") {
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_class_then_repeat() {
+        for s in samples("[A-Z][a-z0-9_]{0,8}") {
+            assert!(s.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
+            assert!(s.len() <= 9, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_escape() {
+        let all = samples("[a-z]{1,5}(\\.[A-Z][a-z]{1,4})?");
+        assert!(all.iter().any(|s| s.contains('.')));
+        assert!(all.iter().any(|s| !s.contains('.')));
+        for s in &all {
+            if let Some((head, tail)) = s.split_once('.') {
+                assert!(head.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+                assert!(tail.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
+            }
+        }
+    }
+}

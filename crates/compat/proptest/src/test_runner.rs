@@ -1,0 +1,113 @@
+//! The case loop behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Per-block configuration. Only `cases` is honoured; the remaining
+/// fields exist so `..ProptestConfig::default()` updates from the real
+/// API keep compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A failed property case (carries the formatted assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `test` against `cases` values drawn from `strategy`.
+///
+/// Seeding is derived from the test's name, so every test sees a
+/// stable, independent stream across runs and machines. On failure the
+/// case number is reported; re-running reproduces it exactly.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases);
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    for case in 0..cases {
+        let value = strategy.generate(&mut rng);
+        if let Err(err) = test(value) {
+            panic!("proptest `{name}`: case {case} of {cases} failed\n{err}");
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro pipeline end to end: multi-arg, maps, collections.
+        #[test]
+        fn macro_roundtrip(
+            n in 1usize..20,
+            label in "[a-z]{1,4}",
+            pairs in prop::collection::vec((0u8..10, 0u8..10), 0..5),
+        ) {
+            prop_assert!(n >= 1 && n < 20);
+            prop_assert!(!label.is_empty() && label.len() <= 4);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 10, "a out of range: {a}");
+                prop_assert_eq!(*b < 10, true);
+            }
+        }
+
+        #[test]
+        fn oneof_and_just(s in prop_oneof!["[0-9]{2}", Just("fixed".to_string())]) {
+            prop_assert!(s == "fixed" || s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,30 @@
+//! Concrete generators. Only [`StdRng`] exists: the workspace never
+//! asks for `thread_rng` or OS entropy — every caller seeds explicitly
+//! so test data is reproducible.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic seeded generator (SplitMix64). Mirrors the call
+/// surface of `rand::rngs::StdRng` without the crypto-grade backing —
+/// acceptable because ONION only uses it to synthesize test ontologies.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Decorrelate small consecutive seeds before the first output.
+        StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -59,8 +59,7 @@ pub mod prelude {
     pub use onion_lexicon::{builtin::transport_lexicon, Lexicon};
     pub use onion_ontology::{examples, Ontology, OntologyBuilder};
     pub use onion_query::{
-        execute, CmpOp, InMemoryWrapper, Instance, KnowledgeBase, Query, ResultSet, Value,
-        Wrapper,
+        execute, CmpOp, InMemoryWrapper, Instance, KnowledgeBase, Query, ResultSet, Value, Wrapper,
     };
     pub use onion_rules::{
         parse_rules, ArticulationRule, ConversionRegistry, RelationRegistry, RuleExpr, RuleSet,

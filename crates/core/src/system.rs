@@ -135,9 +135,7 @@ impl OnionSystem {
     // ------------------------------------------------------------------
 
     fn get_source(&self, name: &str) -> Result<&Ontology> {
-        self.sources
-            .get(name)
-            .ok_or_else(|| SystemError::UnknownSource(name.to_string()))
+        self.sources.get(name).ok_or_else(|| SystemError::UnknownSource(name.to_string()))
     }
 
     /// Runs the iterative articulation engine between two loaded
@@ -228,8 +226,7 @@ impl OnionSystem {
     /// Executes a pre-built query.
     pub fn run_query(&self, query: &Query) -> Result<ResultSet> {
         let (art, sources) = self.articulated_pair()?;
-        let wrappers: Vec<&dyn Wrapper> =
-            self.kbs.values().map(|w| w as &dyn Wrapper).collect();
+        let wrappers: Vec<&dyn Wrapper> = self.kbs.values().map(|w| w as &dyn Wrapper).collect();
         onion_query::execute(query, art, &sources, &self.conversions, &wrappers)
             .map_err(SystemError::Query)
     }
@@ -239,8 +236,8 @@ impl OnionSystem {
     pub fn explain(&self, text: &str) -> Result<String> {
         let q = Query::parse(text).map_err(SystemError::Query)?;
         let (art, sources) = self.articulated_pair()?;
-        let plan = onion_query::plan(&q, art, &sources, &self.conversions)
-            .map_err(SystemError::Query)?;
+        let plan =
+            onion_query::plan(&q, art, &sources, &self.conversions).map_err(SystemError::Query)?;
         Ok(plan.explain())
     }
 }

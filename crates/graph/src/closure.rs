@@ -82,19 +82,14 @@ pub fn materialize_closure(g: &mut OntGraph, label: &str) -> Result<usize> {
 /// §4.2). Returns the number of edges removed.
 pub fn transitive_reduce(g: &mut OntGraph, label: &str) -> Result<usize> {
     // Collect candidate edges first.
-    let edges: Vec<(NodeId, NodeId)> = g
-        .edges()
-        .filter(|e| e.label == label)
-        .map(|e| (e.src, e.dst))
-        .collect();
+    let edges: Vec<(NodeId, NodeId)> =
+        g.edges().filter(|e| e.label == label).map(|e| (e.src, e.dst)).collect();
     let mut removed = 0;
     for (a, b) in edges {
         // Is there an alternative path a -> b of length >= 2 avoiding the
         // direct edge?
         if indirect_path_exists(g, a, b, label) {
-            let e = g
-                .find_edge(a, label, b)
-                .expect("edge collected above and not yet deleted");
+            let e = g.find_edge(a, label, b).expect("edge collected above and not yet deleted");
             g.delete_edge(e)?;
             removed += 1;
         }

@@ -41,8 +41,7 @@ fn abbreviate(label: &str) -> &str {
 pub fn to_dot(g: &OntGraph, opts: &DotOptions) -> String {
     let mut out = String::new();
     let name = opts.name.clone().unwrap_or_else(|| g.name().to_string());
-    let name: String =
-        name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    let name: String = name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
     let _ = writeln!(out, "digraph {name} {{");
     if opts.bottom_to_top {
         let _ = writeln!(out, "  rankdir=BT;");
@@ -52,8 +51,7 @@ pub fn to_dot(g: &OntGraph, opts: &DotOptions) -> String {
         let _ = writeln!(out, "  n{} [label=\"{}\"];", n.id.index(), escape(n.label));
     }
     for e in g.edges() {
-        let label =
-            if opts.abbreviate_relations { abbreviate(e.label) } else { e.label };
+        let label = if opts.abbreviate_relations { abbreviate(e.label) } else { e.label };
         let _ = writeln!(
             out,
             "  n{} -> n{} [label=\"{}\"];",

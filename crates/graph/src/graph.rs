@@ -322,9 +322,8 @@ impl OntGraph {
     /// Deletes the node addressed by `label` (consistent-ontology
     /// convenience, §3 end).
     pub fn delete_node_by_label(&mut self, label: &str) -> Result<()> {
-        let id = self
-            .node_by_label(label)
-            .ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
+        let id =
+            self.node_by_label(label).ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
         self.delete_node(id)
     }
 
@@ -433,10 +432,7 @@ impl OntGraph {
 
     /// The label `λ(n)` of a live node.
     pub fn node_label(&self, id: NodeId) -> Option<&str> {
-        self.nodes
-            .get(id.index())
-            .filter(|n| n.alive)
-            .map(|n| self.interner.resolve(n.label))
+        self.nodes.get(id.index()).filter(|n| n.alive).map(|n| self.interner.resolve(n.label))
     }
 
     /// The interned label id of a live node.
@@ -470,14 +466,10 @@ impl OntGraph {
         if !self.edge_set.contains(&(src, lid, dst)) {
             return None;
         }
-        self.nodes[src.index()]
-            .out
-            .iter()
-            .copied()
-            .find(|&e| {
-                let ed = &self.edges[e.index()];
-                ed.alive && ed.label == lid && ed.dst == dst
-            })
+        self.nodes[src.index()].out.iter().copied().find(|&e| {
+            let ed = &self.edges[e.index()];
+            ed.alive && ed.label == lid && ed.dst == dst
+        })
     }
 
     /// Label-addressed [`OntGraph::find_edge`].
@@ -509,19 +501,16 @@ impl OntGraph {
 
     /// Iterates all live nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_>> + '_ {
-        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, n)| NodeRef {
-            id: NodeId(i as u32),
-            label: self.interner.resolve(n.label),
-        })
-    }
-
-    /// Iterates all live node ids.
-    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| n.alive)
-            .map(|(i, _)| NodeId(i as u32))
+            .map(|(i, n)| NodeRef { id: NodeId(i as u32), label: self.interner.resolve(n.label) })
+    }
+
+    /// Iterates all live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| NodeId(i as u32))
     }
 
     /// Iterates all live edges.

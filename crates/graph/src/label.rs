@@ -87,10 +87,7 @@ impl Interner {
 
     /// Iterates `(id, label)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (LabelId(i as u32), s.as_ref()))
+        self.strings.iter().enumerate().map(|(i, s)| (LabelId(i as u32), s.as_ref()))
     }
 }
 

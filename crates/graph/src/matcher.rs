@@ -180,9 +180,7 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
     /// Does the graph contain an edge (src, ~label, dst) compatible with
     /// the constraint?
     fn has_compatible_edge(&self, src: NodeId, pc: &EdgeConstraint, dst: NodeId) -> bool {
-        self.graph
-            .out_edges(src)
-            .any(|e| e.dst == dst && self.edge_label_ok(pc, e.label))
+        self.graph.out_edges(src).any(|e| e.dst == dst && self.edge_label_ok(pc, e.label))
     }
 
     fn search(&self, pattern: &Pattern, out: &mut Vec<Match>) -> Result<()> {

@@ -140,9 +140,8 @@ impl GraphOp {
     /// Builds a `NodeAdd` op that would restore `label`'s node and its
     /// current neighbourhood in `g`; the undo record for a `NodeDelete`.
     pub fn capture_node_delete(g: &OntGraph, label: &str) -> Result<GraphOp> {
-        let n = g
-            .node_by_label(label)
-            .ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
+        let n =
+            g.node_by_label(label).ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
         let out_edges = g
             .out_edges(n)
             .map(|e| (e.label.to_string(), g.node_label(e.dst).expect("live").to_string()))
@@ -165,10 +164,9 @@ impl GraphOp {
                 v
             }
             GraphOp::NodeDelete { label } => vec![label.as_str()],
-            GraphOp::EdgeAdd { edges } | GraphOp::EdgeDelete { edges } => edges
-                .iter()
-                .flat_map(|(s, _, d)| [s.as_str(), d.as_str()])
-                .collect(),
+            GraphOp::EdgeAdd { edges } | GraphOp::EdgeDelete { edges } => {
+                edges.iter().flat_map(|(s, _, d)| [s.as_str(), d.as_str()]).collect()
+            }
         }
     }
 
@@ -282,8 +280,7 @@ mod tests {
     #[test]
     fn apply_all_reports_failing_index() {
         let mut g = OntGraph::new("t");
-        let ops =
-            vec![GraphOp::edge_add("A", "S", "B"), GraphOp::node_delete("ghost")];
+        let ops = vec![GraphOp::edge_add("A", "S", "B"), GraphOp::node_delete("ghost")];
         let err = apply_all(&mut g, &ops).unwrap_err();
         assert!(err.to_string().contains("op 1"));
     }

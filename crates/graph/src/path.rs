@@ -8,7 +8,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::graph::{NodeId, OntGraph};
-use crate::traverse::{EdgeFilter, Direction};
+use crate::traverse::{Direction, EdgeFilter};
 
 /// Enumerates simple (node-repetition-free) directed paths from `a` to
 /// `b`, up to `max_len` edges and at most `max_paths` results. Paths are
@@ -58,11 +58,8 @@ fn dfs_paths(
         out.push(path.clone());
         return;
     }
-    let nexts: Vec<NodeId> = g
-        .out_edges(cur)
-        .filter(|e| admits(filter, e.label))
-        .map(|e| e.dst)
-        .collect();
+    let nexts: Vec<NodeId> =
+        g.out_edges(cur).filter(|e| admits(filter, e.label)).map(|e| e.dst).collect();
     for n in nexts {
         if on_path.contains(&n) {
             continue;
@@ -99,7 +96,7 @@ pub fn distances(
         let d = dist[&n];
         let fwd = matches!(dir, Direction::Forward | Direction::Both);
         let bwd = matches!(dir, Direction::Backward | Direction::Both);
-        let mut push = |m: NodeId, dist: &mut HashMap<NodeId, usize>, q: &mut VecDeque<NodeId>| {
+        let push = |m: NodeId, dist: &mut HashMap<NodeId, usize>, q: &mut VecDeque<NodeId>| {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(m) {
                 e.insert(d + 1);
                 q.push_back(m);

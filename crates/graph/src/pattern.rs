@@ -18,7 +18,7 @@
 //!
 //! An explicit-edge notation `car -SubclassOf-> vehicle` (and the reverse
 //! `vehicle <-SubclassOf- car`) is also accepted: the paper leaves the
-//! full query syntax to its citation [18], and rules need edge-labeled
+//! full query syntax to its citation \[18\], and rules need edge-labeled
 //! patterns.
 
 use crate::error::GraphError;
@@ -217,8 +217,8 @@ enum Tok {
     Ident(String),
     Colon,
     Comma,
-    Open(char),  // '(' or '{'
-    Close(char), // ')' or '}'
+    Open(char),       // '(' or '{'
+    Close(char),      // ')' or '}'
     ArrowOut(String), // -label->
     ArrowIn(String),  // <-label-
 }
@@ -406,7 +406,9 @@ impl<'a> Parser<'a> {
                 match self.next_tok() {
                     Some(Tok::Ident(l)) => (Some(name), l),
                     other => {
-                        return Err(self.err(format!("expected label after variable, got {other:?}")))
+                        return Err(
+                            self.err(format!("expected label after variable, got {other:?}"))
+                        )
                     }
                 }
             } else {
@@ -426,9 +428,7 @@ impl<'a> Parser<'a> {
             match self.next_tok() {
                 Some(Tok::Comma) => continue,
                 Some(Tok::Close(c)) if c == close => return Ok(()),
-                other => {
-                    return Err(self.err(format!("expected ',' or '{close}', got {other:?}")))
-                }
+                other => return Err(self.err(format!("expected ',' or '{close}', got {other:?}"))),
             }
         }
     }
@@ -478,10 +478,7 @@ mod tests {
         let p = Pattern::parse("carrier:car:driver").unwrap();
         assert_eq!(p.node_count(), 3);
         assert_eq!(p.edge_count(), 2);
-        assert!(p
-            .edges
-            .iter()
-            .all(|e| e.constraint == EdgeConstraint::Any));
+        assert!(p.edges.iter().all(|e| e.constraint == EdgeConstraint::Any));
         assert_eq!(p.nodes[0].constraint, NodeConstraint::Label("carrier".into()));
         assert_eq!(p.edges[0].src, 0);
         assert_eq!(p.edges[0].dst, 1);
@@ -495,11 +492,7 @@ mod tests {
         assert_eq!(p.edge_count(), 2);
         assert_eq!(p.variables(), vec!["O"]);
         // owner node binds O and has AttributeOf edge into truck
-        let owner = p
-            .nodes
-            .iter()
-            .position(|n| n.var.as_deref() == Some("O"))
-            .unwrap();
+        let owner = p.nodes.iter().position(|n| n.var.as_deref() == Some("O")).unwrap();
         assert_eq!(p.nodes[owner].constraint, NodeConstraint::Label("owner".into()));
         assert!(p.edges.iter().any(|e| e.src == owner
             && e.dst == 0

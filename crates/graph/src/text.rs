@@ -96,9 +96,7 @@ fn at(line: usize, e: GraphError) -> GraphError {
 }
 
 fn quote(s: &str) -> String {
-    if !s.is_empty()
-        && s.chars().all(|c| !c.is_whitespace() && c != '"' && c != '#' && c != '\\')
-    {
+    if !s.is_empty() && s.chars().all(|c| !c.is_whitespace() && c != '"' && c != '#' && c != '\\') {
         s.to_string()
     } else {
         let mut out = String::with_capacity(s.len() + 2);

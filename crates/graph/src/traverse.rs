@@ -52,14 +52,8 @@ fn neighbors<'g>(
 ) -> impl Iterator<Item = NodeId> + 'g {
     let fwd = matches!(dir, Direction::Forward | Direction::Both);
     let bwd = matches!(dir, Direction::Backward | Direction::Both);
-    let out = g
-        .out_edges(n)
-        .filter(move |e| fwd && filter.admits(e.label))
-        .map(|e| e.dst);
-    let inc = g
-        .in_edges(n)
-        .filter(move |e| bwd && filter.admits(e.label))
-        .map(|e| e.src);
+    let out = g.out_edges(n).filter(move |e| fwd && filter.admits(e.label)).map(|e| e.dst);
+    let inc = g.in_edges(n).filter(move |e| bwd && filter.admits(e.label)).map(|e| e.src);
     out.chain(inc)
 }
 
@@ -110,7 +104,12 @@ pub fn dfs(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> 
 }
 
 /// The set of nodes reachable from `start` (inclusive).
-pub fn reachable(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> HashSet<NodeId> {
+pub fn reachable(
+    g: &OntGraph,
+    start: NodeId,
+    dir: Direction,
+    filter: &EdgeFilter,
+) -> HashSet<NodeId> {
     bfs(g, start, dir, filter).into_iter().collect()
 }
 
@@ -204,18 +203,17 @@ pub fn shortest_path(
 /// Returns `Err(cycle_nodes)` with one witness cycle's nodes when the
 /// filtered subgraph is cyclic — used by consistency checking to reject
 /// cyclic `SubclassOf` hierarchies.
-pub fn topo_sort(g: &OntGraph, filter: &EdgeFilter) -> std::result::Result<Vec<NodeId>, Vec<NodeId>> {
+pub fn topo_sort(
+    g: &OntGraph,
+    filter: &EdgeFilter,
+) -> std::result::Result<Vec<NodeId>, Vec<NodeId>> {
     let mut indeg: HashMap<NodeId, usize> = g.node_ids().map(|n| (n, 0)).collect();
     for e in g.edges() {
         if filter.admits(e.label) {
             *indeg.get_mut(&e.dst).expect("live node") += 1;
         }
     }
-    let mut q: VecDeque<NodeId> = indeg
-        .iter()
-        .filter(|(_, &d)| d == 0)
-        .map(|(&n, _)| n)
-        .collect();
+    let mut q: VecDeque<NodeId> = indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
     let mut order = Vec::with_capacity(indeg.len());
     while let Some(n) = q.pop_front() {
         order.push(n);
@@ -275,8 +273,7 @@ pub fn tarjan_scc(g: &OntGraph, filter: &EdgeFilter) -> Vec<Vec<NodeId>> {
         visited: bool,
     }
     let cap = g.node_ids().map(|n| n.index() + 1).max().unwrap_or(0);
-    let mut meta =
-        vec![Meta { index: 0, low: 0, on_stack: false, visited: false }; cap];
+    let mut meta = vec![Meta { index: 0, low: 0, on_stack: false, visited: false }; cap];
     let mut counter: u32 = 0;
     let mut stack: Vec<NodeId> = Vec::new();
     let mut components = Vec::new();
@@ -302,11 +299,8 @@ pub fn tarjan_scc(g: &OntGraph, filter: &EdgeFilter) -> Vec<Vec<NodeId>> {
                     counter += 1;
                     m.on_stack = true;
                     stack.push(v);
-                    let succ: Vec<NodeId> = g
-                        .out_edges(v)
-                        .filter(|e| filter.admits(e.label))
-                        .map(|e| e.dst)
-                        .collect();
+                    let succ: Vec<NodeId> =
+                        g.out_edges(v).filter(|e| filter.admits(e.label)).map(|e| e.dst).collect();
                     call.push(Frame::Resume(v, succ, 0));
                 }
                 Frame::Resume(v, succ, mut i) => {
@@ -462,8 +456,7 @@ mod tests {
     fn topo_sort_on_dag() {
         let (g, ids) = chain();
         let order = topo_sort(&g, &EdgeFilter::All).unwrap();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for e in g.edges() {
             assert!(pos[&e.src] < pos[&e.dst]);
         }

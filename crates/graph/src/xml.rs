@@ -103,10 +103,8 @@ impl<'a> XmlScanner<'a> {
     fn skip_ws_and_text(&mut self) {
         // we ignore character data between elements
         while self.pos < self.src.len() && !self.src[self.pos..].starts_with('<') {
-            let next = self.src[self.pos..]
-                .find('<')
-                .map(|i| self.pos + i)
-                .unwrap_or(self.src.len());
+            let next =
+                self.src[self.pos..].find('<').map(|i| self.pos + i).unwrap_or(self.src.len());
             self.bump_lines(next);
         }
     }
@@ -226,10 +224,8 @@ fn unescape_entities(s: &str, line: usize) -> Result<String> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
-        let semi = rest.find(';').ok_or(GraphError::Parse {
-            line,
-            msg: "unterminated entity".into(),
-        })?;
+        let semi =
+            rest.find(';').ok_or(GraphError::Parse { line, msg: "unterminated entity".into() })?;
         match &rest[..=semi] {
             "&amp;" => out.push('&'),
             "&lt;" => out.push('<'),
@@ -288,9 +284,7 @@ pub fn from_xml(input: &str) -> Result<OntGraph> {
                         msg: e.to_string(),
                     })?;
                     // nested node ⇒ edge child -> parent
-                    if let Some((_, Some(parent))) =
-                        stack.iter().rev().find(|(n, _)| n == "node")
-                    {
+                    if let Some((_, Some(parent))) = stack.iter().rev().find(|(n, _)| n == "node") {
                         let relation = attrs
                             .get("rel")
                             .cloned()
@@ -320,8 +314,9 @@ pub fn from_xml(input: &str) -> Result<OntGraph> {
                     let from = get("from")?;
                     let label = get("label")?;
                     let to = get("to")?;
-                    g.ensure_edge_by_labels(&from, &label, &to).map_err(|e| {
-                        GraphError::Parse { line: scanner.line, msg: e.to_string() }
+                    g.ensure_edge_by_labels(&from, &label, &to).map_err(|e| GraphError::Parse {
+                        line: scanner.line,
+                        msg: e.to_string(),
                     })?;
                     if !self_closing {
                         stack.push(("edge".into(), None));
@@ -420,16 +415,16 @@ mod tests {
     fn parse_errors() {
         for bad in [
             "",
-            "<node label=\"A\"/>",                    // outside root
-            "<ontology><weird/></ontology>",          // unknown element
-            "<ontology><node/></ontology>",           // missing label
+            "<node label=\"A\"/>",                              // outside root
+            "<ontology><weird/></ontology>",                    // unknown element
+            "<ontology><node/></ontology>",                     // missing label
             "<ontology><edge from=\"a\" to=\"b\"/></ontology>", // missing label
-            "<ontology>",                             // unclosed
-            "<ontology></wrong>",                     // mismatch
-            "<ontology name=\"x\" name=\"y\"/>",      // duplicate attribute
-            "<ontology name=unquoted/>",              // unquoted value
-            "<ontology name=\"&bogus;\"/>",           // unknown entity
-            "<ontology/><ontology/>",                 // two roots
+            "<ontology>",                                       // unclosed
+            "<ontology></wrong>",                               // mismatch
+            "<ontology name=\"x\" name=\"y\"/>",                // duplicate attribute
+            "<ontology name=unquoted/>",                        // unquoted value
+            "<ontology name=\"&bogus;\"/>",                     // unknown entity
+            "<ontology/><ontology/>",                           // two roots
         ] {
             assert!(from_xml(bad).is_err(), "{bad:?} should fail");
         }

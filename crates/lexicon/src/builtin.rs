@@ -13,10 +13,8 @@ pub fn transport_lexicon() -> Lexicon {
     let mut l = Lexicon::new();
 
     // --- core vehicle taxonomy ------------------------------------------
-    let conveyance = l.add_synset(
-        ["transportation", "transport", "conveyance"],
-        Some("moving people or goods"),
-    );
+    let conveyance =
+        l.add_synset(["transportation", "transport", "conveyance"], Some("moving people or goods"));
     let vehicle = l.add_synset(["vehicle"], Some("a conveyance that transports"));
     let car = l.add_synset(
         ["car", "automobile", "auto", "passenger car", "motorcar"],
@@ -24,10 +22,8 @@ pub fn transport_lexicon() -> Lexicon {
     );
     let truck = l.add_synset(["truck", "lorry", "goods vehicle"], Some("carries cargo"));
     let suv = l.add_synset(["suv", "sport utility vehicle"], None);
-    let carrier = l.add_synset(
-        ["carrier", "cargo carrier", "hauler"],
-        Some("an entity that carries goods"),
-    );
+    let carrier =
+        l.add_synset(["carrier", "cargo carrier", "hauler"], Some("an entity that carries goods"));
     l.add_hypernym(vehicle, conveyance);
     l.add_hypernym(car, vehicle);
     l.add_hypernym(truck, vehicle);

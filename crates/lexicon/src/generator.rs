@@ -30,8 +30,10 @@ impl Default for LexiconSpec {
     }
 }
 
-const ONSETS: &[&str] =
-    &["b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "k", "l", "m", "n", "p", "pr", "s", "st", "t", "tr", "v", "z"];
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "k", "l", "m", "n", "p", "pr", "s",
+    "st", "t", "tr", "v", "z",
+];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
 const CODAS: &[&str] = &["n", "r", "l", "s", "t", "x", "nd", "rk", "st", ""];
 
@@ -95,7 +97,8 @@ mod tests {
         let b = generate(&LexiconSpec { seed: 2, ..Default::default() });
         // almost surely different word sets
         assert!(a.word_count() > 0 && b.word_count() > 0);
-        let some_word_differs = a.synset(crate::SynsetId(0)).words != b.synset(crate::SynsetId(0)).words;
+        let some_word_differs =
+            a.synset(crate::SynsetId(0)).words != b.synset(crate::SynsetId(0)).words;
         assert!(some_word_differs);
     }
 

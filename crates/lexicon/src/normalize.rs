@@ -51,11 +51,16 @@ pub fn stem(token: &str) -> String {
     if t.len() > 4 && t.ends_with("sses") {
         return t[..t.len() - 2].to_string();
     }
-    if t.len() > 3 && (t.ends_with("xes") || t.ends_with("ches") || t.ends_with("shes") || t.ends_with("zes"))
+    if t.len() > 3
+        && (t.ends_with("xes") || t.ends_with("ches") || t.ends_with("shes") || t.ends_with("zes"))
     {
         return t[..t.len() - 2].to_string();
     }
-    if t.len() > 2 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") && !t.ends_with("is")
+    if t.len() > 2
+        && t.ends_with('s')
+        && !t.ends_with("ss")
+        && !t.ends_with("us")
+        && !t.ends_with("is")
     {
         return t[..t.len() - 1].to_string();
     }

@@ -72,25 +72,17 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         idx.sort_unstable();
         idx.into_iter().map(|j| b[j]).collect()
     };
-    let t = matches_a
-        .iter()
-        .map(|&(i, _)| a[i])
-        .zip(b_matched.iter())
-        .filter(|(x, y)| x != *y)
-        .count() as f64
-        / 2.0;
+    let t =
+        matches_a.iter().map(|&(i, _)| a[i]).zip(b_matched.iter()).filter(|(x, y)| x != *y).count()
+            as f64
+            / 2.0;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
 }
 
 /// Jaro-Winkler similarity with the standard 0.1 prefix scale capped at 4.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 

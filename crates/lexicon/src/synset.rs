@@ -50,7 +50,8 @@ mod tests {
 
     #[test]
     fn contains_member() {
-        let s = Synset::new(vec!["car".into(), "automobile".into()], Some("a motor vehicle".into()));
+        let s =
+            Synset::new(vec!["car".into(), "automobile".into()], Some("a motor vehicle".into()));
         assert!(s.contains("car"));
         assert!(s.contains("automobile"));
         assert!(!s.contains("truck"));

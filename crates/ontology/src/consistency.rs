@@ -17,8 +17,8 @@
 //!   warning;
 //! * attribute nodes should not be instance nodes.
 
-use onion_graph::traverse::{topo_sort, EdgeFilter};
 use onion_graph::rel;
+use onion_graph::traverse::{topo_sort, EdgeFilter};
 
 use crate::ontology::Ontology;
 
@@ -83,16 +83,11 @@ pub fn check(ontology: &Ontology) -> Vec<ConsistencyIssue> {
     transitive_rels.sort();
     for relation in transitive_rels {
         if let Err(cycle) = topo_sort(g, &EdgeFilter::label(&relation)) {
-            let mut labels: Vec<String> = cycle
-                .iter()
-                .map(|&n| g.node_label(n).expect("live").to_string())
-                .collect();
+            let mut labels: Vec<String> =
+                cycle.iter().map(|&n| g.node_label(n).expect("live").to_string()).collect();
             // rotate so the smallest label leads: deterministic reporting
-            if let Some(min_pos) = labels
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.cmp(b.1))
-                .map(|(i, _)| i)
+            if let Some(min_pos) =
+                labels.iter().enumerate().min_by(|a, b| a.1.cmp(b.1)).map(|(i, _)| i)
             {
                 labels.rotate_left(min_pos);
             }
@@ -214,7 +209,9 @@ mod tests {
             .declare("partOf", onion_rules::properties::RelationProperties::none().transitive());
         let issues = check(&o);
         assert_eq!(issues.len(), 1);
-        assert!(matches!(&issues[0].kind, IssueKind::RelationCycle { relation, .. } if relation == "partOf"));
+        assert!(
+            matches!(&issues[0].kind, IssueKind::RelationCycle { relation, .. } if relation == "partOf")
+        );
     }
 
     #[test]
@@ -239,15 +236,17 @@ mod tests {
             .build()
             .unwrap();
         let issues = check(&o);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(&i.kind, IssueKind::AttributeIsInstance { node } if node == "Price")));
+        assert!(issues.iter().any(
+            |i| matches!(&i.kind, IssueKind::AttributeIsInstance { node } if node == "Price")
+        ));
     }
 
     #[test]
     fn self_loop_subclass_is_cycle() {
         let o = OntologyBuilder::new("t").class_under("A", "A").build().unwrap();
         let issues = check(&o);
-        assert!(matches!(&issues[0].kind, IssueKind::RelationCycle { cycle, .. } if cycle.len() == 1));
+        assert!(
+            matches!(&issues[0].kind, IssueKind::RelationCycle { cycle, .. } if cycle.len() == 1)
+        );
     }
 }

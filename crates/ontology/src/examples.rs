@@ -183,18 +183,10 @@ mod tests {
             for term in rule.terms() {
                 match term.ontology.as_deref() {
                     Some("carrier") => {
-                        assert!(
-                            c.defines(&term.name),
-                            "carrier should define {:?}",
-                            term.name
-                        );
+                        assert!(c.defines(&term.name), "carrier should define {:?}", term.name);
                     }
                     Some("factory") => {
-                        assert!(
-                            f.defines(&term.name),
-                            "factory should define {:?}",
-                            term.name
-                        );
+                        assert!(f.defines(&term.name), "factory should define {:?}", term.name);
                     }
                     _ => {} // articulation terms are created by the generator
                 }

@@ -114,9 +114,7 @@ pub fn from_idl(input: &str, opts: &IdlOptions) -> Result<Ontology> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("attribute ") {
-            let class = current
-                .clone()
-                .ok_or_else(|| err("attribute outside interface".into()))?;
+            let class = current.clone().ok_or_else(|| err("attribute outside interface".into()))?;
             let rest = rest.trim_end_matches(';').trim();
             // attribute TYPE NAME  (TYPE may be multi-word, NAME is last)
             let mut parts: Vec<&str> = rest.split_whitespace().collect();
@@ -137,7 +135,10 @@ pub fn from_idl(input: &str, opts: &IdlOptions) -> Result<Ontology> {
         return Err(err(format!("unrecognised IDL line: {line:?}")));
     }
     if current.is_some() || depth != 0 {
-        return Err(GraphError::Parse { line: input.lines().count(), msg: "unterminated interface".into() });
+        return Err(GraphError::Parse {
+            line: input.lines().count(),
+            msg: "unterminated interface".into(),
+        });
     }
     Ok(o)
 }
@@ -167,8 +168,8 @@ interface Truck : Vehicle, CargoCarrier {
 
     #[test]
     fn idl_import_builds_hierarchy() {
-        let o = from_idl(SAMPLE, &IdlOptions { name: "carrier".into(), keep_types: false })
-            .unwrap();
+        let o =
+            from_idl(SAMPLE, &IdlOptions { name: "carrier".into(), keep_types: false }).unwrap();
         assert_eq!(o.name(), "carrier");
         assert!(o.is_subclass("Car", "Vehicle"));
         assert!(o.is_subclass("Truck", "Vehicle"));
@@ -194,13 +195,13 @@ interface Truck : Vehicle, CargoCarrier {
     #[test]
     fn idl_errors() {
         for bad in [
-            "attribute long x;",                       // outside interface
-            "interface A {\n interface B {\n};\n};",   // nested
-            "interface A {",                           // unterminated
-            "};",                                      // stray close
-            "interface 9bad {\n};",                    // bad name
-            "interface A {\n attribute long;\n};",     // missing name
-            "interface A {\n garbage here;\n};",       // unknown line
+            "attribute long x;",                     // outside interface
+            "interface A {\n interface B {\n};\n};", // nested
+            "interface A {",                         // unterminated
+            "};",                                    // stray close
+            "interface 9bad {\n};",                  // bad name
+            "interface A {\n attribute long;\n};",   // missing name
+            "interface A {\n garbage here;\n};",     // unknown line
         ] {
             assert!(from_idl(bad, &IdlOptions::default()).is_err(), "{bad:?} should fail");
         }

@@ -269,10 +269,7 @@ mod tests {
         assert_eq!(q.select, vec!["Price", "Owner"]);
         assert_eq!(q.conditions.len(), 2);
         assert_eq!(q.conditions[0], Condition::new("Price", CmpOp::Lt, Value::Num(10000.0)));
-        assert_eq!(
-            q.conditions[1],
-            Condition::new("Owner", CmpOp::Eq, Value::Str("Ann".into()))
-        );
+        assert_eq!(q.conditions[1], Condition::new("Owner", CmpOp::Eq, Value::Str("Ann".into())));
     }
 
     #[test]

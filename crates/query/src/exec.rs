@@ -106,11 +106,8 @@ mod tests {
         let rs = execute(&q, &art, &[&c, &f], &conv, &[&cw, &fw]).unwrap();
         // MyCar, suv1, pc7, truck9 — bike1's class is unmapped
         assert_eq!(rs.len(), 4, "{rs}");
-        let eur: BTreeMap<&str, f64> = rs
-            .rows
-            .iter()
-            .map(|r| (r.id.as_str(), r.attrs["Price"].as_num().unwrap()))
-            .collect();
+        let eur: BTreeMap<&str, f64> =
+            rs.rows.iter().map(|r| (r.id.as_str(), r.attrs["Price"].as_num().unwrap())).collect();
         assert!((eur["MyCar"] - 1000.0).abs() < 1e-6, "guilders normalised to euro");
         assert!((eur["pc7"] - 1000.0).abs() < 1e-6, "sterling normalised to euro");
         assert!((eur["suv1"] - 10000.0).abs() < 1e-6);

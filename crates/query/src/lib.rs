@@ -18,7 +18,7 @@
 //!    normalizations functions to transform terms to and from the
 //!    articulation ontology in order to answer queries involving the
 //!    prices of vehicles");
-//! 3. [`plan`] decides which sources to consult (those with a mapped
+//! 3. [`plan()`] decides which sources to consult (those with a mapped
 //!    class) and pushes converted conditions down;
 //! 4. [`exec`] runs the per-source queries through [`wrapper`]s over
 //!    [`kb`] fact stores and merges results in articulation vocabulary.

@@ -10,7 +10,9 @@
 //! paper's loose use of `car` for the `Cars` node.
 
 use onion_graph::pattern::NodeConstraint;
-use onion_graph::{CaseInsensitiveEquiv, LabelEquiv, Match, MatchConfig, Matcher, OntGraph, Pattern};
+use onion_graph::{
+    CaseInsensitiveEquiv, LabelEquiv, Match, MatchConfig, Matcher, OntGraph, Pattern,
+};
 use onion_lexicon::normalize::normalize;
 
 use crate::{QueryError, Result};
@@ -54,7 +56,7 @@ fn split(label: &str) -> (Option<&str>, &str) {
 /// `carrier.car` → `carrier.driver` (resolved fuzzily by
 /// [`SchemaEquiv`]). Patterns already containing dots are left as-is.
 pub fn compile_scoped(text: &str) -> Result<Pattern> {
-    let mut p = Pattern::parse(text).map_err(|e| QueryError::Parse(e.to_string()))?;
+    let p = Pattern::parse(text).map_err(|e| QueryError::Parse(e.to_string()))?;
     // the paper's convention: the first path step may name the ontology;
     // if so, strip it and qualify the remaining labels with it
     let first_label = match &p.nodes.first() {
@@ -141,8 +143,7 @@ mod tests {
         let u = unified();
         let ms = query_unified(&u, "carrier:car:driver").unwrap();
         assert_eq!(ms.len(), 1, "Cars -hasDriver-> Driver matches");
-        let labels: Vec<&str> =
-            ms[0].nodes.iter().map(|&n| u.node_label(n).unwrap()).collect();
+        let labels: Vec<&str> = ms[0].nodes.iter().map(|&n| u.node_label(n).unwrap()).collect();
         assert_eq!(labels, vec!["carrier.Cars", "carrier.Driver"]);
     }
 

@@ -39,14 +39,9 @@ impl QueryPlan {
             out.push_str("  (no source can answer)\n");
         }
         for sq in &self.source_queries {
-            out.push_str(&format!(
-                "  source {}: classes [{}]",
-                sq.source,
-                sq.classes.join(", ")
-            ));
+            out.push_str(&format!("  source {}: classes [{}]", sq.source, sq.classes.join(", ")));
             if !sq.conditions.is_empty() {
-                let conds: Vec<String> =
-                    sq.conditions.iter().map(|c| c.to_string()).collect();
+                let conds: Vec<String> = sq.conditions.iter().map(|c| c.to_string()).collect();
                 out.push_str(&format!(" where {}", conds.join(" and ")));
             }
             if !sq.conversions.is_empty() {

@@ -65,25 +65,16 @@ impl<'a> Reformulator<'a> {
         let mut implication: HashMap<String, Vec<String>> = HashMap::new();
         for b in &articulation.bridges {
             if b.label == rel::SI_BRIDGE {
-                implication
-                    .entry(b.src.to_string())
-                    .or_default()
-                    .push(b.dst.to_string());
+                implication.entry(b.src.to_string()).or_default().push(b.dst.to_string());
             }
         }
         let art_g = articulation.ontology.graph();
         for e in art_g.edges() {
             if e.label == rel::SUBCLASS_OF {
-                let s = format!(
-                    "{}.{}",
-                    articulation.name(),
-                    art_g.node_label(e.src).expect("live")
-                );
-                let d = format!(
-                    "{}.{}",
-                    articulation.name(),
-                    art_g.node_label(e.dst).expect("live")
-                );
+                let s =
+                    format!("{}.{}", articulation.name(), art_g.node_label(e.src).expect("live"));
+                let d =
+                    format!("{}.{}", articulation.name(), art_g.node_label(e.dst).expect("live"));
                 implication.entry(s).or_default().push(d);
             }
         }
@@ -371,14 +362,10 @@ mod tests {
         let q = Query::parse("find Vehicle(Price)").unwrap();
         let reforms = r.reformulate(&q).unwrap();
         let carrier_side = reforms.iter().find(|x| x.source == "carrier").unwrap();
-        let eur = r
-            .to_articulation_space(carrier_side, "Price", &Value::Num(2203.71))
-            .unwrap();
+        let eur = r.to_articulation_space(carrier_side, "Price", &Value::Num(2203.71)).unwrap();
         assert!((eur.as_num().unwrap() - 1000.0).abs() < 1e-9);
         // strings pass through
-        let s = r
-            .to_articulation_space(carrier_side, "Owner", &Value::Str("Ann".into()))
-            .unwrap();
+        let s = r.to_articulation_space(carrier_side, "Owner", &Value::Str("Ann".into())).unwrap();
         assert_eq!(s, Value::Str("Ann".into()));
     }
 

@@ -101,7 +101,11 @@ mod tests {
     #[test]
     fn normalise_orders_rows() {
         let mut rs = ResultSet {
-            rows: vec![row("b", "factory", 1.0), row("a", "carrier", 2.0), row("a", "factory", 3.0)],
+            rows: vec![
+                row("b", "factory", 1.0),
+                row("a", "carrier", 2.0),
+                row("a", "factory", 3.0),
+            ],
         };
         rs.normalise();
         let order: Vec<(&str, &str)> =

@@ -68,10 +68,7 @@ mod tests {
         assert_eq!(w.source(), "carrier");
         assert_eq!(w.calls(), 0);
         let got = w
-            .fetch(
-                &["Cars".to_string()],
-                &[Condition::new("Price", CmpOp::Lt, Value::Num(5000.0))],
-            )
+            .fetch(&["Cars".to_string()], &[Condition::new("Price", CmpOp::Lt, Value::Num(5000.0))])
             .unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].id, "car1");

@@ -336,19 +336,14 @@ mod tests {
         };
         assert!(!r.is_simple_implication());
         assert_eq!(r.terms().len(), 3);
-        assert_eq!(
-            r.to_string(),
-            "carrier.Car => transport.PassengerCar => factory.Vehicle"
-        );
+        assert_eq!(r.to_string(), "carrier.Car => transport.PassengerCar => factory.Vehicle");
     }
 
     #[test]
     fn ruleset_dedups() {
         let mut rs = RuleSet::new();
-        let r = ArticulationRule::term_implies(
-            Term::qualified("a", "X"),
-            Term::qualified("b", "Y"),
-        );
+        let r =
+            ArticulationRule::term_implies(Term::qualified("a", "X"), Term::qualified("b", "Y"));
         assert!(rs.push(r.clone()));
         assert!(!rs.push(r));
         assert_eq!(rs.len(), 1);

@@ -121,10 +121,8 @@ pub fn analyze(
         .into_iter()
         .filter(|c| c.len() > 1)
         .map(|c| {
-            let mut terms: Vec<String> = c
-                .into_iter()
-                .map(|n| g.node_label(n).expect("live").to_string())
-                .collect();
+            let mut terms: Vec<String> =
+                c.into_iter().map(|n| g.node_label(n).expect("live").to_string()).collect();
             terms.sort();
             terms
         })
@@ -158,7 +156,9 @@ pub fn analyze(
     let mut missing: Vec<String> = rules
         .iter()
         .filter_map(|r| match r {
-            ArticulationRule::Functional { function, .. } if conversions.get(function).is_none() => {
+            ArticulationRule::Functional { function, .. }
+                if conversions.get(function).is_none() =>
+            {
                 Some(function.clone())
             }
             _ => None,
@@ -220,10 +220,7 @@ mod tests {
     fn detects_equivalence_cycle() {
         let rs = rules("a.X => b.Y\nb.Y => a.X\n");
         let f = analyze(&rs, &ConversionRegistry::standard(), &Disjointness::new());
-        assert_eq!(
-            f,
-            vec![Finding::EquivalenceCycle { terms: vec!["a.X".into(), "b.Y".into()] }]
-        );
+        assert_eq!(f, vec![Finding::EquivalenceCycle { terms: vec!["a.X".into(), "b.Y".into()] }]);
     }
 
     #[test]

@@ -133,9 +133,7 @@ impl ConversionRegistry {
 
     /// Applies the registered inverse of `name` to `x`.
     pub fn apply_inverse(&self, name: &str, x: f64) -> Result<f64> {
-        let c = self
-            .get(name)
-            .ok_or_else(|| RuleError::UnknownFunction(name.to_string()))?;
+        let c = self.get(name).ok_or_else(|| RuleError::UnknownFunction(name.to_string()))?;
         let inv = c
             .inverse_name()
             .ok_or_else(|| RuleError::UnknownFunction(format!("inverse of {name}")))?;

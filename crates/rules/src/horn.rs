@@ -129,9 +129,7 @@ impl HornClause {
     /// the standard Datalog range-restriction that keeps forward
     /// chaining finite.
     pub fn is_safe(&self) -> bool {
-        self.head.variables().all(|v| {
-            self.body.iter().any(|a| a.variables().any(|bv| bv == v))
-        })
+        self.head.variables().all(|v| self.body.iter().any(|a| a.variables().any(|bv| bv == v)))
     }
 }
 
@@ -454,7 +452,8 @@ mod tests {
             vec![Atom::vars2("p", "X", "Y"), Atom::vars2("p", "Y", "Z")],
         );
         assert!(safe.is_safe());
-        let unsafe_clause = HornClause::new(Atom::vars2("p", "X", "W"), vec![Atom::vars2("p", "X", "Y")]);
+        let unsafe_clause =
+            HornClause::new(Atom::vars2("p", "X", "W"), vec![Atom::vars2("p", "X", "Y")]);
         assert!(!unsafe_clause.is_safe());
         let mut prog = HornProgram::new();
         assert!(prog.push(unsafe_clause).is_err());
@@ -513,9 +512,7 @@ subclass("carrier.Car", "carrier.Vehicle").
         let reg = RelationRegistry::onion_default();
         let prog = HornProgram::standard(&reg);
         // transitivity of subclassof present
-        assert!(prog.clauses.iter().any(|c| {
-            c.head.pred == "subclassof" && c.body.len() == 2
-        }));
+        assert!(prog.clauses.iter().any(|c| { c.head.pred == "subclassof" && c.body.len() == 2 }));
         // subclass implies si
         assert!(prog
             .clauses

@@ -131,9 +131,7 @@ impl FactBase {
         self.by_pred
             .get(&p)
             .map(|list| {
-                list.iter()
-                    .map(|args| args.iter().map(|&a| self.resolve(a)).collect())
-                    .collect()
+                list.iter().map(|args| args.iter().map(|&a| self.resolve(a)).collect()).collect()
             })
             .unwrap_or_default()
     }
@@ -320,7 +318,14 @@ impl InferenceEngine {
                         if c.body.is_empty() {
                             continue;
                         }
-                        eval_clause(fb, c, None, unindexed, &mut new_facts, &mut stats.atoms_examined);
+                        eval_clause(
+                            fb,
+                            c,
+                            None,
+                            unindexed,
+                            &mut new_facts,
+                            &mut stats.atoms_examined,
+                        );
                     }
                 }
             }
@@ -410,8 +415,7 @@ impl<'d> DeltaIndex<'d> {
             Some((pos, sym)) => self.by_arg.get(&(atom.pred, pos, sym)),
             None => self.by_pred.get(&atom.pred),
         };
-        idxs.map(|v| v.iter().map(|&i| &self.facts[i as usize].1).collect())
-            .unwrap_or_default()
+        idxs.map(|v| v.iter().map(|&i| &self.facts[i as usize].1).collect()).unwrap_or_default()
     }
 }
 
@@ -479,12 +483,11 @@ fn join(
                     .collect()
             } else {
                 // use the tightest available index
-                let bound: Option<(u8, u32)> = atom.args.iter().enumerate().find_map(|(pos, a)| {
-                    match a {
+                let bound: Option<(u8, u32)> =
+                    atom.args.iter().enumerate().find_map(|(pos, a)| match a {
                         CArg::Const(s) => Some((pos as u8, *s)),
                         CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
-                    }
-                });
+                    });
                 match bound {
                     Some((pos, sym)) => {
                         let list = fb.by_pred.get(&atom.pred);
@@ -496,11 +499,9 @@ fn join(
                             })
                             .unwrap_or_default()
                     }
-                    None => fb
-                        .by_pred
-                        .get(&atom.pred)
-                        .map(|l| l.iter().collect())
-                        .unwrap_or_default(),
+                    None => {
+                        fb.by_pred.get(&atom.pred).map(|l| l.iter().collect()).unwrap_or_default()
+                    }
                 }
             }
         }
@@ -598,10 +599,8 @@ mod tests {
         let expected = n * (n + 1) / 2; // pairs (i<j) over chain of n edges
         for strat in [Strategy::SemiNaive, Strategy::Naive, Strategy::FullClosure] {
             let mut fb = chain_fb(n);
-            let stats = InferenceEngine::new(transitivity())
-                .with_strategy(strat)
-                .run(&mut fb)
-                .unwrap();
+            let stats =
+                InferenceEngine::new(transitivity()).with_strategy(strat).run(&mut fb).unwrap();
             assert_eq!(fb.len(), expected, "strategy {strat:?}");
             assert_eq!(stats.derived, expected - n, "strategy {strat:?}");
         }
@@ -631,10 +630,8 @@ mod tests {
 
     #[test]
     fn ground_fact_clauses_fire() {
-        let prog = HornProgram::parse(
-            "p(a, b).\n p(b, c).\n p(X, Z) :- p(X, Y), p(Y, Z).",
-        )
-        .unwrap();
+        let prog =
+            HornProgram::parse("p(a, b).\n p(b, c).\n p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
         let mut fb = FactBase::new();
         let stats = InferenceEngine::new(prog).run(&mut fb).unwrap();
         assert!(fb.contains("p", &["a", "c"]));
@@ -673,10 +670,9 @@ mod tests {
 
     #[test]
     fn three_atom_join() {
-        let prog = HornProgram::parse(
-            "grandparent(X, Z) :- parent(X, Y), parent(Y, Z), person(X, X).",
-        )
-        .unwrap();
+        let prog =
+            HornProgram::parse("grandparent(X, Z) :- parent(X, Y), parent(Y, Z), person(X, X).")
+                .unwrap();
         let mut fb = FactBase::new();
         fb.add("parent", &["a", "b"]);
         fb.add("parent", &["b", "c"]);
@@ -701,20 +697,14 @@ mod tests {
     #[test]
     fn budget_exceeded_derived() {
         let mut fb = chain_fb(50);
-        let err = InferenceEngine::new(transitivity())
-            .with_budget(10, 0)
-            .run(&mut fb)
-            .unwrap_err();
+        let err = InferenceEngine::new(transitivity()).with_budget(10, 0).run(&mut fb).unwrap_err();
         assert!(matches!(err, RuleError::BudgetExceeded { derived } if derived > 10));
     }
 
     #[test]
     fn budget_exceeded_iterations() {
         let mut fb = chain_fb(50);
-        let err = InferenceEngine::new(transitivity())
-            .with_budget(0, 2)
-            .run(&mut fb)
-            .unwrap_err();
+        let err = InferenceEngine::new(transitivity()).with_budget(0, 2).run(&mut fb).unwrap_err();
         assert!(matches!(err, RuleError::BudgetExceeded { .. }));
     }
 

@@ -405,17 +405,17 @@ mod tests {
     fn parse_errors() {
         for bad in [
             "",
-            "a.X",             // no implication
-            "a.X =>",          // dangling
-            "=> b.Y",          // missing lhs
-            "a.X = b.Y",       // bad arrow
-            "a.X => (b.Y",     // unclosed paren
-            "F(: a.X => b.Y",  // bad functional
-            "F(): a.X => ",    // functional missing rhs
-            "a.X => b.Y extra",// trailing
-            "a..X => b.Y",     // double dot
+            "a.X",              // no implication
+            "a.X =>",           // dangling
+            "=> b.Y",           // missing lhs
+            "a.X = b.Y",        // bad arrow
+            "a.X => (b.Y",      // unclosed paren
+            "F(: a.X => b.Y",   // bad functional
+            "F(): a.X => ",     // functional missing rhs
+            "a.X => b.Y extra", // trailing
+            "a..X => b.Y",      // double dot
             "\"unterminated => b.Y",
-            "a.X $ b.Y",       // bad char
+            "a.X $ b.Y", // bad char
         ] {
             assert!(parse_rule(bad).is_err(), "{bad:?} should fail");
         }

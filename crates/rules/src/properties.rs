@@ -137,7 +137,12 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let p = RelationProperties::none().transitive().symmetric().reflexive().inverse("inv").semantic();
+        let p = RelationProperties::none()
+            .transitive()
+            .symmetric()
+            .reflexive()
+            .inverse("inv")
+            .semantic();
         assert!(p.transitive && p.symmetric && p.reflexive && p.implies_semantic);
         assert_eq!(p.inverse_of.as_deref(), Some("inv"));
     }

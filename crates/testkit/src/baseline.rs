@@ -114,11 +114,10 @@ impl GlobalMerge {
         let Some(n) = self.graph.node_by_label(global) else {
             return Vec::new();
         };
-        let mut v: Vec<String> =
-            onion_graph::closure::ancestors(&self.graph, n, rel::SUBCLASS_OF)
-                .into_iter()
-                .map(|m| self.graph.node_label(m).expect("live").to_string())
-                .collect();
+        let mut v: Vec<String> = onion_graph::closure::ancestors(&self.graph, n, rel::SUBCLASS_OF)
+            .into_iter()
+            .map(|m| self.graph.node_label(m).expect("live").to_string())
+            .collect();
         v.push(global.to_string());
         v.sort();
         v

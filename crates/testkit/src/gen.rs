@@ -114,8 +114,7 @@ mod tests {
     fn class_count_respected() {
         let o = generate_ontology(&OntologySpec::sized("t", 3, 120));
         // classes + root (+ attributes + instances on top)
-        let subclass_edges =
-            o.graph().edges().filter(|e| e.label == "SubclassOf").count();
+        let subclass_edges = o.graph().edges().filter(|e| e.label == "SubclassOf").count();
         assert_eq!(subclass_edges, 120, "every class has exactly one parent");
     }
 

@@ -60,7 +60,11 @@ impl OverlapPair {
     }
 }
 
-fn unique_label(rng: &mut StdRng, used: &mut std::collections::HashSet<String>, ord: usize) -> String {
+fn unique_label(
+    rng: &mut StdRng,
+    used: &mut std::collections::HashSet<String>,
+    ord: usize,
+) -> String {
     loop {
         let w = pseudo_word(rng);
         let mut chars = w.chars();
@@ -199,10 +203,7 @@ mod tests {
         let spec = OverlapSpec { rename_prob: 0.0, ..Default::default() };
         let p = overlap_pair(&spec);
         for (l, r) in &p.truth {
-            assert_eq!(
-                l.strip_prefix("left.").unwrap(),
-                r.strip_prefix("right.").unwrap()
-            );
+            assert_eq!(l.strip_prefix("left.").unwrap(), r.strip_prefix("right.").unwrap());
         }
         assert_eq!(p.lexicon.synset_count(), 0);
     }

@@ -38,16 +38,16 @@ impl Default for UpdateSpec {
 /// deletions remove previously-added leaves (so the stream is always
 /// applicable in order). The ops are **label-addressed** [`GraphOp`]s
 /// replayable via `onion_graph::ops::apply_all`.
-pub fn update_stream(source: &Ontology, articulation: &Articulation, spec: &UpdateSpec) -> Vec<GraphOp> {
+pub fn update_stream(
+    source: &Ontology,
+    articulation: &Articulation,
+    spec: &UpdateSpec,
+) -> Vec<GraphOp> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let bridged: Vec<String> = articulation
-        .bridged_terms(source.name())
-        .into_iter()
-        .map(str::to_string)
-        .collect();
+    let bridged: Vec<String> =
+        articulation.bridged_terms(source.name()).into_iter().map(str::to_string).collect();
     let all: Vec<String> = source.graph().nodes().map(|n| n.label.to_string()).collect();
-    let independent: Vec<String> =
-        all.iter().filter(|l| !bridged.contains(l)).cloned().collect();
+    let independent: Vec<String> = all.iter().filter(|l| !bridged.contains(l)).cloned().collect();
 
     let mut ops = Vec::with_capacity(spec.ops);
     let mut added: Vec<String> = Vec::new();

@@ -134,8 +134,7 @@ impl Session {
             }
             SessionCommand::Articulate { left, right } => {
                 self.log(format!("> articulate {left} {right}"));
-                let (Some(l), Some(r)) =
-                    (self.ontologies.get(&left), self.ontologies.get(&right))
+                let (Some(l), Some(r)) = (self.ontologies.get(&left), self.ontologies.get(&right))
                 else {
                     let msg = "  both ontologies must be loaded".to_string();
                     self.log(&msg);

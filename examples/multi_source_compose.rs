@@ -11,8 +11,8 @@
 //! for-byte unchanged as later ones are added — then contrasts with the
 //! global-merge baseline, which must rebuild its entire schema each time.
 
-use onion_core::prelude::*;
 use onion_core::algebra::compose::{add_source, compose_all};
+use onion_core::prelude::*;
 use onion_core::testkit::GlobalMerge;
 
 fn source(name: &str, extra: &[(&str, &str)]) -> Ontology {
@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // start with two sources…
     let mut comp = compose_all(&[&s1, &s2], &lexicon, &mut AcceptAll)?;
-    println!(
-        "step 1: articulated fleet+plant — {} bridges",
-        comp.top().bridges.len()
-    );
+    println!("step 1: articulated fleet+plant — {} bridges", comp.top().bridges.len());
     let first_step_bridges = comp.steps[0].bridges.clone();
 
     // …then add the third and fourth incrementally

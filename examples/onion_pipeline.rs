@@ -17,7 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let carrier = examples::carrier(); // built programmatically
     let factory_xml = onion_core::graph::xml::to_xml(examples::factory().graph());
     let factory = onion_core::ontology::import::from_xml(&factory_xml)?; // via XML
-    println!("loaded {} ({} terms) and {} ({} terms)", carrier.name(), carrier.term_count(), factory.name(), factory.term_count());
+    println!(
+        "loaded {} ({} terms) and {} ({} terms)",
+        carrier.name(),
+        carrier.term_count(),
+        factory.name(),
+        factory.term_count()
+    );
 
     // --- SKAT proposes, a threshold expert reviews ---------------------
     let pipeline = MatcherPipeline::standard(transport_lexicon());
@@ -31,8 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = GeneratorConfig::default();
     generator.expand_with_inference = true; // derive transitive bridges
     let config = EngineConfig { generator, ..Default::default() };
-    let engine = ArticulationEngine::new(MatcherPipeline::standard(transport_lexicon()))
-        .with_config(config);
+    let engine =
+        ArticulationEngine::new(MatcherPipeline::standard(transport_lexicon())).with_config(config);
     let seed = parse_rules(
         "DGToEuroFn(): carrier.DutchGuilders => transport.Euro\n\
          PSToEuroFn(): factory.PoundSterling => transport.Euro\n",
@@ -42,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nengine: {} rounds, {} proposed, {} accepted, {} rejected",
         report.rounds, report.proposed, report.accepted, report.rejected
     );
-    let derived =
-        art.bridges.iter().filter(|b| b.kind == articulate::BridgeKind::Derived).count();
+    let derived = art.bridges.iter().filter(|b| b.kind == articulate::BridgeKind::Derived).count();
     println!("bridges: {} total, {derived} derived by the inference engine", art.bridges.len());
 
     // --- algebra --------------------------------------------------------

@@ -25,10 +25,7 @@ fn rules_from_truth(pair: &onion_core::testkit::OverlapPair, take: usize) -> Rul
     for (l, r) in pair.truth.iter().take(take) {
         let (lo, ln) = l.split_once('.').expect("qualified");
         let (ro, rn) = r.split_once('.').expect("qualified");
-        rs.push(ArticulationRule::term_implies(
-            Term::qualified(lo, ln),
-            Term::qualified(ro, rn),
-        ));
+        rs.push(ArticulationRule::term_implies(Term::qualified(lo, ln), Term::qualified(ro, rn)));
     }
     rs
 }

@@ -80,15 +80,13 @@ fn accept_all_on_synthetic_pair_has_lower_precision() {
     });
     let pipeline = MatcherPipeline::standard(pair.lexicon.clone());
     let engine = ArticulationEngine::new(pipeline);
-    let (art_all, _) =
-        engine.run(&pair.left, &pair.right, &mut AcceptAll, RuleSet::new()).unwrap();
+    let (art_all, _) = engine.run(&pair.left, &pair.right, &mut AcceptAll, RuleSet::new()).unwrap();
     let all_metrics = precision_recall(&art_all.rules.rules, &pair.truth_set());
 
     let pipeline = MatcherPipeline::standard(pair.lexicon.clone());
     let engine = ArticulationEngine::new(pipeline);
     let mut oracle = OracleExpert::new(pair.truth.iter().cloned());
-    let (art_oracle, _) =
-        engine.run(&pair.left, &pair.right, &mut oracle, RuleSet::new()).unwrap();
+    let (art_oracle, _) = engine.run(&pair.left, &pair.right, &mut oracle, RuleSet::new()).unwrap();
     let oracle_metrics = precision_recall(&art_oracle.rules.rules, &pair.truth_set());
 
     assert!(all_metrics.recall() >= oracle_metrics.recall() - 1e-9);

@@ -38,9 +38,7 @@ impl Wrapper for FlakyWrapper {
 fn fig2_setup() -> (Ontology, Ontology, Articulation) {
     let c = examples::carrier();
     let f = examples::factory();
-    let art = ArticulationGenerator::new()
-        .generate(&examples::fig2_rules(), &[&c, &f])
-        .unwrap();
+    let art = ArticulationGenerator::new().generate(&examples::fig2_rules(), &[&c, &f]).unwrap();
     (c, f, art)
 }
 
@@ -96,18 +94,13 @@ fn missing_conversion_function_fails_condition_pushdown() {
 
 #[test]
 fn inconsistent_source_is_detectable_before_articulation() {
-    let broken = OntologyBuilder::new("broken")
-        .class_under("A", "B")
-        .class_under("B", "A")
-        .build()
-        .unwrap();
+    let broken =
+        OntologyBuilder::new("broken").class_under("A", "B").class_under("B", "A").build().unwrap();
     assert!(!onion_core::ontology::consistency::is_consistent(&broken));
     // the engine itself still runs (the paper leaves enforcement to the
     // expert), but the consistency report names the cycle
     let issues = onion_core::ontology::consistency::check(&broken);
-    assert!(issues
-        .iter()
-        .any(|i| i.message.contains("A") && i.message.contains("B")));
+    assert!(issues.iter().any(|i| i.message.contains("A") && i.message.contains("B")));
 }
 
 #[test]

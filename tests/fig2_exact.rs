@@ -113,8 +113,7 @@ fn unified_graph_dimensions() {
     let factory = examples::factory();
     let art = articulation();
     let u = art.unified(&[&carrier, &factory]).unwrap();
-    let expected_nodes =
-        carrier.term_count() + factory.term_count() + art.ontology.term_count();
+    let expected_nodes = carrier.term_count() + factory.term_count() + art.ontology.term_count();
     let expected_edges = carrier.graph().edge_count()
         + factory.graph().edge_count()
         + art.ontology.graph().edge_count()
@@ -129,13 +128,8 @@ fn intersection_of_fig2_is_the_transport_ontology() {
     // the transportation ontology."
     let carrier = examples::carrier();
     let factory = examples::factory();
-    let i = intersect(
-        &carrier,
-        &factory,
-        &examples::fig2_rules(),
-        &ArticulationGenerator::new(),
-    )
-    .unwrap();
+    let i = intersect(&carrier, &factory, &examples::fig2_rules(), &ArticulationGenerator::new())
+        .unwrap();
     assert_eq!(i.name(), "transport");
     assert!(i.defines("Vehicle") && i.defines("CargoCarrier") && i.defines("Euro"));
 }

@@ -28,13 +28,7 @@ fn edge_list() -> impl Strategy<Value = Vec<(String, String, String)>> {
 /// Lowercase ontology names avoiding the rule grammar's reserved words
 /// (`and` / `or` must be quoted when used as identifiers).
 fn ontology_name() -> impl Strategy<Value = String> {
-    "[a-z]{1,6}".prop_map(|s| {
-        if s == "or" || s == "and" {
-            format!("{s}x")
-        } else {
-            s
-        }
-    })
+    "[a-z]{1,6}".prop_map(|s| if s == "or" || s == "and" { format!("{s}x") } else { s })
 }
 
 fn build(edges: &[(String, String, String)]) -> OntGraph {

@@ -4,8 +4,8 @@
 //! repaired articulation matches a from-scratch rebuild where one is
 //! defined.
 
-use onion_core::prelude::*;
 use onion_core::articulate::maintain::{apply_delta, rebuild, triage};
+use onion_core::prelude::*;
 use onion_core::testkit::{update_stream, UpdateSpec};
 
 fn setup() -> (Ontology, Ontology, Articulation, ArticulationGenerator) {
@@ -40,12 +40,8 @@ fn triage_fraction_tracks_locality_knob() {
     let (c, _, art, _) = setup();
     let mut fractions = Vec::new();
     for bridged in [0.0, 0.5, 1.0] {
-        let spec = UpdateSpec {
-            bridged_fraction: bridged,
-            delete_fraction: 0.0,
-            ops: 200,
-            seed: 5,
-        };
+        let spec =
+            UpdateSpec { bridged_fraction: bridged, delete_fraction: 0.0, ops: 200, seed: 5 };
         let ops = update_stream(&c, &art, &spec);
         let (relevant, _) = triage(&art, "carrier", &ops);
         fractions.push(relevant.len() as f64 / ops.len() as f64);
@@ -109,12 +105,7 @@ fn scoped_rearticulation_picks_up_new_shared_terms() {
 fn repeated_deltas_remain_consistent() {
     let (mut c, f, mut art, generator) = setup();
     for round in 0..5 {
-        let spec = UpdateSpec {
-            seed: round,
-            ops: 30,
-            bridged_fraction: 0.3,
-            delete_fraction: 0.2,
-        };
+        let spec = UpdateSpec { seed: round, ops: 30, bridged_fraction: 0.3, delete_fraction: 0.2 };
         let ops = update_stream(&c, &art, &spec);
         let mut g = c.graph().clone();
         onion_core::graph::ops::apply_all(&mut g, &ops).unwrap();
