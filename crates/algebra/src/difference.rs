@@ -63,11 +63,14 @@ fn determined_terms(art: &Articulation, of: &str, other: &str) -> HashSet<String
         adj.entry(b.src.to_string()).or_default().push(b.dst.to_string());
     }
     let art_g = art.ontology.graph();
-    for e in art_g.edges() {
-        if e.label == rel::SUBCLASS_OF {
-            let s = format!("{}.{}", art.name(), art_g.node_label(e.src).expect("live"));
-            let d = format!("{}.{}", art.name(), art_g.node_label(e.dst).expect("live"));
-            adj.entry(s).or_default().push(d);
+    // resolve the subclass label once; compare interned ids per edge
+    if let Some(sub) = art_g.label_id(rel::SUBCLASS_OF) {
+        for (_, src, lid, dst) in art_g.edge_entries() {
+            if lid == sub {
+                let s = format!("{}.{}", art.name(), art_g.node_label(src).expect("live"));
+                let d = format!("{}.{}", art.name(), art_g.node_label(dst).expect("live"));
+                adj.entry(s).or_default().push(d);
+            }
         }
     }
     let other_prefix = format!("{other}.");
@@ -144,9 +147,10 @@ pub fn difference(
             }
             let mut has_in = false;
             let mut all_in_removed = true;
-            for e in g.in_edges(n) {
+            // id-layer iteration: only the in-neighbour id is needed
+            for (_, _, src) in g.in_edge_entries(n) {
                 has_in = true;
-                if !removed.contains(&e.src) {
+                if !removed.contains(&src) {
                     all_in_removed = false;
                     break;
                 }

@@ -40,19 +40,15 @@ pub fn extract(
     for &n in &region {
         out.ensure_node(g.node_label(n).expect("live"))?;
     }
-    for e in g.edges() {
-        if region.contains(&e.src) && region.contains(&e.dst) {
-            let admissible = match edge_filter {
-                EdgeFilter::All => true,
-                EdgeFilter::Labels(ls) => ls.iter().any(|l| l == e.label),
-            };
-            if admissible {
-                out.ensure_edge_by_labels(
-                    g.node_label(e.src).expect("live"),
-                    e.label,
-                    g.node_label(e.dst).expect("live"),
-                )?;
-            }
+    // resolved filter: per-edge admission by interned id, no strings
+    let rf = edge_filter.resolve(g);
+    for (_, src, lid, dst) in g.edge_entries() {
+        if region.contains(&src) && region.contains(&dst) && rf.admits(lid) {
+            out.ensure_edge_by_labels(
+                g.node_label(src).expect("live"),
+                g.resolve(lid),
+                g.node_label(dst).expect("live"),
+            )?;
         }
     }
     Ok(out)

@@ -17,26 +17,41 @@ pub fn filter(ontology: &Ontology, pattern: &Pattern, config: &MatchConfig) -> R
     let g = ontology.graph();
     let matcher = Matcher::new(g).with_config(config.clone());
     let matches = matcher.find_all(pattern)?;
+    // resolve each pattern edge's label constraint to an interned id
+    // once; an unresolved (never-interned) label admits nothing unless
+    // labels are relaxed
+    let constraint_ids: Vec<Option<onion_graph::LabelId>> = pattern
+        .edges
+        .iter()
+        .map(|pe| match &pe.constraint {
+            onion_graph::EdgeConstraint::Label(l) => g.label_id(l),
+            onion_graph::EdgeConstraint::Any => None,
+        })
+        .collect();
     let mut out = OntGraph::new(format!("filter({})", g.name()));
     for m in &matches {
         for &n in &m.nodes {
             out.ensure_node(g.node_label(n).expect("matched nodes are live"))?;
         }
-        for pe in &pattern.edges {
+        for (pe, cid) in pattern.edges.iter().zip(&constraint_ids) {
             let src = m.nodes[pe.src];
             let dst = m.nodes[pe.dst];
-            // find the concrete graph edge(s) realising this pattern edge
-            for e in g.out_edges(src).filter(|e| e.dst == dst) {
+            // find the concrete graph edge(s) realising this pattern
+            // edge — id comparisons only; labels resolve on insert
+            for (_, lid, d) in g.out_edge_entries(src) {
+                if d != dst {
+                    continue;
+                }
                 let admissible = match &pe.constraint {
                     onion_graph::EdgeConstraint::Any => true,
-                    onion_graph::EdgeConstraint::Label(l) => {
-                        config.relax_edge_labels || l == e.label
+                    onion_graph::EdgeConstraint::Label(_) => {
+                        config.relax_edge_labels || *cid == Some(lid)
                     }
                 };
                 if admissible {
                     out.ensure_edge_by_labels(
                         g.node_label(src).expect("live"),
-                        e.label,
+                        g.resolve(lid),
                         g.node_label(dst).expect("live"),
                     )?;
                 }

@@ -7,6 +7,11 @@
 //! intersection, therefore, produces an ontology that can be further
 //! composed with other ontologies. This operation is central to our
 //! scalable articulation concepts."
+//!
+//! Intersection delegates wholesale to the articulation generator, so
+//! its traversal cost (structure inheritance's per-label closure,
+//! common-subclass lookups) rides on the graph's label-indexed
+//! adjacency layer rather than doing any matching of its own.
 
 use onion_articulate::ArticulationGenerator;
 use onion_ontology::Ontology;

@@ -481,13 +481,15 @@ impl ArticulationGenerator {
             }
         }
         // seed: source subclass edges and articulation-internal subclass
-        // edges, qualified
+        // edges, qualified — label resolved once per graph, id compares
+        // per edge
         for o in sources.iter().copied().chain([&art.ontology]) {
             let g = o.graph();
-            for e in g.edges() {
-                if e.label == rel::SUBCLASS_OF {
-                    let s = format!("{}.{}", g.name(), g.node_label(e.src).expect("live"));
-                    let d = format!("{}.{}", g.name(), g.node_label(e.dst).expect("live"));
+            let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { continue };
+            for (_, src, lid, dst) in g.edge_entries() {
+                if lid == sub {
+                    let s = format!("{}.{}", g.name(), g.node_label(src).expect("live"));
+                    let d = format!("{}.{}", g.name(), g.node_label(dst).expect("live"));
                     fb.add("subclassof", &[&s, &d]);
                 }
             }

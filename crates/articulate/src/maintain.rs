@@ -136,34 +136,39 @@ pub fn apply_delta(
     }
 
     // --- additions: scoped re-proposal ---------------------------------
+    //
+    // The changed source must be re-proposed against *every* other
+    // source: a >2-source composition (examples/multi_source_compose.rs)
+    // can gain a correspondence between the changed source and any of
+    // its peers, not just between the first two in `sources_after`.
     if let Some((pipeline, expert)) = rearticulate.as_mut() {
-        if !touched_labels.is_empty() && sources_after.len() >= 2 {
-            let o1 = sources_after[0];
-            let o2 = sources_after[1];
-            let candidates = pipeline.propose(o1, o2, &art.rules);
-            for cand in candidates {
-                let touches = cand
-                    .rule
-                    .terms()
-                    .iter()
-                    .any(|t| t.in_ontology(source_name) && touched_labels.contains(&t.name));
-                if !touches {
-                    continue;
-                }
-                match expert.review(&cand) {
-                    Verdict::Accept => {
-                        if art.rules.push(cand.rule.clone()) {
-                            generator.apply_rule(&cand.rule, sources_after, art)?;
-                            report.rules_added += 1;
+        if !touched_labels.is_empty() {
+            let changed = sources_after.iter().copied().find(|o| o.name() == source_name);
+            let others = sources_after.iter().copied().filter(|o| o.name() != source_name);
+            if let Some(changed) = changed {
+                for other in others {
+                    let candidates = pipeline.propose(changed, other, &art.rules);
+                    for cand in candidates {
+                        let touches = cand.rule.terms().iter().any(|t| {
+                            t.in_ontology(source_name) && touched_labels.contains(&t.name)
+                        });
+                        if !touches {
+                            continue;
+                        }
+                        let accepted = match expert.review(&cand) {
+                            Verdict::Accept => Some(cand.rule.clone()),
+                            Verdict::Modify(rule) => Some(rule),
+                            Verdict::Reject => None,
+                        };
+                        if let Some(rule) = accepted {
+                            // RuleSet::push dedups, so a candidate seen
+                            // against several peers is applied once
+                            if art.rules.push(rule.clone()) {
+                                generator.apply_rule(&rule, sources_after, art)?;
+                                report.rules_added += 1;
+                            }
                         }
                     }
-                    Verdict::Modify(rule) => {
-                        if art.rules.push(rule.clone()) {
-                            generator.apply_rule(&rule, sources_after, art)?;
-                            report.rules_added += 1;
-                        }
-                    }
-                    Verdict::Reject => {}
                 }
             }
         }
@@ -269,6 +274,77 @@ mod tests {
         assert!(report.ops_relevant > 0, "edge to bridged Transportation");
         assert_eq!(report.rules_added, 1);
         assert!(art.is_relevant("carrier", "Motorcycle"));
+    }
+
+    #[test]
+    fn rearticulation_pairs_changed_source_with_every_other_source() {
+        // regression: apply_delta used to re-propose only
+        // sources_after[0] against sources_after[1], so in a >2-source
+        // composition a change matching a term of the THIRD source was
+        // silently ignored
+        use onion_ontology::OntologyBuilder;
+        let mut a = OntologyBuilder::new("a").class_under("Car", "Root").build().unwrap();
+        let b = OntologyBuilder::new("b").class_under("Auto", "Root").build().unwrap();
+        let c = OntologyBuilder::new("c").class_under("Lorry", "Root").build().unwrap();
+        let rules = parse_rules("a.Car => b.Auto\n").unwrap();
+        let generator = ArticulationGenerator::new();
+        let mut art = generator.generate(&rules, &[&a, &b, &c]).unwrap();
+
+        // `a` gains Lorry under the bridged Car — a relevant addition
+        // whose only exact-label match lives in `c`
+        a.graph_mut().enable_journal();
+        a.subclass("Lorry", "Car").unwrap();
+        let ops = a.graph_mut().take_journal();
+
+        let pipeline = MatcherPipeline::new().with(ExactLabelMatcher);
+        let mut expert = AcceptAll;
+        let report = apply_delta(
+            &mut art,
+            "a",
+            &ops,
+            &[&a, &b, &c],
+            &generator,
+            Some((&pipeline, &mut expert)),
+        )
+        .unwrap();
+        assert!(report.ops_relevant > 0, "edge to bridged Car is relevant");
+        assert_eq!(report.rules_added, 1, "a.Lorry => c.Lorry found against the third source");
+        assert!(art.is_relevant("a", "Lorry"));
+        assert!(art.is_relevant("c", "Lorry"));
+    }
+
+    #[test]
+    fn rearticulation_dedups_rules_seen_against_several_peers() {
+        // the same candidate proposed against two peers is applied once
+        use onion_ontology::OntologyBuilder;
+        let mut a = OntologyBuilder::new("a").class_under("Car", "Root").build().unwrap();
+        let b = OntologyBuilder::new("b").class_under("Van", "Root").build().unwrap();
+        let c = OntologyBuilder::new("c").class_under("Van", "Root").build().unwrap();
+        let rules = parse_rules("a.Car => b.Van\na.Car => c.Van\n").unwrap();
+        let generator = ArticulationGenerator::new();
+        let mut art = generator.generate(&rules, &[&a, &b, &c]).unwrap();
+
+        a.graph_mut().enable_journal();
+        a.subclass("Van", "Car").unwrap(); // matches Van in BOTH b and c
+        let ops = a.graph_mut().take_journal();
+
+        let pipeline = MatcherPipeline::new().with(ExactLabelMatcher);
+        let mut expert = AcceptAll;
+        let report = apply_delta(
+            &mut art,
+            "a",
+            &ops,
+            &[&a, &b, &c],
+            &generator,
+            Some((&pipeline, &mut expert)),
+        )
+        .unwrap();
+        // one rule per distinct peer term (a.Van => b.Van, a.Van => c.Van),
+        // each applied exactly once
+        assert_eq!(report.rules_added, 2);
+        let texts: Vec<String> = art.rules.rules.iter().map(|r| r.to_string()).collect();
+        let dups = texts.iter().filter(|t| t.contains("a.Van")).count();
+        assert_eq!(dups, 2, "{texts:?}");
     }
 
     #[test]

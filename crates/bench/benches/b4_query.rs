@@ -13,8 +13,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    for &instances in &[1000usize, 10_000] {
-        let p = pair(31, 400, 0.25);
+    // (total concepts across both sides, instances): the last row is
+    // the 10k-node tier added alongside the label-indexed adjacency
+    // layer so plan/reformulation costs are measured at scale.
+    for &(concepts, instances) in &[(400usize, 1000usize), (400, 10_000), (10_000, 10_000)] {
+        let p = pair(31, concepts, 0.25);
         let art = articulated(&p);
         let (lkb, rkb) = instance_kbs(&p, instances);
         let lw = InMemoryWrapper::new(lkb.clone());
@@ -28,26 +31,23 @@ fn bench(c: &mut Criterion) {
         let query =
             Query::all(&class).select("Price").filter("Price", CmpOp::Lt, Value::Num(25_000.0));
 
-        group.bench_with_input(BenchmarkId::new("onion", instances), &instances, |b, _| {
+        let tier = format!("{concepts}x{instances}");
+        group.bench_with_input(BenchmarkId::new("onion", &tier), &instances, |b, _| {
             let sources: Vec<&Ontology> = vec![&p.left, &p.right];
             let wrappers: Vec<&dyn Wrapper> = vec![&lw, &rw];
             b.iter(|| execute(&query, &art, &sources, &conversions, &wrappers).unwrap())
         });
 
-        group.bench_with_input(
-            BenchmarkId::new("onion-plan-only", instances),
-            &instances,
-            |b, _| {
-                let sources: Vec<&Ontology> = vec![&p.left, &p.right];
-                b.iter(|| onion_core::query::plan(&query, &art, &sources, &conversions).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("onion-plan-only", &tier), &instances, |b, _| {
+            let sources: Vec<&Ontology> = vec![&p.left, &p.right];
+            b.iter(|| onion_core::query::plan(&query, &art, &sources, &conversions).unwrap())
+        });
 
         // baseline: the global schema answers by scanning all instances
         // whose merged class matches
         let gm = GlobalMerge::build(&[&p.left, &p.right], &p.lexicon);
         let global_class = gm.global_label("right", &class).unwrap_or(&class).to_string();
-        group.bench_with_input(BenchmarkId::new("global-merge", instances), &instances, |b, _| {
+        group.bench_with_input(BenchmarkId::new("global-merge", &tier), &instances, |b, _| {
             b.iter(|| {
                 let mut hits = 0usize;
                 for (kb, source) in [(&lkb, "left"), (&rkb, "right")] {

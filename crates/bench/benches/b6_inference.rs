@@ -17,6 +17,19 @@ fn chain_facts(n: usize) -> FactBase {
     fb
 }
 
+/// A random attachment forest: node i implies a uniformly random
+/// earlier node. Closure size is only `O(n log n)` (sum of depths), so
+/// this is the workload that scales to the 10k tier.
+fn tree_facts(n: usize, seed: u64) -> FactBase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fb = FactBase::new();
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        fb.add("si", &[&format!("t{i}"), &format!("t{p}")]);
+    }
+    fb
+}
+
 fn random_facts(n: usize, seed: u64) -> FactBase {
     // sparse random implication graph: n nodes, 2n edges
     let mut rng = StdRng::seed_from_u64(seed);
@@ -54,6 +67,19 @@ fn bench(c: &mut Criterion) {
                 });
             }
         }
+    }
+    // the 10k-node tier: semi-naive only — the naive/full-closure
+    // baselines are quadratic-plus in closure size and would not finish
+    for &n in &[10_000usize] {
+        group.bench_with_input(BenchmarkId::new("tree/SemiNaive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut fb = tree_facts(n, 11);
+                InferenceEngine::new(program())
+                    .with_strategy(Strategy::SemiNaive)
+                    .run(&mut fb)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,22 @@
+//! B9 — graph hot paths (closure + label-filtered traversal + edge
+//! probes) on the testkit 10k-node / 50k-edge tier. Criterion view of
+//! the same set `experiments --json` records in `BENCH_onion.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use onion_bench::hotpaths::{routines, tier, Fixture};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b9_graph_hotpaths");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let fx = Fixture::new(&tier());
+    for (name, _, routine) in routines(&fx) {
+        group.bench_function(name, |b| b.iter(|| routine()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p onion-bench --release --bin experiments
+//! cargo run -p onion-bench --release --bin experiments -- --json [PATH]
 //! ```
 //!
 //! Each section regenerates one DESIGN.md experiment (E1–E2, B1–B8) and
@@ -9,6 +10,11 @@
 //! crossover" form. Wall times are medians of several in-process
 //! repetitions — indicative shapes, not Criterion-grade statistics (use
 //! `cargo bench` for those).
+//!
+//! With `--json` the binary instead runs only the graph hot-path set on
+//! the testkit 10k-node / 50k-edge tier and writes the machine-readable
+//! perf baseline to `PATH` (default `BENCH_onion.json`) — the smoke
+//! step CI runs on every push.
 
 use std::time::Instant;
 
@@ -44,7 +50,30 @@ fn fmt_us(us: f64) -> String {
     }
 }
 
+/// Before/after medians (µs) for the hot-path set, both measured on
+/// the *same* dev machine in the session that landed the label-indexed
+/// adjacency layer ("pre" = string-compare `admits`, set-probe
+/// `find_edge`; "post" = the id layer). Emitted as a self-contained
+/// `index_layer_reference` block so the trajectory the PR banked stays
+/// on record; the live `results` medians are machine-local and are
+/// deliberately NOT compared against these — a ratio across different
+/// machines would conflate hardware with the code change.
+const INDEX_LAYER_REFERENCE_US: &[(&str, f64, f64)] = &[
+    ("transitive_pairs_subclass", 12650.3, 2039.6),
+    ("out_neighbors_subclass_sweep", 550.2, 311.4),
+    ("descendants_root", 1430.6, 480.5),
+    ("bfs_backward_subclass", 1332.0, 401.4),
+    ("reachable_verbs", 3204.8, 1291.6),
+    ("find_edge_all_triples", 4748.8, 3652.3),
+];
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--json") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_onion.json");
+        emit_json(path);
+        return;
+    }
     println!("# ONION reproduction — experiment run\n");
     e1_fig2();
     e2_pipeline();
@@ -58,6 +87,55 @@ fn main() {
     b7_compose();
     b8_triage();
     println!("\ndone.");
+}
+
+/// Runs the graph hot-path set and writes the `BENCH_onion.json`
+/// baseline. Hand-rolled JSON: the workspace is offline, no serde.
+fn emit_json(path: &str) {
+    let tier = onion_bench::hotpaths::tier();
+    eprintln!(
+        "running graph hot-path set on the {} -node / {} -edge tier …",
+        tier.nodes, tier.edges
+    );
+    let results = onion_bench::hotpaths::run_all();
+    let mut body = String::new();
+    body.push_str("{\n  \"schema\": \"onion-bench/v1\",\n");
+    body.push_str(&format!(
+        "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
+        tier.seed, tier.nodes, tier.edges
+    ));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_us\": {:.1}, \"reps\": {}, \"checksum\": {} }}{}\n",
+            r.name,
+            r.median_us,
+            r.reps,
+            r.checksum,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(
+        "  \"index_layer_reference\": {\n    \"note\": \"pre/post medians for the \
+         label-indexed adjacency layer, both measured on the same dev machine when it \
+         landed (PR 2); same-machine speedups — do not compare against the machine-local \
+         'results' above\",\n    \"series\": [\n",
+    );
+    for (i, (name, pre, post)) in INDEX_LAYER_REFERENCE_US.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{ \"name\": \"{name}\", \"pre_us\": {pre:.1}, \"post_us\": {post:.1}, \
+             \"speedup\": {:.2} }}{}\n",
+            pre / post,
+            if i + 1 == INDEX_LAYER_REFERENCE_US.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  }\n}\n");
+    std::fs::write(path, &body).expect("baseline file is writable");
+    for r in &results {
+        println!("{:<32} {}", r.name, fmt_us(r.median_us));
+    }
+    println!("wrote {path}");
 }
 
 fn e1_fig2() {

@@ -1,0 +1,149 @@
+//! Graph hot-path microbenchmarks on the testkit 10k-node / 50k-edge
+//! tier — the closure+traversal counterpart of B4/B6, introduced with
+//! the label-indexed adjacency layer (PR 2) so every future PR has a
+//! machine-readable perf trajectory to compare against.
+//!
+//! The same set backs the `b9_graph_hotpaths` bench target and the
+//! `experiments --json` smoke mode that emits `BENCH_onion.json`.
+
+use std::time::Instant;
+
+use onion_core::graph::closure::{descendants, transitive_pairs};
+use onion_core::graph::rel;
+use onion_core::graph::traverse::{bfs, reachable, Direction, EdgeFilter};
+use onion_core::graph::{NodeId, OntGraph};
+use onion_core::testkit::{generate_graph, GraphSpec};
+
+/// One measured hot path.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable bench name (the JSON key).
+    pub name: &'static str,
+    /// Median wall time over `reps` runs, in microseconds.
+    pub median_us: f64,
+    /// Number of timed repetitions.
+    pub reps: usize,
+    /// A checksum of the routine's output, so the work cannot be
+    /// optimised away and the id-path refactor can be diffed for
+    /// behavioural drift between runs.
+    pub checksum: u64,
+}
+
+fn median_us(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut checksum = 0u64;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        checksum = std::hint::black_box(f());
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (samples[samples.len() / 2], checksum)
+}
+
+/// The standard tier every result in `BENCH_onion.json` is measured on.
+pub fn tier() -> GraphSpec {
+    GraphSpec::tier_10k()
+}
+
+/// Prebuilt workload: the tier graph plus the probe inputs each routine
+/// needs, so benches time the hot path and not the setup.
+pub struct Fixture {
+    /// The tier graph.
+    pub g: OntGraph,
+    root: NodeId,
+    all_nodes: Vec<NodeId>,
+    triples: Vec<(NodeId, String, NodeId)>,
+    verb_filter: EdgeFilter,
+}
+
+impl Fixture {
+    /// Generates the workload for `spec`.
+    pub fn new(spec: &GraphSpec) -> Self {
+        let g = generate_graph(spec);
+        let root = g.node_by_label("C0").expect("root exists");
+        let all_nodes = g.node_ids().collect();
+        let triples = g.edges().map(|e| (e.src, e.label.to_string(), e.dst)).collect();
+        let verb_filter =
+            EdgeFilter::Labels((0..spec.verb_labels).map(|i| format!("verb{i}")).collect());
+        Fixture { g, root, all_nodes, triples, verb_filter }
+    }
+
+    /// B6-style per-label closure: every SubclassOf-reachable pair.
+    pub fn transitive_pairs_subclass(&self) -> u64 {
+        transitive_pairs(&self.g, &EdgeFilter::label(rel::SUBCLASS_OF)).len() as u64
+    }
+
+    /// Per-label neighbour iteration over every node (the out_neighbors
+    /// hot loop of closure::follow and the reformulator).
+    pub fn out_neighbors_subclass_sweep(&self) -> u64 {
+        self.all_nodes
+            .iter()
+            .map(|&n| self.g.out_neighbors(n, rel::SUBCLASS_OF).count() as u64)
+            .sum()
+    }
+
+    /// Whole-hierarchy descendants from the root (closure::follow).
+    pub fn descendants_root(&self) -> u64 {
+        descendants(&self.g, self.root, rel::SUBCLASS_OF).len() as u64
+    }
+
+    /// Label-filtered BFS against the edge direction (viewer/difference
+    /// shape).
+    pub fn bfs_backward_subclass(&self) -> u64 {
+        bfs(&self.g, self.root, Direction::Backward, &EdgeFilter::label(rel::SUBCLASS_OF)).len()
+            as u64
+    }
+
+    /// Multi-label filtered reachability over the dense verb edges.
+    pub fn reachable_verbs(&self) -> u64 {
+        reachable(&self.g, self.root, Direction::Forward, &self.verb_filter).len() as u64
+    }
+
+    /// B4-style point lookups: one find_edge probe per live triple.
+    pub fn find_edge_all_triples(&self) -> u64 {
+        self.triples.iter().filter(|(s, l, d)| self.g.find_edge(*s, l, *d).is_some()).count() as u64
+    }
+}
+
+/// The hot-path set as `(name, reps, routine)` rows, shared by
+/// `run_all` and the `b9_graph_hotpaths` bench target.
+pub fn routines(fx: &Fixture) -> Vec<(&'static str, usize, Box<dyn Fn() -> u64 + '_>)> {
+    vec![
+        ("transitive_pairs_subclass", 5, Box::new(|| fx.transitive_pairs_subclass())),
+        ("out_neighbors_subclass_sweep", 7, Box::new(|| fx.out_neighbors_subclass_sweep())),
+        ("descendants_root", 7, Box::new(|| fx.descendants_root())),
+        ("bfs_backward_subclass", 7, Box::new(|| fx.bfs_backward_subclass())),
+        ("reachable_verbs", 5, Box::new(|| fx.reachable_verbs())),
+        ("find_edge_all_triples", 7, Box::new(|| fx.find_edge_all_triples())),
+    ]
+}
+
+/// Runs the full hot-path set on the 10k tier and returns the series.
+pub fn run_all() -> Vec<BenchResult> {
+    let fx = Fixture::new(&tier());
+    routines(&fx)
+        .into_iter()
+        .map(|(name, reps, f)| {
+            let (m, checksum) = median_us(reps, || f());
+            BenchResult { name, median_us: m, reps, checksum }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpaths_run_on_a_small_tier() {
+        // run the same routines on a toy graph so the suite stays fast
+        let fx = Fixture::new(&GraphSpec::sized(3, 120, 600));
+        assert!(fx.transitive_pairs_subclass() > 0);
+        assert_eq!(fx.descendants_root(), 119);
+        assert_eq!(fx.bfs_backward_subclass(), 120, "root reaches all via in-edges");
+        assert_eq!(fx.find_edge_all_triples(), fx.g.edge_count() as u64);
+        // every routine is wired into the shared table
+        assert_eq!(routines(&fx).len(), 6);
+    }
+}

@@ -8,6 +8,8 @@
 use onion_core::prelude::*;
 use onion_core::testkit::{overlap_pair, OverlapPair, OverlapSpec};
 
+pub mod hotpaths;
+
 /// Builds the standard experiment pair: `concepts` total concepts,
 /// `overlap` shared fraction, half of the shared concepts renamed.
 pub fn pair(seed: u64, concepts: usize, overlap: f64) -> OverlapPair {

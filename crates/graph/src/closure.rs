@@ -6,51 +6,71 @@
 //! portions (§4.2). This module computes closures as pair sets or writes
 //! them back into a graph as new edges.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use crate::graph::{NodeId, OntGraph};
+use crate::hash::FxHashSet;
+use crate::label::LabelId;
 use crate::traverse::EdgeFilter;
 use crate::Result;
 
 /// All pairs `(a, b)` with a non-empty directed path from `a` to `b`
 /// using only `filter`-admitted edges. Self-pairs appear only for nodes
 /// on cycles.
-pub fn transitive_pairs(g: &OntGraph, filter: &EdgeFilter) -> HashSet<(NodeId, NodeId)> {
-    let mut pairs = HashSet::new();
-    // adjacency restricted to the filter
-    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-    for e in g.edges() {
-        if admits(filter, e.label) {
-            adj.entry(e.src).or_default().push(e.dst);
+///
+/// The filter is resolved to label ids once and the BFS runs on a dense
+/// arena-indexed adjacency with an epoch-stamped visited vector — no
+/// per-edge string work, no hashing in the inner loop.
+pub fn transitive_pairs(g: &OntGraph, filter: &EdgeFilter) -> FxHashSet<(NodeId, NodeId)> {
+    let rf = filter.resolve(g);
+    let cap = g.node_capacity();
+    // CSR adjacency restricted to the filter: two passes over the edge
+    // arena, no per-node allocation
+    let mut deg = vec![0usize; cap];
+    for (_, src, lid, _) in g.edge_entries() {
+        if rf.admits(lid) {
+            deg[src.index()] += 1;
         }
     }
+    let mut start_of = vec![0usize; cap + 1];
+    for i in 0..cap {
+        start_of[i + 1] = start_of[i] + deg[i];
+    }
+    let mut flat = vec![NodeId(0); start_of[cap]];
+    let mut fill = start_of.clone();
+    for (_, src, lid, dst) in g.edge_entries() {
+        if rf.admits(lid) {
+            flat[fill[src.index()]] = dst;
+            fill[src.index()] += 1;
+        }
+    }
+    let adj = |n: NodeId| &flat[start_of[n.index()]..start_of[n.index() + 1]];
+
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut stamp: Vec<u32> = vec![0; cap];
+    let mut epoch: u32 = 0;
+    let mut q: VecDeque<NodeId> = VecDeque::new();
     for start in g.node_ids() {
-        if !adj.contains_key(&start) {
+        if adj(start).is_empty() {
             continue;
         }
-        let mut seen: HashSet<NodeId> = HashSet::new();
-        let mut q: VecDeque<NodeId> = VecDeque::new();
+        epoch += 1;
         q.push_back(start);
-        // note: `start` not pre-inserted, so a path back to start is found
+        // note: `start` not pre-stamped, so a path back to start is
+        // found; the stamp guarantees each (start, m) is pushed once
         while let Some(n) = q.pop_front() {
-            if let Some(next) = adj.get(&n) {
-                for &m in next {
-                    if seen.insert(m) {
-                        pairs.insert((start, m));
-                        q.push_back(m);
-                    }
+            for &m in adj(n) {
+                if stamp[m.index()] != epoch {
+                    stamp[m.index()] = epoch;
+                    pairs.push((start, m));
+                    q.push_back(m);
                 }
             }
         }
     }
-    pairs
-}
-
-fn admits(filter: &EdgeFilter, label: &str) -> bool {
-    match filter {
-        EdgeFilter::All => true,
-        EdgeFilter::Labels(ls) => ls.iter().any(|x| x == label),
-    }
+    let mut set = FxHashSet::with_capacity_and_hasher(pairs.len(), Default::default());
+    set.extend(pairs);
+    set
 }
 
 /// Materialises the transitive closure of `label` edges: for every path
@@ -62,12 +82,13 @@ fn admits(filter: &EdgeFilter, label: &str) -> bool {
 /// rejects subclass cycles separately).
 pub fn materialize_closure(g: &mut OntGraph, label: &str) -> Result<usize> {
     let pairs = transitive_pairs(g, &EdgeFilter::label(label));
+    let lid = g.intern(label);
     let mut added = 0;
     for (a, b) in pairs {
         if a == b {
             continue;
         }
-        if g.find_edge(a, label, b).is_none() {
+        if g.find_edge_by_ids(a, lid, b).is_none() {
             g.add_edge(a, label, b)?;
             added += 1;
         }
@@ -81,15 +102,20 @@ pub fn materialize_closure(g: &mut OntGraph, label: &str) -> Result<usize> {
 /// transitive semantic implications are not displayed … unless requested"
 /// §4.2). Returns the number of edges removed.
 pub fn transitive_reduce(g: &mut OntGraph, label: &str) -> Result<usize> {
+    let Some(lid) = g.label_id(label) else { return Ok(0) };
     // Collect candidate edges first.
-    let edges: Vec<(NodeId, NodeId)> =
-        g.edges().filter(|e| e.label == label).map(|e| (e.src, e.dst)).collect();
+    let edges: Vec<(NodeId, NodeId)> = g
+        .edge_entries()
+        .filter(|&(_, _, l, _)| l == lid)
+        .map(|(_, src, _, dst)| (src, dst))
+        .collect();
     let mut removed = 0;
     for (a, b) in edges {
         // Is there an alternative path a -> b of length >= 2 avoiding the
         // direct edge?
-        if indirect_path_exists(g, a, b, label) {
-            let e = g.find_edge(a, label, b).expect("edge collected above and not yet deleted");
+        if indirect_path_exists(g, a, b, lid) {
+            let e =
+                g.find_edge_by_ids(a, lid, b).expect("edge collected above and not yet deleted");
             g.delete_edge(e)?;
             removed += 1;
         }
@@ -97,33 +123,31 @@ pub fn transitive_reduce(g: &mut OntGraph, label: &str) -> Result<usize> {
     Ok(removed)
 }
 
-fn indirect_path_exists(g: &OntGraph, a: NodeId, b: NodeId, label: &str) -> bool {
+fn indirect_path_exists(g: &OntGraph, a: NodeId, b: NodeId, label: LabelId) -> bool {
     let mut seen: HashSet<NodeId> = HashSet::new();
     let mut q: VecDeque<NodeId> = VecDeque::new();
     // start from a's label-successors other than the direct hop to b
-    for e in g.out_edges(a) {
-        if e.label == label && e.dst != b && seen.insert(e.dst) {
-            q.push_back(e.dst);
+    for m in g.out_neighbors_by_id(a, label) {
+        if m != b && seen.insert(m) {
+            q.push_back(m);
         }
     }
     while let Some(n) = q.pop_front() {
         if n == b {
             return true;
         }
-        for e in g.out_edges(n) {
-            if e.label == label {
-                // never traverse the direct edge under test — a cycle can
-                // lead back to `a`, and a "path" finishing with (a, b)
-                // itself must not justify deleting (a, b)
-                if n == a && e.dst == b {
-                    continue;
-                }
-                if e.dst == b {
-                    return true;
-                }
-                if seen.insert(e.dst) {
-                    q.push_back(e.dst);
-                }
+        for m in g.out_neighbors_by_id(n, label) {
+            // never traverse the direct edge under test — a cycle can
+            // lead back to `a`, and a "path" finishing with (a, b)
+            // itself must not justify deleting (a, b)
+            if n == a && m == b {
+                continue;
+            }
+            if m == b {
+                return true;
+            }
+            if seen.insert(m) {
+                q.push_back(m);
             }
         }
     }
@@ -132,32 +156,47 @@ fn indirect_path_exists(g: &OntGraph, a: NodeId, b: NodeId, label: &str) -> bool
 
 /// All ancestors of `n` along `label` edges (excluding `n` unless cyclic):
 /// e.g. all superclasses under `SubclassOf`.
-pub fn ancestors(g: &OntGraph, n: NodeId, label: &str) -> HashSet<NodeId> {
+pub fn ancestors(g: &OntGraph, n: NodeId, label: &str) -> FxHashSet<NodeId> {
     follow(g, n, label, true)
 }
 
 /// All descendants of `n` along `label` edges: e.g. all subclasses.
-pub fn descendants(g: &OntGraph, n: NodeId, label: &str) -> HashSet<NodeId> {
+pub fn descendants(g: &OntGraph, n: NodeId, label: &str) -> FxHashSet<NodeId> {
     follow(g, n, label, false)
 }
 
-fn follow(g: &OntGraph, n: NodeId, label: &str, up: bool) -> HashSet<NodeId> {
-    let mut seen: HashSet<NodeId> = HashSet::new();
-    let mut q: VecDeque<NodeId> = VecDeque::new();
-    q.push_back(n);
-    while let Some(cur) = q.pop_front() {
-        let next: Vec<NodeId> = if up {
-            g.out_neighbors(cur, label).collect()
+fn follow(g: &OntGraph, n: NodeId, label: &str, up: bool) -> FxHashSet<NodeId> {
+    let Some(lid) = g.label_id(label) else { return FxHashSet::default() };
+    // dense visited vector + stack frontier (the result is a set, so
+    // visit order is free); the hash set is built once at the end
+    let mut visited = vec![false; g.node_capacity()];
+    let mut reached: Vec<NodeId> = Vec::new();
+    let mut frontier: Vec<NodeId> = vec![n];
+    let mut scan = 0;
+    while scan < frontier.len() {
+        let cur = frontier[scan];
+        scan += 1;
+        if up {
+            for m in g.out_neighbors_by_id(cur, lid) {
+                if !visited[m.index()] {
+                    visited[m.index()] = true;
+                    reached.push(m);
+                    frontier.push(m);
+                }
+            }
         } else {
-            g.in_neighbors(cur, label).collect()
-        };
-        for m in next {
-            if seen.insert(m) {
-                q.push_back(m);
+            for m in g.in_neighbors_by_id(cur, lid) {
+                if !visited[m.index()] {
+                    visited[m.index()] = true;
+                    reached.push(m);
+                    frontier.push(m);
+                }
             }
         }
     }
-    seen
+    let mut set = FxHashSet::with_capacity_and_hasher(reached.len(), Default::default());
+    set.extend(reached);
+    set
 }
 
 #[cfg(test)]

@@ -6,11 +6,33 @@
 //! ontologies). A per-label index supports the paper's convention of
 //! addressing nodes by their label in *consistent* ontologies, where every
 //! term is depicted by exactly one node (§1, §3 end).
+//!
+//! # The label-indexed adjacency layer
+//!
+//! Traversal and maintenance are the hot paths of the whole system
+//! (§5.3, §6), so the graph maintains three indexes with the following
+//! invariants, upheld by the four transformation primitives:
+//!
+//! * **edge index** — `(src, LabelId, dst) → EdgeId` for every *live*
+//!   edge; [`OntGraph::find_edge`]/[`OntGraph::ensure_edge`] are a
+//!   single hash probe;
+//! * **per-`(node, label)` adjacency** — each live node keeps its live
+//!   out-/in-edges bucketed by `LabelId`; label-filtered traversal
+//!   ([`OntGraph::out_neighbors_by_id`] and friends) touches only the
+//!   matching bucket and never resolves a string;
+//! * **pruned incident lists** — `ED`/`ND` remove dead [`EdgeId`]s from
+//!   the incident lists and drop empty label buckets (and empty
+//!   `by_label` entries), so iteration and degree cost is proportional
+//!   to the *live* neighbourhood, not historical churn.
+//!
+//! String-typed APIs remain available and are thin wrappers that resolve
+//! the label once at the boundary, then run on the id layer.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::error::GraphError;
+use crate::hash::FxHashMap;
 use crate::label::{Interner, LabelId};
 use crate::ops::GraphOp;
 use crate::Result;
@@ -54,9 +76,59 @@ impl fmt::Debug for EdgeId {
 #[derive(Debug, Clone)]
 struct NodeData {
     label: LabelId,
-    out: Vec<EdgeId>,
-    inc: Vec<EdgeId>,
+    /// Live out-edges as `(id, label, dst)` — the neighbour is stored
+    /// inline so traversal never dereferences the edge arena.
+    out: Vec<(EdgeId, LabelId, NodeId)>,
+    /// Live in-edges as `(id, label, src)`.
+    inc: Vec<(EdgeId, LabelId, NodeId)>,
+    /// Live out-edges bucketed by edge label; no empty buckets.
+    out_by_label: LabelBuckets,
+    /// Live in-edges bucketed by edge label; no empty buckets.
+    inc_by_label: LabelBuckets,
     alive: bool,
+}
+
+/// Per-node `label → live incident (edge, neighbour)` buckets.
+///
+/// A node touches few distinct edge labels (single digits in every
+/// workload the paper describes), so a linear-scan vector beats a hash
+/// map on both lookup latency and memory; buckets keep edge-insertion
+/// order, store the neighbour inline for sequential iteration, and are
+/// dropped as soon as they empty.
+#[derive(Debug, Clone, Default)]
+struct LabelBuckets(Vec<(LabelId, Vec<(EdgeId, NodeId)>)>);
+
+impl LabelBuckets {
+    #[inline]
+    fn get(&self, label: LabelId) -> &[(EdgeId, NodeId)] {
+        self.0.iter().find(|(l, _)| *l == label).map(|(_, v)| v.as_slice()).unwrap_or(&[])
+    }
+
+    fn push(&mut self, label: LabelId, e: EdgeId, neighbor: NodeId) {
+        match self.0.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, v)) => v.push((e, neighbor)),
+            None => self.0.push((label, vec![(e, neighbor)])),
+        }
+    }
+
+    fn remove(&mut self, label: LabelId, e: EdgeId) {
+        if let Some(i) = self.0.iter().position(|(l, _)| *l == label) {
+            self.0[i].1.retain(|&(x, _)| x != e);
+            if self.0[i].1.is_empty() {
+                self.0.swap_remove(i);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    #[cfg(test)]
+    fn total(&self) -> usize {
+        self.0.iter().map(|(_, v)| v.len()).sum()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -127,8 +199,10 @@ pub struct OntGraph {
     interner: Interner,
     nodes: Vec<NodeData>,
     edges: Vec<EdgeData>,
-    by_label: HashMap<LabelId, Vec<NodeId>>,
-    edge_set: HashSet<(NodeId, LabelId, NodeId)>,
+    by_label: FxHashMap<LabelId, Vec<NodeId>>,
+    /// `(src, label, dst) → id` for every live edge (`E` is a set, so
+    /// the mapping is injective).
+    edge_index: FxHashMap<(NodeId, LabelId, NodeId), EdgeId>,
     unique_labels: bool,
     live_nodes: usize,
     live_edges: usize,
@@ -153,8 +227,8 @@ impl OntGraph {
             interner: Interner::new(),
             nodes: Vec::new(),
             edges: Vec::new(),
-            by_label: HashMap::new(),
-            edge_set: HashSet::new(),
+            by_label: FxHashMap::default(),
+            edge_index: FxHashMap::default(),
             unique_labels,
             live_nodes: 0,
             live_edges: 0,
@@ -190,6 +264,19 @@ impl OntGraph {
     /// True if the graph has no live nodes.
     pub fn is_empty(&self) -> bool {
         self.live_nodes == 0
+    }
+
+    /// Upper bound (exclusive) for [`NodeId::index`] over every node
+    /// ever allocated, tombstones included — the length to size dense
+    /// per-node scratch arrays (visited stamps, adjacency) with.
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upper bound (exclusive) for [`EdgeId::index`], tombstones
+    /// included.
+    pub fn edge_capacity(&self) -> usize {
+        self.edges.len()
     }
 
     /// Access to the label interner (read-only).
@@ -270,7 +357,14 @@ impl OntGraph {
             }
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeData { label: lid, out: Vec::new(), inc: Vec::new(), alive: true });
+        self.nodes.push(NodeData {
+            label: lid,
+            out: Vec::new(),
+            inc: Vec::new(),
+            out_by_label: LabelBuckets::default(),
+            inc_by_label: LabelBuckets::default(),
+            alive: true,
+        });
         self.by_label.entry(lid).or_default().push(id);
         self.live_nodes += 1;
         self.record(|_| GraphOp::node_add(label));
@@ -294,25 +388,34 @@ impl OntGraph {
             return Err(GraphError::NodeNotFound(format!("{id:?}")));
         }
         // Collect incident edges first (both directions), then kill them.
+        // Incident lists hold only live edges; a self-loop appears in
+        // both, so dedup through the liveness check in the loop.
         let incident: Vec<EdgeId> = self.nodes[id.index()]
             .out
             .iter()
             .chain(self.nodes[id.index()].inc.iter())
-            .copied()
-            .filter(|&e| self.edges[e.index()].alive)
+            .map(|&(e, _, _)| e)
             .collect();
         for e in incident {
-            // A self-loop appears in both lists; delete_edge is idempotent
-            // through the liveness check.
             if self.edges[e.index()].alive {
                 self.delete_edge(e)?;
             }
         }
         let lid = self.nodes[id.index()].label;
         let label = self.interner.resolve(lid).to_string();
-        self.nodes[id.index()].alive = false;
+        let node = &mut self.nodes[id.index()];
+        node.alive = false;
+        // cascaded edge deletion already emptied these; release the
+        // allocations too
+        node.out = Vec::new();
+        node.inc = Vec::new();
+        node.out_by_label = LabelBuckets::default();
+        node.inc_by_label = LabelBuckets::default();
         if let Some(v) = self.by_label.get_mut(&lid) {
             v.retain(|&n| n != id);
+            if v.is_empty() {
+                self.by_label.remove(&lid);
+            }
         }
         self.live_nodes -= 1;
         self.record(|_| GraphOp::node_delete(label.clone()));
@@ -346,7 +449,7 @@ impl OntGraph {
             return Err(GraphError::NodeNotFound(format!("{dst:?}")));
         }
         let lid = self.interner.intern(label);
-        if self.edge_set.contains(&(src, lid, dst)) {
+        if self.edge_index.contains_key(&(src, lid, dst)) {
             return Err(GraphError::DuplicateEdge(format!(
                 "({}, {label}, {})",
                 self.node_label(src).unwrap_or("?"),
@@ -355,9 +458,11 @@ impl OntGraph {
         }
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(EdgeData { src, label: lid, dst, alive: true });
-        self.nodes[src.index()].out.push(id);
-        self.nodes[dst.index()].inc.push(id);
-        self.edge_set.insert((src, lid, dst));
+        self.nodes[src.index()].out.push((id, lid, dst));
+        self.nodes[src.index()].out_by_label.push(lid, id, dst);
+        self.nodes[dst.index()].inc.push((id, lid, src));
+        self.nodes[dst.index()].inc_by_label.push(lid, id, src);
+        self.edge_index.insert((src, lid, dst), id);
         self.live_edges += 1;
         self.record(|g| {
             GraphOp::edge_add(
@@ -372,10 +477,8 @@ impl OntGraph {
     /// Adds the edge if absent, returning the existing id otherwise.
     pub fn ensure_edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> Result<EdgeId> {
         if let Some(lid) = self.interner.get(label) {
-            if self.edge_set.contains(&(src, lid, dst)) {
-                return self
-                    .find_edge(src, label, dst)
-                    .ok_or_else(|| GraphError::EdgeNotFound(label.to_string()));
+            if let Some(&id) = self.edge_index.get(&(src, lid, dst)) {
+                return Ok(id);
             }
         }
         self.add_edge(src, label, dst)
@@ -397,7 +500,15 @@ impl OntGraph {
         }
         let EdgeData { src, label, dst, .. } = self.edges[id.index()];
         self.edges[id.index()].alive = false;
-        self.edge_set.remove(&(src, label, dst));
+        self.edge_index.remove(&(src, label, dst));
+        // prune the incident lists and label buckets so historical churn
+        // never degrades degree queries or iteration
+        let s = &mut self.nodes[src.index()];
+        s.out.retain(|&(e, _, _)| e != id);
+        s.out_by_label.remove(label, id);
+        let d = &mut self.nodes[dst.index()];
+        d.inc.retain(|&(e, _, _)| e != id);
+        d.inc_by_label.remove(label, id);
         self.live_edges -= 1;
         let (s, l, d) = (
             self.node_label(src).unwrap_or("?").to_string(),
@@ -460,16 +571,18 @@ impl OntGraph {
         !self.nodes_by_label(label).is_empty()
     }
 
-    /// Looks up a live edge by endpoints and label.
+    /// Looks up a live edge by endpoints and label — one interner lookup
+    /// plus one [`OntGraph::find_edge_by_ids`] probe.
     pub fn find_edge(&self, src: NodeId, label: &str, dst: NodeId) -> Option<EdgeId> {
         let lid = self.interner.get(label)?;
-        if !self.edge_set.contains(&(src, lid, dst)) {
-            return None;
-        }
-        self.nodes[src.index()].out.iter().copied().find(|&e| {
-            let ed = &self.edges[e.index()];
-            ed.alive && ed.label == lid && ed.dst == dst
-        })
+        self.find_edge_by_ids(src, lid, dst)
+    }
+
+    /// Looks up a live edge by endpoint ids and interned label: a single
+    /// `O(1)` hash probe, no string comparison.
+    #[inline]
+    pub fn find_edge_by_ids(&self, src: NodeId, label: LabelId, dst: NodeId) -> Option<EdgeId> {
+        self.edge_index.get(&(src, label, dst)).copied()
     }
 
     /// Label-addressed [`OntGraph::find_edge`].
@@ -493,6 +606,120 @@ impl OntGraph {
     /// The interned label id of a live edge.
     pub fn edge_label_id(&self, id: EdgeId) -> Option<LabelId> {
         self.edges.get(id.index()).filter(|e| e.alive).map(|e| e.label)
+    }
+
+    // ------------------------------------------------------------------
+    // Id-based adjacency layer
+    //
+    // Everything in this section works purely on NodeId/LabelId/EdgeId:
+    // no `EdgeRef` is constructed and the interner is never touched, so
+    // these are the primitives traversal, closure and the algebra build
+    // on. Incident lists contain exactly the live edges (pruned on ED /
+    // ND), so no liveness filtering is needed here either.
+    // ------------------------------------------------------------------
+
+    /// Live out-edges of `n` carrying the interned label `label`.
+    #[inline]
+    pub fn out_edges_labeled(
+        &self,
+        n: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = EdgeId> + '_ {
+        self.label_bucket(n, label, true).iter().map(|&(e, _)| e)
+    }
+
+    /// Live in-edges of `n` carrying the interned label `label`.
+    #[inline]
+    pub fn in_edges_labeled(&self, n: NodeId, label: LabelId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.label_bucket(n, label, false).iter().map(|&(e, _)| e)
+    }
+
+    fn label_bucket(&self, n: NodeId, label: LabelId, out: bool) -> &[(EdgeId, NodeId)] {
+        self.nodes
+            .get(n.index())
+            .filter(|d| d.alive)
+            .map(|d| if out { d.out_by_label.get(label) } else { d.inc_by_label.get(label) })
+            .unwrap_or(&[])
+    }
+
+    /// Out-neighbors of `n` via edges with the interned label `label`.
+    #[inline]
+    pub fn out_neighbors_by_id(
+        &self,
+        n: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        self.label_bucket(n, label, true).iter().map(|&(_, dst)| dst)
+    }
+
+    /// In-neighbors of `n` via edges with the interned label `label`.
+    #[inline]
+    pub fn in_neighbors_by_id(
+        &self,
+        n: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        self.label_bucket(n, label, false).iter().map(|&(_, src)| src)
+    }
+
+    /// Out-degree of `n` counting only `label` edges. `O(1)`.
+    #[inline]
+    pub fn out_degree_labeled(&self, n: NodeId, label: LabelId) -> usize {
+        self.label_bucket(n, label, true).len()
+    }
+
+    /// In-degree of `n` counting only `label` edges. `O(1)`.
+    #[inline]
+    pub fn in_degree_labeled(&self, n: NodeId, label: LabelId) -> usize {
+        self.label_bucket(n, label, false).len()
+    }
+
+    /// Total degree of `n` counting only `label` edges (self-loops count
+    /// twice, once per direction). `O(1)`.
+    #[inline]
+    pub fn degree_labeled(&self, n: NodeId, label: LabelId) -> usize {
+        self.out_degree_labeled(n, label) + self.in_degree_labeled(n, label)
+    }
+
+    /// The `(src, label-id, dst)` triple of a live edge.
+    #[inline]
+    pub fn edge_entry(&self, id: EdgeId) -> Option<(NodeId, LabelId, NodeId)> {
+        self.edges.get(id.index()).filter(|e| e.alive).map(|e| (e.src, e.label, e.dst))
+    }
+
+    /// Iterates every live edge as `(id, src, label-id, dst)` without
+    /// resolving labels.
+    pub fn edge_entries(&self) -> impl Iterator<Item = (EdgeId, NodeId, LabelId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, e)| (EdgeId(i as u32), e.src, e.label, e.dst))
+    }
+
+    /// Iterates the live out-edges of `n` as `(id, label-id, dst)` —
+    /// a sequential read of the node's incident list, no arena access.
+    pub fn out_edge_entries(
+        &self,
+        n: NodeId,
+    ) -> impl Iterator<Item = (EdgeId, LabelId, NodeId)> + '_ {
+        self.incident_entries(n, true).iter().copied()
+    }
+
+    /// Iterates the live in-edges of `n` as `(id, label-id, src)`.
+    pub fn in_edge_entries(
+        &self,
+        n: NodeId,
+    ) -> impl Iterator<Item = (EdgeId, LabelId, NodeId)> + '_ {
+        self.incident_entries(n, false).iter().copied()
+    }
+
+    fn incident_entries(&self, n: NodeId, out: bool) -> &[(EdgeId, LabelId, NodeId)] {
+        self.nodes
+            .get(n.index())
+            .filter(|d| d.alive)
+            .map(|d| if out { d.out.as_slice() } else { d.inc.as_slice() })
+            .unwrap_or(&[])
     }
 
     // ------------------------------------------------------------------
@@ -534,47 +761,47 @@ impl OntGraph {
     }
 
     fn incident(&self, n: NodeId, out: bool) -> impl Iterator<Item = EdgeRef<'_>> + '_ {
-        let list: &[EdgeId] = match self.nodes.get(n.index()).filter(|d| d.alive) {
-            Some(d) => {
-                if out {
-                    &d.out
-                } else {
-                    &d.inc
-                }
-            }
-            None => &[],
-        };
-        list.iter().copied().filter_map(move |e| self.edge(e))
+        self.incident_entries(n, out).iter().map(move |&(e, lid, other)| {
+            let (src, dst) = if out { (n, other) } else { (other, n) };
+            EdgeRef { id: e, src, label: self.interner.resolve(lid), dst }
+        })
     }
 
     /// Out-neighbors of `n` reachable via edges labeled `label`.
+    ///
+    /// Thin wrapper over [`OntGraph::out_neighbors_by_id`]: the label is
+    /// resolved once, then the per-`(node, label)` index is walked with
+    /// zero per-edge string work.
     pub fn out_neighbors<'g>(
         &'g self,
         n: NodeId,
         label: &str,
     ) -> impl Iterator<Item = NodeId> + 'g {
-        let lid = self.interner.get(label);
-        self.out_edges(n)
-            .filter(move |e| lid.map(|l| self.edge_label_id(e.id) == Some(l)).unwrap_or(false))
-            .map(|e| e.dst)
+        let bucket = match self.interner.get(label) {
+            Some(lid) => self.label_bucket(n, lid, true),
+            None => &[],
+        };
+        bucket.iter().map(|&(_, dst)| dst)
     }
 
-    /// In-neighbors of `n` via edges labeled `label`.
+    /// In-neighbors of `n` via edges labeled `label` (wrapper over
+    /// [`OntGraph::in_neighbors_by_id`]).
     pub fn in_neighbors<'g>(&'g self, n: NodeId, label: &str) -> impl Iterator<Item = NodeId> + 'g {
-        let lid = self.interner.get(label);
-        self.in_edges(n)
-            .filter(move |e| lid.map(|l| self.edge_label_id(e.id) == Some(l)).unwrap_or(false))
-            .map(|e| e.src)
+        let bucket = match self.interner.get(label) {
+            Some(lid) => self.label_bucket(n, lid, false),
+            None => &[],
+        };
+        bucket.iter().map(|&(_, src)| src)
     }
 
-    /// Out-degree (live edges only).
+    /// Out-degree. `O(1)`: incident lists hold exactly the live edges.
     pub fn out_degree(&self, n: NodeId) -> usize {
-        self.out_edges(n).count()
+        self.incident_entries(n, true).len()
     }
 
-    /// In-degree (live edges only).
+    /// In-degree. `O(1)`: incident lists hold exactly the live edges.
     pub fn in_degree(&self, n: NodeId) -> usize {
-        self.in_edges(n).count()
+        self.incident_entries(n, false).len()
     }
 
     /// All distinct edge labels in use on live edges.
@@ -906,6 +1133,82 @@ mod tests {
         assert!(matches!(j[0], GraphOp::EdgeDelete { .. }));
         assert!(matches!(j[1], GraphOp::EdgeDelete { .. }));
         assert!(matches!(j[2], GraphOp::NodeDelete { .. }));
+    }
+
+    #[test]
+    fn churn_keeps_incident_lists_bounded() {
+        // regression: dead EdgeIds used to accumulate in out/inc forever,
+        // degrading degree queries linearly with historical churn
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        for _ in 0..1000 {
+            let e = g.add_edge(a, "S", b).unwrap();
+            g.delete_edge(e).unwrap();
+        }
+        g.add_edge(a, "S", b).unwrap();
+        assert_eq!(g.nodes[a.index()].out.len(), 1, "out list pruned on delete");
+        assert_eq!(g.nodes[b.index()].inc.len(), 1, "inc list pruned on delete");
+        assert_eq!(g.nodes[a.index()].out_by_label.total(), 1);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(b), 1);
+    }
+
+    #[test]
+    fn delete_prunes_empty_label_buckets() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        let e = g.add_edge(a, "S", b).unwrap();
+        let lid = g.label_id("S").unwrap();
+        assert_eq!(g.out_degree_labeled(a, lid), 1);
+        g.delete_edge(e).unwrap();
+        assert!(g.nodes[a.index()].out_by_label.is_empty(), "empty bucket dropped");
+        assert!(g.nodes[b.index()].inc_by_label.is_empty());
+        assert_eq!(g.out_degree_labeled(a, lid), 0);
+    }
+
+    #[test]
+    fn delete_node_prunes_empty_by_label_entry() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        let lid = g.label_id("A").unwrap();
+        g.delete_node(a).unwrap();
+        assert!(!g.by_label.contains_key(&lid), "empty by_label entry dropped");
+        // the label is reusable afterwards
+        g.add_node("A").unwrap();
+        assert!(g.contains_label("A"));
+    }
+
+    #[test]
+    fn id_layer_agrees_with_string_layer() {
+        let mut g = abc();
+        let a = g.node_by_label("A").unwrap();
+        let b = g.node_by_label("B").unwrap();
+        g.add_edge(a, "related", b).unwrap();
+        let s = g.label_id("SubclassOf").unwrap();
+        let by_id: Vec<NodeId> = g.out_neighbors_by_id(a, s).collect();
+        let by_str: Vec<NodeId> = g.out_neighbors(a, "SubclassOf").collect();
+        assert_eq!(by_id, by_str);
+        assert_eq!(g.find_edge_by_ids(a, s, b), g.find_edge(a, "SubclassOf", b));
+        assert_eq!(g.out_degree_labeled(a, s), 1);
+        assert_eq!(g.degree_labeled(b, s), 2, "B has one S in-edge and one S out-edge");
+        let entries: Vec<_> = g.out_edge_entries(a).collect();
+        assert_eq!(entries.len(), g.out_degree(a));
+        assert!(entries.iter().all(|&(e, lid, dst)| g.edge_entry(e) == Some((a, lid, dst))));
+    }
+
+    #[test]
+    fn self_loop_counts_once_per_direction_in_labeled_degree() {
+        let mut g = OntGraph::new("t");
+        let a = g.add_node("A").unwrap();
+        g.add_edge(a, "loop", a).unwrap();
+        let lid = g.label_id("loop").unwrap();
+        assert_eq!(g.out_degree_labeled(a, lid), 1);
+        assert_eq!(g.in_degree_labeled(a, lid), 1);
+        assert_eq!(g.degree_labeled(a, lid), 2);
+        g.delete_node(a).unwrap();
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! closure computation) compare `u32` ids; strings are resolved only at API
 //! boundaries.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use crate::hash::FxHashMap;
 
 /// Compact identifier for an interned label within one [`Interner`].
 ///
@@ -40,7 +41,7 @@ impl fmt::Debug for LabelId {
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
     strings: Vec<Box<str>>,
-    ids: HashMap<Box<str>, LabelId>,
+    ids: FxHashMap<Box<str>, LabelId>,
 }
 
 impl Interner {

@@ -40,6 +40,7 @@ pub mod closure;
 pub mod dot;
 pub mod error;
 pub mod graph;
+pub mod hash;
 pub mod label;
 pub mod matcher;
 pub mod ops;

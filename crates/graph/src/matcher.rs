@@ -35,6 +35,15 @@ pub trait LabelEquiv {
     fn edge_equiv(&self, pattern_label: &str, graph_label: &str) -> bool {
         pattern_label == graph_label
     }
+
+    /// True iff both equivalences are plain string equality. Identity
+    /// equivalences let the matcher run on the graph's label-indexed
+    /// adjacency (single-probe edge checks, per-label candidate
+    /// generation) with zero per-edge string comparisons. Implementations
+    /// that relax matching in any way must leave this `false`.
+    fn is_identity(&self) -> bool {
+        false
+    }
 }
 
 /// Strict equality on both node and edge labels (the paper's default).
@@ -44,6 +53,10 @@ pub struct ExactEquiv;
 impl LabelEquiv for ExactEquiv {
     fn node_equiv(&self, p: &str, g: &str) -> bool {
         p == g
+    }
+
+    fn is_identity(&self) -> bool {
+        true
     }
 }
 
@@ -180,7 +193,27 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
     /// Does the graph contain an edge (src, ~label, dst) compatible with
     /// the constraint?
     fn has_compatible_edge(&self, src: NodeId, pc: &EdgeConstraint, dst: NodeId) -> bool {
-        self.graph.out_edges(src).any(|e| e.dst == dst && self.edge_label_ok(pc, e.label))
+        match pc {
+            // a labeled constraint under the identity equivalence is a
+            // single edge-index probe
+            EdgeConstraint::Label(l)
+                if !self.config.relax_edge_labels && self.equiv.is_identity() =>
+            {
+                self.graph
+                    .label_id(l)
+                    .is_some_and(|lid| self.graph.find_edge_by_ids(src, lid, dst).is_some())
+            }
+            // `Any` (or relaxed labels) admits every label: id scan, no
+            // label resolution
+            _ if self.config.relax_edge_labels => {
+                self.graph.out_edge_entries(src).any(|(_, _, d)| d == dst)
+            }
+            EdgeConstraint::Any => self.graph.out_edge_entries(src).any(|(_, _, d)| d == dst),
+            // fuzzy equivalence: fall back to per-edge string checks
+            EdgeConstraint::Label(_) => {
+                self.graph.out_edges(src).any(|e| e.dst == dst && self.edge_label_ok(pc, e.label))
+            }
+        }
     }
 
     fn search(&self, pattern: &Pattern, out: &mut Vec<Match>) -> Result<()> {
@@ -276,24 +309,13 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
         pi: usize,
         assignment: &[Option<NodeId>],
     ) -> Vec<NodeId> {
-        // Prefer generation from an assigned neighbour.
+        // Prefer generation from an assigned neighbour. `outgoing` means
+        // the pattern edge runs pi -> other, so candidates come from
+        // og's in-edges (and vice versa).
         for &(ei, other, outgoing) in &adj[pi] {
             if let Some(og) = assignment[other] {
                 let pc = &pattern.edges[ei].constraint;
-                let mut v: Vec<NodeId> = if outgoing {
-                    // pattern edge pi -> other; candidates are in-neighbours of og
-                    self.graph
-                        .in_edges(og)
-                        .filter(|e| self.edge_label_ok(pc, e.label))
-                        .map(|e| e.src)
-                        .collect()
-                } else {
-                    self.graph
-                        .out_edges(og)
-                        .filter(|e| self.edge_label_ok(pc, e.label))
-                        .map(|e| e.dst)
-                        .collect()
-                };
+                let mut v = self.edge_candidates(og, pc, outgoing);
                 v.sort_unstable();
                 v.dedup();
                 return v;
@@ -325,6 +347,50 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
             NodeConstraint::Any => self.graph.node_ids().collect(),
         }
     }
+
+    /// Candidates adjacent to the matched node `og` under an edge
+    /// constraint: `from_in_edges` selects og's in-edge sources,
+    /// otherwise its out-edge targets. Identity equivalences run on the
+    /// per-label index; fuzzy ones fall back to string checks.
+    fn edge_candidates(&self, og: NodeId, pc: &EdgeConstraint, from_in_edges: bool) -> Vec<NodeId> {
+        let g = self.graph;
+        let unlabeled = |from_in: bool| -> Vec<NodeId> {
+            if from_in {
+                g.in_edge_entries(og).map(|(_, _, s)| s).collect()
+            } else {
+                g.out_edge_entries(og).map(|(_, _, d)| d).collect()
+            }
+        };
+        if self.config.relax_edge_labels {
+            return unlabeled(from_in_edges);
+        }
+        match pc {
+            EdgeConstraint::Any => unlabeled(from_in_edges),
+            EdgeConstraint::Label(l) if self.equiv.is_identity() => match g.label_id(l) {
+                None => Vec::new(),
+                Some(lid) => {
+                    if from_in_edges {
+                        g.in_neighbors_by_id(og, lid).collect()
+                    } else {
+                        g.out_neighbors_by_id(og, lid).collect()
+                    }
+                }
+            },
+            EdgeConstraint::Label(_) => {
+                if from_in_edges {
+                    g.in_edges(og)
+                        .filter(|e| self.edge_label_ok(pc, e.label))
+                        .map(|e| e.src)
+                        .collect()
+                } else {
+                    g.out_edges(og)
+                        .filter(|e| self.edge_label_ok(pc, e.label))
+                        .map(|e| e.dst)
+                        .collect()
+                }
+            }
+        }
+    }
 }
 
 /// Borrowed-equivalence adapter so `find_first` can clone config without
@@ -337,6 +403,9 @@ impl<E: LabelEquiv> LabelEquiv for EquivRef<'_, E> {
     }
     fn edge_equiv(&self, p: &str, g: &str) -> bool {
         self.0.edge_equiv(p, g)
+    }
+    fn is_identity(&self) -> bool {
+        self.0.is_identity()
     }
 }
 

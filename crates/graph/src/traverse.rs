@@ -9,6 +9,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::graph::{NodeId, OntGraph};
+use crate::hash::FxHashSet;
+use crate::label::LabelId;
 
 /// Which edge direction a traversal follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,25 +38,99 @@ impl EdgeFilter {
         EdgeFilter::Labels(vec![l.to_string()])
     }
 
-    fn admits(&self, label: &str) -> bool {
+    /// Resolves the filter's labels against `g`'s interner once, so the
+    /// traversal itself never compares strings. Labels the graph has
+    /// never interned cannot match any edge and are dropped here.
+    pub fn resolve(&self, g: &OntGraph) -> ResolvedFilter {
         match self {
-            EdgeFilter::All => true,
-            EdgeFilter::Labels(ls) => ls.iter().any(|x| x == label),
+            EdgeFilter::All => ResolvedFilter::All,
+            EdgeFilter::Labels(ls) => {
+                ResolvedFilter::Ids(ls.iter().filter_map(|l| g.label_id(l)).collect())
+            }
         }
     }
 }
 
-fn neighbors<'g>(
-    g: &'g OntGraph,
+/// An [`EdgeFilter`] with its labels interned for one graph — the form
+/// every traversal in this module (and `closure`) actually runs on.
+#[derive(Debug, Clone)]
+pub enum ResolvedFilter {
+    /// Follow every edge.
+    All,
+    /// Follow only edges with one of these interned labels.
+    Ids(Vec<LabelId>),
+}
+
+impl ResolvedFilter {
+    /// Does the filter admit an edge with this label id?
+    #[inline]
+    pub fn admits(&self, label: LabelId) -> bool {
+        match self {
+            ResolvedFilter::All => true,
+            ResolvedFilter::Ids(ids) => ids.contains(&label),
+        }
+    }
+}
+
+/// Visits each admitted neighbour of `n` (push style: the per-label
+/// adjacency index is walked directly, so a `Labels` filter does no
+/// per-edge work at all — not even an id comparison).
+#[inline]
+fn for_each_neighbor(
+    g: &OntGraph,
     n: NodeId,
     dir: Direction,
-    filter: &'g EdgeFilter,
-) -> impl Iterator<Item = NodeId> + 'g {
+    filter: &ResolvedFilter,
+    mut f: impl FnMut(NodeId),
+) {
     let fwd = matches!(dir, Direction::Forward | Direction::Both);
     let bwd = matches!(dir, Direction::Backward | Direction::Both);
-    let out = g.out_edges(n).filter(move |e| fwd && filter.admits(e.label)).map(|e| e.dst);
-    let inc = g.in_edges(n).filter(move |e| bwd && filter.admits(e.label)).map(|e| e.src);
-    out.chain(inc)
+    match filter {
+        ResolvedFilter::All => {
+            if fwd {
+                for (_, _, dst) in g.out_edge_entries(n) {
+                    f(dst);
+                }
+            }
+            if bwd {
+                for (_, _, src) in g.in_edge_entries(n) {
+                    f(src);
+                }
+            }
+        }
+        // single label: jump straight to the one bucket
+        ResolvedFilter::Ids(ids) if ids.len() == 1 => {
+            let lid = ids[0];
+            if fwd {
+                for m in g.out_neighbors_by_id(n, lid) {
+                    f(m);
+                }
+            }
+            if bwd {
+                for m in g.in_neighbors_by_id(n, lid) {
+                    f(m);
+                }
+            }
+        }
+        // several labels: one pass over the incident list beats probing
+        // a bucket per label
+        ResolvedFilter::Ids(ids) => {
+            if fwd {
+                for (_, lid, dst) in g.out_edge_entries(n) {
+                    if ids.contains(&lid) {
+                        f(dst);
+                    }
+                }
+            }
+            if bwd {
+                for (_, lid, src) in g.in_edge_entries(n) {
+                    if ids.contains(&lid) {
+                        f(src);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Breadth-first order from `start` (inclusive).
@@ -63,17 +139,19 @@ pub fn bfs(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> 
     if !g.is_live_node(start) {
         return order;
     }
-    let mut seen: HashSet<NodeId> = HashSet::new();
+    let rf = filter.resolve(g);
+    let mut visited = vec![false; g.node_capacity()];
     let mut q = VecDeque::new();
-    seen.insert(start);
+    visited[start.index()] = true;
     q.push_back(start);
     while let Some(n) = q.pop_front() {
         order.push(n);
-        for m in neighbors(g, n, dir, filter) {
-            if seen.insert(m) {
+        for_each_neighbor(g, n, dir, &rf, |m| {
+            if !visited[m.index()] {
+                visited[m.index()] = true;
                 q.push_back(m);
             }
-        }
+        });
     }
     order
 }
@@ -85,17 +163,21 @@ pub fn dfs(g: &OntGraph, start: NodeId, dir: Direction, filter: &EdgeFilter) -> 
     if !g.is_live_node(start) {
         return order;
     }
-    let mut seen: HashSet<NodeId> = HashSet::new();
+    let rf = filter.resolve(g);
+    let mut visited = vec![false; g.node_capacity()];
     let mut stack = vec![start];
+    let mut ns: Vec<NodeId> = Vec::new();
     while let Some(n) = stack.pop() {
-        if !seen.insert(n) {
+        if visited[n.index()] {
             continue;
         }
+        visited[n.index()] = true;
         order.push(n);
         // push in reverse so the first edge is visited first
-        let ns: Vec<NodeId> = neighbors(g, n, dir, filter).collect();
-        for m in ns.into_iter().rev() {
-            if !seen.contains(&m) {
+        ns.clear();
+        for_each_neighbor(g, n, dir, &rf, |m| ns.push(m));
+        for &m in ns.iter().rev() {
+            if !visited[m.index()] {
                 stack.push(m);
             }
         }
@@ -109,7 +191,7 @@ pub fn reachable(
     start: NodeId,
     dir: Direction,
     filter: &EdgeFilter,
-) -> HashSet<NodeId> {
+) -> FxHashSet<NodeId> {
     bfs(g, start, dir, filter).into_iter().collect()
 }
 
@@ -119,22 +201,28 @@ pub fn reachable_from_all(
     starts: &[NodeId],
     dir: Direction,
     filter: &EdgeFilter,
-) -> HashSet<NodeId> {
-    let mut seen: HashSet<NodeId> = HashSet::new();
+) -> FxHashSet<NodeId> {
+    let rf = filter.resolve(g);
+    let mut visited = vec![false; g.node_capacity()];
+    let mut order: Vec<NodeId> = Vec::new();
     let mut q: VecDeque<NodeId> = VecDeque::new();
     for &s in starts {
-        if g.is_live_node(s) && seen.insert(s) {
+        if g.is_live_node(s) && !visited[s.index()] {
+            visited[s.index()] = true;
+            order.push(s);
             q.push_back(s);
         }
     }
     while let Some(n) = q.pop_front() {
-        for m in neighbors(g, n, dir, filter) {
-            if seen.insert(m) {
+        for_each_neighbor(g, n, dir, &rf, |m| {
+            if !visited[m.index()] {
+                visited[m.index()] = true;
+                order.push(m);
                 q.push_back(m);
             }
-        }
+        });
     }
-    seen
+    order.into_iter().collect()
 }
 
 /// True if a (directed, filtered) path from `a` to `b` exists.
@@ -142,18 +230,22 @@ pub fn has_path(g: &OntGraph, a: NodeId, b: NodeId, filter: &EdgeFilter) -> bool
     if a == b {
         return g.is_live_node(a);
     }
-    let mut seen: HashSet<NodeId> = HashSet::new();
+    let rf = filter.resolve(g);
+    let mut visited = vec![false; g.node_capacity()];
     let mut q = VecDeque::new();
-    seen.insert(a);
+    visited[a.index()] = true;
     q.push_back(a);
     while let Some(n) = q.pop_front() {
-        for m in neighbors(g, n, Direction::Forward, filter) {
-            if m == b {
-                return true;
-            }
-            if seen.insert(m) {
+        let mut found = false;
+        for_each_neighbor(g, n, Direction::Forward, &rf, |m| {
+            found |= m == b;
+            if !visited[m.index()] {
+                visited[m.index()] = true;
                 q.push_back(m);
             }
+        });
+        if found {
+            return true;
         }
     }
     false
@@ -173,26 +265,29 @@ pub fn shortest_path(
     if a == b {
         return Some(vec![a]);
     }
-    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let rf = filter.resolve(g);
+    let mut prev: Vec<Option<NodeId>> = vec![None; g.node_capacity()];
     let mut q = VecDeque::new();
     q.push_back(a);
-    prev.insert(a, a);
+    prev[a.index()] = Some(a);
     while let Some(n) = q.pop_front() {
-        for m in neighbors(g, n, Direction::Forward, filter) {
-            if let std::collections::hash_map::Entry::Vacant(slot) = prev.entry(m) {
-                slot.insert(n);
-                if m == b {
-                    let mut path = vec![b];
-                    let mut cur = b;
-                    while cur != a {
-                        cur = prev[&cur];
-                        path.push(cur);
-                    }
-                    path.reverse();
-                    return Some(path);
-                }
+        let mut reached = false;
+        for_each_neighbor(g, n, Direction::Forward, &rf, |m| {
+            if prev[m.index()].is_none() {
+                prev[m.index()] = Some(n);
+                reached |= m == b;
                 q.push_back(m);
             }
+        });
+        if reached {
+            let mut path = vec![b];
+            let mut cur = b;
+            while cur != a {
+                cur = prev[cur.index()].expect("on discovered path");
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
         }
     }
     None
@@ -207,37 +302,39 @@ pub fn topo_sort(
     g: &OntGraph,
     filter: &EdgeFilter,
 ) -> std::result::Result<Vec<NodeId>, Vec<NodeId>> {
-    let mut indeg: HashMap<NodeId, usize> = g.node_ids().map(|n| (n, 0)).collect();
-    for e in g.edges() {
-        if filter.admits(e.label) {
-            *indeg.get_mut(&e.dst).expect("live node") += 1;
+    let rf = filter.resolve(g);
+    let live = g.node_count();
+    let mut indeg: Vec<usize> = vec![0; g.node_capacity()];
+    for (_, _, lid, dst) in g.edge_entries() {
+        if rf.admits(lid) {
+            indeg[dst.index()] += 1;
         }
     }
-    let mut q: VecDeque<NodeId> = indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
-    let mut order = Vec::with_capacity(indeg.len());
+    let mut q: VecDeque<NodeId> = g.node_ids().filter(|n| indeg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(live);
     while let Some(n) = q.pop_front() {
         order.push(n);
-        for e in g.out_edges(n) {
-            if filter.admits(e.label) {
-                let d = indeg.get_mut(&e.dst).expect("live node");
-                *d -= 1;
-                if *d == 0 {
-                    q.push_back(e.dst);
-                }
+        for_each_neighbor(g, n, Direction::Forward, &rf, |dst| {
+            indeg[dst.index()] -= 1;
+            if indeg[dst.index()] == 0 {
+                q.push_back(dst);
             }
-        }
+        });
     }
-    if order.len() == indeg.len() {
+    if order.len() == live {
         Ok(order)
     } else {
         // find one witness cycle among remaining nodes
-        let remaining: HashSet<NodeId> =
-            indeg.into_iter().filter(|&(_, d)| d > 0).map(|(n, _)| n).collect();
-        Err(find_cycle_within(g, &remaining, filter))
+        let remaining: HashSet<NodeId> = g.node_ids().filter(|n| indeg[n.index()] > 0).collect();
+        Err(find_cycle_within(g, &remaining, &rf))
     }
 }
 
-fn find_cycle_within(g: &OntGraph, within: &HashSet<NodeId>, filter: &EdgeFilter) -> Vec<NodeId> {
+fn find_cycle_within(
+    g: &OntGraph,
+    within: &HashSet<NodeId>,
+    filter: &ResolvedFilter,
+) -> Vec<NodeId> {
     // walk forward from an arbitrary node until a repeat
     let start = *within.iter().min().expect("non-empty remainder");
     let mut path = vec![start];
@@ -246,9 +343,9 @@ fn find_cycle_within(g: &OntGraph, within: &HashSet<NodeId>, filter: &EdgeFilter
     let mut cur = start;
     loop {
         let next = g
-            .out_edges(cur)
-            .filter(|e| filter.admits(e.label) && within.contains(&e.dst))
-            .map(|e| e.dst)
+            .out_edge_entries(cur)
+            .filter(|(_, lid, dst)| filter.admits(*lid) && within.contains(dst))
+            .map(|(_, _, dst)| dst)
             .next()
             .expect("every remaining node has an admissible out-edge in the cyclic core");
         if let Some(&i) = on_path.get(&next) {
@@ -265,6 +362,7 @@ fn find_cycle_within(g: &OntGraph, within: &HashSet<NodeId>, filter: &EdgeFilter
 /// Components are returned in reverse topological order of the condensed
 /// graph; singleton components without self-loops are included.
 pub fn tarjan_scc(g: &OntGraph, filter: &EdgeFilter) -> Vec<Vec<NodeId>> {
+    let rf = filter.resolve(g);
     #[derive(Clone, Copy)]
     struct Meta {
         index: u32,
@@ -299,8 +397,8 @@ pub fn tarjan_scc(g: &OntGraph, filter: &EdgeFilter) -> Vec<Vec<NodeId>> {
                     counter += 1;
                     m.on_stack = true;
                     stack.push(v);
-                    let succ: Vec<NodeId> =
-                        g.out_edges(v).filter(|e| filter.admits(e.label)).map(|e| e.dst).collect();
+                    let mut succ: Vec<NodeId> = Vec::new();
+                    for_each_neighbor(g, v, Direction::Forward, &rf, |m| succ.push(m));
                     call.push(Frame::Resume(v, succ, 0));
                 }
                 Frame::Resume(v, succ, mut i) => {

@@ -68,23 +68,32 @@ impl<'a> Reformulator<'a> {
                 implication.entry(b.src.to_string()).or_default().push(b.dst.to_string());
             }
         }
+        // labels are resolved to interned ids once per graph; the edge
+        // scans below compare ids only
         let art_g = articulation.ontology.graph();
-        for e in art_g.edges() {
-            if e.label == rel::SUBCLASS_OF {
-                let s =
-                    format!("{}.{}", articulation.name(), art_g.node_label(e.src).expect("live"));
-                let d =
-                    format!("{}.{}", articulation.name(), art_g.node_label(e.dst).expect("live"));
-                implication.entry(s).or_default().push(d);
+        if let Some(sub) = art_g.label_id(rel::SUBCLASS_OF) {
+            for (_, src, lid, dst) in art_g.edge_entries() {
+                if lid == sub {
+                    let s =
+                        format!("{}.{}", articulation.name(), art_g.node_label(src).expect("live"));
+                    let d =
+                        format!("{}.{}", articulation.name(), art_g.node_label(dst).expect("live"));
+                    implication.entry(s).or_default().push(d);
+                }
             }
         }
         // source-local subclass edges also imply (an SUV is a Cars)
         for o in &sources {
             let g = o.graph();
-            for e in g.edges() {
-                if e.label == rel::SUBCLASS_OF || e.label == rel::INSTANCE_OF {
-                    let s = format!("{}.{}", o.name(), g.node_label(e.src).expect("live"));
-                    let d = format!("{}.{}", o.name(), g.node_label(e.dst).expect("live"));
+            let sub = g.label_id(rel::SUBCLASS_OF);
+            let inst = g.label_id(rel::INSTANCE_OF);
+            if sub.is_none() && inst.is_none() {
+                continue;
+            }
+            for (_, src, lid, dst) in g.edge_entries() {
+                if Some(lid) == sub || Some(lid) == inst {
+                    let s = format!("{}.{}", o.name(), g.node_label(src).expect("live"));
+                    let d = format!("{}.{}", o.name(), g.node_label(dst).expect("live"));
                     implication.entry(s).or_default().push(d);
                 }
             }

@@ -1,5 +1,6 @@
 //! Seeded synthetic ontology generation.
 
+use onion_graph::{rel, OntGraph};
 use onion_lexicon::generator::pseudo_word;
 use onion_ontology::{Ontology, OntologyBuilder};
 use rand::rngs::StdRng;
@@ -91,6 +92,84 @@ pub fn generate_ontology(spec: &OntologySpec) -> Ontology {
     builder.build().expect("generated ontology is well-formed")
 }
 
+/// Parameters for a raw labeled graph (graph-layer benches and the
+/// id/string API equivalence tests). Unlike [`OntologySpec`] this
+/// produces a bare [`OntGraph`]: a `SubclassOf` attachment tree plus
+/// random cross edges drawn from a small verb alphabet, so per-node
+/// incident lists mix many edge labels — the worst case for label-
+/// filtered traversal.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total number of edges to aim for (tree edges included; duplicate
+    /// draws are skipped, so the realised count can fall slightly short).
+    pub edges: usize,
+    /// Number of distinct non-`SubclassOf` edge labels.
+    pub verb_labels: usize,
+}
+
+impl GraphSpec {
+    /// A spec with the default verb alphabet.
+    pub fn sized(seed: u64, nodes: usize, edges: usize) -> Self {
+        GraphSpec { seed, nodes, edges, verb_labels: 8 }
+    }
+
+    /// The 10k-node / 50k-edge tier used by the perf baseline
+    /// (`BENCH_onion.json`).
+    pub fn tier_10k() -> Self {
+        Self::sized(97, 10_000, 50_000)
+    }
+}
+
+/// Generates a labeled graph per `spec`. Equal specs generate identical
+/// graphs. Node `C0` is the root of the `SubclassOf` tree; every other
+/// node has exactly one `SubclassOf` edge to an earlier node, and the
+/// remaining edge budget is spent on random verb-labeled cross edges.
+pub fn generate_graph(spec: &GraphSpec) -> OntGraph {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut g = OntGraph::new(format!("synth{}k", spec.nodes / 1000));
+    let ids: Vec<_> =
+        (0..spec.nodes).map(|i| g.add_node(&format!("C{i}")).expect("unique labels")).collect();
+    for i in 1..spec.nodes {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(ids[i], rel::SUBCLASS_OF, ids[parent]).expect("fresh tree edge");
+    }
+    let verbs: Vec<String> = (0..spec.verb_labels.max(1)).map(|i| format!("verb{i}")).collect();
+    let budget = spec.edges.saturating_sub(spec.nodes.saturating_sub(1));
+    for _ in 0..budget {
+        let s = ids[rng.gen_range(0..spec.nodes)];
+        let d = ids[rng.gen_range(0..spec.nodes)];
+        let label = &verbs[rng.gen_range(0..verbs.len())];
+        // set semantics: a duplicate triple draw is simply skipped
+        let _ = g.ensure_edge(s, label, d);
+    }
+    g
+}
+
+/// A random `SubclassOf` DAG: the attachment tree of
+/// [`generate_graph`] plus `extra` redundant subclass edges, each from a
+/// node to a strictly earlier one — acyclic by construction, with the
+/// transitive redundancy `transitive_reduce` exists to remove.
+pub fn generate_dag(seed: u64, nodes: usize, extra: usize) -> OntGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = OntGraph::new("dag");
+    let ids: Vec<_> =
+        (0..nodes).map(|i| g.add_node(&format!("D{i}")).expect("unique labels")).collect();
+    for i in 1..nodes {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(ids[i], rel::SUBCLASS_OF, ids[parent]).expect("fresh tree edge");
+    }
+    for _ in 0..extra {
+        let i = rng.gen_range(1..nodes.max(2));
+        let j = rng.gen_range(0..i);
+        let _ = g.ensure_edge(ids[i], rel::SUBCLASS_OF, ids[j]);
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +214,34 @@ mod tests {
             // allow a small overflow margin
             assert!(kids <= 4, "node has {kids} children");
         }
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let g = generate_dag(13, 200, 300);
+        let filter = onion_graph::traverse::EdgeFilter::label(onion_graph::rel::SUBCLASS_OF);
+        assert!(onion_graph::traverse::topo_sort(&g, &filter).is_ok());
+        assert!(g.edge_count() > 199, "tree plus at least some extras");
+    }
+
+    #[test]
+    fn graph_tier_is_deterministic_and_sized() {
+        let spec = GraphSpec::sized(5, 500, 2500);
+        let a = generate_graph(&spec);
+        let b = generate_graph(&spec);
+        assert!(a.same_shape(&b));
+        assert_eq!(a.node_count(), 500);
+        // duplicate draws may shave a little off the budget
+        assert!(a.edge_count() > 2300, "edges: {}", a.edge_count());
+        assert!(a.edge_count() <= 2500);
+    }
+
+    #[test]
+    fn graph_tier_tree_is_connected_under_subclass() {
+        let g = generate_graph(&GraphSpec::sized(9, 300, 300));
+        let root = g.node_by_label("C0").unwrap();
+        let desc = onion_graph::closure::descendants(&g, root, onion_graph::rel::SUBCLASS_OF);
+        assert_eq!(desc.len(), 299, "every non-root node reaches the root");
     }
 
     #[test]

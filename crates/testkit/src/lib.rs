@@ -22,7 +22,7 @@ pub mod overlap;
 pub mod workload;
 
 pub use baseline::GlobalMerge;
-pub use gen::{generate_ontology, OntologySpec};
+pub use gen::{generate_dag, generate_graph, generate_ontology, GraphSpec, OntologySpec};
 pub use metrics::{precision_recall, PrMetrics};
 pub use overlap::{overlap_pair, OverlapPair, OverlapSpec};
 pub use workload::{random_queries, update_stream, UpdateSpec};

@@ -1,0 +1,149 @@
+//! Property tests for the label-indexed adjacency layer: the id-typed
+//! and string-typed APIs must agree on arbitrary graphs (this is the
+//! executable witness that the string wrappers are thin — they resolve
+//! the label once and run the same id path), and the closure operators
+//! must respect reachability on random DAGs from `onion-testkit`.
+
+use proptest::prelude::*;
+
+use onion_core::graph::closure::{materialize_closure, transitive_pairs, transitive_reduce};
+use onion_core::graph::rel;
+use onion_core::graph::traverse::EdgeFilter;
+use onion_core::prelude::*;
+use onion_core::testkit::{generate_dag, generate_graph, GraphSpec};
+
+fn subclass_filter() -> EdgeFilter {
+    EdgeFilter::label(rel::SUBCLASS_OF)
+}
+
+proptest! {
+    /// `transitive_reduce` alone never changes reachability: it deletes
+    /// only edges implied by paths that remain.
+    #[test]
+    fn reduce_preserves_reachability(seed in 0u64..48, extra in 0usize..120) {
+        let g0 = generate_dag(seed, 60, extra);
+        let before = transitive_pairs(&g0, &subclass_filter());
+        let mut g = g0.clone();
+        transitive_reduce(&mut g, rel::SUBCLASS_OF).unwrap();
+        let after = transitive_pairs(&g, &subclass_filter());
+        prop_assert_eq!(before, after);
+    }
+
+    /// `materialize_closure ∘ transitive_reduce` is a fixpoint on DAGs:
+    /// applying the pair a second time changes nothing.
+    #[test]
+    fn materialize_after_reduce_is_fixpoint(seed in 0u64..48, extra in 0usize..120) {
+        let mut g = generate_dag(seed, 50, extra);
+        transitive_reduce(&mut g, rel::SUBCLASS_OF).unwrap();
+        materialize_closure(&mut g, rel::SUBCLASS_OF).unwrap();
+        let once = g.clone();
+        transitive_reduce(&mut g, rel::SUBCLASS_OF).unwrap();
+        materialize_closure(&mut g, rel::SUBCLASS_OF).unwrap();
+        prop_assert!(g.same_shape(&once), "second application changed the graph");
+    }
+
+    /// On a reduced DAG, re-materialising and re-reducing returns the
+    /// same edge set: reduction is canonical for DAGs.
+    #[test]
+    fn reduce_is_canonical_on_dags(seed in 0u64..48, extra in 0usize..120) {
+        let mut g = generate_dag(seed, 50, extra);
+        transitive_reduce(&mut g, rel::SUBCLASS_OF).unwrap();
+        let reduced = g.clone();
+        materialize_closure(&mut g, rel::SUBCLASS_OF).unwrap();
+        transitive_reduce(&mut g, rel::SUBCLASS_OF).unwrap();
+        prop_assert!(g.same_shape(&reduced));
+    }
+
+    /// Id-based and string-based neighbour/degree/find APIs agree on
+    /// random mixed-label graphs — and the id path never consults the
+    /// interner, so agreement proves the wrappers do exactly one
+    /// resolution at the boundary.
+    #[test]
+    fn id_and_string_apis_agree(seed in 0u64..48) {
+        let g = generate_graph(&GraphSpec::sized(seed, 80, 400));
+        let mut labels: Vec<String> =
+            g.edges().map(|e| e.label.to_string()).collect();
+        labels.push("NeverInterned".to_string());
+        labels.sort();
+        labels.dedup();
+        for n in g.node_ids() {
+            for label in &labels {
+                let lid = g.label_id(label);
+                let by_str: Vec<NodeId> = g.out_neighbors(n, label).collect();
+                let by_id: Vec<NodeId> = match lid {
+                    Some(l) => g.out_neighbors_by_id(n, l).collect(),
+                    None => Vec::new(),
+                };
+                prop_assert_eq!(&by_str, &by_id);
+                let in_str: Vec<NodeId> = g.in_neighbors(n, label).collect();
+                let in_id: Vec<NodeId> = match lid {
+                    Some(l) => g.in_neighbors_by_id(n, l).collect(),
+                    None => Vec::new(),
+                };
+                prop_assert_eq!(&in_str, &in_id);
+                if let Some(l) = lid {
+                    prop_assert_eq!(by_id.len(), g.out_degree_labeled(n, l));
+                    prop_assert_eq!(in_id.len(), g.in_degree_labeled(n, l));
+                    prop_assert_eq!(
+                        g.degree_labeled(n, l),
+                        g.out_degree_labeled(n, l) + g.in_degree_labeled(n, l)
+                    );
+                    for &m in &by_id {
+                        prop_assert_eq!(g.find_edge(n, label, m), g.find_edge_by_ids(n, l, m));
+                        prop_assert!(g.find_edge_by_ids(n, l, m).is_some());
+                    }
+                }
+            }
+            // the whole incident list partitions into the label buckets
+            let out_total: usize = labels
+                .iter()
+                .filter_map(|l| g.label_id(l))
+                .map(|l| g.out_degree_labeled(n, l))
+                .sum();
+            prop_assert_eq!(out_total, g.out_degree(n));
+            prop_assert_eq!(g.out_edge_entries(n).count(), g.out_degree(n));
+            prop_assert_eq!(g.in_edge_entries(n).count(), g.in_degree(n));
+        }
+    }
+
+    /// Entry iteration agrees with the `EdgeRef` view edge-by-edge.
+    #[test]
+    fn edge_entries_agree_with_edge_refs(seed in 0u64..48) {
+        let g = generate_graph(&GraphSpec::sized(seed, 60, 300));
+        let refs: Vec<(EdgeId, NodeId, String, NodeId)> =
+            g.edges().map(|e| (e.id, e.src, e.label.to_string(), e.dst)).collect();
+        let entries: Vec<(EdgeId, NodeId, String, NodeId)> = g
+            .edge_entries()
+            .map(|(e, s, l, d)| (e, s, g.resolve(l).to_string(), d))
+            .collect();
+        prop_assert_eq!(refs, entries);
+    }
+
+    /// Deleting and re-adding edges keeps every index consistent
+    /// (incident lists, label buckets, the edge index and degrees).
+    #[test]
+    fn churn_keeps_indexes_consistent(seed in 0u64..32, kills in 1usize..20) {
+        let mut g = generate_graph(&GraphSpec::sized(seed, 40, 200));
+        // delete `kills` arbitrary edges, then re-add them
+        let victims: Vec<(NodeId, String, NodeId)> = g
+            .edges()
+            .take(kills)
+            .map(|e| (e.src, e.label.to_string(), e.dst))
+            .collect();
+        for (s, l, d) in &victims {
+            let id = g.find_edge(*s, l, *d).expect("listed edge");
+            g.delete_edge(id).unwrap();
+            prop_assert!(g.find_edge(*s, l, *d).is_none());
+        }
+        for (s, l, d) in &victims {
+            g.add_edge(*s, l, *d).unwrap();
+        }
+        for n in g.node_ids() {
+            prop_assert_eq!(g.out_edge_entries(n).count(), g.out_degree(n));
+            // every listed out-edge is probeable through the edge index
+            for (e, lid, dst) in g.out_edge_entries(n) {
+                prop_assert_eq!(g.find_edge_by_ids(n, lid, dst), Some(e));
+            }
+        }
+    }
+}
