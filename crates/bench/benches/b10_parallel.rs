@@ -1,0 +1,32 @@
+//! B10 — parallel batch throughput over a snapshot, per thread count.
+//!
+//! Times the closure batch and the query batch of
+//! `onion_bench::parallel` at 1/2/4/available-parallelism threads.
+//! Result identity across thread counts is asserted separately by
+//! `experiments --json` (and the crate's tests); this target is timing
+//! only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_bench::parallel::{thread_counts, ParallelFixture};
+use onion_core::exec::Executor;
+
+fn bench(c: &mut Criterion) {
+    let fx = ParallelFixture::new(256, 64, 5000);
+    let mut group = c.benchmark_group("b10_parallel");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in thread_counts() {
+        let exec = Executor::new(threads);
+        group.bench_function(format!("closure_batch/{threads}t"), |b| {
+            b.iter(|| std::hint::black_box(fx.closure_batch(&exec)))
+        });
+        group.bench_function(format!("query_batch/{threads}t"), |b| {
+            b.iter(|| std::hint::black_box(fx.query_batch(&exec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

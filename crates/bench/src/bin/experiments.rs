@@ -11,14 +11,18 @@
 //! repetitions — indicative shapes, not Criterion-grade statistics (use
 //! `cargo bench` for those).
 //!
-//! With `--json` the binary instead runs only the graph hot-path set on
-//! the testkit 10k-node / 50k-edge tier and writes the machine-readable
-//! perf baseline to `PATH` (default `BENCH_onion.json`) — the smoke
-//! step CI runs on every push.
+//! With `--json` the binary instead runs the machine-readable baseline
+//! suite — the graph hot-path set on the testkit 10k-node / 50k-edge
+//! tier, the B1/B4 end-to-end medians, and the B10 parallel-throughput
+//! matrix (1/2/4/available-parallelism threads, with byte-identical
+//! results asserted against the sequential path) — and writes it to
+//! `PATH` (default `BENCH_onion.json`); this is the smoke step CI runs
+//! on every push. An optional `--compare BASE` reads a previously
+//! committed baseline and prints warnings (never failures — variance is
+//! not characterised yet) for any series that regressed by more than
+//! 2×.
 
-use std::time::Instant;
-
-use onion_bench::{articulated, instance_kbs, pair, truth_rules};
+use onion_bench::{articulated, instance_kbs, median_micros, pair, truth_rules};
 use onion_core::algebra::compose::{add_source, compose_all};
 use onion_core::articulate::maintain::{apply_delta, rebuild, triage};
 use onion_core::prelude::*;
@@ -27,18 +31,6 @@ use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy};
 use onion_core::testkit::{
     generate_ontology, precision_recall, update_stream, GlobalMerge, OntologySpec, UpdateSpec,
 };
-
-fn median_micros(mut reps: usize, mut f: impl FnMut()) -> f64 {
-    reps = reps.max(1);
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        samples.push(t.elapsed().as_secs_f64() * 1e6);
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    samples[samples.len() / 2]
-}
 
 fn fmt_us(us: f64) -> String {
     if us >= 1e6 {
@@ -70,8 +62,17 @@ const INDEX_LAYER_REFERENCE_US: &[(&str, f64, f64)] = &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--json") {
-        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_onion.json");
+        let compare_at = args.iter().position(|a| a == "--compare");
+        let base = compare_at.and_then(|i| args.get(i + 1)).cloned();
+        let path = args
+            .get(1)
+            .filter(|_| compare_at != Some(1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_onion.json");
         emit_json(path);
+        if let Some(base) = base {
+            compare_baselines(&base, path);
+        }
         return;
     }
     println!("# ONION reproduction — experiment run\n");
@@ -89,8 +90,55 @@ fn main() {
     println!("\ndone.");
 }
 
-/// Runs the graph hot-path set and writes the `BENCH_onion.json`
-/// baseline. Hand-rolled JSON: the workspace is offline, no serde.
+/// One end-to-end median series entry for the baseline file.
+struct EndToEnd {
+    name: &'static str,
+    median_us: f64,
+    reps: usize,
+}
+
+/// B1 end-to-end: incremental articulation maintenance after a 20-op
+/// update stream at the 1000-concept tier.
+fn b1_end_to_end_median() -> EndToEnd {
+    let p = pair(11, 1000, 0.1);
+    let art = articulated(&p);
+    let generator = ArticulationGenerator::new();
+    let spec = UpdateSpec { seed: 3, ops: 20, bridged_fraction: 0.1, delete_fraction: 0.2 };
+    let ops = update_stream(&p.left, &art, &spec);
+    let mut g = p.left.graph().clone();
+    onion_core::graph::ops::apply_all(&mut g, &ops).unwrap();
+    let evolved = Ontology::from_graph(g).unwrap();
+    let reps = 9;
+    let median_us = median_micros(reps, || {
+        let mut a = art.clone();
+        apply_delta(&mut a, "left", &ops, &[&evolved, &p.right], &generator, None).unwrap();
+    });
+    EndToEnd { name: "b1_incremental_1000c", median_us, reps }
+}
+
+/// B4 end-to-end: cross-source query (plan + execute) over 10k
+/// instances per side.
+fn b4_end_to_end_median() -> EndToEnd {
+    let p = pair(31, 400, 0.25);
+    let art = articulated(&p);
+    let (lkb, rkb) = instance_kbs(&p, 10_000);
+    let lw = InMemoryWrapper::new(lkb);
+    let rw = InMemoryWrapper::new(rkb);
+    let conversions = ConversionRegistry::standard();
+    let class = p.truth[0].1.split_once('.').unwrap().1.to_string();
+    let query = Query::all(&class).select("Price").filter("Price", CmpOp::Lt, Value::Num(25_000.0));
+    let sources: Vec<&Ontology> = vec![&p.left, &p.right];
+    let wrappers: Vec<&dyn Wrapper> = vec![&lw, &rw];
+    let reps = 7;
+    let median_us = median_micros(reps, || {
+        execute(&query, &art, &sources, &conversions, &wrappers).unwrap();
+    });
+    EndToEnd { name: "b4_query_10k_inst", median_us, reps }
+}
+
+/// Runs the baseline suite (hot paths + end-to-end medians + the B10
+/// parallel matrix) and writes `BENCH_onion.json`. Hand-rolled JSON:
+/// the workspace is offline, no serde.
 fn emit_json(path: &str) {
     let tier = onion_bench::hotpaths::tier();
     eprintln!(
@@ -98,8 +146,12 @@ fn emit_json(path: &str) {
         tier.nodes, tier.edges
     );
     let results = onion_bench::hotpaths::run_all();
+    eprintln!("running end-to-end medians (B1 incremental, B4 query) …");
+    let end_to_end = [b1_end_to_end_median(), b4_end_to_end_median()];
+    eprintln!("running B10 parallel batches (byte-identity asserted per thread count) …");
+    let b10 = onion_bench::parallel::run_b10();
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"onion-bench/v1\",\n");
+    body.push_str("{\n  \"schema\": \"onion-bench/v2\",\n");
     body.push_str(&format!(
         "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
         tier.seed, tier.nodes, tier.edges
@@ -116,6 +168,40 @@ fn emit_json(path: &str) {
         ));
     }
     body.push_str("  ],\n");
+    body.push_str("  \"end_to_end\": [\n");
+    for (i, e) in end_to_end.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_us\": {:.1}, \"reps\": {} }}{}\n",
+            e.name,
+            e.median_us,
+            e.reps,
+            if i + 1 == end_to_end.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    // checksum is a full-range u64 — emitted as a hex string because
+    // bare JSON numbers above 2^53 lose precision in most consumers
+    body.push_str(&format!(
+        "  \"b10_parallel\": {{\n    \"closure_sources\": {}, \"batch_queries\": {}, \
+         \"available_parallelism\": {}, \"checksum\": \"{:#018x}\",\n    \"rows\": [\n",
+        b10.closure_sources, b10.batch_queries, b10.available_parallelism, b10.rows[0].checksum
+    ));
+    for (i, row) in b10.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{ \"threads\": {}, \"closure_us\": {:.1}, \"closure_per_sec\": {:.0}, \
+             \"closure_speedup\": {:.2}, \"query_us\": {:.1}, \"query_per_sec\": {:.0}, \
+             \"query_speedup\": {:.2} }}{}\n",
+            row.threads,
+            row.closure_us,
+            row.closure_per_sec,
+            b10.closure_speedup(row),
+            row.query_us,
+            row.query_per_sec,
+            b10.query_speedup(row),
+            if i + 1 == b10.rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  },\n");
     body.push_str(
         "  \"index_layer_reference\": {\n    \"note\": \"pre/post medians for the \
          label-indexed adjacency layer, both measured on the same dev machine when it \
@@ -135,7 +221,84 @@ fn emit_json(path: &str) {
     for r in &results {
         println!("{:<32} {}", r.name, fmt_us(r.median_us));
     }
+    for e in &end_to_end {
+        println!("{:<32} {}", e.name, fmt_us(e.median_us));
+    }
+    for row in &b10.rows {
+        println!(
+            "b10 {:>2} thread(s): closure {} ({:.0}/s, {:.2}x)  query {} ({:.0}/s, {:.2}x)",
+            row.threads,
+            fmt_us(row.closure_us),
+            row.closure_per_sec,
+            b10.closure_speedup(row),
+            fmt_us(row.query_us),
+            row.query_per_sec,
+            b10.query_speedup(row)
+        );
+    }
+    if b10.available_parallelism < 2 {
+        println!(
+            "note: host reports available_parallelism = {}; B10 speedups are not meaningful here",
+            b10.available_parallelism
+        );
+    }
     println!("wrote {path}");
+}
+
+/// Extracts every `"name": …, "median_us": …` series from one of our
+/// baseline files (writer keeps each entry on one line, so a line scan
+/// is a complete parser for this format — the workspace has no serde).
+fn parse_medians(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else { continue };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else { continue };
+        let name = &rest[..name_end];
+        let Some(med_at) = line.find("\"median_us\": ") else { continue };
+        let med_rest = &line[med_at + 13..];
+        let med_str: String =
+            med_rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        if let Ok(v) = med_str.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Compares a freshly written baseline against a committed one and
+/// prints warnings — `::warning::` lines so GitHub Actions surfaces
+/// them — for any series that got more than 2× slower. Never fails the
+/// run: cross-machine variance is not characterised yet (ROADMAP
+/// "Bench trajectory"), so this is a tripwire, not a gate.
+fn compare_baselines(base_path: &str, new_path: &str) {
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("compare: no baseline at {base_path}, skipping");
+        return;
+    };
+    let new_text = std::fs::read_to_string(new_path).expect("just wrote it");
+    let base = parse_medians(&base_text);
+    let fresh = parse_medians(&new_text);
+    let mut warned = 0;
+    for (name, new_med) in &fresh {
+        let Some((_, base_med)) = base.iter().find(|(n, _)| n == name) else { continue };
+        if *base_med > 0.0 && *new_med > 2.0 * base_med {
+            warned += 1;
+            println!(
+                "::warning::bench regression: {name} {} -> {} ({:.1}x vs committed baseline)",
+                fmt_us(*base_med),
+                fmt_us(*new_med),
+                new_med / base_med
+            );
+        }
+    }
+    if warned == 0 {
+        println!("compare: no series regressed by more than 2x vs {base_path}");
+    } else {
+        println!(
+            "compare: {warned} series regressed by more than 2x vs {base_path} (warning only)"
+        );
+    }
 }
 
 fn e1_fig2() {

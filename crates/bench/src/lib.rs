@@ -9,6 +9,22 @@ use onion_core::prelude::*;
 use onion_core::testkit::{overlap_pair, OverlapPair, OverlapSpec};
 
 pub mod hotpaths;
+pub mod parallel;
+
+/// Median wall time (µs) of `reps` runs of `f` — the one in-process
+/// timing helper shared by the experiment tables, the B10 runner, and
+/// the `experiments` binary.
+pub fn median_micros(reps: usize, mut f: impl FnMut()) -> f64 {
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
 
 /// Builds the standard experiment pair: `concepts` total concepts,
 /// `overlap` shared fraction, half of the shared concepts renamed.

@@ -37,6 +37,7 @@ pub use system::OnionSystem;
 // Re-export the subsystem crates under their short names.
 pub use onion_algebra as algebra;
 pub use onion_articulate as articulate;
+pub use onion_exec as exec;
 pub use onion_graph as graph;
 pub use onion_lexicon as lexicon;
 pub use onion_ontology as ontology;
@@ -53,8 +54,10 @@ pub mod prelude {
         CandidateRule, EngineConfig, EngineReport, Expert, GeneratorConfig, MatcherPipeline,
         OracleExpert, ScriptedExpert, ThresholdExpert, Verdict,
     };
+    pub use onion_exec::Executor;
     pub use onion_graph::{
-        rel, EdgeId, GraphOp, LabelEquiv, MatchConfig, Matcher, NodeId, OntGraph, Pattern,
+        rel, EdgeId, GraphOp, GraphSnapshot, LabelEquiv, MatchConfig, Matcher, NodeId, OntGraph,
+        Pattern, SnapshotStore,
     };
     pub use onion_lexicon::{builtin::transport_lexicon, Lexicon};
     pub use onion_ontology::{examples, Ontology, OntologyBuilder};

@@ -175,6 +175,15 @@ impl OnionSystem {
         self.articulation.as_ref()
     }
 
+    /// Installs a precomputed articulation (loaded from persistence or
+    /// generated out-of-band); its confirmed rules replace the
+    /// system's. The sources it references must be loaded before
+    /// querying.
+    pub fn set_articulation(&mut self, articulation: Articulation) {
+        self.rules = articulation.rules.clone();
+        self.articulation = Some(articulation);
+    }
+
     // ------------------------------------------------------------------
     // algebra
     // ------------------------------------------------------------------
@@ -229,6 +238,38 @@ impl OnionSystem {
         let wrappers: Vec<&dyn Wrapper> = self.kbs.values().map(|w| w as &dyn Wrapper).collect();
         onion_query::execute(query, art, &sources, &self.conversions, &wrappers)
             .map_err(SystemError::Query)
+    }
+
+    /// Executes a batch of pre-built queries in parallel on `exec`,
+    /// returning per-query results in input order.
+    ///
+    /// The system is read-only for the whole batch (`&self`), so every
+    /// worker plans and executes against the same articulation state —
+    /// the facade-level counterpart of snapshot isolation (the
+    /// graph-level machinery is `OntGraph::snapshot` /
+    /// `SnapshotStore`). Results are identical to calling
+    /// [`OnionSystem::run_query`] per query sequentially, for every
+    /// thread count.
+    pub fn run_batch(
+        &self,
+        exec: &onion_exec::Executor,
+        queries: &[Query],
+    ) -> Vec<Result<ResultSet>> {
+        exec.par_map(queries, |q| self.run_query(q))
+    }
+
+    /// Parses and executes a batch of textual queries in parallel
+    /// (per-query errors stay per-query; a parse failure does not
+    /// affect its batch siblings).
+    pub fn query_batch(
+        &self,
+        exec: &onion_exec::Executor,
+        texts: &[&str],
+    ) -> Vec<Result<ResultSet>> {
+        exec.par_map(texts, |t| {
+            let q = Query::parse(t).map_err(SystemError::Query)?;
+            self.run_query(&q)
+        })
     }
 
     /// Renders the query plan for a textual query (the viewer's
@@ -304,6 +345,55 @@ mod tests {
         let (d2, r2) = s.difference("factory", "carrier").unwrap();
         assert!(d2.contains_label("Vehicle"));
         assert_eq!(r2.removed(), 0);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_queries_at_any_thread_count() {
+        let mut s = loaded();
+        s.add_rules(fig2_rules_text()).unwrap();
+        s.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+        let mut ckb = KnowledgeBase::new("carrier");
+        ckb.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+        ckb.add(Instance::new("suv1", "SUV").with("Price", Value::Num(22037.1)));
+        s.add_knowledge_base(ckb);
+
+        let queries: Vec<Query> = [
+            "find Vehicle(Price)",
+            "find Vehicle(Price) where Price < 5000",
+            "find CargoCarrier(Price)",
+        ]
+        .iter()
+        .map(|t| Query::parse(t).unwrap())
+        .collect();
+        let sequential: Vec<ResultSet> = queries.iter().map(|q| s.run_query(q).unwrap()).collect();
+        for threads in [1, 2, 4] {
+            let exec = onion_exec::Executor::new(threads);
+            let batch = s.run_batch(&exec, &queries);
+            assert_eq!(batch.len(), queries.len());
+            for (got, want) in batch.into_iter().zip(&sequential) {
+                assert_eq!(&got.unwrap(), want, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_keeps_errors_per_query() {
+        let mut s = loaded();
+        s.add_rules(fig2_rules_text()).unwrap();
+        s.articulate_from_rules("carrier", "factory").unwrap();
+        let exec = onion_exec::Executor::new(2);
+        let out = s.query_batch(&exec, &["find Vehicle(Price)", "not a query"]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(SystemError::Query(_))));
+    }
+
+    #[test]
+    fn system_is_shareable_across_threads() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<OnionSystem>();
+        assert_send::<OnionSystem>();
+        assert_send::<SystemError>();
     }
 
     #[test]

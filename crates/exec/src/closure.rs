@@ -1,0 +1,211 @@
+//! Parallel multi-source traversal and transitive closure over a
+//! [`GraphSnapshot`].
+//!
+//! All routines partition their *sources* across the pool
+//! (source-partitioned rather than frontier-partitioned: per-source
+//! BFSs are independent, need no synchronisation, and reassemble
+//! deterministically — the right trade-off for ONION's workload of many
+//! medium-sized traversals; frontier-splitting single giant traversals
+//! is a future refinement). Each chunk owns its scratch (visited
+//! stamps), so the only shared state is the immutable snapshot.
+//!
+//! Every function returns exactly what its sequential counterpart in
+//! `onion_graph` returns, in a deterministic order independent of the
+//! executor's thread count.
+
+use onion_graph::snapshot::GraphSnapshot;
+use onion_graph::traverse::{Direction, EdgeFilter};
+use onion_graph::{rel, NodeId};
+
+use crate::Executor;
+
+/// Per-source reachable sets (BFS order, source inclusive) — the
+/// parallel counterpart of calling
+/// [`onion_graph::traverse::bfs`] once per source. Results are indexed
+/// like `sources`; a dead source yields an empty set.
+pub fn par_reachable(
+    exec: &Executor,
+    snapshot: &GraphSnapshot,
+    sources: &[NodeId],
+    dir: Direction,
+    filter: &EdgeFilter,
+) -> Vec<Vec<NodeId>> {
+    let rf = snapshot.resolve_filter(filter);
+    let per_chunk = exec.par_chunks(sources, |chunk| {
+        chunk.iter().map(|&s| snapshot.bfs(s, dir, &rf)).collect::<Vec<_>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Per-source descendant sets along `label` edges (all transitive
+/// subclasses under [`rel::SUBCLASS_OF`], for example), sorted by node
+/// id — the parallel counterpart of
+/// [`onion_graph::closure::descendants`] per source.
+pub fn par_descendants(
+    exec: &Executor,
+    snapshot: &GraphSnapshot,
+    sources: &[NodeId],
+    label: &str,
+) -> Vec<Vec<NodeId>> {
+    let filter = EdgeFilter::label(label);
+    let rf = snapshot.resolve_filter(&filter);
+    let per_chunk = exec.par_chunks(sources, |chunk| {
+        chunk
+            .iter()
+            .map(|&s| {
+                // mirror closure::follow exactly: the start is expanded
+                // but not pre-stamped, so it appears in its own result
+                // only when a cycle rediscovers it
+                if !snapshot.is_live_node(s) {
+                    return Vec::new();
+                }
+                let mut visited = vec![false; snapshot.node_capacity()];
+                let mut reached: Vec<NodeId> = Vec::new();
+                let mut frontier: Vec<NodeId> = vec![s];
+                let mut scan = 0;
+                while scan < frontier.len() {
+                    let n = frontier[scan];
+                    scan += 1;
+                    snapshot.for_each_neighbor(n, Direction::Backward, &rf, |m| {
+                        if !visited[m.index()] {
+                            visited[m.index()] = true;
+                            reached.push(m);
+                            frontier.push(m);
+                        }
+                    });
+                }
+                reached.sort_unstable();
+                reached
+            })
+            .collect::<Vec<_>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// All transitive-closure pairs reachable from `sources` under
+/// `filter`, in `(sources order, discovery order)` — the parallel
+/// counterpart of [`onion_graph::closure::transitive_pairs`] restricted
+/// to the given sources. Passing every live node id reproduces the full
+/// closure (as a set; `transitive_pairs` returns its pairs unordered).
+pub fn par_closure_pairs(
+    exec: &Executor,
+    snapshot: &GraphSnapshot,
+    sources: &[NodeId],
+    filter: &EdgeFilter,
+) -> Vec<(NodeId, NodeId)> {
+    let rf = snapshot.resolve_filter(filter);
+    let per_chunk = exec.par_chunks(sources, |chunk| snapshot.closure_pairs_from(chunk, &rf));
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// The default closure workload: full `SubclassOf` transitive pairs.
+pub fn par_subclass_closure(exec: &Executor, snapshot: &GraphSnapshot) -> Vec<(NodeId, NodeId)> {
+    let sources: Vec<NodeId> = snapshot.node_ids().collect();
+    par_closure_pairs(exec, snapshot, &sources, &EdgeFilter::label(rel::SUBCLASS_OF))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_graph::OntGraph;
+
+    fn diamond() -> OntGraph {
+        let mut g = OntGraph::new("t");
+        for (a, b) in [("D", "B"), ("D", "C"), ("B", "A"), ("C", "A")] {
+            g.ensure_edge_by_labels(a, rel::SUBCLASS_OF, b).unwrap();
+        }
+        g.ensure_edge_by_labels("B", "verb0", "C").unwrap();
+        g
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_each_routine() {
+        let g = diamond();
+        let snap = g.snapshot();
+        let sources: Vec<NodeId> = snap.node_ids().collect();
+        let seq = Executor::sequential();
+        let par = Executor::new(4);
+        let filter = EdgeFilter::label(rel::SUBCLASS_OF);
+
+        assert_eq!(
+            par_reachable(&seq, &snap, &sources, Direction::Forward, &filter),
+            par_reachable(&par, &snap, &sources, Direction::Forward, &filter),
+        );
+        assert_eq!(
+            par_descendants(&seq, &snap, &sources, rel::SUBCLASS_OF),
+            par_descendants(&par, &snap, &sources, rel::SUBCLASS_OF),
+        );
+        assert_eq!(
+            par_closure_pairs(&seq, &snap, &sources, &filter),
+            par_closure_pairs(&par, &snap, &sources, &filter),
+        );
+    }
+
+    #[test]
+    fn descendants_match_graph_closure() {
+        let g = diamond();
+        let snap = g.snapshot();
+        let exec = Executor::new(3);
+        let sources: Vec<NodeId> = snap.node_ids().collect();
+        let per_source = par_descendants(&exec, &snap, &sources, rel::SUBCLASS_OF);
+        for (&s, got) in sources.iter().zip(&per_source) {
+            let mut expected: Vec<NodeId> =
+                onion_graph::closure::descendants(&g, s, rel::SUBCLASS_OF).into_iter().collect();
+            expected.sort_unstable();
+            assert_eq!(*got, expected, "source {s:?}");
+        }
+        let a = g.node_by_label("A").unwrap();
+        let idx = sources.iter().position(|&s| s == a).unwrap();
+        assert_eq!(per_source[idx].len(), 3, "A has descendants B, C, D");
+    }
+
+    #[test]
+    fn closure_pairs_match_transitive_pairs_as_a_set() {
+        let g = diamond();
+        let snap = g.snapshot();
+        let exec = Executor::new(2);
+        let sources: Vec<NodeId> = snap.node_ids().collect();
+        let filter = EdgeFilter::All;
+        let mut par: Vec<(NodeId, NodeId)> = par_closure_pairs(&exec, &snap, &sources, &filter);
+        par.sort_unstable();
+        let mut seq: Vec<(NodeId, NodeId)> =
+            onion_graph::closure::transitive_pairs(&g, &filter).into_iter().collect();
+        seq.sort_unstable();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn descendants_include_the_source_only_on_cycles() {
+        // regression: the source must appear in its own descendant set
+        // exactly when a cycle rediscovers it, matching
+        // closure::descendants (a plain retain(n != s) diverged here)
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("A", rel::SUBCLASS_OF, "B").unwrap();
+        g.ensure_edge_by_labels("B", rel::SUBCLASS_OF, "A").unwrap();
+        g.ensure_edge_by_labels("C", rel::SUBCLASS_OF, "A").unwrap();
+        let snap = g.snapshot();
+        let exec = Executor::new(2);
+        let sources: Vec<NodeId> = snap.node_ids().collect();
+        let got = par_descendants(&exec, &snap, &sources, rel::SUBCLASS_OF);
+        for (&s, got_set) in sources.iter().zip(&got) {
+            let mut expected: Vec<NodeId> =
+                onion_graph::closure::descendants(&g, s, rel::SUBCLASS_OF).into_iter().collect();
+            expected.sort_unstable();
+            assert_eq!(got_set, &expected, "source {s:?}");
+        }
+        let a = g.node_by_label("A").unwrap();
+        let idx = sources.iter().position(|&s| s == a).unwrap();
+        assert!(got[idx].contains(&a), "A is on a cycle, so it is its own descendant");
+    }
+
+    #[test]
+    fn dead_sources_yield_empty_sets() {
+        let mut g = diamond();
+        let d = g.node_by_label("D").unwrap();
+        g.delete_node(d).unwrap();
+        let snap = g.snapshot();
+        let exec = Executor::new(2);
+        let out = par_reachable(&exec, &snap, &[d], Direction::Forward, &EdgeFilter::All);
+        assert_eq!(out, vec![Vec::<NodeId>::new()]);
+    }
+}

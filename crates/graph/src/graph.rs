@@ -855,6 +855,30 @@ impl OntGraph {
         (g, map)
     }
 
+    /// In-place arena compaction: drops every tombstoned node and edge
+    /// slot, re-densifying ids. Returns the old-to-new node-id mapping
+    /// for the surviving nodes.
+    ///
+    /// The append-only arenas otherwise grow monotonically under churn
+    /// (`node_capacity`/`edge_capacity` track every slot ever
+    /// allocated, and dense traversal scratch is sized by them), so
+    /// long-lived servers should compact when the tombstone fraction
+    /// gets large — the natural point is right before a
+    /// [`OntGraph::snapshot`] publish, since snapshots inherit the
+    /// capacity. Compaction invalidates outstanding [`NodeId`]s,
+    /// [`EdgeId`]s and [`LabelId`]s (the interner is rebuilt too):
+    /// callers holding ids across a compact must remap through the
+    /// returned table. The label-level shape is unchanged, so an active
+    /// journal records nothing for a compact.
+    pub fn compact(&mut self) -> HashMap<NodeId, NodeId> {
+        let (mut dense, map) = self.compacted();
+        // keep journaling state (compaction itself is a label-level
+        // no-op, so no ops are recorded for it)
+        dense.journal = self.journal.take();
+        *self = dense;
+        map
+    }
+
     /// Structural equality on the `(label, edge-label, label)` level,
     /// ignoring ids, tombstones, names and insertion order.
     ///
@@ -1091,6 +1115,61 @@ mod tests {
         assert_eq!(c.edge_count(), 0);
         assert_eq!(map.len(), 2);
         assert!(c.contains_label("A") && c.contains_label("C"));
+    }
+
+    #[test]
+    fn compact_bounds_arena_growth_under_churn() {
+        // regression (ROADMAP "Churn compaction"): the arenas grow
+        // monotonically under add/delete cycles; periodic compaction
+        // must keep capacity proportional to the live set.
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("Hub", "S", "Root").unwrap();
+        for round in 0..50 {
+            for i in 0..20 {
+                g.ensure_edge_by_labels(&format!("T{round}_{i}"), "S", "Hub").unwrap();
+            }
+            for i in 0..20 {
+                g.delete_node_by_label(&format!("T{round}_{i}")).unwrap();
+            }
+            if round % 10 == 9 {
+                g.compact();
+            }
+        }
+        g.compact();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.node_capacity(), 2, "no tombstone slots survive compact");
+        assert_eq!(g.edge_capacity(), 1);
+        assert!(g.has_edge("Hub", "S", "Root"));
+    }
+
+    #[test]
+    fn compact_returns_remap_and_preserves_shape() {
+        let mut g = abc();
+        g.ensure_edge_by_labels("A", "related", "C").unwrap();
+        g.delete_node_by_label("B").unwrap();
+        let a_old = g.node_by_label("A").unwrap();
+        let map = g.compact();
+        let a_new = g.node_by_label("A").unwrap();
+        assert_eq!(map[&a_old], a_new);
+        assert_eq!(map.len(), 2);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.node_capacity(), 2);
+        assert!(g.has_edge("A", "related", "C"));
+    }
+
+    #[test]
+    fn compact_keeps_journal_running() {
+        let mut g = OntGraph::new("t");
+        g.enable_journal();
+        g.add_node("A").unwrap();
+        let b = g.add_node("B").unwrap();
+        g.delete_node(b).unwrap();
+        g.compact();
+        g.add_node("C").unwrap();
+        let j = g.take_journal();
+        // NA(A), NA(B), ND(B), NA(C) — compaction records nothing
+        assert_eq!(j.len(), 4);
+        assert!(matches!(j[3], GraphOp::NodeAdd { .. }));
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   matching (synonym node labels, relaxed edge labels);
 //! * traversals, reachability, strongly connected components and per-label
 //!   transitive [`closure`];
+//! * snapshot isolation for concurrent readers: [`snapshot::GraphSnapshot`]
+//!   (an immutable, `Send + Sync`, CSR-packed frozen view) and
+//!   [`snapshot::SnapshotStore`] (epoch-swapped current snapshot), the
+//!   substrate `onion-exec` parallelises over;
 //! * interchange formats: a line-oriented [`text`] format, a minimal
 //!   [`xml`] subset, and [`dot`] output for visualisation.
 //!
@@ -46,6 +50,7 @@ pub mod matcher;
 pub mod ops;
 pub mod path;
 pub mod pattern;
+pub mod snapshot;
 pub mod stats;
 pub mod text;
 pub mod traverse;
@@ -57,6 +62,7 @@ pub use label::{Interner, LabelId};
 pub use matcher::{CaseInsensitiveEquiv, ExactEquiv, LabelEquiv, Match, MatchConfig, Matcher};
 pub use ops::GraphOp;
 pub use pattern::{EdgeConstraint, NodeConstraint, Pattern, PatternEdge, PatternNode};
+pub use snapshot::{GraphSnapshot, SnapshotStore};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

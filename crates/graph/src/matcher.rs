@@ -14,9 +14,12 @@
 //! for connected nodes are generated from already-matched neighbours, and
 //! all edges into the matched prefix are verified on assignment.
 
+use std::cell::OnceCell;
 use std::collections::HashMap;
 
 use crate::graph::{NodeId, OntGraph};
+use crate::hash::FxHashMap;
+use crate::label::LabelId;
 use crate::pattern::{EdgeConstraint, NodeConstraint, Pattern};
 use crate::Result;
 
@@ -43,6 +46,32 @@ pub trait LabelEquiv {
     /// that relax matching in any way must leave this `false`.
     fn is_identity(&self) -> bool {
         false
+    }
+
+    /// The normalisation key of a *graph* label for index-accelerated
+    /// seeding, or `None` when this equivalence cannot be keyed.
+    ///
+    /// Contract (with [`LabelEquiv::seed_keys`]): for every pattern
+    /// label `p` and graph label `g` with `node_equiv(p, g)`,
+    /// `seed_key(g)` must be a member of `seed_keys(p)`. The matcher
+    /// then seeds a labeled pattern node from the buckets of an index
+    /// keyed by `seed_key` instead of scanning every node; candidates
+    /// are still verified with `node_equiv`, so an over-approximate key
+    /// set costs time but never correctness — an under-approximate one
+    /// silently drops matches. Implementations must return `Some` from
+    /// both methods or `None` from both.
+    fn seed_key(&self, graph_label: &str) -> Option<String> {
+        let _ = graph_label;
+        None
+    }
+
+    /// Every seed key under which a graph label equivalent to
+    /// `pattern_label` may be indexed (see [`LabelEquiv::seed_key`]).
+    /// The default derives the singleton set from `seed_key`;
+    /// equivalences with enumerable non-trivial classes (synonym sets)
+    /// override this to add the classmates' keys.
+    fn seed_keys(&self, pattern_label: &str) -> Option<Vec<String>> {
+        self.seed_key(pattern_label).map(|k| vec![k])
     }
 }
 
@@ -72,6 +101,10 @@ impl LabelEquiv for CaseInsensitiveEquiv {
 
     fn edge_equiv(&self, p: &str, g: &str) -> bool {
         p.eq_ignore_ascii_case(g)
+    }
+
+    fn seed_key(&self, graph_label: &str) -> Option<String> {
+        Some(graph_label.to_ascii_lowercase())
     }
 }
 
@@ -113,19 +146,24 @@ pub struct Matcher<'g, E: LabelEquiv = ExactEquiv> {
     graph: &'g OntGraph,
     equiv: E,
     config: MatchConfig,
+    /// Lazily built normalised-label seed index (`seed_key(label)` →
+    /// live nodes), shared across every seed of one matcher. `None`
+    /// inside the cell means the equivalence is not keyable and seeding
+    /// falls back to the full scan.
+    seed_index: OnceCell<Option<FxHashMap<String, Vec<NodeId>>>>,
 }
 
 impl<'g> Matcher<'g, ExactEquiv> {
     /// Strict matcher with default config.
     pub fn new(graph: &'g OntGraph) -> Self {
-        Matcher { graph, equiv: ExactEquiv, config: MatchConfig::default() }
+        Matcher::with_equiv(graph, ExactEquiv)
     }
 }
 
 impl<'g, E: LabelEquiv> Matcher<'g, E> {
     /// Matcher with a custom equivalence (e.g. lexicon synonyms).
     pub fn with_equiv(graph: &'g OntGraph, equiv: E) -> Self {
-        Matcher { graph, equiv, config: MatchConfig::default() }
+        Matcher { graph, equiv, config: MatchConfig::default(), seed_index: OnceCell::new() }
     }
 
     /// Replaces the configuration.
@@ -148,8 +186,13 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
         let saved = self.config.max_matches;
         let mut cfg = self.config.clone();
         cfg.max_matches = 1;
-        let m = Matcher { graph: self.graph, equiv: EquivRef(&self.equiv), config: cfg }
-            .find_all_inner(pattern)?;
+        let m = Matcher {
+            graph: self.graph,
+            equiv: EquivRef(&self.equiv),
+            config: cfg,
+            seed_index: OnceCell::new(),
+        }
+        .find_all_inner(pattern)?;
         let _ = saved;
         Ok(m.into_iter().next())
     }
@@ -321,20 +364,35 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
                 return v;
             }
         }
-        // Seed node: use the label index when the equivalence is exact
-        // per-label; otherwise scan.
+        // Seed node: identity equivalences read the exact per-label
+        // index; keyed equivalences (case folding, synonym sets) read
+        // the normalised seed index; only arbitrary `LabelEquiv` impls
+        // pay the full node scan.
         match &pattern.nodes[pi].constraint {
             NodeConstraint::Label(l) => {
-                let exact: Vec<NodeId> = self.graph.nodes_by_label(l).to_vec();
-                // Under a fuzzy equivalence the label index may miss
-                // synonym nodes; always also scan when equiv says a
-                // non-identical label could match. We detect this cheaply
-                // by scanning only if the exact bucket is empty or the
-                // equivalence is non-strict for some other label. To stay
-                // correct for arbitrary `LabelEquiv` impls we scan unless
-                // the exact bucket is provably complete — i.e. we test
-                // every distinct node label once.
-                let mut v = exact;
+                if self.equiv.is_identity() {
+                    let mut v = self.graph.nodes_by_label(l).to_vec();
+                    v.sort_unstable();
+                    return v;
+                }
+                if let Some(keys) = self.equiv.seed_keys(l) {
+                    if let Some(index) = self.seed_index() {
+                        let mut v: Vec<NodeId> = Vec::new();
+                        for k in &keys {
+                            if let Some(bucket) = index.get(k.as_str()) {
+                                v.extend_from_slice(bucket);
+                            }
+                        }
+                        // candidates are re-verified by node_ok, so an
+                        // over-approximate bucket union is harmless
+                        v.sort_unstable();
+                        v.dedup();
+                        return v;
+                    }
+                }
+                // arbitrary equivalence: exact bucket plus a full scan
+                // testing every other label through node_equiv
+                let mut v: Vec<NodeId> = self.graph.nodes_by_label(l).to_vec();
                 for node in self.graph.nodes() {
                     if node.label != l && self.equiv.node_equiv(l, node.label) {
                         v.push(node.id);
@@ -346,6 +404,29 @@ impl<'g, E: LabelEquiv> Matcher<'g, E> {
             }
             NodeConstraint::Any => self.graph.node_ids().collect(),
         }
+    }
+
+    /// The lazily built seed index for keyed equivalences: one
+    /// `seed_key` evaluation per *distinct* node label, one bucket per
+    /// key. `None` when the equivalence is not keyable.
+    fn seed_index(&self) -> Option<&FxHashMap<String, Vec<NodeId>>> {
+        self.seed_index
+            .get_or_init(|| {
+                let mut map: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+                let mut key_of: FxHashMap<LabelId, Option<String>> = FxHashMap::default();
+                for n in self.graph.node_ids() {
+                    let lid = self.graph.node_label_id(n).expect("live node");
+                    let key = key_of
+                        .entry(lid)
+                        .or_insert_with(|| self.equiv.seed_key(self.graph.resolve(lid)));
+                    match key {
+                        Some(k) => map.entry(k.clone()).or_default().push(n),
+                        None => return None,
+                    }
+                }
+                Some(map)
+            })
+            .as_ref()
     }
 
     /// Candidates adjacent to the matched node `og` under an edge
@@ -406,6 +487,12 @@ impl<E: LabelEquiv> LabelEquiv for EquivRef<'_, E> {
     }
     fn is_identity(&self) -> bool {
         self.0.is_identity()
+    }
+    fn seed_key(&self, g: &str) -> Option<String> {
+        self.0.seed_key(g)
+    }
+    fn seed_keys(&self, p: &str) -> Option<Vec<String>> {
+        self.0.seed_keys(p)
     }
 }
 
@@ -614,6 +701,45 @@ mod tests {
         let ms = Matcher::with_equiv(&g, Syn).find_all(&p).unwrap();
         assert_eq!(ms.len(), 1);
         assert_eq!(g.node_label(ms[0].nodes[0]), Some("Car"));
+    }
+
+    /// Keyed synonym equivalence: enumerable classes expose seed keys,
+    /// so seeding goes through the normalised index instead of a scan.
+    struct KeyedSyn;
+    impl LabelEquiv for KeyedSyn {
+        fn node_equiv(&self, p: &str, g: &str) -> bool {
+            let norm = |s: &str| {
+                if s.eq_ignore_ascii_case("automobile") {
+                    "car".to_string()
+                } else {
+                    s.to_ascii_lowercase()
+                }
+            };
+            norm(p) == norm(g)
+        }
+        fn seed_key(&self, g: &str) -> Option<String> {
+            if g.eq_ignore_ascii_case("automobile") {
+                Some("car".into())
+            } else {
+                Some(g.to_ascii_lowercase())
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_equiv_seeds_through_the_index() {
+        let g = sample();
+        let mut p = Pattern::new();
+        let a = p.node("Automobile");
+        let v = p.node("Vehicle");
+        p.edge(a, rel::SUBCLASS_OF, v);
+        let ms = Matcher::with_equiv(&g, KeyedSyn).find_all(&p).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.node_label(ms[0].nodes[0]), Some("Car"));
+        // a key with no bucket yields no candidates (and no scan)
+        let mut p2 = Pattern::new();
+        p2.node("Spaceship");
+        assert!(!Matcher::with_equiv(&g, KeyedSyn).matches(&p2).unwrap());
     }
 
     #[test]

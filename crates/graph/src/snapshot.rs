@@ -1,0 +1,565 @@
+//! Immutable, share-everywhere frozen views of a graph.
+//!
+//! ONION's read traffic (query reformulation, closure, traversal) vastly
+//! outweighs its write traffic (articulation maintenance), so the
+//! concurrency model is snapshot isolation: writers mutate the live
+//! [`OntGraph`] single-threaded as before, and readers run against a
+//! [`GraphSnapshot`] — an immutable CSR-packed copy that is `Send +
+//! Sync` and can be traversed from any number of threads with zero
+//! locking. A [`SnapshotStore`] holds the *current* snapshot behind an
+//! epoch counter and swaps it atomically on [`SnapshotStore::publish`],
+//! so in-flight traversals keep the `Arc` of the epoch they started on
+//! and are never torn by a concurrent mutation.
+//!
+//! Node and edge-label ids are **preserved** from the source graph
+//! ([`NodeId`]s index the same arena slots, [`LabelId`]s the same
+//! interner entries), so results computed on a snapshot are directly
+//! comparable with — and identical to — results computed on the live
+//! graph it was taken from.
+//!
+//! Adjacency is stored twice (out- and in-) in compressed-sparse-row
+//! form with each node's incident list sorted by `(label, neighbour)`:
+//! label-filtered neighbour iteration is a binary-searched slice, full
+//! iteration is a cache-friendly linear scan, and the sort makes every
+//! traversal order deterministic regardless of the mutation history of
+//! the source graph.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::graph::{NodeId, OntGraph};
+use crate::hash::FxHashMap;
+use crate::label::{Interner, LabelId};
+use crate::traverse::{Direction, EdgeFilter, ResolvedFilter};
+
+/// One CSR half (out- or in-edges): `start[n]..start[n + 1]` indexes the
+/// `(label, neighbour)` entries of node `n`, sorted by label then
+/// neighbour id.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    start: Vec<u32>,
+    adj: Vec<(LabelId, NodeId)>,
+}
+
+impl Csr {
+    fn entries(&self, n: NodeId) -> &[(LabelId, NodeId)] {
+        match self.start.get(n.index()..n.index() + 2) {
+            Some(w) => &self.adj[w[0] as usize..w[1] as usize],
+            None => &[],
+        }
+    }
+
+    /// The contiguous `label` run within `n`'s sorted entries.
+    fn labeled(&self, n: NodeId, label: LabelId) -> &[(LabelId, NodeId)] {
+        let all = self.entries(n);
+        let lo = all.partition_point(|&(l, _)| l < label);
+        let hi = lo + all[lo..].partition_point(|&(l, _)| l == label);
+        &all[lo..hi]
+    }
+}
+
+/// An immutable frozen view of an [`OntGraph`] at one epoch.
+///
+/// Cheap to share (`Arc`), safe to traverse from any thread, and
+/// guaranteed not to change under a reader: mutations go to the live
+/// graph and become visible only through the *next* snapshot.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    name: String,
+    epoch: u64,
+    interner: Interner,
+    /// Per arena slot: the node's label, or `None` for tombstones.
+    labels: Vec<Option<LabelId>>,
+    out: Csr,
+    inc: Csr,
+    by_label: FxHashMap<LabelId, Vec<NodeId>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl GraphSnapshot {
+    /// Freezes `g`. Prefer [`OntGraph::snapshot`].
+    pub fn of(g: &OntGraph) -> Self {
+        let cap = g.node_capacity();
+        let mut labels: Vec<Option<LabelId>> = vec![None; cap];
+        let mut by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
+        for n in g.node_ids() {
+            let lid = g.node_label_id(n).expect("live node has a label");
+            labels[n.index()] = Some(lid);
+            by_label.entry(lid).or_default().push(n);
+        }
+        let out = Self::build_csr(g, cap, true);
+        let inc = Self::build_csr(g, cap, false);
+        GraphSnapshot {
+            name: g.name().to_string(),
+            epoch: 0,
+            interner: g.interner().clone(),
+            labels,
+            out,
+            inc,
+            by_label,
+            live_nodes: g.node_count(),
+            live_edges: g.edge_count(),
+        }
+    }
+
+    fn build_csr(g: &OntGraph, cap: usize, out: bool) -> Csr {
+        let degree = |n: NodeId| if out { g.out_degree(n) } else { g.in_degree(n) };
+        let mut start = vec![0u32; cap + 1];
+        for n in g.node_ids() {
+            start[n.index() + 1] = degree(n) as u32;
+        }
+        for i in 0..cap {
+            start[i + 1] += start[i];
+        }
+        let mut adj = vec![(LabelId(0), NodeId(0)); start[cap] as usize];
+        for n in g.node_ids() {
+            let range = start[n.index()] as usize..start[n.index() + 1] as usize;
+            let slot = &mut adj[range];
+            if out {
+                for (dst, (_, lid, other)) in slot.iter_mut().zip(g.out_edge_entries(n)) {
+                    *dst = (lid, other);
+                }
+            } else {
+                for (dst, (_, lid, other)) in slot.iter_mut().zip(g.in_edge_entries(n)) {
+                    *dst = (lid, other);
+                }
+            }
+            slot.sort_unstable();
+        }
+        Csr { start, adj }
+    }
+
+    fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The source graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The store epoch this snapshot was published at (0 for snapshots
+    /// taken directly via [`OntGraph::snapshot`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live nodes at freeze time.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges at freeze time.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Upper bound (exclusive) for [`NodeId::index`], matching the
+    /// source graph's [`OntGraph::node_capacity`] at freeze time.
+    pub fn node_capacity(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Read access to the frozen interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Looks up a label id without interning.
+    pub fn label_id(&self, label: &str) -> Option<LabelId> {
+        self.interner.get(label)
+    }
+
+    /// Resolves an interned label id to its string.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        self.interner.resolve(id)
+    }
+
+    /// True if `id` was a live node at freeze time.
+    pub fn is_live_node(&self, id: NodeId) -> bool {
+        self.labels.get(id.index()).map(|l| l.is_some()).unwrap_or(false)
+    }
+
+    /// The label of a (frozen-live) node.
+    pub fn node_label(&self, id: NodeId) -> Option<&str> {
+        self.node_label_id(id).map(|l| self.interner.resolve(l))
+    }
+
+    /// The interned label id of a (frozen-live) node.
+    pub fn node_label_id(&self, id: NodeId) -> Option<LabelId> {
+        self.labels.get(id.index()).copied().flatten()
+    }
+
+    /// The first live node carrying `label` (lowest id), if any.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        let lid = self.interner.get(label)?;
+        self.by_label.get(&lid).and_then(|v| v.first().copied())
+    }
+
+    /// All live nodes carrying `label`, ascending by id.
+    pub fn nodes_by_label(&self, label: &str) -> &[NodeId] {
+        self.interner
+            .get(label)
+            .and_then(|lid| self.by_label.get(&lid))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates all frozen-live node ids, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.labels.iter().enumerate().filter(|(_, l)| l.is_some()).map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// The out-edges of `n` as sorted `(label, dst)` entries.
+    pub fn out_entries(&self, n: NodeId) -> &[(LabelId, NodeId)] {
+        self.out.entries(n)
+    }
+
+    /// The in-edges of `n` as sorted `(label, src)` entries.
+    pub fn in_entries(&self, n: NodeId) -> &[(LabelId, NodeId)] {
+        self.inc.entries(n)
+    }
+
+    /// Out-neighbours of `n` via `label` edges (binary-searched run).
+    pub fn out_neighbors_by_id(
+        &self,
+        n: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        self.out.labeled(n, label).iter().map(|&(_, m)| m)
+    }
+
+    /// In-neighbours of `n` via `label` edges (binary-searched run).
+    pub fn in_neighbors_by_id(
+        &self,
+        n: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        self.inc.labeled(n, label).iter().map(|&(_, m)| m)
+    }
+
+    /// Resolves an [`EdgeFilter`] against the frozen interner.
+    pub fn resolve_filter(&self, filter: &EdgeFilter) -> ResolvedFilter {
+        match filter {
+            EdgeFilter::All => ResolvedFilter::All,
+            EdgeFilter::Labels(ls) => {
+                ResolvedFilter::Ids(ls.iter().filter_map(|l| self.interner.get(l)).collect())
+            }
+        }
+    }
+
+    /// Visits each admitted neighbour of `n` (the snapshot counterpart
+    /// of the traversal kernel in [`crate::traverse`]).
+    #[inline]
+    pub fn for_each_neighbor(
+        &self,
+        n: NodeId,
+        dir: Direction,
+        filter: &ResolvedFilter,
+        mut f: impl FnMut(NodeId),
+    ) {
+        let fwd = matches!(dir, Direction::Forward | Direction::Both);
+        let bwd = matches!(dir, Direction::Backward | Direction::Both);
+        match filter {
+            ResolvedFilter::All => {
+                if fwd {
+                    for &(_, m) in self.out.entries(n) {
+                        f(m);
+                    }
+                }
+                if bwd {
+                    for &(_, m) in self.inc.entries(n) {
+                        f(m);
+                    }
+                }
+            }
+            ResolvedFilter::Ids(ids) if ids.len() == 1 => {
+                if fwd {
+                    for &(_, m) in self.out.labeled(n, ids[0]) {
+                        f(m);
+                    }
+                }
+                if bwd {
+                    for &(_, m) in self.inc.labeled(n, ids[0]) {
+                        f(m);
+                    }
+                }
+            }
+            ResolvedFilter::Ids(ids) => {
+                if fwd {
+                    for &(lid, m) in self.out.entries(n) {
+                        if ids.contains(&lid) {
+                            f(m);
+                        }
+                    }
+                }
+                if bwd {
+                    for &(lid, m) in self.inc.entries(n) {
+                        if ids.contains(&lid) {
+                            f(m);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Breadth-first order from `start` (inclusive) — deterministic:
+    /// neighbours are visited in sorted `(label, id)` order.
+    pub fn bfs(&self, start: NodeId, dir: Direction, filter: &ResolvedFilter) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        if !self.is_live_node(start) {
+            return order;
+        }
+        let mut visited = vec![false; self.node_capacity()];
+        visited[start.index()] = true;
+        order.push(start);
+        let mut scan = 0;
+        while scan < order.len() {
+            let n = order[scan];
+            scan += 1;
+            self.for_each_neighbor(n, dir, filter, |m| {
+                if !visited[m.index()] {
+                    visited[m.index()] = true;
+                    order.push(m);
+                }
+            });
+        }
+        order
+    }
+
+    /// All pairs `(s, m)` with a non-empty admitted path `s →* m`, for
+    /// every start in `starts`, in `(starts order, discovery order)` —
+    /// the unit of work the parallel executor partitions over. The
+    /// caller provides the per-thread scratch implicitly: each call owns
+    /// its stamp vector.
+    pub fn closure_pairs_from(
+        &self,
+        starts: &[NodeId],
+        filter: &ResolvedFilter,
+    ) -> Vec<(NodeId, NodeId)> {
+        let cap = self.node_capacity();
+        let mut pairs = Vec::new();
+        let mut stamp: Vec<u32> = vec![0; cap];
+        let mut epoch: u32 = 0;
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for &start in starts {
+            if !self.is_live_node(start) {
+                continue;
+            }
+            epoch += 1;
+            frontier.clear();
+            frontier.push(start);
+            let mut scan = 0;
+            // `start` is deliberately not pre-stamped so cycles back to
+            // it are reported, matching `closure::transitive_pairs`
+            while scan < frontier.len() {
+                let n = frontier[scan];
+                scan += 1;
+                self.for_each_neighbor(n, Direction::Forward, filter, |m| {
+                    if stamp[m.index()] != epoch {
+                        stamp[m.index()] = epoch;
+                        pairs.push((start, m));
+                        frontier.push(m);
+                    }
+                });
+            }
+        }
+        pairs
+    }
+}
+
+impl OntGraph {
+    /// Freezes the current state into an immutable, thread-shareable
+    /// [`GraphSnapshot`] (epoch 0; use a [`SnapshotStore`] for epoch
+    /// management).
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot::of(self)
+    }
+}
+
+/// Epoch-swapped holder of the current [`GraphSnapshot`].
+///
+/// Readers call [`SnapshotStore::load`] — a brief lock to clone an
+/// `Arc` — and then traverse entirely lock-free; they keep their epoch
+/// for as long as they hold the `Arc`. Writers mutate the live graph
+/// (which the store does **not** own) and make the result visible with
+/// [`SnapshotStore::publish`]; the snapshot is built *before* the swap
+/// lock is taken, so readers are never blocked by a rebuild.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: Mutex<Arc<GraphSnapshot>>,
+    epoch: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// A store whose epoch-0 snapshot freezes `g`'s current state.
+    pub fn new(g: &OntGraph) -> Self {
+        SnapshotStore { current: Mutex::new(Arc::new(g.snapshot())), epoch: AtomicU64::new(0) }
+    }
+
+    /// The current snapshot. The returned `Arc` stays valid (and
+    /// unchanged) for as long as the caller holds it, regardless of
+    /// later publishes.
+    pub fn load(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot store lock"))
+    }
+
+    /// The epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Freezes `g` and swaps it in as the new current snapshot,
+    /// returning it. Bumps the epoch. The (expensive) freeze happens
+    /// before the lock; the epoch assignment and the swap happen
+    /// together under it, so concurrent publishers are fully serialised
+    /// — the stored epoch sequence is strictly increasing and
+    /// `load().epoch()` always matches the latest publish. Readers only
+    /// ever observe a fully built snapshot.
+    pub fn publish(&self, g: &OntGraph) -> Arc<GraphSnapshot> {
+        let frozen = g.snapshot();
+        let mut current = self.current.lock().expect("snapshot store lock");
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let snap = Arc::new(frozen.with_epoch(epoch));
+        *current = Arc::clone(&snap);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    fn hierarchy() -> OntGraph {
+        let mut g = OntGraph::new("t");
+        for (a, b) in [("SUV", "Car"), ("Car", "Vehicle"), ("Truck", "Vehicle")] {
+            g.ensure_edge_by_labels(a, rel::SUBCLASS_OF, b).unwrap();
+        }
+        g.ensure_edge_by_labels("Price", rel::ATTRIBUTE_OF, "Car").unwrap();
+        g
+    }
+
+    #[test]
+    fn snapshot_mirrors_counts_ids_and_labels() {
+        let g = hierarchy();
+        let s = g.snapshot();
+        assert_eq!(s.node_count(), g.node_count());
+        assert_eq!(s.edge_count(), g.edge_count());
+        assert_eq!(s.node_capacity(), g.node_capacity());
+        for n in g.node_ids() {
+            assert_eq!(s.node_label(n), g.node_label(n));
+            assert_eq!(s.node_label_id(n), g.node_label_id(n));
+        }
+        assert_eq!(s.node_by_label("Car"), g.node_by_label("Car"));
+        assert_eq!(s.nodes_by_label("Car"), g.nodes_by_label("Car"));
+    }
+
+    #[test]
+    fn snapshot_adjacency_agrees_with_graph() {
+        let g = hierarchy();
+        let s = g.snapshot();
+        let sub = g.label_id(rel::SUBCLASS_OF).unwrap();
+        for n in g.node_ids() {
+            let mut from_g: Vec<NodeId> = g.out_neighbors_by_id(n, sub).collect();
+            from_g.sort_unstable();
+            let from_s: Vec<NodeId> = s.out_neighbors_by_id(n, sub).collect();
+            assert_eq!(from_s, from_g);
+            let mut in_g: Vec<NodeId> = g.in_neighbors_by_id(n, sub).collect();
+            in_g.sort_unstable();
+            let in_s: Vec<NodeId> = s.in_neighbors_by_id(n, sub).collect();
+            assert_eq!(in_s, in_g);
+            assert_eq!(s.out_entries(n).len(), g.out_degree(n));
+            assert_eq!(s.in_entries(n).len(), g.in_degree(n));
+        }
+    }
+
+    #[test]
+    fn snapshot_excludes_tombstones() {
+        let mut g = hierarchy();
+        g.delete_node_by_label("Car").unwrap();
+        let s = g.snapshot();
+        assert_eq!(s.node_count(), g.node_count());
+        assert_eq!(s.edge_count(), g.edge_count());
+        assert!(s.node_by_label("Car").is_none());
+        let dead = g.node_capacity(); // capacity spans tombstones too
+        assert_eq!(s.node_capacity(), dead);
+        assert_eq!(s.node_ids().count(), g.node_count());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let mut g = hierarchy();
+        let s = g.snapshot();
+        g.delete_node_by_label("Vehicle").unwrap();
+        g.ensure_edge_by_labels("Bike", rel::SUBCLASS_OF, "Car").unwrap();
+        // the frozen view still sees the original graph
+        assert!(s.node_by_label("Vehicle").is_some());
+        assert!(s.node_by_label("Bike").is_none());
+        let car = s.node_by_label("Car").unwrap();
+        let sub = s.label_id(rel::SUBCLASS_OF).unwrap();
+        let parents: Vec<_> = s.out_neighbors_by_id(car, sub).collect();
+        assert_eq!(parents, vec![s.node_by_label("Vehicle").unwrap()]);
+    }
+
+    #[test]
+    fn bfs_on_snapshot_matches_graph_bfs_as_set() {
+        let g = hierarchy();
+        let s = g.snapshot();
+        let root = g.node_by_label("Vehicle").unwrap();
+        let rf = s.resolve_filter(&EdgeFilter::label(rel::SUBCLASS_OF));
+        let from_s = s.bfs(root, Direction::Backward, &rf);
+        let from_g = crate::traverse::bfs(
+            &g,
+            root,
+            Direction::Backward,
+            &EdgeFilter::label(rel::SUBCLASS_OF),
+        );
+        let mut a = from_s.clone();
+        let mut b = from_g.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(from_s.len(), 4, "Vehicle, Car, Truck, SUV");
+    }
+
+    #[test]
+    fn closure_pairs_match_transitive_pairs() {
+        let g = hierarchy();
+        let s = g.snapshot();
+        let filter = EdgeFilter::label(rel::SUBCLASS_OF);
+        let starts: Vec<NodeId> = s.node_ids().collect();
+        let mut from_s = s.closure_pairs_from(&starts, &s.resolve_filter(&filter));
+        from_s.sort_unstable();
+        let mut from_g: Vec<(NodeId, NodeId)> =
+            crate::closure::transitive_pairs(&g, &filter).into_iter().collect();
+        from_g.sort_unstable();
+        assert_eq!(from_s, from_g);
+    }
+
+    #[test]
+    fn store_epochs_advance_and_old_readers_keep_their_view() {
+        let mut g = hierarchy();
+        let store = SnapshotStore::new(&g);
+        assert_eq!(store.epoch(), 0);
+        let before = store.load();
+        g.ensure_edge_by_labels("Bike", rel::SUBCLASS_OF, "Vehicle").unwrap();
+        let after = store.publish(&g);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(before.epoch(), 0);
+        assert!(before.node_by_label("Bike").is_none(), "old epoch untouched");
+        assert!(after.node_by_label("Bike").is_some());
+        assert_eq!(store.load().epoch(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphSnapshot>();
+        assert_send_sync::<SnapshotStore>();
+    }
+}

@@ -212,6 +212,23 @@ impl LabelEquiv for SynonymEquiv<'_> {
     fn node_equiv(&self, pattern_label: &str, graph_label: &str) -> bool {
         pattern_label == graph_label || self.lexicon.are_synonyms(pattern_label, graph_label)
     }
+
+    /// Graph labels are indexed under their normalised form, which is
+    /// exactly the key [`Lexicon::are_synonyms`] compares through.
+    fn seed_key(&self, graph_label: &str) -> Option<String> {
+        Some(normalize(graph_label))
+    }
+
+    /// A graph label can only be synonymous with the pattern label if
+    /// its normalised form equals the pattern's or appears in one of the
+    /// pattern's synsets — both enumerable, so fuzzy seeding is a few
+    /// index probes instead of a full node scan (ROADMAP "Matcher fuzzy
+    /// path").
+    fn seed_keys(&self, pattern_label: &str) -> Option<Vec<String>> {
+        let mut keys = vec![normalize(pattern_label)];
+        keys.extend(self.lexicon.synonyms_of(pattern_label).into_iter().map(str::to_string));
+        Some(keys)
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +259,39 @@ mod tests {
         let l = Lexicon::new();
         assert!(l.are_synonyms("Trucks", "truck"));
         assert!(!l.are_synonyms("", ""));
+    }
+
+    #[test]
+    fn seed_keys_cover_every_equivalent_label() {
+        // the LabelEquiv seed contract: node_equiv(p, g) implies
+        // seed_key(g) ∈ seed_keys(p), for every pair in a mixed corpus
+        let l = mini();
+        let eq = SynonymEquiv::new(&l);
+        let corpus =
+            ["car", "Automobile", "autos", "vehicle", "Conveyance", "Trucks", "lorry", "Price"];
+        for p in corpus {
+            let keys = eq.seed_keys(p).expect("synonym equivalence is keyable");
+            for g in corpus {
+                if eq.node_equiv(p, g) {
+                    let k = eq.seed_key(g).expect("keyable");
+                    assert!(keys.contains(&k), "{p:?} ~ {g:?} but {k:?} not in {keys:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synonym_seeding_finds_renamed_nodes_through_the_index() {
+        let l = mini();
+        let mut g = onion_graph::OntGraph::new("t");
+        g.ensure_edge_by_labels("Automobile", "SubclassOf", "Conveyance").unwrap();
+        let mut p = onion_graph::Pattern::new();
+        let a = p.node("car");
+        let v = p.node("vehicle");
+        p.edge(a, "SubclassOf", v);
+        let ms = onion_graph::Matcher::with_equiv(&g, SynonymEquiv::new(&l)).find_all(&p).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.node_label(ms[0].nodes[0]), Some("Automobile"));
     }
 
     #[test]

@@ -11,12 +11,37 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use onion_articulate::Articulation;
-use onion_graph::rel;
+use onion_graph::{rel, LabelId, OntGraph};
 use onion_ontology::Ontology;
 use onion_rules::ConversionRegistry;
 
 use crate::ast::{Condition, Query, Value};
 use crate::{QueryError, Result};
+
+/// Interned qualified-term key: `(ontology index, label id)`.
+///
+/// The implication structure used to be keyed by `format!("onto.Term")`
+/// strings, paying an allocation plus a string hash per node per seed
+/// on the reformulation hot path (ROADMAP "String seams remain at
+/// crate boundaries"). Ontology names are now deduplicated into a
+/// `u16` index and terms ride on each ontology's own interner ids;
+/// terms that appear only in bridge text (never as a node of their
+/// graph) get overflow ids above the interner range. Keys are built
+/// once at [`Reformulator::new`] and every query-time lookup is id
+/// hashing only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TermKey {
+    onto: u16,
+    label: u32,
+}
+
+/// Index of the articulation's namespace (always registered first).
+const ART: u16 = 0;
+
+#[inline]
+fn key_of_label(onto: u16, lid: LabelId) -> TermKey {
+    TermKey { onto, label: lid.index() as u32 }
+}
 
 /// A numeric conversion between a source metric space and the
 /// articulation's.
@@ -51,8 +76,16 @@ pub struct Reformulator<'a> {
     articulation: &'a Articulation,
     sources: Vec<&'a Ontology>,
     conversions: &'a ConversionRegistry,
-    /// qualified term -> qualified implied terms (directed)
-    implication: HashMap<String, Vec<String>>,
+    /// Ontology name → namespace index (articulation first).
+    names: HashMap<String, u16>,
+    /// Canonical graph per namespace (`None` for namespaces that only
+    /// occur in bridge text).
+    graphs: Vec<Option<&'a OntGraph>>,
+    /// Per namespace: bridge-only terms → overflow ids (≥ the canonical
+    /// interner's length, so they never collide with real label ids).
+    overflow: Vec<HashMap<String, u32>>,
+    /// term → directly implied terms (directed).
+    implication: HashMap<TermKey, Vec<TermKey>>,
 }
 
 impl<'a> Reformulator<'a> {
@@ -62,56 +95,128 @@ impl<'a> Reformulator<'a> {
         sources: Vec<&'a Ontology>,
         conversions: &'a ConversionRegistry,
     ) -> Self {
-        let mut implication: HashMap<String, Vec<String>> = HashMap::new();
+        let mut r = Reformulator {
+            articulation,
+            sources,
+            conversions,
+            names: HashMap::new(),
+            graphs: Vec::new(),
+            overflow: Vec::new(),
+            implication: HashMap::new(),
+        };
+        let art_g = articulation.ontology.graph();
+        r.add_namespace(articulation.name(), Some(art_g));
+        for o in r.sources.clone() {
+            r.add_namespace(o.name(), Some(o.graph()));
+        }
         for b in &articulation.bridges {
             if b.label == rel::SI_BRIDGE {
-                implication.entry(b.src.to_string()).or_default().push(b.dst.to_string());
+                let s = r.intern_term(b.src.ontology.as_deref().unwrap_or(""), &b.src.name);
+                let d = r.intern_term(b.dst.ontology.as_deref().unwrap_or(""), &b.dst.name);
+                r.implication.entry(s).or_default().push(d);
             }
         }
-        // labels are resolved to interned ids once per graph; the edge
-        // scans below compare ids only
-        let art_g = articulation.ontology.graph();
+        // articulation-internal subclass edges imply, on ids directly
+        // (the articulation graph is its namespace's canonical graph)
         if let Some(sub) = art_g.label_id(rel::SUBCLASS_OF) {
             for (_, src, lid, dst) in art_g.edge_entries() {
                 if lid == sub {
-                    let s =
-                        format!("{}.{}", articulation.name(), art_g.node_label(src).expect("live"));
-                    let d =
-                        format!("{}.{}", articulation.name(), art_g.node_label(dst).expect("live"));
-                    implication.entry(s).or_default().push(d);
+                    let s = key_of_label(ART, art_g.node_label_id(src).expect("live"));
+                    let d = key_of_label(ART, art_g.node_label_id(dst).expect("live"));
+                    r.implication.entry(s).or_default().push(d);
                 }
             }
         }
         // source-local subclass edges also imply (an SUV is a Cars)
-        for o in &sources {
+        for o in r.sources.clone() {
             let g = o.graph();
             let sub = g.label_id(rel::SUBCLASS_OF);
             let inst = g.label_id(rel::INSTANCE_OF);
             if sub.is_none() && inst.is_none() {
                 continue;
             }
+            let idx = r.names[o.name()];
+            let canonical = r.graphs[idx as usize].map(|c| std::ptr::eq(c, g)).unwrap_or(false);
             for (_, src, lid, dst) in g.edge_entries() {
                 if Some(lid) == sub || Some(lid) == inst {
-                    let s = format!("{}.{}", o.name(), g.node_label(src).expect("live"));
-                    let d = format!("{}.{}", o.name(), g.node_label(dst).expect("live"));
-                    implication.entry(s).or_default().push(d);
+                    let (s, d) = if canonical {
+                        (
+                            key_of_label(idx, g.node_label_id(src).expect("live")),
+                            key_of_label(idx, g.node_label_id(dst).expect("live")),
+                        )
+                    } else {
+                        // a sibling graph shares this namespace's name:
+                        // translate through strings into the canonical space
+                        (
+                            r.intern_term(o.name(), g.node_label(src).expect("live")),
+                            r.intern_term(o.name(), g.node_label(dst).expect("live")),
+                        )
+                    };
+                    r.implication.entry(s).or_default().push(d);
                 }
             }
         }
-        Reformulator { articulation, sources, conversions, implication }
+        r
+    }
+
+    /// Registers a namespace; the first registration of a name wins and
+    /// provides the canonical graph.
+    fn add_namespace(&mut self, name: &str, graph: Option<&'a OntGraph>) -> u16 {
+        if let Some(&i) = self.names.get(name) {
+            return i;
+        }
+        let i = self.graphs.len() as u16;
+        self.names.insert(name.to_string(), i);
+        self.graphs.push(graph);
+        self.overflow.push(HashMap::new());
+        i
+    }
+
+    /// Build-time interning of a possibly graph-less term.
+    fn intern_term(&mut self, onto: &str, term: &str) -> TermKey {
+        let idx = self.add_namespace(onto, None);
+        if let Some(g) = self.graphs[idx as usize] {
+            if let Some(lid) = g.label_id(term) {
+                return key_of_label(idx, lid);
+            }
+        }
+        let base = self.graphs[idx as usize].map(|g| g.interner().len() as u32).unwrap_or(0);
+        let ov = &mut self.overflow[idx as usize];
+        let next = base + ov.len() as u32;
+        let label = *ov.entry(term.to_string()).or_insert(next);
+        TermKey { onto: idx, label }
+    }
+
+    /// Query-time (read-only) key lookup.
+    fn lookup_term(&self, idx: u16, term: &str) -> Option<TermKey> {
+        if let Some(g) = self.graphs[idx as usize] {
+            if let Some(lid) = g.label_id(term) {
+                return Some(key_of_label(idx, lid));
+            }
+        }
+        self.overflow[idx as usize].get(term).map(|&label| TermKey { onto: idx, label })
+    }
+
+    /// Key of a node's label: the fast path reuses the graph's own
+    /// label id when the graph is its namespace's canonical graph.
+    fn node_key(&self, idx: u16, g: &OntGraph, lid: LabelId) -> Option<TermKey> {
+        match self.graphs[idx as usize] {
+            Some(canon) if std::ptr::eq(canon, g) => Some(key_of_label(idx, lid)),
+            _ => self.lookup_term(idx, g.resolve(lid)),
+        }
     }
 
     /// Does a directed implication path lead from `from` to `to`?
-    fn implies(&self, from: &str, to: &str) -> bool {
+    fn implies(&self, from: TermKey, to: TermKey) -> bool {
         if from == to {
             return true;
         }
-        let mut seen: HashSet<&str> = HashSet::new();
-        let mut q: VecDeque<&str> = VecDeque::new();
+        let mut seen: HashSet<TermKey> = HashSet::new();
+        let mut q: VecDeque<TermKey> = VecDeque::new();
         q.push_back(from);
         while let Some(cur) = q.pop_front() {
-            if let Some(nexts) = self.implication.get(cur) {
-                for n in nexts {
+            if let Some(nexts) = self.implication.get(&cur) {
+                for &n in nexts {
                     if n == to {
                         return true;
                     }
@@ -124,41 +229,44 @@ impl<'a> Reformulator<'a> {
         false
     }
 
-    /// Local classes of `source` whose instances belong to the
-    /// articulation class `class`.
-    pub fn local_classes(&self, source: &Ontology, class: &str) -> Vec<String> {
-        let target = format!("{}.{}", self.articulation.name(), class);
-        let mut out: Vec<String> = source
-            .graph()
-            .nodes()
-            .filter(|n| {
-                let q = format!("{}.{}", source.name(), n.label);
-                self.implies(&q, &target)
+    /// Source labels whose term implies `target` — the shared kernel of
+    /// [`Reformulator::local_classes`] and [`Reformulator::local_attr`],
+    /// allocation-free per candidate node.
+    fn implying_labels(&self, source: &Ontology, target: TermKey) -> Vec<String> {
+        let Some(&idx) = self.names.get(source.name()) else { return Vec::new() };
+        let g = source.graph();
+        let mut out: Vec<String> = g
+            .node_ids()
+            .filter_map(|n| {
+                let lid = g.node_label_id(n)?;
+                match self.node_key(idx, g, lid) {
+                    Some(key) if self.implies(key, target) => Some(g.resolve(lid).to_string()),
+                    _ => None,
+                }
             })
-            .map(|n| n.label.to_string())
             .collect();
         out.sort();
         out
+    }
+
+    /// Local classes of `source` whose instances belong to the
+    /// articulation class `class`.
+    pub fn local_classes(&self, source: &Ontology, class: &str) -> Vec<String> {
+        match self.lookup_term(ART, class) {
+            Some(target) => self.implying_labels(source, target),
+            None => Vec::new(),
+        }
     }
 
     /// The local attribute of `source` corresponding to the articulation
     /// attribute `attr`: a local attribute term that implies (or is
     /// label-identical to) `transport.attr`.
     pub fn local_attr(&self, source: &Ontology, attr: &str) -> Option<String> {
-        let target = format!("{}.{}", self.articulation.name(), attr);
         // prefer an explicit bridge
-        let mut bridged: Vec<String> = source
-            .graph()
-            .nodes()
-            .filter(|n| {
-                let q = format!("{}.{}", source.name(), n.label);
-                self.implies(&q, &target)
-            })
-            .map(|n| n.label.to_string())
-            .collect();
-        bridged.sort();
-        if let Some(b) = bridged.into_iter().next() {
-            return Some(b);
+        if let Some(target) = self.lookup_term(ART, attr) {
+            if let Some(b) = self.implying_labels(source, target).into_iter().next() {
+                return Some(b);
+            }
         }
         // fall back to identical labels (the common case: both call it Price)
         if source.defines(attr) {

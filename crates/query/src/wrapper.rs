@@ -1,7 +1,7 @@
 //! Source wrappers (Fig. 1: "Wrapper" boxes between the query engine
 //! and the knowledge bases).
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::ast::Condition;
 use crate::kb::{Instance, KnowledgeBase};
@@ -19,22 +19,23 @@ pub trait Wrapper {
 
 /// Wrapper over an in-memory [`KnowledgeBase`], counting calls so tests
 /// and benches can observe plan behaviour (e.g. that pruned sources are
-/// never consulted).
+/// never consulted). The counter is atomic so wrappers stay `Sync` and
+/// `onion-exec` can fan query batches over them from several threads.
 #[derive(Debug)]
 pub struct InMemoryWrapper {
     kb: KnowledgeBase,
-    calls: Cell<usize>,
+    calls: AtomicUsize,
 }
 
 impl InMemoryWrapper {
     /// Wraps a knowledge base.
     pub fn new(kb: KnowledgeBase) -> Self {
-        InMemoryWrapper { kb, calls: Cell::new(0) }
+        InMemoryWrapper { kb, calls: AtomicUsize::new(0) }
     }
 
     /// How many fetches have been served.
     pub fn calls(&self) -> usize {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// Read access to the underlying KB.
@@ -49,7 +50,7 @@ impl Wrapper for InMemoryWrapper {
     }
 
     fn fetch(&self, classes: &[String], conditions: &[Condition]) -> Result<Vec<Instance>> {
-        self.calls.set(self.calls.get() + 1);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         Ok(self.kb.query(classes, conditions).into_iter().cloned().collect())
     }
 }

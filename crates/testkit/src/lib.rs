@@ -25,4 +25,4 @@ pub use baseline::GlobalMerge;
 pub use gen::{generate_dag, generate_graph, generate_ontology, GraphSpec, OntologySpec};
 pub use metrics::{precision_recall, PrMetrics};
 pub use overlap::{overlap_pair, OverlapPair, OverlapSpec};
-pub use workload::{random_queries, update_stream, UpdateSpec};
+pub use workload::{closure_sources, random_queries, update_stream, UpdateSpec};

@@ -1,0 +1,264 @@
+//! Properties of the `onion-exec` parallel execution subsystem:
+//!
+//! * parallel closure/traversal/batch results are **identical** to the
+//!   sequential path on testkit DAGs and random graphs, at every thread
+//!   count;
+//! * snapshot isolation holds: a traversal running against a snapshot
+//!   observes exactly the epoch it started on, no matter how the live
+//!   graph is mutated (and republished) meanwhile.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use onion_core::exec::{par_closure_pairs, par_descendants, par_reachable, Executor};
+use onion_core::graph::closure::{descendants, transitive_pairs};
+use onion_core::graph::rel;
+use onion_core::graph::snapshot::SnapshotStore;
+use onion_core::graph::traverse::{bfs, Direction, EdgeFilter};
+use onion_core::prelude::*;
+use onion_core::testkit::{closure_sources, generate_dag, generate_graph, GraphSpec};
+
+fn small_graph(seed: u64) -> OntGraph {
+    generate_graph(&GraphSpec::sized(seed, 120, 500))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Parallel per-source reachability equals a per-source sequential
+    /// BFS on the live graph, as ordered sequences, for 1/2/4 threads.
+    #[test]
+    fn par_reachable_matches_graph_bfs(seed in 0u64..24, nsrc in 1usize..24) {
+        let g = small_graph(seed);
+        let snap = g.snapshot();
+        let sources = closure_sources(&g, nsrc, seed ^ 0x5eed);
+        let expected_sets: Vec<Vec<NodeId>> = sources
+            .iter()
+            .map(|&s| {
+                let mut v = bfs(&g, s, Direction::Forward, &EdgeFilter::All);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new(threads);
+            let got = par_reachable(&exec, &snap, &sources, Direction::Forward, &EdgeFilter::All);
+            let got_sorted: Vec<Vec<NodeId>> = got
+                .iter()
+                .map(|v| { let mut v = v.clone(); v.sort_unstable(); v })
+                .collect();
+            prop_assert_eq!(&got_sorted, &expected_sets, "threads={}", threads);
+        }
+    }
+
+    /// Parallel descendants equal `closure::descendants` per source on
+    /// random DAGs.
+    #[test]
+    fn par_descendants_matches_closure(seed in 0u64..24, extra in 0usize..100) {
+        let g = generate_dag(seed, 80, extra);
+        let snap = g.snapshot();
+        let sources: Vec<NodeId> = g.node_ids().collect();
+        let exec = Executor::new(4);
+        let got = par_descendants(&exec, &snap, &sources, rel::SUBCLASS_OF);
+        for (&s, got_set) in sources.iter().zip(&got) {
+            let mut expected: Vec<NodeId> =
+                descendants(&g, s, rel::SUBCLASS_OF).into_iter().collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got_set, &expected);
+        }
+    }
+
+    /// Full-source parallel closure pairs equal
+    /// `closure::transitive_pairs` as a set, and the parallel order is
+    /// itself identical to the sequential executor's order.
+    #[test]
+    fn par_closure_pairs_matches_transitive_pairs(seed in 0u64..24) {
+        let g = small_graph(seed);
+        let snap = g.snapshot();
+        let sources: Vec<NodeId> = snap.node_ids().collect();
+        let filter = EdgeFilter::label(rel::SUBCLASS_OF);
+        let seq = par_closure_pairs(&Executor::sequential(), &snap, &sources, &filter);
+        for threads in [2usize, 4] {
+            let par = par_closure_pairs(&Executor::new(threads), &snap, &sources, &filter);
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+        let mut as_set = seq.clone();
+        as_set.sort_unstable();
+        as_set.dedup();
+        let mut expected: Vec<(NodeId, NodeId)> =
+            transitive_pairs(&g, &filter).into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(as_set, expected);
+    }
+
+    /// A snapshot taken before an arbitrary mutation burst keeps
+    /// answering exactly like the pre-mutation graph.
+    #[test]
+    fn snapshot_survives_mutation_burst(seed in 0u64..24, kills in 1usize..40) {
+        let mut g = small_graph(seed);
+        let store = SnapshotStore::new(&g);
+        let frozen = store.load();
+        let sources = closure_sources(&g, 8, seed);
+        let before = par_reachable(
+            &Executor::sequential(), &frozen, &sources, Direction::Forward, &EdgeFilter::All);
+        // mutate: delete nodes, add nodes and edges, publish a new epoch
+        let victims: Vec<NodeId> = g.node_ids().take(kills).collect();
+        for v in victims {
+            g.delete_node(v).unwrap();
+        }
+        for i in 0..10 {
+            g.ensure_edge_by_labels(&format!("Fresh{i}"), rel::SUBCLASS_OF, "Fresh0").unwrap();
+        }
+        store.publish(&g);
+        // the old Arc still answers from its epoch
+        let after = par_reachable(
+            &Executor::new(4), &frozen, &sources, Direction::Forward, &EdgeFilter::All);
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(frozen.epoch(), 0);
+        prop_assert_eq!(store.load().epoch(), 1);
+    }
+}
+
+/// Snapshot isolation under real concurrency: worker threads traverse
+/// one epoch while the main thread mutates the live graph and
+/// publishes new epochs. Every traversal must agree with the
+/// pre-computed answer for its epoch.
+#[test]
+fn concurrent_readers_see_only_their_epoch() {
+    let mut g = small_graph(7);
+    let store = SnapshotStore::new(&g);
+    let snap0: Arc<_> = store.load();
+    let sources = closure_sources(&g, 16, 99);
+    let exec = Executor::new(4);
+    let expected0 = par_reachable(
+        &Executor::sequential(),
+        &snap0,
+        &sources,
+        Direction::Forward,
+        &EdgeFilter::All,
+    );
+
+    // run the epoch-0 traversal on the pool while this thread mutates
+    // the live graph and publishes; the spawned traversal holds the
+    // epoch-0 Arc the whole time
+    let snap_ref = Arc::clone(&snap0);
+    let sources_ref = &sources;
+    let exec_ref = &exec;
+    let mut results: Vec<Option<Vec<Vec<NodeId>>>> = vec![None; 4];
+    exec.pool().scope(|s| {
+        for slot in results.chunks_mut(1) {
+            let snap = Arc::clone(&snap_ref);
+            s.spawn(move |_| {
+                slot[0] = Some(par_reachable(
+                    exec_ref,
+                    &snap,
+                    sources_ref,
+                    Direction::Forward,
+                    &EdgeFilter::All,
+                ));
+            });
+        }
+        // writer: heavy churn + publishes while readers run
+        for round in 0..5 {
+            let victims: Vec<NodeId> = g.node_ids().skip(round * 3).take(3).collect();
+            for v in victims {
+                g.delete_node(v).unwrap();
+            }
+            g.ensure_edge_by_labels(&format!("W{round}"), rel::SUBCLASS_OF, "C0").unwrap();
+            store.publish(&g);
+        }
+    });
+    for r in results {
+        assert_eq!(r.expect("spawned traversal ran"), expected0, "epoch-0 reader was torn");
+    }
+    assert_eq!(store.epoch(), 5);
+    // new readers see the new epoch
+    let now = store.load();
+    assert_eq!(now.epoch(), 5);
+    assert!(now.node_by_label("W4").is_some());
+    assert!(snap0.node_by_label("W4").is_none());
+}
+
+/// `compact()` composes with the snapshot layer: publishing after a
+/// compact serves the dense arena, while pre-compact snapshots keep the
+/// old (sparse) id space — each answers consistently for itself.
+#[test]
+fn compact_then_publish_keeps_old_snapshots_coherent() {
+    let mut g = small_graph(3);
+    let store = SnapshotStore::new(&g);
+    let sparse = store.load();
+    let sparse_labels: Vec<String> =
+        sparse.node_ids().filter_map(|n| sparse.node_label(n).map(str::to_string)).collect();
+    let victims: Vec<NodeId> = g.node_ids().take(40).collect();
+    for v in victims {
+        g.delete_node(v).unwrap();
+    }
+    let cap_before = g.node_capacity();
+    g.compact();
+    assert!(g.node_capacity() < cap_before);
+    let dense = store.publish(&g);
+    assert_eq!(dense.node_capacity(), g.node_capacity());
+    // the old snapshot still resolves its own (pre-compact) ids
+    let again: Vec<String> =
+        sparse.node_ids().filter_map(|n| sparse.node_label(n).map(str::to_string)).collect();
+    assert_eq!(sparse_labels, again);
+    // and label-level content of the dense snapshot matches the live graph
+    let mut live: Vec<&str> = g.nodes().map(|n| n.label).collect();
+    let mut frozen: Vec<&str> = dense.node_ids().filter_map(|n| dense.node_label(n)).collect();
+    live.sort_unstable();
+    frozen.sort_unstable();
+    assert_eq!(live, frozen);
+}
+
+/// Batch query execution through the facade: parallel `run_batch`
+/// equals per-query sequential execution on a generated two-source
+/// system (end-to-end, through reformulation and conversion).
+#[test]
+fn run_batch_equals_sequential_on_generated_sources() {
+    use onion_core::testkit::{overlap_pair, random_queries, OverlapSpec};
+
+    let pair = overlap_pair(&OverlapSpec {
+        seed: 5,
+        concepts: 120,
+        overlap: 0.3,
+        rename_prob: 0.5,
+        max_children: 5,
+    });
+    let mut rules = RuleSet::new();
+    for (l, r) in &pair.truth {
+        let (lo, ln) = l.split_once('.').unwrap();
+        let (ro, rn) = r.split_once('.').unwrap();
+        rules
+            .push(ArticulationRule::term_implies(Term::qualified(lo, ln), Term::qualified(ro, rn)));
+    }
+    let art = ArticulationGenerator::new().generate(&rules, &[&pair.left, &pair.right]).unwrap();
+    let queries = random_queries(&art, "Price", 24, 11);
+
+    let mut system = onion_core::OnionSystem::new(pair.lexicon.clone());
+    system.add_source(pair.left.clone());
+    system.add_source(pair.right.clone());
+    system.set_articulation(art);
+    let mut lkb = KnowledgeBase::new("left");
+    let mut rkb = KnowledgeBase::new("right");
+    for (kb, onto) in [(&mut lkb, &pair.left), (&mut rkb, &pair.right)] {
+        let classes: Vec<String> = onto.graph().nodes().map(|x| x.label.to_string()).collect();
+        for i in 0..200 {
+            let class = &classes[i % classes.len()];
+            kb.add(
+                Instance::new(&format!("{}_{i}", kb.name()), class)
+                    .with("Price", Value::Num(((i * 37) % 50_000) as f64)),
+            );
+        }
+    }
+    system.add_knowledge_base(lkb);
+    system.add_knowledge_base(rkb);
+
+    let sequential: Vec<ResultSet> = queries.iter().map(|q| system.run_query(q).unwrap()).collect();
+    for threads in [1usize, 2, 4] {
+        let exec = Executor::new(threads);
+        let batch = system.run_batch(&exec, &queries);
+        let got: Vec<ResultSet> = batch.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, sequential, "threads={threads}");
+    }
+}
