@@ -26,6 +26,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use onion_articulate::Articulation;
+use onion_graph::hash::{FxHashMap, FxHashSet};
 use onion_graph::rel;
 use onion_graph::traverse::{reachable_from_all, Direction, EdgeFilter};
 use onion_graph::{NodeId, OntGraph};
@@ -54,47 +55,114 @@ impl DifferenceReport {
     }
 }
 
+/// Interned qualified-term key: `(namespace index, label id)` — the
+/// same `(onto-idx, label-id)` scheme as `onion_query::reformulate`.
+/// The implication walk used to be keyed by `format!("onto.Term")`
+/// strings, paying an allocation plus a string hash per edge; keys are
+/// now built once and every BFS step is id hashing only. Terms that
+/// appear only in bridge text (never as a node of their namespace's
+/// graph) get overflow ids above the interner range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TermKey {
+    onto: u16,
+    label: u32,
+}
+
+/// Namespace registry backing [`TermKey`]s for one difference run.
+struct TermSpace<'a> {
+    names: Vec<String>,
+    graphs: Vec<Option<&'a OntGraph>>,
+    overflow: Vec<HashMap<String, u32>>,
+}
+
+impl<'a> TermSpace<'a> {
+    fn new() -> Self {
+        TermSpace { names: Vec::new(), graphs: Vec::new(), overflow: Vec::new() }
+    }
+
+    /// Registers a namespace; the first registration of a name wins and
+    /// provides the canonical graph. Unqualified terms use `""`.
+    fn namespace(&mut self, name: &str, graph: Option<&'a OntGraph>) -> u16 {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        self.names.push(name.to_string());
+        self.graphs.push(graph);
+        self.overflow.push(HashMap::new());
+        (self.names.len() - 1) as u16
+    }
+
+    /// Build-time interning of a possibly graph-less term.
+    fn intern(&mut self, onto: &str, term: &str) -> TermKey {
+        let idx = self.namespace(onto, None);
+        self.intern_in(idx, term)
+    }
+
+    fn intern_in(&mut self, idx: u16, term: &str) -> TermKey {
+        if let Some(g) = self.graphs[idx as usize] {
+            if let Some(lid) = g.label_id(term) {
+                return TermKey { onto: idx, label: lid.index() as u32 };
+            }
+        }
+        let base = self.graphs[idx as usize].map(|g| g.interner().len() as u32).unwrap_or(0);
+        let ov = &mut self.overflow[idx as usize];
+        let next = base + ov.len() as u32;
+        let label = *ov.entry(term.to_string()).or_insert(next);
+        TermKey { onto: idx, label }
+    }
+}
+
 /// Terms of `of` with a **directed** implication path (through bridges
 /// and articulation-internal `SubclassOf` edges) into `other`.
-fn determined_terms(art: &Articulation, of: &str, other: &str) -> HashSet<String> {
-    // directed adjacency over qualified terms
-    let mut adj: HashMap<String, Vec<String>> = HashMap::new();
-    for b in &art.bridges {
-        adj.entry(b.src.to_string()).or_default().push(b.dst.to_string());
-    }
+fn determined_terms(art: &Articulation, of: &Ontology, other: &Ontology) -> HashSet<String> {
     let art_g = art.ontology.graph();
-    // resolve the subclass label once; compare interned ids per edge
+    let mut space = TermSpace::new();
+    let art_idx = space.namespace(art.name(), Some(art_g));
+    let of_idx = space.namespace(of.name(), Some(of.graph()));
+    let other_idx = space.namespace(other.name(), Some(other.graph()));
+    // directed adjacency over interned term keys
+    let mut adj: FxHashMap<TermKey, Vec<TermKey>> = FxHashMap::default();
+    for b in &art.bridges {
+        let s = space.intern(b.src.ontology.as_deref().unwrap_or(""), &b.src.name);
+        let d = space.intern(b.dst.ontology.as_deref().unwrap_or(""), &b.dst.name);
+        adj.entry(s).or_default().push(d);
+    }
+    // articulation-internal subclass edges imply, on label ids directly
     if let Some(sub) = art_g.label_id(rel::SUBCLASS_OF) {
         for (_, src, lid, dst) in art_g.edge_entries() {
             if lid == sub {
-                let s = format!("{}.{}", art.name(), art_g.node_label(src).expect("live"));
-                let d = format!("{}.{}", art.name(), art_g.node_label(dst).expect("live"));
+                let s = TermKey {
+                    onto: art_idx,
+                    label: art_g.node_label_id(src).expect("live").index() as u32,
+                };
+                let d = TermKey {
+                    onto: art_idx,
+                    label: art_g.node_label_id(dst).expect("live").index() as u32,
+                };
                 adj.entry(s).or_default().push(d);
             }
         }
     }
-    let other_prefix = format!("{other}.");
-    let of_prefix = format!("{of}.");
     let mut determined = HashSet::new();
-    for start in art.bridged_terms(of) {
-        let start_q = format!("{of_prefix}{start}");
-        let mut seen: HashSet<&str> = HashSet::new();
-        let mut q: VecDeque<&str> = VecDeque::new();
-        if let Some(first) = adj.get_key_value(start_q.as_str()) {
-            seen.insert(first.0);
-            q.push_back(first.0);
+    let mut seen: FxHashSet<TermKey> = FxHashSet::default();
+    let mut q: VecDeque<TermKey> = VecDeque::new();
+    for start in art.bridged_terms(of.name()) {
+        let start_key = space.intern_in(of_idx, start);
+        seen.clear();
+        q.clear();
+        if adj.contains_key(&start_key) {
+            seen.insert(start_key);
+            q.push_back(start_key);
         }
         'bfs: while let Some(cur) = q.pop_front() {
-            if let Some(nexts) = adj.get(cur) {
-                for n in nexts {
-                    if n.starts_with(&other_prefix) {
+            if let Some(nexts) = adj.get(&cur) {
+                for &n in nexts {
+                    if n.onto == other_idx {
                         determined.insert(start.to_string());
                         break 'bfs;
                     }
-                    if let Some((k, _)) = adj.get_key_value(n.as_str()) {
-                        if seen.insert(k) {
-                            q.push_back(k);
-                        }
+                    if adj.contains_key(&n) && seen.insert(n) {
+                        q.push_back(n);
                     }
                 }
             }
@@ -110,7 +178,7 @@ pub fn difference(
     articulation: &Articulation,
 ) -> Result<(OntGraph, DifferenceReport)> {
     let g = o1.graph();
-    let determined = determined_terms(articulation, o1.name(), o2.name());
+    let determined = determined_terms(articulation, o1, o2);
     let det_nodes: Vec<NodeId> = determined.iter().filter_map(|l| g.node_by_label(l)).collect();
 
     // condition 2: anything with a directed semantic path *to* a

@@ -30,7 +30,8 @@
 
 use std::collections::HashSet;
 
-use onion_graph::rel;
+use onion_graph::hash::FxHashSet;
+use onion_graph::{rel, LabelId};
 use onion_ontology::Ontology;
 use onion_rules::horn::{lower_rules, HornProgram};
 use onion_rules::infer::{FactBase, InferenceEngine};
@@ -397,9 +398,17 @@ impl ArticulationGenerator {
     /// §4.2 structure inheritance: articulation nodes anchored (by any
     /// bridge) to source terms inherit the `SubclassOf` relationships of
     /// those terms.
+    ///
+    /// Anchored terms are keyed `(source index, label id)` — the same
+    /// `(onto-idx, label-id)` scheme as `onion_query::reformulate` — so
+    /// the quadratic anchor×anchor membership loop hashes two `u32`s
+    /// per probe instead of building and hashing `"onto.Term"` strings
+    /// (ROADMAP "Remaining string seams"). A bridge term absent from
+    /// its source graph cannot appear in that graph's subclass closure,
+    /// so it anchors nothing, exactly as the string path behaved.
     fn inherit_structure(&self, art: &mut Articulation, sources: &[&Ontology]) -> Result<()> {
-        // art label -> anchored (ontology, term) pairs
-        let mut anchors: Vec<(String, String, String)> = Vec::new(); // (art label, onto, term)
+        // art label -> anchored (source index, term label-id) pairs
+        let mut anchors: Vec<(String, u16, LabelId)> = Vec::new();
         let art_name = art.name().to_string();
         for b in &art.bridges {
             if b.label != rel::SI_BRIDGE {
@@ -412,48 +421,50 @@ impl ArticulationGenerator {
             } else {
                 continue;
             };
-            if let Some(o) = src_end.ontology.as_deref() {
-                if o != art_name {
-                    anchors.push((art_end.name.clone(), o.to_string(), src_end.name.clone()));
-                }
+            let Some(o) = src_end.ontology.as_deref().filter(|o| *o != art_name) else {
+                continue;
+            };
+            let Some(idx) = sources.iter().position(|s| s.name() == o) else { continue };
+            // a term with no node in its source graph has no label id and
+            // no subclass relationships to inherit
+            if let Some(lid) = sources[idx].graph().label_id(&src_end.name) {
+                anchors.push((art_end.name.clone(), idx as u16, lid));
             }
         }
-        // Precompute each referenced source's subclass closure once;
-        // anchors are then checked by set membership instead of per-pair
-        // BFS (this loop is quadratic in anchors and dominated the B5
-        // union numbers before).
-        let mut closures: std::collections::HashMap<&str, HashSet<(String, String)>> =
-            std::collections::HashMap::new();
-        for (_, onto, _) in &anchors {
-            let onto = onto.as_str();
-            if closures.contains_key(onto) {
+        // Precompute each referenced source's subclass closure once (as
+        // label-id pairs); anchors are then checked by set membership
+        // instead of per-pair BFS (this loop is quadratic in anchors and
+        // dominated the B5 union numbers before).
+        let mut closures: Vec<Option<FxHashSet<(u32, u32)>>> = vec![None; sources.len()];
+        for &(_, idx, _) in &anchors {
+            let slot = &mut closures[idx as usize];
+            if slot.is_some() {
                 continue;
             }
-            let Some(src) = self.find_source(sources, onto) else { continue };
-            let g = src.graph();
+            let g = sources[idx as usize].graph();
             let pairs = onion_graph::closure::transitive_pairs(
                 g,
                 &onion_graph::traverse::EdgeFilter::label(rel::SUBCLASS_OF),
             );
-            let set: HashSet<(String, String)> = pairs
+            let set: FxHashSet<(u32, u32)> = pairs
                 .into_iter()
                 .map(|(a, b)| {
                     (
-                        g.node_label(a).expect("live").to_string(),
-                        g.node_label(b).expect("live").to_string(),
+                        g.node_label_id(a).expect("live").index() as u32,
+                        g.node_label_id(b).expect("live").index() as u32,
                     )
                 })
                 .collect();
-            closures.insert(src.name(), set);
+            *slot = Some(set);
         }
         let mut new_edges: Vec<(String, String)> = Vec::new();
         for (xl, xo, xt) in &anchors {
-            let Some(closure) = closures.get(xo.as_str()) else { continue };
+            let Some(closure) = closures[*xo as usize].as_ref() else { continue };
             for (yl, yo, yt) in &anchors {
                 if xl == yl || xo != yo || xt == yt {
                     continue;
                 }
-                if closure.contains(&(xt.clone(), yt.clone())) {
+                if closure.contains(&(xt.index() as u32, yt.index() as u32)) {
                     new_edges.push((xl.clone(), yl.clone()));
                 }
             }

@@ -1,0 +1,27 @@
+//! B11 — incremental snapshot publish vs dirty-shard fraction on the
+//! testkit 10k-node / 50k-edge tier frozen at 64 shards. Each
+//! iteration is one dirty-then-publish cycle (the content-neutral
+//! dirtying edits are microseconds; the publish dominates). The
+//! `b11_incremental_publish` section `experiments --json` records in
+//! `BENCH_onion.json` times the publish alone and asserts the exact
+//! rebuild accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_bench::publish::B11Fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b11_incremental_publish");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let mut fx = B11Fixture::new();
+    for dirty in [1usize, 16, 64] {
+        group.bench_function(format!("publish_dirty_{dirty}_of_64"), |b| {
+            b.iter(|| std::hint::black_box(fx.publish_dirty(dirty)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

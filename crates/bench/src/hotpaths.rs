@@ -21,6 +21,10 @@ pub struct BenchResult {
     pub name: &'static str,
     /// Median wall time over `reps` runs, in microseconds.
     pub median_us: f64,
+    /// Fastest repetition, µs.
+    pub min_us: f64,
+    /// Slowest repetition, µs.
+    pub max_us: f64,
     /// Number of timed repetitions.
     pub reps: usize,
     /// A checksum of the routine's output, so the work cannot be
@@ -29,7 +33,20 @@ pub struct BenchResult {
     pub checksum: u64,
 }
 
-fn median_us(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+impl BenchResult {
+    /// Run-to-run spread: slowest over fastest repetition. The
+    /// `--compare` regression thresholds are calibrated against the
+    /// spreads recorded in the committed baseline (see `experiments`).
+    pub fn spread(&self) -> f64 {
+        if self.min_us > 0.0 {
+            self.max_us / self.min_us
+        } else {
+            1.0
+        }
+    }
+}
+
+fn median_us(reps: usize, mut f: impl FnMut() -> u64) -> (f64, f64, f64, u64) {
     let mut samples = Vec::with_capacity(reps);
     let mut checksum = 0u64;
     for _ in 0..reps.max(1) {
@@ -38,7 +55,7 @@ fn median_us(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
         samples.push(t.elapsed().as_secs_f64() * 1e6);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (samples[samples.len() / 2], checksum)
+    (samples[samples.len() / 2], samples[0], samples[samples.len() - 1], checksum)
 }
 
 /// The standard tier every result in `BENCH_onion.json` is measured on.
@@ -125,8 +142,8 @@ pub fn run_all() -> Vec<BenchResult> {
     routines(&fx)
         .into_iter()
         .map(|(name, reps, f)| {
-            let (m, checksum) = median_us(reps, || f());
-            BenchResult { name, median_us: m, reps, checksum }
+            let (m, min, max, checksum) = median_us(reps, || f());
+            BenchResult { name, median_us: m, min_us: min, max_us: max, reps, checksum }
         })
         .collect()
 }

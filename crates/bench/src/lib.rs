@@ -10,6 +10,7 @@ use onion_core::testkit::{overlap_pair, OverlapPair, OverlapSpec};
 
 pub mod hotpaths;
 pub mod parallel;
+pub mod publish;
 
 /// Median wall time (µs) of `reps` runs of `f` — the one in-process
 /// timing helper shared by the experiment tables, the B10 runner, and

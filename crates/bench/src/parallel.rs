@@ -1,7 +1,7 @@
 //! B10 — parallel batch throughput over a snapshot (`onion-exec`).
 //!
 //! Two workloads, each measured at 1/2/4/`available_parallelism`
-//! threads on a shared immutable [`GraphSnapshot`]:
+//! threads on a shared immutable [`ShardedSnapshot`]:
 //!
 //! * **closure batch** — multi-source reachability (256 seeded sources,
 //!   forward, all edges) over the testkit 10k-node / 50k-edge tier:
@@ -18,7 +18,7 @@
 //! `available_parallelism` is part of the emitted record.
 
 use onion_core::exec::{par_reachable, result_checksum, Executor, Fnv};
-use onion_core::graph::snapshot::GraphSnapshot;
+use onion_core::graph::snapshot::ShardedSnapshot;
 use onion_core::graph::traverse::{Direction, EdgeFilter};
 use onion_core::graph::NodeId;
 use onion_core::prelude::*;
@@ -87,7 +87,7 @@ pub fn thread_counts() -> Vec<usize> {
 /// articulated two-source system with a query batch.
 pub struct ParallelFixture {
     /// Frozen tier graph.
-    pub snapshot: GraphSnapshot,
+    pub snapshot: ShardedSnapshot,
     /// Seeded closure sources.
     pub sources: Vec<NodeId>,
     system: onion_core::OnionSystem,

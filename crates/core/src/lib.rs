@@ -57,7 +57,7 @@ pub mod prelude {
     pub use onion_exec::Executor;
     pub use onion_graph::{
         rel, EdgeId, GraphOp, GraphSnapshot, LabelEquiv, MatchConfig, Matcher, NodeId, OntGraph,
-        Pattern, SnapshotStore,
+        Pattern, PublishStats, ShardedSnapshot, SnapshotStore,
     };
     pub use onion_lexicon::{builtin::transport_lexicon, Lexicon};
     pub use onion_ontology::{examples, Ontology, OntologyBuilder};

@@ -1,12 +1,13 @@
 //! [`OnionSystem`]: the assembled architecture of the paper's Fig. 1.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use onion_articulate::{
     Articulation, ArticulationEngine, ArticulationGenerator, EngineConfig, EngineReport, Expert,
     MatcherPipeline,
 };
-use onion_graph::OntGraph;
+use onion_graph::{OntGraph, PublishStats, ShardedSnapshot, SnapshotStore};
 use onion_lexicon::Lexicon;
 use onion_ontology::Ontology;
 use onion_query::{InMemoryWrapper, KnowledgeBase, Query, ResultSet, Wrapper};
@@ -57,6 +58,12 @@ pub struct OnionSystem {
     rules: RuleSet,
     articulation: Option<Articulation>,
     engine_config: EngineConfig,
+    /// Snapshot shard count applied to every loaded source graph.
+    shard_count: usize,
+    /// Per-source snapshot stores, created on first publish. Readers
+    /// load from these mutex-free; publishes are incremental
+    /// (dirty shards only).
+    stores: BTreeMap<String, SnapshotStore>,
 }
 
 impl OnionSystem {
@@ -70,6 +77,8 @@ impl OnionSystem {
             rules: RuleSet::new(),
             articulation: None,
             engine_config: EngineConfig::default(),
+            shard_count: onion_graph::DEFAULT_SHARD_COUNT,
+            stores: BTreeMap::new(),
         }
     }
 
@@ -94,8 +103,10 @@ impl OnionSystem {
     // data layer
     // ------------------------------------------------------------------
 
-    /// Loads a source ontology.
-    pub fn add_source(&mut self, ontology: Ontology) {
+    /// Loads a source ontology (its graph adopts the system's snapshot
+    /// shard count).
+    pub fn add_source(&mut self, mut ontology: Ontology) {
+        ontology.graph_mut().set_shard_count(self.shard_count);
         self.sources.insert(ontology.name().to_string(), ontology);
     }
 
@@ -117,6 +128,46 @@ impl OnionSystem {
     /// Mutable access to a loaded source (to apply updates).
     pub fn source_mut(&mut self, name: &str) -> Option<&mut Ontology> {
         self.sources.get_mut(name)
+    }
+
+    // ------------------------------------------------------------------
+    // snapshots: shard configuration + incremental publish
+    // ------------------------------------------------------------------
+
+    /// The snapshot shard count applied to loaded source graphs.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Reconfigures the snapshot shard count (min 1) for every loaded
+    /// source graph and for sources loaded later. Published snapshots
+    /// keep serving their old layout until the next
+    /// [`OnionSystem::publish_source`], which does a full rebuild.
+    pub fn set_shard_count(&mut self, count: usize) {
+        self.shard_count = count.max(1);
+        for ontology in self.sources.values_mut() {
+            ontology.graph_mut().set_shard_count(self.shard_count);
+        }
+    }
+
+    /// Publishes the current state of a source's graph into its
+    /// snapshot store, creating the store on first use. The publish is
+    /// **incremental**: only shards dirtied since the previous publish
+    /// are rebuilt (see [`PublishStats`]); the rest are shared
+    /// structurally with the previous epoch.
+    pub fn publish_source(&mut self, name: &str) -> Result<(Arc<ShardedSnapshot>, PublishStats)> {
+        let ontology =
+            self.sources.get(name).ok_or_else(|| SystemError::UnknownSource(name.to_string()))?;
+        let g = ontology.graph();
+        let store = self.stores.entry(name.to_string()).or_insert_with(|| SnapshotStore::new(g));
+        Ok(store.publish_stats(g))
+    }
+
+    /// The latest published snapshot of a source — a mutex-free load;
+    /// `None` until the first [`OnionSystem::publish_source`]. Safe to
+    /// call from any thread while another publishes.
+    pub fn source_snapshot(&self, name: &str) -> Option<Arc<ShardedSnapshot>> {
+        self.stores.get(name).map(SnapshotStore::load)
     }
 
     /// Adds expert articulation rules in the textual syntax.
@@ -394,6 +445,41 @@ mod tests {
         assert_sync::<OnionSystem>();
         assert_send::<OnionSystem>();
         assert_send::<SystemError>();
+    }
+
+    #[test]
+    fn publish_source_is_incremental_and_loads_are_live() {
+        let mut s = loaded();
+        s.set_shard_count(4);
+        assert_eq!(s.shard_count(), 4);
+        assert!(s.source_snapshot("carrier").is_none(), "no store before first publish");
+        let (snap0, stats0) = s.publish_source("carrier").unwrap();
+        assert_eq!(stats0.epoch, 1);
+        let shard_count = snap0.shard_count();
+        assert_eq!(shard_count, 4);
+        // a single same-shard mutation dirties exactly one shard
+        let g = s.source_mut("carrier").unwrap().graph_mut();
+        let n = g.node_ids().next().unwrap();
+        g.add_edge(n, "b11probe", n).unwrap();
+        let (snap1, stats1) = s.publish_source("carrier").unwrap();
+        assert_eq!(stats1.rebuilt, 1, "self-loop touches one shard");
+        assert_eq!(stats1.reused, 3);
+        assert_eq!(snap1.epoch(), 2);
+        assert_eq!(s.source_snapshot("carrier").unwrap().epoch(), 2);
+        // the old epoch is untouched
+        assert_eq!(snap0.edge_count() + 1, snap1.edge_count());
+        assert!(matches!(s.publish_source("nope"), Err(SystemError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn shard_count_change_applies_to_loaded_sources() {
+        let mut s = loaded();
+        s.set_shard_count(2);
+        assert_eq!(s.source("carrier").unwrap().graph().shard_count(), 2);
+        let mut late = onion_ontology::examples::carrier().into_graph();
+        late.set_name("late");
+        s.add_source(Ontology::from_graph(late).unwrap());
+        assert_eq!(s.source("late").unwrap().graph().shard_count(), 2);
     }
 
     #[test]

@@ -1,40 +1,94 @@
 //! Parallel multi-source traversal and transitive closure over a
-//! [`GraphSnapshot`].
+//! [`ShardedSnapshot`].
 //!
-//! All routines partition their *sources* across the pool
-//! (source-partitioned rather than frontier-partitioned: per-source
-//! BFSs are independent, need no synchronisation, and reassemble
-//! deterministically — the right trade-off for ONION's workload of many
-//! medium-sized traversals; frontier-splitting single giant traversals
-//! is a future refinement). Each chunk owns its scratch (visited
-//! stamps), so the only shared state is the immutable snapshot.
+//! Two fan-out shapes, both deterministic and byte-identical to the
+//! sequential path:
+//!
+//! * **shard-parallel source batches** — `par_reachable`,
+//!   `par_descendants` and `par_closure_pairs` group their sources by
+//!   the snapshot shard that owns them and fan the groups (split
+//!   further for load balance) across the pool. Each job's roots share
+//!   one shard, so the shard's CSR slices stay cache-hot while the
+//!   traversal itself is free to cross shard boundaries through the
+//!   mirrored edges. Per-job scratch (visited stamps) is private;
+//!   results are scattered back into input-order slots, so the output
+//!   is identical to the sequential executor's at every thread *and*
+//!   shard count.
+//! * **frontier-splitting** — [`par_frontier_bfs`] parallelises one
+//!   giant single-root traversal: each BFS level's frontier is chunked
+//!   across the pool (reading the visited set of completed levels only)
+//!   and the per-chunk discoveries are merged sequentially in frontier
+//!   order, which reproduces the queue-based [`ShardedSnapshot::bfs`]
+//!   order exactly.
 //!
 //! Every function returns exactly what its sequential counterpart in
 //! `onion_graph` returns, in a deterministic order independent of the
-//! executor's thread count.
+//! executor's thread count and the snapshot's shard count.
 
-use onion_graph::snapshot::GraphSnapshot;
+use onion_graph::snapshot::ShardedSnapshot;
 use onion_graph::traverse::{Direction, EdgeFilter};
 use onion_graph::{rel, NodeId};
 
 use crate::Executor;
 
+/// Sources grouped by owning shard, each group split into chunks sized
+/// for the executor, every entry keeping its input position. The
+/// partition is pure bookkeeping: per-source results do not depend on
+/// it, so scattering by position restores the sequential output.
+fn shard_chunks(
+    exec: &Executor,
+    snapshot: &ShardedSnapshot,
+    sources: &[NodeId],
+) -> Vec<Vec<(u32, NodeId)>> {
+    let mut groups: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); snapshot.shard_count()];
+    for (i, &s) in sources.iter().enumerate() {
+        groups[snapshot.shard_of(s)].push((i as u32, s));
+    }
+    let target = sources.len().div_ceil(exec.threads() * 4).max(1);
+    let mut chunks = Vec::new();
+    for group in groups {
+        for chunk in group.chunks(target) {
+            chunks.push(chunk.to_vec());
+        }
+    }
+    chunks
+}
+
+/// Runs `kernel` over every `(input position, source)` chunk on the
+/// pool and scatters the per-source results back into input order.
+fn run_sharded<R: Send + Clone + Default>(
+    exec: &Executor,
+    snapshot: &ShardedSnapshot,
+    sources: &[NodeId],
+    kernel: impl Fn(&[(u32, NodeId)]) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let chunks = shard_chunks(exec, snapshot, sources);
+    let per_chunk = exec.par_map(&chunks, |chunk| kernel(chunk));
+    let mut out: Vec<R> = vec![R::default(); sources.len()];
+    for (chunk, results) in chunks.iter().zip(per_chunk) {
+        for (&(i, _), r) in chunk.iter().zip(results) {
+            out[i as usize] = r;
+        }
+    }
+    out
+}
+
 /// Per-source reachable sets (BFS order, source inclusive) — the
 /// parallel counterpart of calling
-/// [`onion_graph::traverse::bfs`] once per source. Results are indexed
-/// like `sources`; a dead source yields an empty set.
+/// [`onion_graph::traverse::bfs`] once per source, fanned out
+/// shard-parallel. Results are indexed like `sources`; a dead source
+/// yields an empty set.
 pub fn par_reachable(
     exec: &Executor,
-    snapshot: &GraphSnapshot,
+    snapshot: &ShardedSnapshot,
     sources: &[NodeId],
     dir: Direction,
     filter: &EdgeFilter,
 ) -> Vec<Vec<NodeId>> {
     let rf = snapshot.resolve_filter(filter);
-    let per_chunk = exec.par_chunks(sources, |chunk| {
-        chunk.iter().map(|&s| snapshot.bfs(s, dir, &rf)).collect::<Vec<_>>()
-    });
-    per_chunk.into_iter().flatten().collect()
+    run_sharded(exec, snapshot, sources, |chunk| {
+        chunk.iter().map(|&(_, s)| snapshot.bfs(s, dir, &rf)).collect()
+    })
 }
 
 /// Per-source descendant sets along `label` edges (all transitive
@@ -43,16 +97,16 @@ pub fn par_reachable(
 /// [`onion_graph::closure::descendants`] per source.
 pub fn par_descendants(
     exec: &Executor,
-    snapshot: &GraphSnapshot,
+    snapshot: &ShardedSnapshot,
     sources: &[NodeId],
     label: &str,
 ) -> Vec<Vec<NodeId>> {
     let filter = EdgeFilter::label(label);
     let rf = snapshot.resolve_filter(&filter);
-    let per_chunk = exec.par_chunks(sources, |chunk| {
+    run_sharded(exec, snapshot, sources, |chunk| {
         chunk
             .iter()
-            .map(|&s| {
+            .map(|&(_, s)| {
                 // mirror closure::follow exactly: the start is expanded
                 // but not pre-stamped, so it appears in its own result
                 // only when a cycle rediscovers it
@@ -77,9 +131,8 @@ pub fn par_descendants(
                 reached.sort_unstable();
                 reached
             })
-            .collect::<Vec<_>>()
-    });
-    per_chunk.into_iter().flatten().collect()
+            .collect()
+    })
 }
 
 /// All transitive-closure pairs reachable from `sources` under
@@ -89,19 +142,77 @@ pub fn par_descendants(
 /// closure (as a set; `transitive_pairs` returns its pairs unordered).
 pub fn par_closure_pairs(
     exec: &Executor,
-    snapshot: &GraphSnapshot,
+    snapshot: &ShardedSnapshot,
     sources: &[NodeId],
     filter: &EdgeFilter,
 ) -> Vec<(NodeId, NodeId)> {
     let rf = snapshot.resolve_filter(filter);
-    let per_chunk = exec.par_chunks(sources, |chunk| snapshot.closure_pairs_from(chunk, &rf));
-    per_chunk.into_iter().flatten().collect()
+    let per_source = run_sharded(exec, snapshot, sources, |chunk| {
+        // one stamp vector per chunk, shared across its sources
+        let starts: Vec<NodeId> = chunk.iter().map(|&(_, s)| s).collect();
+        snapshot.closure_runs_from(&starts, &rf)
+    });
+    per_source.into_iter().flatten().collect()
 }
 
 /// The default closure workload: full `SubclassOf` transitive pairs.
-pub fn par_subclass_closure(exec: &Executor, snapshot: &GraphSnapshot) -> Vec<(NodeId, NodeId)> {
+pub fn par_subclass_closure(exec: &Executor, snapshot: &ShardedSnapshot) -> Vec<(NodeId, NodeId)> {
     let sources: Vec<NodeId> = snapshot.node_ids().collect();
     par_closure_pairs(exec, snapshot, &sources, &EdgeFilter::label(rel::SUBCLASS_OF))
+}
+
+/// Frontier-splitting parallel BFS from one root — the complement of
+/// the source-partitioned routines for single giant traversals (e.g.
+/// whole-graph reachability from one node), where there is only one
+/// source to partition.
+///
+/// Level-synchronous: each level's frontier is chunked across the pool;
+/// workers read the visited set of *completed* levels only and emit
+/// candidate discoveries, which are then merged sequentially in
+/// frontier order. First-seen-wins in that merge reproduces the exact
+/// discovery order of the sequential queue BFS, so the returned order
+/// is byte-identical to [`ShardedSnapshot::bfs`] at every thread and
+/// shard count. The traversal crosses shard boundaries freely via the
+/// mirrored edge entries.
+pub fn par_frontier_bfs(
+    exec: &Executor,
+    snapshot: &ShardedSnapshot,
+    start: NodeId,
+    dir: Direction,
+    filter: &EdgeFilter,
+) -> Vec<NodeId> {
+    let rf = snapshot.resolve_filter(filter);
+    if !snapshot.is_live_node(start) {
+        return Vec::new();
+    }
+    let mut visited = vec![false; snapshot.node_capacity()];
+    visited[start.index()] = true;
+    let mut order = vec![start];
+    let mut frontier = vec![start];
+    while !frontier.is_empty() {
+        let seen = &visited; // read-only during the parallel phase
+        let per_chunk = exec.par_chunks(&frontier, |chunk| {
+            let mut found = Vec::new();
+            for &n in chunk {
+                snapshot.for_each_neighbor(n, dir, &rf, |m| {
+                    if !seen[m.index()] {
+                        found.push(m);
+                    }
+                });
+            }
+            found
+        });
+        let mut next = Vec::new();
+        for m in per_chunk.into_iter().flatten() {
+            if !visited[m.index()] {
+                visited[m.index()] = true;
+                order.push(m);
+                next.push(m);
+            }
+        }
+        frontier = next;
+    }
+    order
 }
 
 #[cfg(test)]
@@ -139,6 +250,32 @@ mod tests {
             par_closure_pairs(&seq, &snap, &sources, &filter),
             par_closure_pairs(&par, &snap, &sources, &filter),
         );
+    }
+
+    #[test]
+    fn shard_count_does_not_change_any_result() {
+        let mut g = diamond();
+        g.set_shard_count(1);
+        let mono = g.snapshot();
+        let sources: Vec<NodeId> = mono.node_ids().collect();
+        let exec = Executor::new(4);
+        let filter = EdgeFilter::All;
+        let want_reach = par_reachable(&exec, &mono, &sources, Direction::Forward, &filter);
+        let want_pairs = par_closure_pairs(&exec, &mono, &sources, &filter);
+        for count in [2usize, 7, 64] {
+            g.set_shard_count(count);
+            let snap = g.snapshot();
+            assert_eq!(
+                par_reachable(&exec, &snap, &sources, Direction::Forward, &filter),
+                want_reach,
+                "shards={count}"
+            );
+            assert_eq!(
+                par_closure_pairs(&exec, &snap, &sources, &filter),
+                want_pairs,
+                "shards={count}"
+            );
+        }
     }
 
     #[test]
@@ -207,5 +344,52 @@ mod tests {
         let exec = Executor::new(2);
         let out = par_reachable(&exec, &snap, &[d], Direction::Forward, &EdgeFilter::All);
         assert_eq!(out, vec![Vec::<NodeId>::new()]);
+    }
+
+    #[test]
+    fn duplicate_sources_are_answered_per_occurrence() {
+        let g = diamond();
+        let snap = g.snapshot();
+        let exec = Executor::new(3);
+        let d = g.node_by_label("D").unwrap();
+        let a = g.node_by_label("A").unwrap();
+        let sources = vec![d, a, d, d];
+        let got = par_reachable(&exec, &snap, &sources, Direction::Forward, &EdgeFilter::All);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], got[2]);
+        assert_eq!(got[0], got[3]);
+        let pairs = par_closure_pairs(&exec, &snap, &sources, &EdgeFilter::All);
+        let seq = par_closure_pairs(&Executor::sequential(), &snap, &sources, &EdgeFilter::All);
+        assert_eq!(pairs, seq);
+    }
+
+    #[test]
+    fn frontier_bfs_matches_sequential_bfs_exactly() {
+        let mut g = diamond();
+        for count in [1usize, 2, 7, 64] {
+            g.set_shard_count(count);
+            let snap = g.snapshot();
+            let rf = snap.resolve_filter(&EdgeFilter::All);
+            for root in snap.node_ids().collect::<Vec<_>>() {
+                for dir in [Direction::Forward, Direction::Backward, Direction::Both] {
+                    let want = snap.bfs(root, dir, &rf);
+                    for threads in [1usize, 2, 4] {
+                        let exec = Executor::new(threads);
+                        let got = par_frontier_bfs(&exec, &snap, root, dir, &EdgeFilter::All);
+                        assert_eq!(got, want, "shards={count} threads={threads} root={root:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_bfs_from_dead_root_is_empty() {
+        let mut g = diamond();
+        let d = g.node_by_label("D").unwrap();
+        g.delete_node(d).unwrap();
+        let snap = g.snapshot();
+        let exec = Executor::new(2);
+        assert!(par_frontier_bfs(&exec, &snap, d, Direction::Forward, &EdgeFilter::All).is_empty());
     }
 }

@@ -5,14 +5,17 @@
 //!
 //! * `onion-graph` owns the data: the live [`OntGraph`](onion_graph::OntGraph)
 //!   (single-writer) and its immutable, `Send + Sync`
-//!   [`GraphSnapshot`]s, epoch-swapped through a
-//!   [`SnapshotStore`](onion_graph::SnapshotStore);
+//!   [`ShardedSnapshot`]s, published incrementally (dirty shards only)
+//!   through a [`SnapshotStore`](onion_graph::SnapshotStore) whose
+//!   `load` is mutex-free;
 //! * the vendored `rayon` stand-in (`crates/compat/rayon`) owns the
 //!   threads: a persistent scoped pool;
 //! * this crate owns the *batching*: an [`Executor`] that fans work —
-//!   generic closures, multi-source transitive closure, reformulated
-//!   query batches — across the pool, over one snapshot, with results
-//!   **identical to the sequential path** (same values, same order).
+//!   generic closures, multi-source transitive closure (grouped by the
+//!   snapshot shard owning each source), single-root frontier-split
+//!   BFS, reformulated query batches — across the pool, over one
+//!   snapshot, with results **identical to the sequential path** (same
+//!   values, same order).
 //!
 //! Determinism is load-bearing, not cosmetic: every parallel routine
 //! here partitions its input, computes per-partition results with
@@ -41,9 +44,11 @@
 
 pub mod closure;
 
-pub use closure::{par_closure_pairs, par_descendants, par_reachable, par_subclass_closure};
+pub use closure::{
+    par_closure_pairs, par_descendants, par_frontier_bfs, par_reachable, par_subclass_closure,
+};
 
-use onion_graph::GraphSnapshot;
+use onion_graph::ShardedSnapshot;
 
 /// A handle for running batches in parallel over immutable data.
 ///
@@ -169,7 +174,7 @@ impl Fnv {
 /// Checksum of per-source traversal results (FNV-1a over node ids in
 /// order) — used by the benches to assert byte-identical outputs across
 /// thread counts.
-pub fn result_checksum(snapshot: &GraphSnapshot, results: &[Vec<onion_graph::NodeId>]) -> u64 {
+pub fn result_checksum(snapshot: &ShardedSnapshot, results: &[Vec<onion_graph::NodeId>]) -> u64 {
     let mut h = Fnv::new();
     h.mix(snapshot.node_count() as u64);
     for set in results {

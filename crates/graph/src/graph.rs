@@ -30,12 +30,23 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::edge_index::EdgeIndex;
 use crate::error::GraphError;
 use crate::hash::FxHashMap;
 use crate::label::{Interner, LabelId};
 use crate::ops::GraphOp;
 use crate::Result;
+
+/// Default number of snapshot shards a fresh graph is configured with
+/// (see [`OntGraph::set_shard_count`] and [`crate::snapshot`]).
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// Source of unique graph identities ([`OntGraph::graph_id`]): shard
+/// versions are only comparable within one identity, so every
+/// constructed (or cloned) graph gets a fresh id.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Stable identifier of a node within one [`OntGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -193,7 +204,7 @@ pub struct EdgeRef<'g> {
 ///
 /// Edges are *set*-semantics: at most one edge per `(src, label, dst)`
 /// triple, matching the paper's definition of `E` as a set.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OntGraph {
     name: String,
     interner: Interner,
@@ -201,12 +212,49 @@ pub struct OntGraph {
     edges: Vec<EdgeData>,
     by_label: FxHashMap<LabelId, Vec<NodeId>>,
     /// `(src, label, dst) → id` for every live edge (`E` is a set, so
-    /// the mapping is injective).
-    edge_index: FxHashMap<(NodeId, LabelId, NodeId), EdgeId>,
+    /// the mapping is injective). Open-addressed with inline keys so a
+    /// point probe touches one cache line (see [`crate::edge_index`]).
+    edge_index: EdgeIndex,
     unique_labels: bool,
     live_nodes: usize,
     live_edges: usize,
     journal: Option<Vec<GraphOp>>,
+    /// Unique identity for shard-version comparison (fresh per
+    /// construction *and* per clone — clones diverge independently).
+    graph_id: u64,
+    /// Snapshot shard count; node `n` belongs to shard `n.index() %
+    /// shard_count` (stable under arena growth).
+    shard_count: usize,
+    /// Per-shard modification stamps, drawn from `version_clock` so a
+    /// stamp value never repeats within one graph identity.
+    shard_versions: Vec<u64>,
+    version_clock: u64,
+}
+
+impl Clone for OntGraph {
+    /// Clones content and journal state, but under a **fresh graph
+    /// identity**: the clone's shard versions are not comparable with
+    /// snapshots of the original (the two graphs mutate independently
+    /// from the moment of the clone), so an incremental publish against
+    /// a store fed by the other graph falls back to a full rebuild.
+    fn clone(&self) -> Self {
+        OntGraph {
+            name: self.name.clone(),
+            interner: self.interner.clone(),
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            by_label: self.by_label.clone(),
+            edge_index: self.edge_index.clone(),
+            unique_labels: self.unique_labels,
+            live_nodes: self.live_nodes,
+            live_edges: self.live_edges,
+            journal: self.journal.clone(),
+            graph_id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
+            shard_count: self.shard_count,
+            shard_versions: self.shard_versions.clone(),
+            version_clock: self.version_clock,
+        }
+    }
 }
 
 impl OntGraph {
@@ -228,12 +276,69 @@ impl OntGraph {
             nodes: Vec::new(),
             edges: Vec::new(),
             by_label: FxHashMap::default(),
-            edge_index: FxHashMap::default(),
+            edge_index: EdgeIndex::default(),
             unique_labels,
             live_nodes: 0,
             live_edges: 0,
             journal: None,
+            graph_id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
+            shard_count: DEFAULT_SHARD_COUNT,
+            shard_versions: vec![0; DEFAULT_SHARD_COUNT],
+            version_clock: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot sharding configuration and dirty-shard tracking
+    // ------------------------------------------------------------------
+
+    /// The graph's unique identity. Shard versions are comparable only
+    /// between a graph and snapshots taken from the *same* identity;
+    /// clones and compacted graphs get fresh ids.
+    pub fn graph_id(&self) -> u64 {
+        self.graph_id
+    }
+
+    /// Number of snapshot shards (see [`crate::snapshot`]).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard owning node `n`: `n.index() % shard_count`. Stable
+    /// under arena growth — allocating new nodes never moves existing
+    /// nodes between shards.
+    #[inline]
+    pub fn shard_of(&self, n: NodeId) -> usize {
+        n.index() % self.shard_count
+    }
+
+    /// The modification stamp of shard `s` (monotone per graph
+    /// identity; bumped by every primitive touching a node the shard
+    /// owns). [`crate::SnapshotStore::publish`] rebuilds exactly the
+    /// shards whose stamp differs from the previous snapshot's.
+    pub fn shard_version(&self, s: usize) -> u64 {
+        self.shard_versions.get(s).copied().unwrap_or(0)
+    }
+
+    /// Reconfigures the shard count (min 1). All shards are freshly
+    /// stamped, so the next publish is a full rebuild.
+    pub fn set_shard_count(&mut self, count: usize) {
+        let count = count.max(1);
+        self.shard_count = count;
+        self.shard_versions = (0..count)
+            .map(|_| {
+                self.version_clock += 1;
+                self.version_clock
+            })
+            .collect();
+    }
+
+    /// Marks the shard owning `n` as modified.
+    #[inline]
+    fn touch_shard(&mut self, n: NodeId) {
+        self.version_clock += 1;
+        let s = n.index() % self.shard_count;
+        self.shard_versions[s] = self.version_clock;
     }
 
     /// The graph's name (the ontology name, e.g. `"carrier"`).
@@ -367,6 +472,7 @@ impl OntGraph {
         });
         self.by_label.entry(lid).or_default().push(id);
         self.live_nodes += 1;
+        self.touch_shard(id);
         self.record(|_| GraphOp::node_add(label));
         Ok(id)
     }
@@ -418,6 +524,7 @@ impl OntGraph {
             }
         }
         self.live_nodes -= 1;
+        self.touch_shard(id);
         self.record(|_| GraphOp::node_delete(label.clone()));
         Ok(())
     }
@@ -449,7 +556,7 @@ impl OntGraph {
             return Err(GraphError::NodeNotFound(format!("{dst:?}")));
         }
         let lid = self.interner.intern(label);
-        if self.edge_index.contains_key(&(src, lid, dst)) {
+        if self.edge_index.contains(src, lid, dst) {
             return Err(GraphError::DuplicateEdge(format!(
                 "({}, {label}, {})",
                 self.node_label(src).unwrap_or("?"),
@@ -462,8 +569,11 @@ impl OntGraph {
         self.nodes[src.index()].out_by_label.push(lid, id, dst);
         self.nodes[dst.index()].inc.push((id, lid, src));
         self.nodes[dst.index()].inc_by_label.push(lid, id, src);
-        self.edge_index.insert((src, lid, dst), id);
+        self.edge_index.insert(src, lid, dst, id);
         self.live_edges += 1;
+        debug_assert_eq!(self.edge_index.len(), self.live_edges);
+        self.touch_shard(src);
+        self.touch_shard(dst);
         self.record(|g| {
             GraphOp::edge_add(
                 g.node_label(src).expect("live src"),
@@ -477,7 +587,7 @@ impl OntGraph {
     /// Adds the edge if absent, returning the existing id otherwise.
     pub fn ensure_edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> Result<EdgeId> {
         if let Some(lid) = self.interner.get(label) {
-            if let Some(&id) = self.edge_index.get(&(src, lid, dst)) {
+            if let Some(id) = self.edge_index.get(src, lid, dst) {
                 return Ok(id);
             }
         }
@@ -500,7 +610,7 @@ impl OntGraph {
         }
         let EdgeData { src, label, dst, .. } = self.edges[id.index()];
         self.edges[id.index()].alive = false;
-        self.edge_index.remove(&(src, label, dst));
+        self.edge_index.remove(src, label, dst);
         // prune the incident lists and label buckets so historical churn
         // never degrades degree queries or iteration
         let s = &mut self.nodes[src.index()];
@@ -510,6 +620,8 @@ impl OntGraph {
         d.inc.retain(|&(e, _, _)| e != id);
         d.inc_by_label.remove(label, id);
         self.live_edges -= 1;
+        self.touch_shard(src);
+        self.touch_shard(dst);
         let (s, l, d) = (
             self.node_label(src).unwrap_or("?").to_string(),
             self.interner.resolve(label).to_string(),
@@ -582,7 +694,7 @@ impl OntGraph {
     /// `O(1)` hash probe, no string comparison.
     #[inline]
     pub fn find_edge_by_ids(&self, src: NodeId, label: LabelId, dst: NodeId) -> Option<EdgeId> {
-        self.edge_index.get(&(src, label, dst)).copied()
+        self.edge_index.get(src, label, dst)
     }
 
     /// Label-addressed [`OntGraph::find_edge`].
@@ -873,8 +985,12 @@ impl OntGraph {
     pub fn compact(&mut self) -> HashMap<NodeId, NodeId> {
         let (mut dense, map) = self.compacted();
         // keep journaling state (compaction itself is a label-level
-        // no-op, so no ops are recorded for it)
+        // no-op, so no ops are recorded for it) and the shard
+        // configuration; the dense graph carries a fresh graph_id, so
+        // the next publish against any store is a full rebuild — ids
+        // were remapped, every shard's content may have moved.
         dense.journal = self.journal.take();
+        dense.set_shard_count(self.shard_count);
         *self = dense;
         map
     }
@@ -1288,6 +1404,40 @@ mod tests {
         assert_eq!(g.degree_labeled(a, lid), 2);
         g.delete_node(a).unwrap();
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn shard_versions_track_exactly_the_touched_shards() {
+        let mut g = OntGraph::new("t");
+        g.set_shard_count(4);
+        let before: Vec<u64> = (0..4).map(|s| g.shard_version(s)).collect();
+        let a = g.add_node("A").unwrap(); // index 0 → shard 0
+        let b = g.add_node("B").unwrap(); // index 1 → shard 1
+        assert_ne!(g.shard_version(0), before[0]);
+        assert_ne!(g.shard_version(1), before[1]);
+        assert_eq!(g.shard_version(2), before[2]);
+        assert_eq!(g.shard_version(3), before[3]);
+        let mid: Vec<u64> = (0..4).map(|s| g.shard_version(s)).collect();
+        g.add_edge(a, "S", b).unwrap(); // touches shards 0 and 1
+        assert_ne!(g.shard_version(0), mid[0]);
+        assert_ne!(g.shard_version(1), mid[1]);
+        assert_eq!(g.shard_version(2), mid[2]);
+        // deleting B cascades the edge delete (shards 0, 1) and the node
+        let e_mid = g.shard_version(0);
+        g.delete_node(b).unwrap();
+        assert_ne!(g.shard_version(0), e_mid);
+        assert_eq!(g.shard_version(3), mid[3], "shard 3 never touched");
+    }
+
+    #[test]
+    fn clone_and_compact_get_fresh_graph_ids() {
+        let mut g = abc();
+        let id = g.graph_id();
+        let c = g.clone();
+        assert_ne!(c.graph_id(), id, "clones diverge under a fresh identity");
+        assert_eq!(c.shard_count(), g.shard_count());
+        g.compact();
+        assert_ne!(g.graph_id(), id, "compaction remaps ids: fresh identity");
     }
 
     #[test]

@@ -28,10 +28,12 @@
 //!   matching (synonym node labels, relaxed edge labels);
 //! * traversals, reachability, strongly connected components and per-label
 //!   transitive [`closure`];
-//! * snapshot isolation for concurrent readers: [`snapshot::GraphSnapshot`]
-//!   (an immutable, `Send + Sync`, CSR-packed frozen view) and
-//!   [`snapshot::SnapshotStore`] (epoch-swapped current snapshot), the
-//!   substrate `onion-exec` parallelises over;
+//! * snapshot isolation for concurrent readers: [`snapshot::ShardedSnapshot`]
+//!   (an immutable, `Send + Sync` frozen view, partitioned into
+//!   node-range [`snapshot::SnapshotShard`]s that rebuild independently)
+//!   and [`snapshot::SnapshotStore`] (mutex-free epoch-pointer load,
+//!   incremental dirty-shard publish), the substrate `onion-exec`
+//!   parallelises over;
 //! * interchange formats: a line-oriented [`text`] format, a minimal
 //!   [`xml`] subset, and [`dot`] output for visualisation.
 //!
@@ -42,6 +44,7 @@
 
 pub mod closure;
 pub mod dot;
+mod edge_index;
 pub mod error;
 pub mod graph;
 pub mod hash;
@@ -57,12 +60,12 @@ pub mod traverse;
 pub mod xml;
 
 pub use error::GraphError;
-pub use graph::{EdgeId, EdgeRef, NodeId, NodeRef, OntGraph};
+pub use graph::{EdgeId, EdgeRef, NodeId, NodeRef, OntGraph, DEFAULT_SHARD_COUNT};
 pub use label::{Interner, LabelId};
 pub use matcher::{CaseInsensitiveEquiv, ExactEquiv, LabelEquiv, Match, MatchConfig, Matcher};
 pub use ops::GraphOp;
 pub use pattern::{EdgeConstraint, NodeConstraint, Pattern, PatternEdge, PatternNode};
-pub use snapshot::{GraphSnapshot, SnapshotStore};
+pub use snapshot::{GraphSnapshot, PublishStats, ShardedSnapshot, SnapshotShard, SnapshotStore};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,218 @@
+//! Per-shard CSR build: the unit of incremental publish.
+//!
+//! A [`SnapshotShard`] freezes the slice of an
+//! [`OntGraph`](crate::OntGraph) its shard owns — nodes with
+//! `index() % shard_count == shard` — as two compressed-sparse-row
+//! halves (out- and in-adjacency) plus the shard-local label index.
+//! Neighbour entries carry **global** [`NodeId`]s, so an edge whose
+//! endpoints live in different shards is *mirrored*: its out-entry sits
+//! in the source's shard, its in-entry in the target's shard, and a
+//! traversal crosses the boundary by simply following the global id
+//! into the neighbouring shard's slice. Every per-node entry list is
+//! sorted by `(label, neighbour)` — exactly the invariant the
+//! monolithic snapshot maintained — which is what makes results
+//! byte-identical across shard counts.
+//!
+//! Building one shard costs `O(owned nodes + their incident edges)` and
+//! touches nothing outside the shard, so a publish that finds `k` dirty
+//! shards does `k/N` of a full freeze (see
+//! [`SnapshotStore::publish`](crate::SnapshotStore::publish)).
+
+use crate::graph::{NodeId, OntGraph};
+use crate::hash::FxHashMap;
+use crate::label::LabelId;
+
+/// One CSR half, locally indexed: `start[local]..start[local + 1]`
+/// spans the `(label, neighbour)` entries of the shard's `local`-th
+/// owned slot, sorted by label then neighbour id.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    start: Vec<u32>,
+    adj: Vec<(LabelId, NodeId)>,
+}
+
+impl Csr {
+    #[inline]
+    pub(crate) fn entries(&self, local: usize) -> &[(LabelId, NodeId)] {
+        match self.start.get(local..local + 2) {
+            Some(w) => &self.adj[w[0] as usize..w[1] as usize],
+            None => &[],
+        }
+    }
+
+    #[inline]
+    fn total(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Number of arena slots a shard owns under `cap` total slots.
+#[inline]
+pub(crate) fn owned_slots(cap: usize, shard: usize, count: usize) -> usize {
+    if cap > shard {
+        (cap - shard - 1) / count + 1
+    } else {
+        0
+    }
+}
+
+/// An immutable frozen view of one shard's slice of the graph.
+///
+/// Shards are shared by `Arc` between consecutive
+/// [`ShardedSnapshot`](crate::ShardedSnapshot) epochs: a publish reuses
+/// every shard whose [`version`](SnapshotShard::version) still matches
+/// the live graph's and rebuilds only the dirty ones.
+#[derive(Debug)]
+pub struct SnapshotShard {
+    shard: usize,
+    /// Per owned slot (local index): the node's label, `None` for
+    /// tombstones and never-allocated tail slots.
+    labels: Vec<Option<LabelId>>,
+    out: Csr,
+    inc: Csr,
+    /// Owned live nodes per label, ascending by global id.
+    by_label: FxHashMap<LabelId, Vec<NodeId>>,
+    live_nodes: usize,
+    version: u64,
+}
+
+impl SnapshotShard {
+    /// Freezes shard `shard` of `count` from `g`, stamping it with the
+    /// graph's current version for that shard.
+    pub(crate) fn build(g: &OntGraph, shard: usize, count: usize) -> Self {
+        let cap = g.node_capacity();
+        let owned = owned_slots(cap, shard, count);
+        let mut labels: Vec<Option<LabelId>> = vec![None; owned];
+        let mut by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
+        let mut live_nodes = 0usize;
+        for local in 0..owned {
+            let n = NodeId((shard + local * count) as u32);
+            if let Some(lid) = g.node_label_id(n) {
+                labels[local] = Some(lid);
+                by_label.entry(lid).or_default().push(n);
+                live_nodes += 1;
+            }
+        }
+        let out = Self::build_csr(g, shard, count, owned, true);
+        let inc = Self::build_csr(g, shard, count, owned, false);
+        SnapshotShard {
+            shard,
+            labels,
+            out,
+            inc,
+            by_label,
+            live_nodes,
+            version: g.shard_version(shard),
+        }
+    }
+
+    fn build_csr(g: &OntGraph, shard: usize, count: usize, owned: usize, out: bool) -> Csr {
+        let mut start = vec![0u32; owned + 1];
+        for local in 0..owned {
+            let n = NodeId((shard + local * count) as u32);
+            let degree = if !g.is_live_node(n) {
+                0
+            } else if out {
+                g.out_degree(n)
+            } else {
+                g.in_degree(n)
+            };
+            start[local + 1] = start[local] + degree as u32;
+        }
+        let mut adj = vec![(LabelId(0), NodeId(0)); start[owned] as usize];
+        for local in 0..owned {
+            let n = NodeId((shard + local * count) as u32);
+            let range = start[local] as usize..start[local + 1] as usize;
+            let slot = &mut adj[range];
+            if slot.is_empty() {
+                continue;
+            }
+            if out {
+                for (dst, (_, lid, other)) in slot.iter_mut().zip(g.out_edge_entries(n)) {
+                    *dst = (lid, other);
+                }
+            } else {
+                for (dst, (_, lid, other)) in slot.iter_mut().zip(g.in_edge_entries(n)) {
+                    *dst = (lid, other);
+                }
+            }
+            // the per-node (label, neighbour) sort is the invariant that
+            // makes traversal order shard-count independent
+            slot.sort_unstable();
+        }
+        Csr { start, adj }
+    }
+
+    /// The shard's index within its snapshot.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+
+    /// The graph shard-version this shard was frozen at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Live nodes owned by this shard.
+    pub fn live_nodes(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Live edges whose **source** this shard owns (summing this over
+    /// all shards counts every edge exactly once).
+    pub fn out_edges(&self) -> usize {
+        self.out.total()
+    }
+
+    #[inline]
+    pub(crate) fn label_local(&self, local: usize) -> Option<LabelId> {
+        self.labels.get(local).copied().flatten()
+    }
+
+    #[inline]
+    pub(crate) fn entries_local(&self, local: usize, out: bool) -> &[(LabelId, NodeId)] {
+        if out {
+            self.out.entries(local)
+        } else {
+            self.inc.entries(local)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn by_label(&self, lid: LabelId) -> &[NodeId] {
+        self.by_label.get(&lid).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_slots_partition_the_capacity() {
+        for cap in [0usize, 1, 7, 8, 63, 64, 65, 1000] {
+            for count in [1usize, 2, 7, 64] {
+                let total: usize = (0..count).map(|s| owned_slots(cap, s, count)).sum();
+                assert_eq!(total, cap, "cap={cap} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_slots_are_stable_under_growth() {
+        // adding one slot grows exactly the shard that owns it
+        for cap in 0usize..130 {
+            for count in [2usize, 7] {
+                for s in 0..count {
+                    let before = owned_slots(cap, s, count);
+                    let after = owned_slots(cap + 1, s, count);
+                    if s == cap % count {
+                        assert_eq!(after, before + 1);
+                    } else {
+                        assert_eq!(after, before);
+                    }
+                }
+            }
+        }
+    }
+}
