@@ -12,7 +12,7 @@ use onion_rules::RuleSet;
 
 use crate::articulation::Articulation;
 use crate::expert::{Expert, Verdict};
-use crate::generator::{ArticulationGenerator, GeneratorConfig};
+use crate::generator::{ArticulationGenerator, GeneratorConfig, GeneratorStats};
 use crate::skat::MatcherPipeline;
 use crate::Result;
 
@@ -47,6 +47,9 @@ pub struct EngineReport {
     pub modified: usize,
     /// Rules volunteered by the expert.
     pub supplied: usize,
+    /// Counters of the final generation pass (inference expansion work,
+    /// skipped dead nodes, derived bridges).
+    pub generator: GeneratorStats,
 }
 
 /// The propose → confirm → generate loop.
@@ -114,7 +117,8 @@ impl ArticulationEngine {
         }
 
         let generator = ArticulationGenerator::with_config(self.config.generator.clone());
-        let articulation = generator.generate(&rules, &[o1, o2])?;
+        let (articulation, gen_stats) = generator.generate_with_stats(&rules, &[o1, o2])?;
+        report.generator = gen_stats;
         Ok((articulation, report))
     }
 }

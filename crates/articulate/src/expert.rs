@@ -8,9 +8,8 @@
 //! control flow — propose → confirm → generate → iterate — runs
 //! unattended and is measurable.
 
-use std::collections::HashSet;
-
-use onion_rules::{ArticulationRule, Term};
+use onion_graph::hash::FxHashSet;
+use onion_rules::{ArticulationRule, AtomId, AtomTable, Term};
 
 use crate::candidate::CandidateRule;
 
@@ -118,10 +117,16 @@ impl Expert for ScriptedExpert {
 /// generator) and accepts exactly the simple implications it contains —
 /// optionally with label noise to model expert error. Enables
 /// precision/recall measurement in experiment B2.
+///
+/// Truth pairs are interned into a private [`AtomTable`] at
+/// construction; each review then probes by looked-up [`AtomId`]s —
+/// no `"onto.Term"` string is built per candidate (the B2 oracle loop
+/// reviews every proposed pair every round).
 #[derive(Debug, Clone)]
 pub struct OracleExpert {
-    /// Accepted (from, to) qualified-term pairs.
-    truth: HashSet<(String, String)>,
+    atoms: AtomTable,
+    /// Accepted (from, to) pairs over `atoms`.
+    truth: FxHashSet<(AtomId, AtomId)>,
     /// Probability of flipping a verdict (deterministic counter-based,
     /// not RNG, so runs reproduce exactly).
     noise_period: Option<usize>,
@@ -131,7 +136,10 @@ pub struct OracleExpert {
 impl OracleExpert {
     /// Oracle accepting exactly `pairs` (qualified term strings).
     pub fn new(pairs: impl IntoIterator<Item = (String, String)>) -> Self {
-        OracleExpert { truth: pairs.into_iter().collect(), noise_period: None, reviewed: 0 }
+        let mut atoms = AtomTable::new();
+        let truth =
+            pairs.into_iter().map(|(from, to)| (atoms.intern(&from), atoms.intern(&to))).collect();
+        OracleExpert { atoms, truth, noise_period: None, reviewed: 0 }
     }
 
     /// Flips every `period`-th verdict (models an imperfect expert);
@@ -143,7 +151,10 @@ impl OracleExpert {
 
     /// Whether the pair is in the planted truth.
     pub fn knows(&self, from: &Term, to: &Term) -> bool {
-        self.truth.contains(&(from.to_string(), to.to_string()))
+        let (Some(f), Some(t)) = (self.atoms.lookup_term(from), self.atoms.lookup_term(to)) else {
+            return false; // a term outside the truth vocabulary
+        };
+        self.truth.contains(&(f, t))
     }
 }
 

@@ -29,14 +29,15 @@
 //!   registered inverse when known.
 
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
 use onion_graph::hash::FxHashSet;
 use onion_graph::{rel, LabelId};
 use onion_ontology::Ontology;
-use onion_rules::horn::{lower_rules, HornProgram};
-use onion_rules::infer::{FactBase, InferenceEngine};
+use onion_rules::horn::{lower_rules_interned, HornProgram};
+use onion_rules::infer::{FactBase, InferenceEngine, InferenceStats};
 use onion_rules::properties::RelationRegistry;
-use onion_rules::{ArticulationRule, ConversionRegistry, RuleExpr, RuleSet, Term};
+use onion_rules::{ArticulationRule, AtomTable, ConversionRegistry, RuleExpr, RuleSet, Term};
 
 use crate::articulation::{Articulation, Bridge, BridgeKind};
 use crate::{ArticulateError, Result};
@@ -59,6 +60,12 @@ pub struct GeneratorConfig {
     /// Error on rules referencing terms absent from their source
     /// ontology (on: the SKAT pipeline only proposes existing terms).
     pub strict_terms: bool,
+    /// Shared atom table for inference expansion. When set (the
+    /// `OnionSystem` path), interned symbols and per-graph label memos
+    /// persist across articulation/maintenance cycles, so re-seeding a
+    /// `FactBase` from an already-seen graph is pure array lookups;
+    /// when `None` the generator interns into a run-local table.
+    pub atoms: Option<Arc<Mutex<AtomTable>>>,
 }
 
 impl Default for GeneratorConfig {
@@ -69,8 +76,27 @@ impl Default for GeneratorConfig {
             expand_with_inference: false,
             inherit_structure: true,
             strict_terms: true,
+            atoms: None,
         }
     }
+}
+
+/// Observability counters for one generation run (populated by the
+/// inference-expansion pass; zero when `expand_with_inference` is off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeneratorStats {
+    /// Ground facts seeded into the `FactBase` (bridges, subclass
+    /// edges, lowered rules).
+    pub seeded_facts: usize,
+    /// Edge endpoints skipped because their node was deleted between
+    /// edge enumeration and label resolution (concurrent churn on a
+    /// source graph); the edge contributes no fact instead of
+    /// panicking.
+    pub skipped_dead_nodes: usize,
+    /// Counters of the saturation run.
+    pub inference: InferenceStats,
+    /// Derived source→articulation bridges added to the articulation.
+    pub derived_bridges: usize,
 }
 
 /// The articulation generator (§2.4 "ArtiGen" in Fig. 1).
@@ -106,6 +132,16 @@ impl ArticulationGenerator {
 
     /// Generates the articulation of `sources` under `rules`.
     pub fn generate(&self, rules: &RuleSet, sources: &[&Ontology]) -> Result<Articulation> {
+        self.generate_with_stats(rules, sources).map(|(art, _)| art)
+    }
+
+    /// [`ArticulationGenerator::generate`] plus the run's
+    /// [`GeneratorStats`].
+    pub fn generate_with_stats(
+        &self,
+        rules: &RuleSet,
+        sources: &[&Ontology],
+    ) -> Result<(Articulation, GeneratorStats)> {
         let mut art = Articulation::new(&self.config.art_name);
         for rule in rules.iter() {
             self.apply_rule(rule, sources, &mut art)?;
@@ -114,10 +150,12 @@ impl ArticulationGenerator {
         if self.config.inherit_structure {
             self.inherit_structure(&mut art, sources)?;
         }
-        if self.config.expand_with_inference {
-            self.expand(&mut art, sources)?;
-        }
-        Ok(art)
+        let stats = if self.config.expand_with_inference {
+            self.expand(&mut art, sources)?
+        } else {
+            GeneratorStats::default()
+        };
+        Ok((art, stats))
     }
 
     /// Applies one additional confirmed rule to an existing articulation
@@ -483,60 +521,122 @@ impl ArticulationGenerator {
     /// Inference expansion: derive transitive semantic implications and
     /// add the source→articulation ones as [`BridgeKind::Derived`]
     /// bridges.
-    fn expand(&self, art: &mut Articulation, sources: &[&Ontology]) -> Result<()> {
+    ///
+    /// The whole pass runs on interned atoms. Seeding a subclass fact
+    /// from a graph edge resolves both endpoints through the shared
+    /// table's per-graph label memo — after the first encounter of a
+    /// label this is a dense array lookup, and at no point is an
+    /// `"onto.Term"` string formatted or hashed. Filtering derived
+    /// implications compares namespace *indexes* instead of the old
+    /// per-candidate `format!("{s}.")` + prefix matching. Edges whose
+    /// endpoint node was deleted mid-churn are skipped and counted
+    /// rather than panicking.
+    fn expand(&self, art: &mut Articulation, sources: &[&Ontology]) -> Result<GeneratorStats> {
+        let shared = self.config.atoms.clone();
+        let mut guard;
+        let mut local;
+        let atoms: &mut AtomTable = match &shared {
+            Some(m) => {
+                guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                &mut guard
+            }
+            None => {
+                local = AtomTable::new();
+                &mut local
+            }
+        };
+        let mut stats = GeneratorStats::default();
         let mut fb = FactBase::new();
-        // seed: existing SI bridges
+        let si = atoms.intern("si");
+        let subclassof = atoms.intern("subclassof");
+        // seed: existing SI bridges (terms interned from their parts)
         for b in &art.bridges {
             if b.label == rel::SI_BRIDGE {
-                fb.add("si", &[&b.src.to_string(), &b.dst.to_string()]);
+                let s = atoms.intern_term(&b.src);
+                let d = atoms.intern_term(&b.dst);
+                if fb.add_fact(si, vec![s, d]) {
+                    stats.seeded_facts += 1;
+                }
             }
         }
         // seed: source subclass edges and articulation-internal subclass
-        // edges, qualified — label resolved once per graph, id compares
-        // per edge
+        // edges — edge-label compared by id, endpoints resolved through
+        // the per-graph label→atom memo
         for o in sources.iter().copied().chain([&art.ontology]) {
             let g = o.graph();
             let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { continue };
+            let mut cursor = atoms.graph_atoms(g);
             for (_, src, lid, dst) in g.edge_entries() {
-                if lid == sub {
-                    let s = format!("{}.{}", g.name(), g.node_label(src).expect("live"));
-                    let d = format!("{}.{}", g.name(), g.node_label(dst).expect("live"));
-                    fb.add("subclassof", &[&s, &d]);
+                if lid != sub {
+                    continue;
+                }
+                let (Some(s), Some(d)) = (cursor.node_atom(src), cursor.node_atom(dst)) else {
+                    stats.skipped_dead_nodes += 1;
+                    continue;
+                };
+                if fb.add_fact(subclassof, vec![s, d]) {
+                    stats.seeded_facts += 1;
                 }
             }
         }
         // seed: rule lowering (synthesised classes appear as synth.*)
-        for atom in lower_rules(&art.rules.rules) {
-            fb.add_atom(&atom);
-        }
-        let program = HornProgram::standard(&RelationRegistry::onion_default());
-        InferenceEngine::new(program).run(&mut fb)?;
-
-        let art_prefix = format!("{}.", art.name());
-        let source_names: Vec<&str> = sources.iter().map(|o| o.name()).collect();
-        let mut derived: Vec<(String, String)> = fb
-            .query2("si", None, None)
-            .into_iter()
-            .filter(|(a, b)| {
-                // keep source-term -> articulation-term implications
-                b.starts_with(&art_prefix)
-                    && source_names.iter().any(|s| a.starts_with(&format!("{s}.")))
-            })
-            .map(|(a, b)| (a.to_string(), b.to_string()))
-            .collect();
-        derived.sort();
-        for (a, b) in derived {
-            let (ao, an) = a.split_once('.').expect("qualified");
-            let (_, bn) = b.split_once('.').expect("qualified");
-            if art.ontology.defines(bn) {
-                art.add_bridge(Bridge::si(
-                    Term::qualified(ao, an),
-                    Term::qualified(art.name(), bn),
-                    BridgeKind::Derived,
-                ));
+        for (a, b) in lower_rules_interned(atoms, &art.rules.rules) {
+            if fb.add_fact(si, vec![a, b]) {
+                stats.seeded_facts += 1;
             }
         }
-        Ok(())
+        let program = HornProgram::standard(&RelationRegistry::onion_default());
+        stats.inference = InferenceEngine::new(program).run(atoms, &mut fb)?;
+
+        // keep source-term → articulation-term implications. An
+        // ontology name keys under the atom table's canonical split
+        // ("acme.v2" → namespace "acme" + name prefix "v2."), so each
+        // name becomes (namespace index, optional name prefix) — the
+        // prefix-matching semantics of the string engine, but for the
+        // common dot-free case a pure index compare
+        let ns_key = |atoms: &AtomTable, name: &str| -> Option<(u32, Option<String>)> {
+            match name.split_once('.') {
+                Some((head, tail)) => {
+                    atoms.namespace_lookup(head).map(|ns| (ns, Some(format!("{tail}."))))
+                }
+                None => atoms.namespace_lookup(name).map(|ns| (ns, None)),
+            }
+        };
+        let matches = |atoms: &AtomTable, id: onion_rules::AtomId, key: &(u32, Option<String>)| {
+            atoms.namespace_of(id) == Some(key.0)
+                && key.1.as_deref().is_none_or(|p| atoms.name_of(id).starts_with(p))
+        };
+        let Some(art_key) = ns_key(atoms, art.name()) else {
+            return Ok(stats); // articulation namespace seeded nothing
+        };
+        let source_keys: Vec<(u32, Option<String>)> =
+            sources.iter().filter_map(|o| ns_key(atoms, o.name())).collect();
+        let mut derived: Vec<(onion_rules::AtomId, onion_rules::AtomId)> = fb
+            .query2_ids(si, None, None)
+            .into_iter()
+            .filter(|(a, b)| {
+                matches(atoms, *b, &art_key) && source_keys.iter().any(|k| matches(atoms, *a, k))
+            })
+            .collect();
+        // sort on resolved text so bridge order matches the string-keyed
+        // engine's historical output exactly
+        derived.sort_by(|x, y| {
+            (atoms.resolve(x.0), atoms.resolve(x.1)).cmp(&(atoms.resolve(y.0), atoms.resolve(y.1)))
+        });
+        for (a, b) in derived {
+            let (ao, an) = atoms.parts(a);
+            let bn = atoms.name_of(b);
+            if art.ontology.defines(bn)
+                && art.add_bridge(Bridge::si(
+                    Term::qualified(ao.expect("source-namespaced"), an),
+                    Term::qualified(art.name(), bn),
+                    BridgeKind::Derived,
+                ))
+            {
+                stats.derived_bridges += 1;
+            }
+        }
+        Ok(stats)
     }
 }
 
@@ -723,6 +823,82 @@ mod tests {
             "bridges: {:?}",
             art.bridges.iter().map(|b| b.to_string()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn expansion_reports_stats_and_reuses_shared_table() {
+        let c = carrier();
+        let f = factory();
+        let table = Arc::new(Mutex::new(AtomTable::new()));
+        let cfg = GeneratorConfig {
+            expand_with_inference: true,
+            atoms: Some(table.clone()),
+            ..Default::default()
+        };
+        let generator = ArticulationGenerator::with_config(cfg);
+        let rules = parse_rules("carrier.Cars => transport.Vehicle\n").unwrap();
+        let (a1, s1) = generator.generate_with_stats(&rules, &[&c, &f]).unwrap();
+        assert!(s1.seeded_facts > 0, "bridges and subclass edges seed facts");
+        assert!(s1.inference.derived > 0, "transitive implications derived");
+        assert!(s1.derived_bridges > 0, "SUV and friends bridge to transport.Vehicle");
+        assert_eq!(s1.skipped_dead_nodes, 0, "no churn in this run");
+        let interned = table.lock().unwrap().len();
+        assert!(interned > 0, "shared table observed the run");
+        // a second identical run reuses every symbol and memo
+        let (a2, s2) = generator.generate_with_stats(&rules, &[&c, &f]).unwrap();
+        assert_eq!(a1.bridges, a2.bridges);
+        assert_eq!(s1, s2, "stats reproduce exactly");
+        assert_eq!(table.lock().unwrap().len(), interned, "second run interns nothing new");
+    }
+
+    #[test]
+    fn expansion_derives_bridges_for_dotted_source_names() {
+        // a source named "acme.v2" keys under the canonical namespace
+        // split ("acme" + "v2." prefix); the derived-bridge filter must
+        // still match it, like the string engine's prefix matching did
+        let mut g = onion_graph::OntGraph::new("acme.v2");
+        g.ensure_edge_by_labels("Car", rel::SUBCLASS_OF, "Cars").unwrap();
+        let src = Ontology::from_graph(g).unwrap();
+        let f = factory();
+        let cfg = GeneratorConfig { expand_with_inference: true, ..Default::default() };
+        let mut rules = RuleSet::new();
+        rules.push(ArticulationRule::term_implies(
+            Term::qualified("acme.v2", "Cars"),
+            Term::qualified("transport", "Vehicle"),
+        ));
+        let (art, stats) = ArticulationGenerator::with_config(cfg)
+            .generate_with_stats(&rules, &[&src, &f])
+            .unwrap();
+        assert!(stats.inference.derived > 0, "Car => Vehicle is derivable");
+        assert!(
+            art.bridges.iter().any(|b| b.kind == BridgeKind::Derived
+                && b.src == Term::qualified("acme", "v2.Car")
+                && b.dst == Term::qualified("transport", "Vehicle")),
+            "derived bridge for the dotted source survives (canonical term parts, \
+             exactly as the string engine's split emitted); bridges: {:?}",
+            art.bridges.iter().map(|b| b.to_string()).collect::<Vec<_>>()
+        );
+        assert!(stats.derived_bridges > 0);
+    }
+
+    #[test]
+    fn expansion_without_shared_table_matches_shared_run() {
+        let c = carrier();
+        let f = factory();
+        let rules = parse_rules("carrier.Cars => transport.Vehicle\n").unwrap();
+        let local = ArticulationGenerator::with_config(GeneratorConfig {
+            expand_with_inference: true,
+            ..Default::default()
+        });
+        let shared = ArticulationGenerator::with_config(GeneratorConfig {
+            expand_with_inference: true,
+            atoms: Some(Arc::new(Mutex::new(AtomTable::new()))),
+            ..Default::default()
+        });
+        let (a1, s1) = local.generate_with_stats(&rules, &[&c, &f]).unwrap();
+        let (a2, s2) = shared.generate_with_stats(&rules, &[&c, &f]).unwrap();
+        assert_eq!(a1.bridges, a2.bridges, "table sharing never changes results");
+        assert_eq!(s1, s2);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use articulation::{Articulation, Bridge, BridgeKind};
 pub use candidate::CandidateRule;
 pub use engine::{ArticulationEngine, EngineConfig, EngineReport};
 pub use expert::{AcceptAll, Expert, OracleExpert, ScriptedExpert, ThresholdExpert, Verdict};
-pub use generator::{ArticulationGenerator, GeneratorConfig};
+pub use generator::{ArticulationGenerator, GeneratorConfig, GeneratorStats};
 pub use skat::{
     ExactLabelMatcher, MatcherPipeline, RuleMatcher, SimilarityMatcher, StructuralMatcher,
     SynonymMatcher,

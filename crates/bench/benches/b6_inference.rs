@@ -4,42 +4,46 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use onion_core::rules::atoms::AtomTable;
 use onion_core::rules::horn::HornProgram;
 use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn chain_facts(n: usize) -> FactBase {
+fn chain_facts(n: usize) -> (AtomTable, FactBase) {
+    let mut atoms = AtomTable::new();
     let mut fb = FactBase::new();
     for i in 0..n {
-        fb.add("si", &[&format!("t{i}"), &format!("t{}", i + 1)]);
+        fb.add(&mut atoms, "si", &[&format!("t{i}"), &format!("t{}", i + 1)]);
     }
-    fb
+    (atoms, fb)
 }
 
 /// A random attachment forest: node i implies a uniformly random
 /// earlier node. Closure size is only `O(n log n)` (sum of depths), so
 /// this is the workload that scales to the 10k tier.
-fn tree_facts(n: usize, seed: u64) -> FactBase {
+fn tree_facts(n: usize, seed: u64) -> (AtomTable, FactBase) {
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut atoms = AtomTable::new();
     let mut fb = FactBase::new();
     for i in 1..n {
         let p = rng.gen_range(0..i);
-        fb.add("si", &[&format!("t{i}"), &format!("t{p}")]);
+        fb.add(&mut atoms, "si", &[&format!("t{i}"), &format!("t{p}")]);
     }
-    fb
+    (atoms, fb)
 }
 
-fn random_facts(n: usize, seed: u64) -> FactBase {
+fn random_facts(n: usize, seed: u64) -> (AtomTable, FactBase) {
     // sparse random implication graph: n nodes, 2n edges
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut atoms = AtomTable::new();
     let mut fb = FactBase::new();
     for _ in 0..2 * n {
         let a = rng.gen_range(0..n);
         let b = rng.gen_range(0..n);
-        fb.add("si", &[&format!("t{a}"), &format!("t{b}")]);
+        fb.add(&mut atoms, "si", &[&format!("t{a}"), &format!("t{b}")]);
     }
-    fb
+    (atoms, fb)
 }
 
 fn program() -> HornProgram {
@@ -52,7 +56,7 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
     // chains stress depth; random graphs stress breadth
-    type MakeFacts = fn(usize) -> FactBase;
+    type MakeFacts = fn(usize) -> (AtomTable, FactBase);
     let workloads: [(&str, MakeFacts); 2] =
         [("chain", chain_facts), ("random", |n| random_facts(n, 7))];
     for &n in &[32usize, 64] {
@@ -61,8 +65,11 @@ fn bench(c: &mut Criterion) {
                 let id = format!("{workload}/{strat:?}");
                 group.bench_with_input(BenchmarkId::new(id, n), &n, |b, &n| {
                     b.iter(|| {
-                        let mut fb = make(n);
-                        InferenceEngine::new(program()).with_strategy(strat).run(&mut fb).unwrap()
+                        let (mut atoms, mut fb) = make(n);
+                        InferenceEngine::new(program())
+                            .with_strategy(strat)
+                            .run(&mut atoms, &mut fb)
+                            .unwrap()
                     })
                 });
             }
@@ -73,10 +80,10 @@ fn bench(c: &mut Criterion) {
     for &n in &[10_000usize] {
         group.bench_with_input(BenchmarkId::new("tree/SemiNaive", n), &n, |b, &n| {
             b.iter(|| {
-                let mut fb = tree_facts(n, 11);
+                let (mut atoms, mut fb) = tree_facts(n, 11);
                 InferenceEngine::new(program())
                     .with_strategy(Strategy::SemiNaive)
-                    .run(&mut fb)
+                    .run(&mut atoms, &mut fb)
                     .unwrap()
             })
         });

@@ -32,6 +32,7 @@ use onion_bench::{articulated, instance_kbs, median_micros, pair, truth_rules};
 use onion_core::algebra::compose::{add_source, compose_all};
 use onion_core::articulate::maintain::{apply_delta, rebuild, triage};
 use onion_core::prelude::*;
+use onion_core::rules::atoms::AtomTable;
 use onion_core::rules::horn::HornProgram;
 use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy};
 use onion_core::testkit::{
@@ -153,9 +154,9 @@ fn b4_end_to_end_median() -> EndToEnd {
 }
 
 /// Runs the baseline suite (hot paths + end-to-end medians + the B10
-/// parallel matrix + the B11 incremental-publish curve) and writes
-/// `BENCH_onion.json`. Hand-rolled JSON: the workspace is offline, no
-/// serde.
+/// parallel matrix + the B11 incremental-publish curve + the B12
+/// inference-seam series) and writes `BENCH_onion.json`. Hand-rolled
+/// JSON: the workspace is offline, no serde.
 fn emit_json(path: &str) {
     let tier = onion_bench::hotpaths::tier();
     eprintln!(
@@ -169,8 +170,10 @@ fn emit_json(path: &str) {
     let b10 = onion_bench::parallel::run_b10();
     eprintln!("running B11 incremental publish (exact dirty-shard rebuilds asserted) …");
     let b11 = onion_bench::publish::run_b11();
+    eprintln!("running B12 inference seam (string/interned fact-set identity asserted) …");
+    let b12 = onion_bench::inference::run_b12();
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"onion-bench/v3\",\n");
+    body.push_str("{\n  \"schema\": \"onion-bench/v4\",\n");
     body.push_str(&format!(
         "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
         tier.seed, tier.nodes, tier.edges
@@ -245,6 +248,30 @@ fn emit_json(path: &str) {
     }
     body.push_str("    ]\n  },\n");
     body.push_str(&format!(
+        "  \"b12_inference\": {{\n    \"note\": \"seeded FactBase build + saturation on the \
+         10k-class tree tier; b12_seed_string_10k is the frozen pre-refactor string engine \
+         (onion_rules::reference), the interned series are the AtomId path (cold = empty \
+         table, warm = shared-table steady state); fact sets and derivation counts are \
+         asserted identical across engines before timing\",\n    \"classes\": {}, \
+         \"seeded_facts\": {}, \"derived\": {},\n    \"rows\": [\n",
+        b12.classes, b12.seeded_facts, b12.derived
+    ));
+    for (i, r) in b12.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"median_us\": {:.1}, \"min_us\": {:.1}, \"max_us\": \
+             {:.1}, \"spread\": {:.2}, \"reps\": {}, \"checksum\": {} }}{}\n",
+            r.name,
+            r.median_us,
+            r.min_us,
+            r.max_us,
+            r.spread(),
+            r.reps,
+            r.checksum,
+            if i + 1 == b12.rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  },\n");
+    body.push_str(&format!(
         "  \"point_probe_reference\": {{\n    \"note\": \"pre/post find_edge_all_triples \
          medians for the open-addressed inline-key edge index, both measured on the same \
          dev machine when it landed; same-machine speedup — do not compare against the \
@@ -303,6 +330,16 @@ fn emit_json(path: &str) {
             b11.speedup_vs_full(row)
         );
     }
+    for r in &b12.rows {
+        println!("{:<32} {}", r.name, fmt_us(r.median_us));
+    }
+    let (string_build, interned_warm) = (b12.rows[0].median_us, b12.rows[2].median_us);
+    println!(
+        "b12 seeded build: interned-warm is {:.2}x the string baseline ({} facts, {} derived)",
+        string_build / interned_warm,
+        b12.seeded_facts,
+        b12.derived
+    );
     let worst_spread =
         results.iter().map(onion_bench::hotpaths::BenchResult::spread).fold(1.0f64, f64::max);
     println!(
@@ -735,13 +772,14 @@ fn b6_inference() {
         for strat in [Strategy::SemiNaive, Strategy::Naive, Strategy::FullClosure] {
             let mut effort = 0usize;
             let t = median_micros(3, || {
+                let mut atoms = AtomTable::new();
                 let mut fb = FactBase::new();
                 for i in 0..n {
-                    fb.add("si", &[&format!("t{i}"), &format!("t{}", i + 1)]);
+                    fb.add(&mut atoms, "si", &[&format!("t{i}"), &format!("t{}", i + 1)]);
                 }
                 let stats = InferenceEngine::new(program.clone())
                     .with_strategy(strat)
-                    .run(&mut fb)
+                    .run(&mut atoms, &mut fb)
                     .unwrap();
                 effort = stats.atoms_examined;
             });

@@ -46,16 +46,31 @@ impl BenchResult {
     }
 }
 
-fn median_us(reps: usize, mut f: impl FnMut() -> u64) -> (f64, f64, f64, u64) {
+/// Times `reps` runs of `f` (whose `u64` result is black-boxed as the
+/// checksum) into one [`BenchResult`] row — the single series-timing
+/// helper shared by the hot-path set and B12.
+pub(crate) fn run_series(
+    name: &'static str,
+    reps: usize,
+    mut f: impl FnMut() -> u64,
+) -> BenchResult {
+    let reps = reps.max(1);
     let mut samples = Vec::with_capacity(reps);
     let mut checksum = 0u64;
-    for _ in 0..reps.max(1) {
+    for _ in 0..reps {
         let t = Instant::now();
         checksum = std::hint::black_box(f());
         samples.push(t.elapsed().as_secs_f64() * 1e6);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (samples[samples.len() / 2], samples[0], samples[samples.len() - 1], checksum)
+    BenchResult {
+        name,
+        median_us: samples[samples.len() / 2],
+        min_us: samples[0],
+        max_us: samples[samples.len() - 1],
+        reps,
+        checksum,
+    }
 }
 
 /// The standard tier every result in `BENCH_onion.json` is measured on.
@@ -139,13 +154,7 @@ pub fn routines(fx: &Fixture) -> Vec<(&'static str, usize, Box<dyn Fn() -> u64 +
 /// Runs the full hot-path set on the 10k tier and returns the series.
 pub fn run_all() -> Vec<BenchResult> {
     let fx = Fixture::new(&tier());
-    routines(&fx)
-        .into_iter()
-        .map(|(name, reps, f)| {
-            let (m, min, max, checksum) = median_us(reps, || f());
-            BenchResult { name, median_us: m, min_us: min, max_us: max, reps, checksum }
-        })
-        .collect()
+    routines(&fx).into_iter().map(|(name, reps, f)| run_series(name, reps, || f())).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! B12 — the interned-atom inference seam: seeded `FactBase` build and
+//! saturation on the 10k-class tree tier.
+//!
+//! Introduced with the `AtomId` port of `onion-rules`, this experiment
+//! records three build series plus the saturation run:
+//!
+//! * `b12_seed_string_10k` — the **pre-refactor baseline**: the frozen
+//!   string-keyed engine (`onion_rules::reference`) seeded by building
+//!   a `"onto.Term"` string per edge endpoint, exactly as the generator
+//!   used to;
+//! * `b12_seed_interned_cold_10k` — the interned path from an empty
+//!   [`AtomTable`] (first-ever articulation run: every label is
+//!   interned once);
+//! * `b12_seed_interned_warm_10k` — the interned path against a warm
+//!   shared table (the `OnionSystem` steady state: per-graph label
+//!   memos hit on every fact, no hashing at all);
+//! * `b12_saturate_10k` — seeded build plus a semi-naive run of the
+//!   standard ONION program to fixpoint.
+//!
+//! The string and interned fact sets are asserted identical before any
+//! timing is recorded, and the saturation derivation counts of the two
+//! engines are asserted equal — the series measure the same work.
+
+use onion_core::ontology::Ontology;
+use onion_core::rules::atoms::AtomTable;
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::infer::FactBase;
+use onion_core::rules::properties::RelationRegistry;
+use onion_core::rules::{reference, InferenceEngine};
+use onion_core::testkit::{
+    generate_ontology, seed_subclass_facts, seed_subclass_facts_strings, OntologySpec,
+};
+
+use crate::hotpaths::{run_series, BenchResult};
+
+/// The B12 report: tier shape plus the measured series.
+pub struct B12Report {
+    /// Classes in the generated ontology.
+    pub classes: usize,
+    /// `subclassof` facts each seeded build produces.
+    pub seeded_facts: usize,
+    /// Facts derived by the saturation run (identical across engines,
+    /// asserted).
+    pub derived: usize,
+    /// The measured series, in emission order.
+    pub rows: Vec<BenchResult>,
+}
+
+/// The tier: a 10k-class generated ontology (its `SubclassOf` edges are
+/// an attachment tree, so the closure stays `O(n log n)`).
+fn tier() -> Ontology {
+    generate_ontology(&OntologySpec {
+        attr_density: 0.0,
+        instance_density: 0.0,
+        ..OntologySpec::sized("b12", 23, 10_000)
+    })
+}
+
+/// Runs B12 and returns the report.
+pub fn run_b12() -> B12Report {
+    let onto = tier();
+    let program = HornProgram::standard(&RelationRegistry::onion_default());
+
+    // correctness gate first: both seeding paths produce the same facts
+    // and both engines derive the same closure
+    let mut atoms = AtomTable::new();
+    let mut fb = FactBase::new();
+    let seeded_facts = seed_subclass_facts(&onto, &mut atoms, &mut fb);
+    let mut sref = reference::FactBase::new();
+    let seeded_ref = seed_subclass_facts_strings(&onto, &mut sref);
+    assert_eq!(seeded_facts, seeded_ref, "seeding paths must load the same facts");
+    let stats = InferenceEngine::new(program.clone()).run(&mut atoms, &mut fb).unwrap();
+    let ref_stats = reference::InferenceEngine::new(program.clone()).run(&mut sref).unwrap();
+    assert_eq!(
+        stats.derived, ref_stats.derived,
+        "interned and string engines must derive the same closure"
+    );
+
+    let mut rows = Vec::new();
+    // pre-refactor string baseline: format + hash two strings per edge
+    rows.push(run_series("b12_seed_string_10k", 5, || {
+        let mut fb = reference::FactBase::new();
+        seed_subclass_facts_strings(&onto, &mut fb) as u64
+    }));
+    // interned, cold table per repetition (first-run shape)
+    rows.push(run_series("b12_seed_interned_cold_10k", 5, || {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&onto, &mut atoms, &mut fb) as u64
+    }));
+    // interned, one shared warm table (the OnionSystem steady state)
+    let mut warm = AtomTable::new();
+    {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&onto, &mut warm, &mut fb);
+    }
+    rows.push(run_series("b12_seed_interned_warm_10k", 7, || {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&onto, &mut warm, &mut fb) as u64
+    }));
+    // seeded build + saturation to fixpoint on the warm table
+    rows.push(run_series("b12_saturate_10k", 3, || {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&onto, &mut warm, &mut fb);
+        let stats = InferenceEngine::new(program.clone()).run(&mut warm, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+
+    B12Report { classes: onto.term_count(), seeded_facts, derived: stats.derived, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b12_runs_on_a_small_tier() {
+        // same routines, toy size, so the suite stays fast
+        let onto = generate_ontology(&OntologySpec {
+            attr_density: 0.0,
+            instance_density: 0.0,
+            ..OntologySpec::sized("b12small", 23, 150)
+        });
+        let program = HornProgram::standard(&RelationRegistry::onion_default());
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let n = seed_subclass_facts(&onto, &mut atoms, &mut fb);
+        assert!(n > 0);
+        let stats = InferenceEngine::new(program.clone()).run(&mut atoms, &mut fb).unwrap();
+        let mut sref = reference::FactBase::new();
+        assert_eq!(seed_subclass_facts_strings(&onto, &mut sref), n);
+        let rstats = reference::InferenceEngine::new(program).run(&mut sref).unwrap();
+        assert_eq!(stats.derived, rstats.derived);
+        assert_eq!(stats.iterations, rstats.iterations);
+        assert_eq!(stats.atoms_examined, rstats.atoms_examined);
+    }
+}

@@ -51,8 +51,8 @@ pub mod prelude {
     pub use onion_algebra::{difference, extract, filter, intersect, union};
     pub use onion_articulate::{
         AcceptAll, Articulation, ArticulationEngine, ArticulationGenerator, Bridge, BridgeKind,
-        CandidateRule, EngineConfig, EngineReport, Expert, GeneratorConfig, MatcherPipeline,
-        OracleExpert, ScriptedExpert, ThresholdExpert, Verdict,
+        CandidateRule, EngineConfig, EngineReport, Expert, GeneratorConfig, GeneratorStats,
+        MatcherPipeline, OracleExpert, ScriptedExpert, ThresholdExpert, Verdict,
     };
     pub use onion_exec::Executor;
     pub use onion_graph::{
@@ -65,7 +65,7 @@ pub mod prelude {
         execute, CmpOp, InMemoryWrapper, Instance, KnowledgeBase, Query, ResultSet, Value, Wrapper,
     };
     pub use onion_rules::{
-        parse_rules, ArticulationRule, ConversionRegistry, RelationRegistry, RuleExpr, RuleSet,
-        Term,
+        parse_rules, ArticulationRule, AtomId, AtomTable, ConversionRegistry, RelationRegistry,
+        RuleExpr, RuleSet, Term,
     };
 }

@@ -1,17 +1,17 @@
 //! [`OnionSystem`]: the assembled architecture of the paper's Fig. 1.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use onion_articulate::{
     Articulation, ArticulationEngine, ArticulationGenerator, EngineConfig, EngineReport, Expert,
-    MatcherPipeline,
+    GeneratorConfig, MatcherPipeline,
 };
 use onion_graph::{OntGraph, PublishStats, ShardedSnapshot, SnapshotStore};
 use onion_lexicon::Lexicon;
 use onion_ontology::Ontology;
 use onion_query::{InMemoryWrapper, KnowledgeBase, Query, ResultSet, Wrapper};
-use onion_rules::{parse_rules, ConversionRegistry, RuleSet};
+use onion_rules::{parse_rules, AtomTable, ConversionRegistry, RuleSet};
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -58,12 +58,18 @@ pub struct OnionSystem {
     rules: RuleSet,
     articulation: Option<Articulation>,
     engine_config: EngineConfig,
-    /// Snapshot shard count applied to every loaded source graph.
+    /// Snapshot shard count applied to every loaded source graph;
+    /// `0` (the default) means adaptive ≈√E sizing per graph.
     shard_count: usize,
     /// Per-source snapshot stores, created on first publish. Readers
     /// load from these mutex-free; publishes are incremental
     /// (dirty shards only).
     stores: BTreeMap<String, SnapshotStore>,
+    /// The system-wide atom table backing inference runs. Shared into
+    /// every generator the facade builds, so interned symbols and
+    /// per-graph label memos persist across articulation and
+    /// maintenance cycles.
+    atoms: Arc<Mutex<AtomTable>>,
 }
 
 impl OnionSystem {
@@ -77,8 +83,9 @@ impl OnionSystem {
             rules: RuleSet::new(),
             articulation: None,
             engine_config: EngineConfig::default(),
-            shard_count: onion_graph::DEFAULT_SHARD_COUNT,
+            shard_count: 0,
             stores: BTreeMap::new(),
+            atoms: Arc::new(Mutex::new(AtomTable::new())),
         }
     }
 
@@ -134,19 +141,22 @@ impl OnionSystem {
     // snapshots: shard configuration + incremental publish
     // ------------------------------------------------------------------
 
-    /// The snapshot shard count applied to loaded source graphs.
+    /// The configured snapshot shard count: `0` means adaptive (each
+    /// graph is sized ≈√E by [`onion_graph::adaptive_shard_count`]),
+    /// any other value is applied to every loaded source graph.
     pub fn shard_count(&self) -> usize {
         self.shard_count
     }
 
-    /// Reconfigures the snapshot shard count (min 1) for every loaded
-    /// source graph and for sources loaded later. Published snapshots
-    /// keep serving their old layout until the next
+    /// Reconfigures the snapshot shard count for every loaded source
+    /// graph and for sources loaded later. `0` selects adaptive ≈√E
+    /// sizing per graph (the default); explicit counts pin the layout.
+    /// Published snapshots keep serving their old layout until the next
     /// [`OnionSystem::publish_source`], which does a full rebuild.
     pub fn set_shard_count(&mut self, count: usize) {
-        self.shard_count = count.max(1);
+        self.shard_count = count;
         for ontology in self.sources.values_mut() {
-            ontology.graph_mut().set_shard_count(self.shard_count);
+            ontology.graph_mut().set_shard_count(count);
         }
     }
 
@@ -155,7 +165,21 @@ impl OnionSystem {
     /// **incremental**: only shards dirtied since the previous publish
     /// are rebuilt (see [`PublishStats`]); the rest are shared
     /// structurally with the previous epoch.
+    ///
+    /// With the adaptive shard policy (no explicit
+    /// [`OnionSystem::set_shard_count`]), the first publish of a source
+    /// re-derives its ≈√E layout from the edge count at that moment, so
+    /// a graph grown substantially between load and first publish still
+    /// gets a right-sized layout; later publishes keep it stable to
+    /// preserve incremental rebuilds.
     pub fn publish_source(&mut self, name: &str) -> Result<(Arc<ShardedSnapshot>, PublishStats)> {
+        if self.shard_count == 0 && !self.stores.contains_key(name) {
+            let ontology = self
+                .sources
+                .get_mut(name)
+                .ok_or_else(|| SystemError::UnknownSource(name.to_string()))?;
+            ontology.graph_mut().set_shard_count(0);
+        }
         let ontology =
             self.sources.get(name).ok_or_else(|| SystemError::UnknownSource(name.to_string()))?;
         let g = ontology.graph();
@@ -189,6 +213,22 @@ impl OnionSystem {
         self.sources.get(name).ok_or_else(|| SystemError::UnknownSource(name.to_string()))
     }
 
+    /// A handle to the system-wide atom table (symbol interning shared
+    /// by every inference run the facade triggers). Exposed for
+    /// observability — e.g. asserting that repeated cycles stop
+    /// interning once the vocabulary is warm.
+    pub fn atom_table(&self) -> Arc<Mutex<AtomTable>> {
+        Arc::clone(&self.atoms)
+    }
+
+    /// The configured generator settings with the system's shared atom
+    /// table threaded in.
+    fn generator_config(&self) -> GeneratorConfig {
+        let mut config = self.engine_config.generator.clone();
+        config.atoms = Some(Arc::clone(&self.atoms));
+        config
+    }
+
     /// Runs the iterative articulation engine between two loaded
     /// sources, seeding it with the rules added so far. The confirmed
     /// rules and generated articulation are stored on the system.
@@ -200,8 +240,10 @@ impl OnionSystem {
     ) -> Result<EngineReport> {
         let l = self.get_source(left)?;
         let r = self.get_source(right)?;
+        let mut engine_config = self.engine_config.clone();
+        engine_config.generator = self.generator_config();
         let engine = ArticulationEngine::new(MatcherPipeline::standard(self.lexicon.clone()))
-            .with_config(self.engine_config.clone());
+            .with_config(engine_config);
         let (articulation, report) =
             engine.run(l, r, expert, self.rules.clone()).map_err(SystemError::Articulate)?;
         self.rules = articulation.rules.clone();
@@ -214,7 +256,7 @@ impl OnionSystem {
     pub fn articulate_from_rules(&mut self, left: &str, right: &str) -> Result<&Articulation> {
         let l = self.get_source(left)?;
         let r = self.get_source(right)?;
-        let generator = ArticulationGenerator::with_config(self.engine_config.generator.clone());
+        let generator = ArticulationGenerator::with_config(self.generator_config());
         let articulation =
             generator.generate(&self.rules, &[l, r]).map_err(SystemError::Articulate)?;
         self.articulation = Some(articulation);
@@ -469,6 +511,60 @@ mod tests {
         // the old epoch is untouched
         assert_eq!(snap0.edge_count() + 1, snap1.edge_count());
         assert!(matches!(s.publish_source("nope"), Err(SystemError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn default_shard_count_is_adaptive() {
+        let s = loaded();
+        assert_eq!(s.shard_count(), 0, "unset means adaptive");
+        let g = s.source("carrier").unwrap().graph();
+        assert_eq!(
+            g.shard_count(),
+            onion_graph::adaptive_shard_count(g.edge_count()),
+            "loaded graphs are sized ~sqrt(E)"
+        );
+    }
+
+    #[test]
+    fn adaptive_first_publish_resizes_to_edge_count() {
+        let mut s = loaded();
+        // grow carrier well past its load-time size before first publish
+        let g = s.source_mut("carrier").unwrap().graph_mut();
+        let first = g.node_ids().next().unwrap();
+        for i in 0..200 {
+            let n = g.ensure_node(&format!("bulk{i}")).unwrap();
+            g.add_edge(n, "SubclassOf", first).unwrap();
+        }
+        let edges = g.edge_count();
+        let (snap, _) = s.publish_source("carrier").unwrap();
+        assert_eq!(snap.shard_count(), onion_graph::adaptive_shard_count(edges));
+        // second publish keeps the layout (incremental path preserved)
+        let g = s.source_mut("carrier").unwrap().graph_mut();
+        let n = g.node_ids().next().unwrap();
+        g.add_edge(n, "probe", n).unwrap();
+        let (snap2, stats2) = s.publish_source("carrier").unwrap();
+        assert_eq!(snap2.shard_count(), snap.shard_count());
+        assert!(stats2.reused > 0, "layout stable: publish stays incremental");
+    }
+
+    #[test]
+    fn repeated_articulation_reuses_shared_atom_table() {
+        let mut s = loaded();
+        let mut cfg = EngineConfig::default();
+        cfg.generator.expand_with_inference = true;
+        s.set_engine_config(cfg);
+        s.add_rules("carrier.Cars => factory.Vehicle\n").unwrap();
+        s.articulate_from_rules("carrier", "factory").unwrap();
+        let warm = {
+            let t = s.atom_table();
+            let len = t.lock().unwrap().len();
+            assert!(len > 0, "first run interned the vocabulary");
+            len
+        };
+        let b1 = s.articulation().unwrap().bridges.clone();
+        s.articulate_from_rules("carrier", "factory").unwrap();
+        assert_eq!(s.atom_table().lock().unwrap().len(), warm, "second cycle interned nothing new");
+        assert_eq!(s.articulation().unwrap().bridges, b1, "reuse never changes results");
     }
 
     #[test]

@@ -43,6 +43,22 @@ use crate::Result;
 /// (see [`OntGraph::set_shard_count`] and [`crate::snapshot`]).
 pub const DEFAULT_SHARD_COUNT: usize = 8;
 
+/// Largest shard count the adaptive policy will pick. Past this,
+/// per-shard version bookkeeping and publish fan-out cost more than
+/// finer dirty tracking saves.
+pub const MAX_ADAPTIVE_SHARDS: usize = 64;
+
+/// The adaptive shard count for a graph with `edges` live edges:
+/// `round(√E)` clamped to `[1, MAX_ADAPTIVE_SHARDS]`.
+///
+/// Rationale: an incremental publish rebuilds dirty shards at ~`E/S`
+/// edges each while stamping/compare work grows with `S`; `S ≈ √E`
+/// equalises the two, so publish latency stays ∝ the dirty fraction
+/// across graph sizes (ROADMAP "Adaptive shard count").
+pub fn adaptive_shard_count(edges: usize) -> usize {
+    ((edges as f64).sqrt().round() as usize).clamp(1, MAX_ADAPTIVE_SHARDS)
+}
+
 /// Source of unique graph identities ([`OntGraph::graph_id`]): shard
 /// versions are only comparable within one identity, so every
 /// constructed (or cloned) graph gets a fresh id.
@@ -320,10 +336,14 @@ impl OntGraph {
         self.shard_versions.get(s).copied().unwrap_or(0)
     }
 
-    /// Reconfigures the shard count (min 1). All shards are freshly
-    /// stamped, so the next publish is a full rebuild.
+    /// Reconfigures the shard count. `0` means **adaptive**: the count
+    /// is derived from the current live edge count via
+    /// [`adaptive_shard_count`] (≈√E, clamped to `[1, 64]`), which
+    /// balances per-shard rebuild cost against publish bookkeeping
+    /// without manual tuning. All shards are freshly stamped, so the
+    /// next publish is a full rebuild.
     pub fn set_shard_count(&mut self, count: usize) {
-        let count = count.max(1);
+        let count = if count == 0 { adaptive_shard_count(self.live_edges) } else { count };
         self.shard_count = count;
         self.shard_versions = (0..count)
             .map(|_| {
@@ -1427,6 +1447,38 @@ mod tests {
         g.delete_node(b).unwrap();
         assert_ne!(g.shard_version(0), e_mid);
         assert_eq!(g.shard_version(3), mid[3], "shard 3 never touched");
+    }
+
+    #[test]
+    fn adaptive_shard_count_derivation_is_pinned() {
+        // round(√E) clamped to [1, 64] — the exact policy ROADMAP names
+        assert_eq!(adaptive_shard_count(0), 1);
+        assert_eq!(adaptive_shard_count(1), 1);
+        assert_eq!(adaptive_shard_count(2), 1, "√2 ≈ 1.41 rounds down");
+        assert_eq!(adaptive_shard_count(3), 2, "√3 ≈ 1.73 rounds up");
+        assert_eq!(adaptive_shard_count(64), 8, "matches DEFAULT_SHARD_COUNT at 64 edges");
+        assert_eq!(adaptive_shard_count(100), 10);
+        assert_eq!(adaptive_shard_count(2500), 50);
+        assert_eq!(adaptive_shard_count(4096), 64);
+        assert_eq!(adaptive_shard_count(10_000), 64, "√10000 = 100 clamps to 64");
+        assert_eq!(adaptive_shard_count(usize::MAX), MAX_ADAPTIVE_SHARDS);
+    }
+
+    #[test]
+    fn set_shard_count_zero_is_adaptive() {
+        let mut g = OntGraph::new("t");
+        for i in 0..40 {
+            let a = g.ensure_node(&format!("n{i}")).unwrap();
+            let b = g.ensure_node(&format!("n{}", i + 1)).unwrap();
+            g.add_edge(a, "S", b).unwrap();
+        }
+        assert_eq!(g.edge_count(), 40);
+        g.set_shard_count(0);
+        assert_eq!(g.shard_count(), adaptive_shard_count(40));
+        assert_eq!(g.shard_count(), 6, "√40 ≈ 6.32 rounds to 6");
+        // explicit counts still win
+        g.set_shard_count(3);
+        assert_eq!(g.shard_count(), 3);
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub mod traverse;
 pub mod xml;
 
 pub use error::GraphError;
-pub use graph::{EdgeId, EdgeRef, NodeId, NodeRef, OntGraph, DEFAULT_SHARD_COUNT};
+pub use graph::{
+    adaptive_shard_count, EdgeId, EdgeRef, NodeId, NodeRef, OntGraph, DEFAULT_SHARD_COUNT,
+    MAX_ADAPTIVE_SHARDS,
+};
 pub use label::{Interner, LabelId};
 pub use matcher::{CaseInsensitiveEquiv, ExactEquiv, LabelEquiv, Match, MatchConfig, Matcher};
 pub use ops::GraphOp;

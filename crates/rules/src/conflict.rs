@@ -17,12 +17,12 @@
 //! * **redundant rules** — implications already derivable from the rest
 //!   of the set (transitivity).
 
-use std::collections::HashSet;
-
+use onion_graph::hash::FxHashSet;
 use onion_graph::traverse::{tarjan_scc, EdgeFilter};
 use onion_graph::OntGraph;
 
 use crate::ast::{ArticulationRule, RuleSet};
+use crate::atoms::{AtomId, AtomTable};
 use crate::convert::ConversionRegistry;
 
 /// One reported finding.
@@ -53,9 +53,16 @@ pub enum Finding {
 }
 
 /// Declared disjointness constraints (unordered term pairs).
-#[derive(Debug, Clone, Default)]
+///
+/// Pairs are keyed by interned [`AtomId`]s over a private [`AtomTable`]:
+/// `declare` interns, `contains` only looks up — a membership probe
+/// allocates nothing and hashes two `u32`s instead of building owned
+/// `String` keys per call (the transitive-closure violation sweep in
+/// [`analyze`] probes once per derived implication pair).
+#[derive(Debug, Default)]
 pub struct Disjointness {
-    pairs: HashSet<(String, String)>,
+    atoms: AtomTable,
+    pairs: FxHashSet<(AtomId, AtomId)>,
 }
 
 impl Disjointness {
@@ -66,14 +73,17 @@ impl Disjointness {
 
     /// Declares `a` and `b` disjoint (order-insensitive).
     pub fn declare(&mut self, a: &str, b: &str) {
-        let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        self.pairs.insert((x.to_string(), y.to_string()));
+        let x = self.atoms.intern(a);
+        let y = self.atoms.intern(b);
+        self.pairs.insert((x.min(y), x.max(y)));
     }
 
     /// Are `a`,`b` declared disjoint?
     pub fn contains(&self, a: &str, b: &str) -> bool {
-        let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        self.pairs.contains(&(x.to_string(), y.to_string()))
+        let (Some(x), Some(y)) = (self.atoms.lookup(a), self.atoms.lookup(b)) else {
+            return false; // an undeclared term is disjoint from nothing
+        };
+        self.pairs.contains(&(x.min(y), x.max(y)))
     }
 
     /// Number of declared pairs.
@@ -92,13 +102,17 @@ impl Disjointness {
 /// (boolean structure flattened to its member terms, matching how the
 /// articulation generator wires synthesised classes).
 pub fn implication_graph(rules: &RuleSet) -> OntGraph {
+    // terms are interned once; their qualified text materialises once
+    // per distinct term instead of one String join per occurrence
+    let mut atoms = AtomTable::new();
     let mut g = OntGraph::new("implications");
     for rule in rules.iter() {
         if let ArticulationRule::Implication { chain } = rule {
             for pair in chain.windows(2) {
                 for l in pair[0].terms() {
                     for r in pair[1].terms() {
-                        let _ = g.ensure_edge_by_labels(&l.to_string(), "si", &r.to_string());
+                        let (li, ri) = (atoms.intern_term(l), atoms.intern_term(r));
+                        let _ = g.ensure_edge_by_labels(atoms.resolve(li), "si", atoms.resolve(ri));
                     }
                 }
             }

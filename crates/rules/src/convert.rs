@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::atoms::{AtomId, AtomTable};
 use crate::{Result, RuleError};
 
 /// A named scalar conversion function.
@@ -124,6 +125,19 @@ impl ConversionRegistry {
         self.converters.get(name)
     }
 
+    /// Looks up a converter by an interned function-name atom — the
+    /// id-path view used when rules are processed on [`AtomId`]s.
+    pub fn get_atom(&self, atoms: &AtomTable, function: AtomId) -> Option<&Converter> {
+        self.converters.get(atoms.resolve(function))
+    }
+
+    /// Applies the converter named by an interned atom to `x`.
+    pub fn apply_atom(&self, atoms: &AtomTable, function: AtomId, x: f64) -> Result<f64> {
+        self.get_atom(atoms, function)
+            .map(|c| c.apply(x))
+            .ok_or_else(|| RuleError::UnknownFunction(atoms.resolve(function).to_string()))
+    }
+
     /// Applies `name` to `x`, erroring if unregistered.
     pub fn apply(&self, name: &str, x: f64) -> Result<f64> {
         self.get(name)
@@ -217,6 +231,18 @@ mod tests {
         let eur = r.apply("DGToEuroFn", 100.0).unwrap();
         let back = r.apply_inverse("DGToEuroFn", eur).unwrap();
         assert!((back - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atom_lookup_matches_string_lookup() {
+        let r = ConversionRegistry::standard();
+        let mut atoms = AtomTable::new();
+        let f = atoms.intern("DGToEuroFn");
+        assert_eq!(r.get_atom(&atoms, f).unwrap().name(), "DGToEuroFn");
+        let eur = r.apply_atom(&atoms, f, 2.20371).unwrap();
+        assert!((eur - 1.0).abs() < 1e-12);
+        let missing = atoms.intern("NoSuchFn");
+        assert!(matches!(r.apply_atom(&atoms, missing, 1.0), Err(RuleError::UnknownFunction(_))));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::fmt;
 
 use crate::ast::{ArticulationRule, RuleExpr};
+use crate::atoms::{AtomId, AtomTable};
 use crate::properties::RelationRegistry;
 use crate::{Result, RuleError};
 
@@ -393,6 +394,76 @@ pub fn lower_rules(rules: &[ArticulationRule]) -> Vec<Atom> {
     facts
 }
 
+/// Interned variant of [`lower_rules`]: emits the same `si` fact pairs
+/// as [`AtomId`]s through `atoms` — rule terms are interned from their
+/// parts, so no `"onto.Term"` string is joined per fact. The pairs
+/// resolve to exactly the constants [`lower_rules`] would print (the
+/// `inference_props` suite pins the two paths against each other).
+pub fn lower_rules_interned(
+    atoms: &mut AtomTable,
+    rules: &[ArticulationRule],
+) -> Vec<(AtomId, AtomId)> {
+    let mut facts: Vec<(AtomId, AtomId)> = Vec::new();
+    let mut emit = |a: AtomId, b: AtomId| {
+        if !facts.contains(&(a, b)) {
+            facts.push((a, b));
+        }
+    };
+    for rule in rules {
+        if let ArticulationRule::Implication { chain } = rule {
+            for pair in chain.windows(2) {
+                lower_pair_interned(atoms, &pair[0], &pair[1], &mut emit);
+            }
+        }
+    }
+    facts
+}
+
+fn expr_atom(atoms: &mut AtomTable, e: &RuleExpr) -> AtomId {
+    match e {
+        RuleExpr::Term(t) => atoms.intern_term(t),
+        _ => atoms.intern_parts(Some("synth"), &e.default_label()),
+    }
+}
+
+fn lower_pair_interned(
+    atoms: &mut AtomTable,
+    lhs: &RuleExpr,
+    rhs: &RuleExpr,
+    emit: &mut impl FnMut(AtomId, AtomId),
+) {
+    let l = expr_atom(atoms, lhs);
+    let r = expr_atom(atoms, rhs);
+    emit(l, r);
+    if let RuleExpr::And(xs) = lhs {
+        // the synthesised intersection class specialises each conjunct
+        for x in xs {
+            let xa = expr_atom(atoms, x);
+            emit(l, xa);
+        }
+    }
+    if let RuleExpr::Or(xs) = rhs {
+        // each disjunct specialises the synthesised union class
+        for x in xs {
+            let xa = expr_atom(atoms, x);
+            emit(xa, r);
+        }
+    }
+    // nested structure on the off sides
+    if let RuleExpr::Or(xs) = lhs {
+        for x in xs {
+            let xa = expr_atom(atoms, x);
+            emit(xa, l);
+        }
+    }
+    if let RuleExpr::And(xs) = rhs {
+        for x in xs {
+            let xa = expr_atom(atoms, x);
+            emit(r, xa);
+        }
+    }
+}
+
 fn expr_key(e: &RuleExpr) -> String {
     match e {
         RuleExpr::Term(t) => t.to_string(),
@@ -559,6 +630,34 @@ subclass("carrier.Car", "carrier.Vehicle").
     fn lower_functional_contributes_nothing() {
         let r = parse_rule("F(): a.X => b.Y").unwrap();
         assert!(lower_rules(&[r]).is_empty());
+    }
+
+    #[test]
+    fn lower_interned_matches_string_lowering() {
+        let rules: Vec<ArticulationRule> = [
+            "carrier.Car => factory.Vehicle",
+            "carrier.Car => transport.PassengerCar => factory.Vehicle",
+            "(factory.CargoCarrier & factory.Vehicle) => carrier.Trucks",
+            "factory.Vehicle => (carrier.Cars | carrier.Trucks)",
+            "F(): a.X => b.Y",
+        ]
+        .iter()
+        .map(|s| parse_rule(s).unwrap())
+        .collect();
+        let expected: Vec<(String, String)> = lower_rules(&rules)
+            .iter()
+            .map(|a| (a.args[0].clone(), a.args[1].clone()))
+            .map(|(a, b)| match (a, b) {
+                (TermArg::Const(a), TermArg::Const(b)) => (a, b),
+                _ => unreachable!("lowered facts are ground"),
+            })
+            .collect();
+        let mut atoms = AtomTable::new();
+        let got: Vec<(String, String)> = lower_rules_interned(&mut atoms, &rules)
+            .into_iter()
+            .map(|(a, b)| (atoms.resolve(a).to_string(), atoms.resolve(b).to_string()))
+            .collect();
+        assert_eq!(got, expected, "same pairs in the same order");
     }
 
     #[test]

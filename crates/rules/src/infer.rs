@@ -1,4 +1,5 @@
-//! Forward-chaining inference over Horn programs.
+//! Forward-chaining inference over Horn programs, keyed by interned
+//! [`AtomId`]s.
 //!
 //! §4.1 motivates restricting articulation rules to Horn clauses so that
 //! "a much lighter (and faster) inference engine" can be plugged in. We
@@ -15,25 +16,37 @@
 //! All strategies compute the same least fixpoint; they differ only in
 //! work done, which [`InferenceStats`] exposes (`atoms_examined` is the
 //! effort proxy reported by bench B6).
+//!
+//! Symbols live in an external [`AtomTable`] rather than inside the fact
+//! base, so one table can back many fact bases (the articulation
+//! generator reuses the system's shared table across runs) and seeding
+//! from a graph goes through [`AtomTable::graph_atoms`] without ever
+//! formatting or hashing a string per fact. The string-accepting methods
+//! here are the thin display/test view the parser boundary needs; the
+//! hot paths are the `*_fact`/`*_ids` variants. The pre-refactor
+//! string-keyed engine survives as [`crate::reference`] for differential
+//! testing and the B12 baseline.
 
 use std::collections::{HashMap, HashSet};
 
+use crate::atoms::{AtomId, AtomTable};
 use crate::horn::{Atom, HornClause, HornProgram, TermArg};
 use crate::{Result, RuleError};
 
-/// A ground fact: interned predicate and argument symbols.
-type Fact = (u32, Vec<u32>);
+/// A ground fact: interned predicate and argument atoms.
+type Fact = (AtomId, Vec<AtomId>);
 
 /// A deduplicated set of ground facts with per-argument indexes.
+///
+/// Facts are tuples of [`AtomId`]s resolved against a caller-owned
+/// [`AtomTable`]; the base itself stores no strings.
 #[derive(Debug, Default, Clone)]
 pub struct FactBase {
-    syms: Vec<Box<str>>,
-    sym_ids: HashMap<Box<str>, u32>,
     facts: HashSet<Fact>,
     /// pred → list of argument tuples (insertion order)
-    by_pred: HashMap<u32, Vec<Vec<u32>>>,
+    by_pred: HashMap<AtomId, Vec<Vec<AtomId>>>,
     /// (pred, position, symbol) → indexes into `by_pred[pred]`
-    index: HashMap<(u32, u8, u32), Vec<u32>>,
+    index: HashMap<(AtomId, u8, AtomId), Vec<u32>>,
 }
 
 impl FactBase {
@@ -42,51 +55,32 @@ impl FactBase {
         Self::default()
     }
 
-    /// Interns a symbol (predicates and constants share one space).
-    pub fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&id) = self.sym_ids.get(s) {
-            return id;
-        }
-        let id = self.syms.len() as u32;
-        let boxed: Box<str> = s.into();
-        self.syms.push(boxed.clone());
-        self.sym_ids.insert(boxed, id);
-        id
-    }
-
-    /// Looks up a symbol without interning.
-    pub fn lookup(&self, s: &str) -> Option<u32> {
-        self.sym_ids.get(s).copied()
-    }
-
-    /// Resolves a symbol id.
-    pub fn resolve(&self, id: u32) -> &str {
-        &self.syms[id as usize]
-    }
-
-    /// Adds a fact by strings; returns true if new.
-    pub fn add(&mut self, pred: &str, args: &[&str]) -> bool {
-        let p = self.intern(pred);
-        let a: Vec<u32> = args.iter().map(|s| self.intern(s)).collect();
-        self.add_ids(p, a)
+    /// Adds a fact by strings (interning through `atoms`); returns true
+    /// if new.
+    pub fn add(&mut self, atoms: &mut AtomTable, pred: &str, args: &[&str]) -> bool {
+        let p = atoms.intern(pred);
+        let a: Vec<AtomId> = args.iter().map(|s| atoms.intern(s)).collect();
+        self.add_fact(p, a)
     }
 
     /// Adds a ground [`Atom`]; returns true if new. Panics if not ground.
-    pub fn add_atom(&mut self, atom: &Atom) -> bool {
+    pub fn add_atom(&mut self, atoms: &mut AtomTable, atom: &Atom) -> bool {
         assert!(atom.is_ground(), "add_atom requires a ground atom");
-        let p = self.intern(&atom.pred);
-        let args: Vec<u32> = atom
+        let p = atoms.intern(&atom.pred);
+        let args: Vec<AtomId> = atom
             .args
             .iter()
             .map(|a| match a {
-                TermArg::Const(c) => self.intern(c),
+                TermArg::Const(c) => atoms.intern(c),
                 TermArg::Var(_) => unreachable!("ground checked"),
             })
             .collect();
-        self.add_ids(p, args)
+        self.add_fact(p, args)
     }
 
-    fn add_ids(&mut self, pred: u32, args: Vec<u32>) -> bool {
+    /// Adds a fact by pre-interned atoms — the zero-allocation seeding
+    /// path; returns true if new.
+    pub fn add_fact(&mut self, pred: AtomId, args: Vec<AtomId>) -> bool {
         let fact = (pred, args);
         if self.facts.contains(&fact) {
             return false;
@@ -102,17 +96,24 @@ impl FactBase {
         true
     }
 
-    /// Membership test by strings.
-    pub fn contains(&self, pred: &str, args: &[&str]) -> bool {
-        let Some(p) = self.lookup(pred) else { return false };
+    /// Membership test by strings (never interns).
+    pub fn contains(&self, atoms: &AtomTable, pred: &str, args: &[&str]) -> bool {
+        let Some(p) = atoms.lookup(pred) else { return false };
         let mut ids = Vec::with_capacity(args.len());
         for s in args {
-            match self.lookup(s) {
+            match atoms.lookup(s) {
                 Some(id) => ids.push(id),
                 None => return false,
             }
         }
         self.facts.contains(&(p, ids))
+    }
+
+    /// Membership test by pre-interned atoms.
+    pub fn contains_fact(&self, pred: AtomId, args: &[AtomId]) -> bool {
+        // allocation-free probe would need a borrowed key; fact tuples
+        // are short so the Vec clone here is cheaper than a custom key
+        self.facts.contains(&(pred, args.to_vec()))
     }
 
     /// Total number of facts.
@@ -125,34 +126,55 @@ impl FactBase {
         self.facts.is_empty()
     }
 
-    /// All facts of a predicate, resolved to strings.
-    pub fn facts_of(&self, pred: &str) -> Vec<Vec<&str>> {
-        let Some(p) = self.lookup(pred) else { return Vec::new() };
+    /// All facts of a predicate, resolved to strings — display/test view.
+    pub fn facts_of<'a>(&'a self, atoms: &'a AtomTable, pred: &str) -> Vec<Vec<&'a str>> {
+        let Some(p) = atoms.lookup(pred) else { return Vec::new() };
         self.by_pred
             .get(&p)
             .map(|list| {
-                list.iter().map(|args| args.iter().map(|&a| self.resolve(a)).collect()).collect()
+                list.iter().map(|args| args.iter().map(|&a| atoms.resolve(a)).collect()).collect()
             })
             .unwrap_or_default()
     }
 
-    /// Binary-predicate query with optional argument constraints.
-    pub fn query2(&self, pred: &str, a: Option<&str>, b: Option<&str>) -> Vec<(&str, &str)> {
-        let Some(p) = self.lookup(pred) else { return Vec::new() };
-        let a_id = a.map(|s| self.lookup(s));
-        let b_id = b.map(|s| self.lookup(s));
+    /// Binary-predicate query with optional argument constraints,
+    /// resolved to strings — display/test view.
+    pub fn query2<'a>(
+        &'a self,
+        atoms: &'a AtomTable,
+        pred: &str,
+        a: Option<&str>,
+        b: Option<&str>,
+    ) -> Vec<(&'a str, &'a str)> {
+        let Some(p) = atoms.lookup(pred) else { return Vec::new() };
+        let a_id = a.map(|s| atoms.lookup(s));
+        let b_id = b.map(|s| atoms.lookup(s));
         if matches!(a_id, Some(None)) || matches!(b_id, Some(None)) {
             return Vec::new(); // constrained to an unknown symbol
         }
-        let list = match self.by_pred.get(&p) {
+        self.query2_ids(p, a_id.flatten(), b_id.flatten())
+            .into_iter()
+            .map(|(x, y)| (atoms.resolve(x), atoms.resolve(y)))
+            .collect()
+    }
+
+    /// Binary-predicate query over pre-interned atoms — the id-path
+    /// variant the articulation generator filters on.
+    pub fn query2_ids(
+        &self,
+        pred: AtomId,
+        a: Option<AtomId>,
+        b: Option<AtomId>,
+    ) -> Vec<(AtomId, AtomId)> {
+        let list = match self.by_pred.get(&pred) {
             Some(l) => l,
             None => return Vec::new(),
         };
         list.iter()
             .filter(|args| args.len() == 2)
-            .filter(|args| a_id.flatten().map(|x| args[0] == x).unwrap_or(true))
-            .filter(|args| b_id.flatten().map(|x| args[1] == x).unwrap_or(true))
-            .map(|args| (self.resolve(args[0]), self.resolve(args[1])))
+            .filter(|args| a.map(|x| args[0] == x).unwrap_or(true))
+            .filter(|args| b.map(|x| args[1] == x).unwrap_or(true))
+            .map(|args| (args[0], args[1]))
             .collect()
     }
 }
@@ -182,7 +204,7 @@ pub struct InferenceStats {
 /// Compiled clause: variables resolved to dense slots.
 #[derive(Debug, Clone)]
 struct CClause {
-    head_pred: u32,
+    head_pred: AtomId,
     head_args: Vec<CArg>,
     body: Vec<CAtom>,
     nvars: usize,
@@ -190,28 +212,30 @@ struct CClause {
 
 #[derive(Debug, Clone)]
 struct CAtom {
-    pred: u32,
+    pred: AtomId,
     args: Vec<CArg>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CArg {
     Slot(usize),
-    Const(u32),
+    Const(AtomId),
 }
 
 /// A forward-chaining engine for one program.
 ///
 /// ```
+/// use onion_rules::atoms::AtomTable;
 /// use onion_rules::horn::HornProgram;
 /// use onion_rules::infer::{FactBase, InferenceEngine};
 ///
 /// let program = HornProgram::parse("si(X, Z) :- si(X, Y), si(Y, Z).").unwrap();
+/// let mut atoms = AtomTable::new();
 /// let mut facts = FactBase::new();
-/// facts.add("si", &["car", "vehicle"]);
-/// facts.add("si", &["vehicle", "transportation"]);
-/// InferenceEngine::new(program).run(&mut facts).unwrap();
-/// assert!(facts.contains("si", &["car", "transportation"]));
+/// facts.add(&mut atoms, "si", &["car", "vehicle"]);
+/// facts.add(&mut atoms, "si", &["vehicle", "transportation"]);
+/// InferenceEngine::new(program).run(&mut atoms, &mut facts).unwrap();
+/// assert!(facts.contains(&atoms, "si", &["car", "transportation"]));
 /// ```
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
@@ -247,23 +271,25 @@ impl InferenceEngine {
         self
     }
 
-    fn compile(&self, fb: &mut FactBase) -> Result<Vec<CClause>> {
+    fn compile(&self, atoms: &mut AtomTable) -> Result<Vec<CClause>> {
         let mut out = Vec::with_capacity(self.program.clauses.len());
         for clause in &self.program.clauses {
-            out.push(compile_clause(clause, fb)?);
+            out.push(compile_clause(clause, atoms)?);
         }
         Ok(out)
     }
 
     /// Runs the program to fixpoint on `fb`, adding derived facts.
-    pub fn run(&self, fb: &mut FactBase) -> Result<InferenceStats> {
-        let clauses = self.compile(fb)?;
+    /// Clause predicates and constants are interned through `atoms` —
+    /// the only interning an inference run performs.
+    pub fn run(&self, atoms: &mut AtomTable, fb: &mut FactBase) -> Result<InferenceStats> {
+        let clauses = self.compile(atoms)?;
         // Ground-fact clauses fire once up front.
         let mut stats = InferenceStats::default();
         let mut delta: Vec<Fact> = Vec::new();
         for c in &clauses {
             if c.body.is_empty() {
-                let args: Vec<u32> = c
+                let args: Vec<AtomId> = c
                     .head_args
                     .iter()
                     .map(|a| match a {
@@ -271,7 +297,7 @@ impl InferenceEngine {
                         CArg::Slot(_) => unreachable!("safety: ground head"),
                     })
                     .collect();
-                if fb.add_ids(c.head_pred, args.clone()) {
+                if fb.add_fact(c.head_pred, args.clone()) {
                     stats.derived += 1;
                     delta.push((c.head_pred, args));
                 }
@@ -331,7 +357,7 @@ impl InferenceEngine {
             }
             let mut added: Vec<Fact> = Vec::new();
             for f in new_facts {
-                if fb.add_ids(f.0, f.1.clone()) {
+                if fb.add_fact(f.0, f.1.clone()) {
                     stats.derived += 1;
                     if self.max_derived != 0 && stats.derived > self.max_derived {
                         return Err(RuleError::BudgetExceeded { derived: stats.derived });
@@ -348,18 +374,18 @@ impl InferenceEngine {
     }
 }
 
-fn compile_clause(clause: &HornClause, fb: &mut FactBase) -> Result<CClause> {
+fn compile_clause(clause: &HornClause, atoms: &mut AtomTable) -> Result<CClause> {
     if !clause.is_safe() {
         return Err(RuleError::UnsafeClause(clause.to_string()));
     }
     let mut slots: HashMap<&str, usize> = HashMap::new();
     let mut body = Vec::with_capacity(clause.body.len());
     for atom in &clause.body {
-        let pred = fb.intern(&atom.pred);
+        let pred = atoms.intern(&atom.pred);
         let mut args = Vec::with_capacity(atom.args.len());
         for a in &atom.args {
             match a {
-                TermArg::Const(c) => args.push(CArg::Const(fb.intern(c))),
+                TermArg::Const(c) => args.push(CArg::Const(atoms.intern(c))),
                 TermArg::Var(v) => {
                     let n = slots.len();
                     let slot = *slots.entry(v.as_str()).or_insert(n);
@@ -369,11 +395,11 @@ fn compile_clause(clause: &HornClause, fb: &mut FactBase) -> Result<CClause> {
         }
         body.push(CAtom { pred, args });
     }
-    let head_pred = fb.intern(&clause.head.pred);
+    let head_pred = atoms.intern(&clause.head.pred);
     let mut head_args = Vec::with_capacity(clause.head.args.len());
     for a in &clause.head.args {
         match a {
-            TermArg::Const(c) => head_args.push(CArg::Const(fb.intern(c))),
+            TermArg::Const(c) => head_args.push(CArg::Const(atoms.intern(c))),
             TermArg::Var(v) => {
                 let slot = *slots.get(v.as_str()).expect("safety guarantees body binding");
                 head_args.push(CArg::Slot(slot));
@@ -383,19 +409,19 @@ fn compile_clause(clause: &HornClause, fb: &mut FactBase) -> Result<CClause> {
     Ok(CClause { head_pred, head_args, nvars: slots.len(), body })
 }
 
-/// Per-round index over the delta facts (same symbol ids as the main
+/// Per-round index over the delta facts (same atom ids as the main
 /// store), giving the delta-constrained body position the same
 /// index-driven candidate generation as the full store.
 struct DeltaIndex<'d> {
     facts: &'d [Fact],
-    by_pred: HashMap<u32, Vec<u32>>,
-    by_arg: HashMap<(u32, u8, u32), Vec<u32>>,
+    by_pred: HashMap<AtomId, Vec<u32>>,
+    by_arg: HashMap<(AtomId, u8, AtomId), Vec<u32>>,
 }
 
 impl<'d> DeltaIndex<'d> {
     fn build(facts: &'d [Fact]) -> Self {
-        let mut by_pred: HashMap<u32, Vec<u32>> = HashMap::new();
-        let mut by_arg: HashMap<(u32, u8, u32), Vec<u32>> = HashMap::new();
+        let mut by_pred: HashMap<AtomId, Vec<u32>> = HashMap::new();
+        let mut by_arg: HashMap<(AtomId, u8, AtomId), Vec<u32>> = HashMap::new();
         for (i, (p, args)) in facts.iter().enumerate() {
             by_pred.entry(*p).or_default().push(i as u32);
             for (pos, &sym) in args.iter().enumerate() {
@@ -406,11 +432,12 @@ impl<'d> DeltaIndex<'d> {
     }
 
     /// Candidates for `atom` under `env`: tightest index available.
-    fn candidates(&self, atom: &CAtom, env: &[Option<u32>]) -> Vec<&'d Vec<u32>> {
-        let bound: Option<(u8, u32)> = atom.args.iter().enumerate().find_map(|(pos, a)| match a {
-            CArg::Const(s) => Some((pos as u8, *s)),
-            CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
-        });
+    fn candidates(&self, atom: &CAtom, env: &[Option<AtomId>]) -> Vec<&'d Vec<AtomId>> {
+        let bound: Option<(u8, AtomId)> =
+            atom.args.iter().enumerate().find_map(|(pos, a)| match a {
+                CArg::Const(s) => Some((pos as u8, *s)),
+                CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
+            });
         let idxs = match bound {
             Some((pos, sym)) => self.by_arg.get(&(atom.pred, pos, sym)),
             None => self.by_pred.get(&atom.pred),
@@ -440,7 +467,7 @@ fn eval_clause(
     out: &mut Vec<Fact>,
     effort: &mut usize,
 ) {
-    let mut env: Vec<Option<u32>> = vec![None; c.nvars];
+    let mut env: Vec<Option<AtomId>> = vec![None; c.nvars];
     join(fb, c, 0, delta.as_ref(), unindexed, &mut env, out, effort);
 }
 
@@ -451,12 +478,12 @@ fn join(
     i: usize,
     delta: Option<&DeltaView<'_, '_>>,
     unindexed: bool,
-    env: &mut Vec<Option<u32>>,
+    env: &mut Vec<Option<AtomId>>,
     out: &mut Vec<Fact>,
     effort: &mut usize,
 ) {
     if i == c.body.len() {
-        let args: Vec<u32> = c
+        let args: Vec<AtomId> = c
             .head_args
             .iter()
             .map(|a| match a {
@@ -470,7 +497,7 @@ fn join(
     let atom = &c.body[i];
 
     // Enumerate candidate facts for this atom.
-    let candidates: Vec<&Vec<u32>> = match delta {
+    let candidates: Vec<&Vec<AtomId>> = match delta {
         Some(dv) if dv.position == i => dv.index.candidates(atom, env),
         _ => {
             if unindexed {
@@ -483,7 +510,7 @@ fn join(
                     .collect()
             } else {
                 // use the tightest available index
-                let bound: Option<(u8, u32)> =
+                let bound: Option<(u8, AtomId)> =
                     atom.args.iter().enumerate().find_map(|(pos, a)| match a {
                         CArg::Const(s) => Some((pos as u8, *s)),
                         CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
@@ -567,30 +594,46 @@ mod tests {
         HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap()
     }
 
-    fn chain_fb(n: usize) -> FactBase {
+    fn chain_fb(n: usize) -> (AtomTable, FactBase) {
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
         for i in 0..n {
-            fb.add("p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+            fb.add(&mut atoms, "p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
         }
-        fb
+        (atoms, fb)
     }
 
     #[test]
     fn factbase_dedup_and_query() {
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        assert!(fb.add("p", &["a", "b"]));
-        assert!(!fb.add("p", &["a", "b"]));
-        assert!(fb.contains("p", &["a", "b"]));
-        assert!(!fb.contains("p", &["b", "a"]));
-        assert!(!fb.contains("q", &["a", "b"]));
+        assert!(fb.add(&mut atoms, "p", &["a", "b"]));
+        assert!(!fb.add(&mut atoms, "p", &["a", "b"]));
+        assert!(fb.contains(&atoms, "p", &["a", "b"]));
+        assert!(!fb.contains(&atoms, "p", &["b", "a"]));
+        assert!(!fb.contains(&atoms, "q", &["a", "b"]));
         assert_eq!(fb.len(), 1);
-        fb.add("p", &["a", "c"]);
-        let from_a = fb.query2("p", Some("a"), None);
+        fb.add(&mut atoms, "p", &["a", "c"]);
+        let from_a = fb.query2(&atoms, "p", Some("a"), None);
         assert_eq!(from_a.len(), 2);
-        assert_eq!(fb.query2("p", Some("a"), Some("c")), vec![("a", "c")]);
-        assert!(fb.query2("p", Some("zz"), None).is_empty());
-        assert_eq!(fb.facts_of("p").len(), 2);
-        assert!(fb.facts_of("nope").is_empty());
+        assert_eq!(fb.query2(&atoms, "p", Some("a"), Some("c")), vec![("a", "c")]);
+        assert!(fb.query2(&atoms, "p", Some("zz"), None).is_empty());
+        assert_eq!(fb.facts_of(&atoms, "p").len(), 2);
+        assert!(fb.facts_of(&atoms, "nope").is_empty());
+    }
+
+    #[test]
+    fn fact_path_and_string_path_coincide() {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let p = atoms.intern("si");
+        let a = atoms.intern("carrier.Car");
+        let b = atoms.intern("factory.Vehicle");
+        assert!(fb.add_fact(p, vec![a, b]));
+        assert!(fb.contains(&atoms, "si", &["carrier.Car", "factory.Vehicle"]));
+        assert!(fb.contains_fact(p, &[a, b]));
+        assert!(!fb.add(&mut atoms, "si", &["carrier.Car", "factory.Vehicle"]));
+        assert_eq!(fb.query2_ids(p, Some(a), None), vec![(a, b)]);
     }
 
     #[test]
@@ -598,9 +641,11 @@ mod tests {
         let n = 12;
         let expected = n * (n + 1) / 2; // pairs (i<j) over chain of n edges
         for strat in [Strategy::SemiNaive, Strategy::Naive, Strategy::FullClosure] {
-            let mut fb = chain_fb(n);
-            let stats =
-                InferenceEngine::new(transitivity()).with_strategy(strat).run(&mut fb).unwrap();
+            let (mut atoms, mut fb) = chain_fb(n);
+            let stats = InferenceEngine::new(transitivity())
+                .with_strategy(strat)
+                .run(&mut atoms, &mut fb)
+                .unwrap();
             assert_eq!(fb.len(), expected, "strategy {strat:?}");
             assert_eq!(stats.derived, expected - n, "strategy {strat:?}");
         }
@@ -609,15 +654,15 @@ mod tests {
     #[test]
     fn seminaive_examines_fewer_atoms_than_fullclosure() {
         let n = 24;
-        let mut fb1 = chain_fb(n);
+        let (mut a1, mut fb1) = chain_fb(n);
         let s1 = InferenceEngine::new(transitivity())
             .with_strategy(Strategy::SemiNaive)
-            .run(&mut fb1)
+            .run(&mut a1, &mut fb1)
             .unwrap();
-        let mut fb2 = chain_fb(n);
+        let (mut a2, mut fb2) = chain_fb(n);
         let s2 = InferenceEngine::new(transitivity())
             .with_strategy(Strategy::FullClosure)
-            .run(&mut fb2)
+            .run(&mut a2, &mut fb2)
             .unwrap();
         assert_eq!(fb1.len(), fb2.len());
         assert!(
@@ -632,40 +677,44 @@ mod tests {
     fn ground_fact_clauses_fire() {
         let prog =
             HornProgram::parse("p(a, b).\n p(b, c).\n p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        let stats = InferenceEngine::new(prog).run(&mut fb).unwrap();
-        assert!(fb.contains("p", &["a", "c"]));
+        let stats = InferenceEngine::new(prog).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "p", &["a", "c"]));
         assert_eq!(stats.derived, 3);
     }
 
     #[test]
     fn symmetric_rule() {
         let prog = HornProgram::parse("r(Y, X) :- r(X, Y).").unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        fb.add("r", &["a", "b"]);
-        InferenceEngine::new(prog).run(&mut fb).unwrap();
-        assert!(fb.contains("r", &["b", "a"]));
+        fb.add(&mut atoms, "r", &["a", "b"]);
+        InferenceEngine::new(prog).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "r", &["b", "a"]));
         assert_eq!(fb.len(), 2);
     }
 
     #[test]
     fn projection_between_predicates() {
         let prog = HornProgram::parse("si(X, Y) :- subclassof(X, Y).").unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        fb.add("subclassof", &["car", "vehicle"]);
-        InferenceEngine::new(prog).run(&mut fb).unwrap();
-        assert!(fb.contains("si", &["car", "vehicle"]));
+        fb.add(&mut atoms, "subclassof", &["car", "vehicle"]);
+        InferenceEngine::new(prog).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "si", &["car", "vehicle"]));
     }
 
     #[test]
     fn constants_in_body_filter() {
         let prog = HornProgram::parse("special(X) :- p(X, vehicle).").unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        fb.add("p", &["car", "vehicle"]);
-        fb.add("p", &["price", "money"]);
-        InferenceEngine::new(prog).run(&mut fb).unwrap();
-        assert!(fb.contains("special", &["car"]));
-        assert!(!fb.contains("special", &["price"]));
+        fb.add(&mut atoms, "p", &["car", "vehicle"]);
+        fb.add(&mut atoms, "p", &["price", "money"]);
+        InferenceEngine::new(prog).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "special", &["car"]));
+        assert!(!fb.contains(&atoms, "special", &["price"]));
     }
 
     #[test]
@@ -673,22 +722,24 @@ mod tests {
         let prog =
             HornProgram::parse("grandparent(X, Z) :- parent(X, Y), parent(Y, Z), person(X, X).")
                 .unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        fb.add("parent", &["a", "b"]);
-        fb.add("parent", &["b", "c"]);
-        fb.add("person", &["a", "a"]);
-        InferenceEngine::new(prog).run(&mut fb).unwrap();
-        assert!(fb.contains("grandparent", &["a", "c"]));
+        fb.add(&mut atoms, "parent", &["a", "b"]);
+        fb.add(&mut atoms, "parent", &["b", "c"]);
+        fb.add(&mut atoms, "person", &["a", "a"]);
+        InferenceEngine::new(prog).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "grandparent", &["a", "c"]));
         // b has no person fact, so nothing from b
-        assert_eq!(fb.facts_of("grandparent").len(), 1);
+        assert_eq!(fb.facts_of(&atoms, "grandparent").len(), 1);
     }
 
     #[test]
     fn cyclic_facts_terminate() {
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        fb.add("p", &["a", "b"]);
-        fb.add("p", &["b", "a"]);
-        let stats = InferenceEngine::new(transitivity()).run(&mut fb).unwrap();
+        fb.add(&mut atoms, "p", &["a", "b"]);
+        fb.add(&mut atoms, "p", &["b", "a"]);
+        let stats = InferenceEngine::new(transitivity()).run(&mut atoms, &mut fb).unwrap();
         // closure of a 2-cycle: all four ordered pairs
         assert_eq!(fb.len(), 4);
         assert!(stats.iterations < 10);
@@ -696,23 +747,29 @@ mod tests {
 
     #[test]
     fn budget_exceeded_derived() {
-        let mut fb = chain_fb(50);
-        let err = InferenceEngine::new(transitivity()).with_budget(10, 0).run(&mut fb).unwrap_err();
+        let (mut atoms, mut fb) = chain_fb(50);
+        let err = InferenceEngine::new(transitivity())
+            .with_budget(10, 0)
+            .run(&mut atoms, &mut fb)
+            .unwrap_err();
         assert!(matches!(err, RuleError::BudgetExceeded { derived } if derived > 10));
     }
 
     #[test]
     fn budget_exceeded_iterations() {
-        let mut fb = chain_fb(50);
-        let err = InferenceEngine::new(transitivity()).with_budget(0, 2).run(&mut fb).unwrap_err();
+        let (mut atoms, mut fb) = chain_fb(50);
+        let err = InferenceEngine::new(transitivity())
+            .with_budget(0, 2)
+            .run(&mut atoms, &mut fb)
+            .unwrap_err();
         assert!(matches!(err, RuleError::BudgetExceeded { .. }));
     }
 
     #[test]
     fn empty_program_is_noop() {
-        let mut fb = chain_fb(3);
+        let (mut atoms, mut fb) = chain_fb(3);
         let before = fb.len();
-        let stats = InferenceEngine::new(HornProgram::new()).run(&mut fb).unwrap();
+        let stats = InferenceEngine::new(HornProgram::new()).run(&mut atoms, &mut fb).unwrap();
         assert_eq!(fb.len(), before);
         assert_eq!(stats.derived, 0);
     }
@@ -721,25 +778,42 @@ mod tests {
     fn standard_program_on_ontology_facts() {
         use crate::properties::RelationRegistry;
         let prog = HornProgram::standard(&RelationRegistry::onion_default());
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
-        fb.add("subclassof", &["suv", "car"]);
-        fb.add("subclassof", &["car", "vehicle"]);
-        InferenceEngine::new(prog).run(&mut fb).unwrap();
-        assert!(fb.contains("subclassof", &["suv", "vehicle"]), "transitivity");
-        assert!(fb.contains("si", &["suv", "car"]), "subclass implies si");
-        assert!(fb.contains("si", &["suv", "vehicle"]), "si closed transitively");
+        fb.add(&mut atoms, "subclassof", &["suv", "car"]);
+        fb.add(&mut atoms, "subclassof", &["car", "vehicle"]);
+        InferenceEngine::new(prog).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "subclassof", &["suv", "vehicle"]), "transitivity");
+        assert!(fb.contains(&atoms, "si", &["suv", "car"]), "subclass implies si");
+        assert!(fb.contains(&atoms, "si", &["suv", "vehicle"]), "si closed transitively");
     }
 
     #[test]
     fn diamond_derivation_no_duplicates() {
         // a->b, a->c, b->d, c->d: a->d derivable two ways, counted once
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
         for (x, y) in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")] {
-            fb.add("p", &[x, y]);
+            fb.add(&mut atoms, "p", &[x, y]);
         }
-        let stats = InferenceEngine::new(transitivity()).run(&mut fb).unwrap();
-        assert!(fb.contains("p", &["a", "d"]));
+        let stats = InferenceEngine::new(transitivity()).run(&mut atoms, &mut fb).unwrap();
+        assert!(fb.contains(&atoms, "p", &["a", "d"]));
         assert_eq!(stats.derived, 1);
         assert_eq!(fb.len(), 5);
+    }
+
+    #[test]
+    fn shared_table_backs_many_fact_bases() {
+        // the OnionSystem reuse shape: one table, fresh fact bases
+        let mut atoms = AtomTable::new();
+        let mut fb1 = FactBase::new();
+        fb1.add(&mut atoms, "p", &["a", "b"]);
+        InferenceEngine::new(transitivity()).run(&mut atoms, &mut fb1).unwrap();
+        let interned = atoms.len();
+        let mut fb2 = FactBase::new();
+        fb2.add(&mut atoms, "p", &["a", "b"]);
+        InferenceEngine::new(transitivity()).run(&mut atoms, &mut fb2).unwrap();
+        assert_eq!(atoms.len(), interned, "second identical run interns nothing new");
+        assert_eq!(fb1.len(), fb2.len());
     }
 }

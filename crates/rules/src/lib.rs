@@ -23,16 +23,27 @@
 //! declarations ([`properties`]) such as the transitivity of
 //! `SubclassOf`, the conversion-function registry ([`convert`]), and
 //! rule-set [`conflict`] detection.
+//!
+//! Inference runs over interned [`atoms`]: an [`AtomTable`] maps rule
+//! terms, predicates and graph nodes to dense [`atoms::AtomId`]s, and
+//! the [`infer::FactBase`] stores only ids — the parser and the rule AST
+//! stay string-typed (text is the expert-facing boundary), while
+//! everything from `FactBase` seeding to unification joins compares
+//! `u32`s. The pre-refactor string-keyed engine is preserved verbatim in
+//! [`mod@reference`] as a differential baseline.
 
 pub mod ast;
+pub mod atoms;
 pub mod conflict;
 pub mod convert;
 pub mod horn;
 pub mod infer;
 pub mod parser;
 pub mod properties;
+pub mod reference;
 
 pub use ast::{ArticulationRule, RuleExpr, RuleSet, Term};
+pub use atoms::{AtomId, AtomTable};
 pub use convert::{ConversionRegistry, Converter};
 pub use horn::{Atom, HornClause, HornProgram, TermArg};
 pub use infer::{FactBase, InferenceEngine, InferenceStats, Strategy};

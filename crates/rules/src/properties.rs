@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::atoms::{AtomId, AtomTable};
+
 /// Logical properties of one relationship (edge label).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RelationProperties {
@@ -129,6 +131,16 @@ impl RelationRegistry {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &RelationProperties)> {
         self.relations.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Interns the canonical predicate name (see
+    /// [`crate::horn::pred_name`]) of every declared relation, in name
+    /// order — the id-space the inference engine joins over.
+    pub fn pred_atoms(&self, atoms: &mut AtomTable) -> Vec<(AtomId, &RelationProperties)> {
+        self.relations
+            .iter()
+            .map(|(name, props)| (atoms.intern(&crate::horn::pred_name(name)), props))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +185,16 @@ mod tests {
         r.declare("rel", RelationProperties::none().transitive());
         assert!(r.is_transitive("rel"));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn pred_atoms_intern_lowercased_names_in_order() {
+        let r = RelationRegistry::onion_default();
+        let mut atoms = AtomTable::new();
+        let preds = r.pred_atoms(&mut atoms);
+        let names: Vec<&str> = preds.iter().map(|(id, _)| atoms.resolve(*id)).collect();
+        assert_eq!(names, vec!["attributeof", "instanceof", "si", "subclassof"]);
+        assert!(preds.iter().any(|(id, p)| atoms.resolve(*id) == "subclassof" && p.transitive));
     }
 
     #[test]

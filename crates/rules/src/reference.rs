@@ -1,0 +1,540 @@
+//! The **frozen pre-refactor string-keyed engine**, kept verbatim as a
+//! differential baseline.
+//!
+//! When the production engine ([`crate::infer`]) moved from string atoms
+//! to interned [`crate::atoms::AtomId`]s, this module preserved the old
+//! implementation: a [`FactBase`] that interns `&str` symbols into a
+//! private symbol space and the identical semi-naive / naive /
+//! full-closure evaluator over them. Two consumers depend on it staying
+//! byte-for-byte equivalent in behaviour:
+//!
+//! * the `inference_props` differential property test runs random Horn
+//!   programs through both engines and asserts the derived fact sets
+//!   *and* [`InferenceStats`] counters are identical;
+//! * bench **B12** records the string-keyed seeded-build series as the
+//!   baseline the interned path is compared against.
+//!
+//! Do not "improve" this module; it is a measuring stick.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::horn::{Atom, HornClause, HornProgram, TermArg};
+use crate::infer::{InferenceStats, Strategy};
+use crate::{Result, RuleError};
+
+/// A ground fact: interned predicate and argument symbols.
+type Fact = (u32, Vec<u32>);
+
+/// The string-keyed fact base of the pre-refactor engine.
+#[derive(Debug, Default, Clone)]
+pub struct FactBase {
+    syms: Vec<Box<str>>,
+    sym_ids: HashMap<Box<str>, u32>,
+    facts: HashSet<Fact>,
+    /// pred → list of argument tuples (insertion order)
+    by_pred: HashMap<u32, Vec<Vec<u32>>>,
+    /// (pred, position, symbol) → indexes into `by_pred[pred]`
+    index: HashMap<(u32, u8, u32), Vec<u32>>,
+}
+
+impl FactBase {
+    /// Empty fact base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a symbol (predicates and constants share one space).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.sym_ids.get(s) {
+            return id;
+        }
+        let id = self.syms.len() as u32;
+        let boxed: Box<str> = s.into();
+        self.syms.push(boxed.clone());
+        self.sym_ids.insert(boxed, id);
+        id
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.sym_ids.get(s).copied()
+    }
+
+    /// Resolves a symbol id.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.syms[id as usize]
+    }
+
+    /// Adds a fact by strings; returns true if new.
+    pub fn add(&mut self, pred: &str, args: &[&str]) -> bool {
+        let p = self.intern(pred);
+        let a: Vec<u32> = args.iter().map(|s| self.intern(s)).collect();
+        self.add_ids(p, a)
+    }
+
+    /// Adds a ground [`Atom`]; returns true if new. Panics if not ground.
+    pub fn add_atom(&mut self, atom: &Atom) -> bool {
+        assert!(atom.is_ground(), "add_atom requires a ground atom");
+        let p = self.intern(&atom.pred);
+        let args: Vec<u32> = atom
+            .args
+            .iter()
+            .map(|a| match a {
+                TermArg::Const(c) => self.intern(c),
+                TermArg::Var(_) => unreachable!("ground checked"),
+            })
+            .collect();
+        self.add_ids(p, args)
+    }
+
+    fn add_ids(&mut self, pred: u32, args: Vec<u32>) -> bool {
+        let fact = (pred, args);
+        if self.facts.contains(&fact) {
+            return false;
+        }
+        let (pred, args) = fact.clone();
+        let list = self.by_pred.entry(pred).or_default();
+        let pos = list.len() as u32;
+        for (i, &sym) in args.iter().enumerate() {
+            self.index.entry((pred, i as u8, sym)).or_default().push(pos);
+        }
+        list.push(args);
+        self.facts.insert(fact);
+        true
+    }
+
+    /// Membership test by strings.
+    pub fn contains(&self, pred: &str, args: &[&str]) -> bool {
+        let Some(p) = self.lookup(pred) else { return false };
+        let mut ids = Vec::with_capacity(args.len());
+        for s in args {
+            match self.lookup(s) {
+                Some(id) => ids.push(id),
+                None => return false,
+            }
+        }
+        self.facts.contains(&(p, ids))
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// All facts of a predicate, resolved to strings.
+    pub fn facts_of(&self, pred: &str) -> Vec<Vec<&str>> {
+        let Some(p) = self.lookup(pred) else { return Vec::new() };
+        self.by_pred
+            .get(&p)
+            .map(|list| {
+                list.iter().map(|args| args.iter().map(|&a| self.resolve(a)).collect()).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Binary-predicate query with optional argument constraints.
+    pub fn query2(&self, pred: &str, a: Option<&str>, b: Option<&str>) -> Vec<(&str, &str)> {
+        let Some(p) = self.lookup(pred) else { return Vec::new() };
+        let a_id = a.map(|s| self.lookup(s));
+        let b_id = b.map(|s| self.lookup(s));
+        if matches!(a_id, Some(None)) || matches!(b_id, Some(None)) {
+            return Vec::new(); // constrained to an unknown symbol
+        }
+        let list = match self.by_pred.get(&p) {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        list.iter()
+            .filter(|args| args.len() == 2)
+            .filter(|args| a_id.flatten().map(|x| args[0] == x).unwrap_or(true))
+            .filter(|args| b_id.flatten().map(|x| args[1] == x).unwrap_or(true))
+            .map(|args| (self.resolve(args[0]), self.resolve(args[1])))
+            .collect()
+    }
+}
+
+/// Compiled clause: variables resolved to dense slots.
+#[derive(Debug, Clone)]
+struct CClause {
+    head_pred: u32,
+    head_args: Vec<CArg>,
+    body: Vec<CAtom>,
+    nvars: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CAtom {
+    pred: u32,
+    args: Vec<CArg>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CArg {
+    Slot(usize),
+    Const(u32),
+}
+
+/// The pre-refactor forward-chaining engine over [`FactBase`].
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    program: HornProgram,
+    strategy: Strategy,
+    /// Abort once this many facts have been derived (0 = unlimited).
+    pub max_derived: usize,
+    /// Abort after this many rounds (0 = unlimited).
+    pub max_iterations: usize,
+}
+
+impl InferenceEngine {
+    /// Engine with the production strategy (semi-naive).
+    pub fn new(program: HornProgram) -> Self {
+        InferenceEngine {
+            program,
+            strategy: Strategy::SemiNaive,
+            max_derived: 0,
+            max_iterations: 0,
+        }
+    }
+
+    /// Selects a strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the derivation budget.
+    pub fn with_budget(mut self, max_derived: usize, max_iterations: usize) -> Self {
+        self.max_derived = max_derived;
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    fn compile(&self, fb: &mut FactBase) -> Result<Vec<CClause>> {
+        let mut out = Vec::with_capacity(self.program.clauses.len());
+        for clause in &self.program.clauses {
+            out.push(compile_clause(clause, fb)?);
+        }
+        Ok(out)
+    }
+
+    /// Runs the program to fixpoint on `fb`, adding derived facts.
+    pub fn run(&self, fb: &mut FactBase) -> Result<InferenceStats> {
+        let clauses = self.compile(fb)?;
+        // Ground-fact clauses fire once up front.
+        let mut stats = InferenceStats::default();
+        let mut delta: Vec<Fact> = Vec::new();
+        for c in &clauses {
+            if c.body.is_empty() {
+                let args: Vec<u32> = c
+                    .head_args
+                    .iter()
+                    .map(|a| match a {
+                        CArg::Const(s) => *s,
+                        CArg::Slot(_) => unreachable!("safety: ground head"),
+                    })
+                    .collect();
+                if fb.add_ids(c.head_pred, args.clone()) {
+                    stats.derived += 1;
+                    delta.push((c.head_pred, args));
+                }
+            }
+        }
+        // Seed delta with everything for semi-naive round one.
+        if self.strategy == Strategy::SemiNaive {
+            delta = fb
+                .by_pred
+                .iter()
+                .flat_map(|(&p, list)| list.iter().map(move |a| (p, a.clone())))
+                .collect();
+        }
+
+        loop {
+            stats.iterations += 1;
+            if self.max_iterations != 0 && stats.iterations > self.max_iterations {
+                return Err(RuleError::BudgetExceeded { derived: stats.derived });
+            }
+            let mut new_facts: Vec<Fact> = Vec::new();
+            match self.strategy {
+                Strategy::SemiNaive => {
+                    let delta_set: HashSet<&Fact> = delta.iter().collect();
+                    let dix = DeltaIndex::build(&delta);
+                    for c in &clauses {
+                        if c.body.is_empty() {
+                            continue;
+                        }
+                        for d in 0..c.body.len() {
+                            eval_clause(
+                                fb,
+                                c,
+                                Some(DeltaView { index: &dix, set: &delta_set, position: d }),
+                                false,
+                                &mut new_facts,
+                                &mut stats.atoms_examined,
+                            );
+                        }
+                    }
+                }
+                Strategy::Naive | Strategy::FullClosure => {
+                    let unindexed = self.strategy == Strategy::FullClosure;
+                    for c in &clauses {
+                        if c.body.is_empty() {
+                            continue;
+                        }
+                        eval_clause(
+                            fb,
+                            c,
+                            None,
+                            unindexed,
+                            &mut new_facts,
+                            &mut stats.atoms_examined,
+                        );
+                    }
+                }
+            }
+            let mut added: Vec<Fact> = Vec::new();
+            for f in new_facts {
+                if fb.add_ids(f.0, f.1.clone()) {
+                    stats.derived += 1;
+                    if self.max_derived != 0 && stats.derived > self.max_derived {
+                        return Err(RuleError::BudgetExceeded { derived: stats.derived });
+                    }
+                    added.push(f);
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            delta = added;
+        }
+        Ok(stats)
+    }
+}
+
+fn compile_clause(clause: &HornClause, fb: &mut FactBase) -> Result<CClause> {
+    if !clause.is_safe() {
+        return Err(RuleError::UnsafeClause(clause.to_string()));
+    }
+    let mut slots: HashMap<&str, usize> = HashMap::new();
+    let mut body = Vec::with_capacity(clause.body.len());
+    for atom in &clause.body {
+        let pred = fb.intern(&atom.pred);
+        let mut args = Vec::with_capacity(atom.args.len());
+        for a in &atom.args {
+            match a {
+                TermArg::Const(c) => args.push(CArg::Const(fb.intern(c))),
+                TermArg::Var(v) => {
+                    let n = slots.len();
+                    let slot = *slots.entry(v.as_str()).or_insert(n);
+                    args.push(CArg::Slot(slot));
+                }
+            }
+        }
+        body.push(CAtom { pred, args });
+    }
+    let head_pred = fb.intern(&clause.head.pred);
+    let mut head_args = Vec::with_capacity(clause.head.args.len());
+    for a in &clause.head.args {
+        match a {
+            TermArg::Const(c) => head_args.push(CArg::Const(fb.intern(c))),
+            TermArg::Var(v) => {
+                let slot = *slots.get(v.as_str()).expect("safety guarantees body binding");
+                head_args.push(CArg::Slot(slot));
+            }
+        }
+    }
+    Ok(CClause { head_pred, head_args, nvars: slots.len(), body })
+}
+
+/// Per-round index over the delta facts (same symbol ids as the main
+/// store).
+struct DeltaIndex<'d> {
+    facts: &'d [Fact],
+    by_pred: HashMap<u32, Vec<u32>>,
+    by_arg: HashMap<(u32, u8, u32), Vec<u32>>,
+}
+
+impl<'d> DeltaIndex<'d> {
+    fn build(facts: &'d [Fact]) -> Self {
+        let mut by_pred: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut by_arg: HashMap<(u32, u8, u32), Vec<u32>> = HashMap::new();
+        for (i, (p, args)) in facts.iter().enumerate() {
+            by_pred.entry(*p).or_default().push(i as u32);
+            for (pos, &sym) in args.iter().enumerate() {
+                by_arg.entry((*p, pos as u8, sym)).or_default().push(i as u32);
+            }
+        }
+        DeltaIndex { facts, by_pred, by_arg }
+    }
+
+    fn candidates(&self, atom: &CAtom, env: &[Option<u32>]) -> Vec<&'d Vec<u32>> {
+        let bound: Option<(u8, u32)> = atom.args.iter().enumerate().find_map(|(pos, a)| match a {
+            CArg::Const(s) => Some((pos as u8, *s)),
+            CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
+        });
+        let idxs = match bound {
+            Some((pos, sym)) => self.by_arg.get(&(atom.pred, pos, sym)),
+            None => self.by_pred.get(&atom.pred),
+        };
+        idxs.map(|v| v.iter().map(|&i| &self.facts[i as usize].1).collect()).unwrap_or_default()
+    }
+}
+
+struct DeltaView<'a, 'd> {
+    index: &'a DeltaIndex<'d>,
+    set: &'a HashSet<&'a Fact>,
+    position: usize,
+}
+
+fn eval_clause(
+    fb: &FactBase,
+    c: &CClause,
+    delta: Option<DeltaView<'_, '_>>,
+    unindexed: bool,
+    out: &mut Vec<Fact>,
+    effort: &mut usize,
+) {
+    let mut env: Vec<Option<u32>> = vec![None; c.nvars];
+    join(fb, c, 0, delta.as_ref(), unindexed, &mut env, out, effort);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    fb: &FactBase,
+    c: &CClause,
+    i: usize,
+    delta: Option<&DeltaView<'_, '_>>,
+    unindexed: bool,
+    env: &mut Vec<Option<u32>>,
+    out: &mut Vec<Fact>,
+    effort: &mut usize,
+) {
+    if i == c.body.len() {
+        let args: Vec<u32> = c
+            .head_args
+            .iter()
+            .map(|a| match a {
+                CArg::Const(s) => *s,
+                CArg::Slot(s) => env[*s].expect("head slots bound (safety)"),
+            })
+            .collect();
+        out.push((c.head_pred, args));
+        return;
+    }
+    let atom = &c.body[i];
+
+    let candidates: Vec<&Vec<u32>> = match delta {
+        Some(dv) if dv.position == i => dv.index.candidates(atom, env),
+        _ => {
+            if unindexed {
+                fb.by_pred
+                    .iter()
+                    .flat_map(|(&p, list)| list.iter().map(move |a| (p, a)))
+                    .filter(|(p, _)| *p == atom.pred)
+                    .map(|(_, a)| a)
+                    .collect()
+            } else {
+                let bound: Option<(u8, u32)> =
+                    atom.args.iter().enumerate().find_map(|(pos, a)| match a {
+                        CArg::Const(s) => Some((pos as u8, *s)),
+                        CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
+                    });
+                match bound {
+                    Some((pos, sym)) => {
+                        let list = fb.by_pred.get(&atom.pred);
+                        fb.index
+                            .get(&(atom.pred, pos, sym))
+                            .map(|idxs| {
+                                let list = list.expect("index implies pred list");
+                                idxs.iter().map(|&j| &list[j as usize]).collect()
+                            })
+                            .unwrap_or_default()
+                    }
+                    None => {
+                        fb.by_pred.get(&atom.pred).map(|l| l.iter().collect()).unwrap_or_default()
+                    }
+                }
+            }
+        }
+    };
+
+    for fact_args in candidates {
+        *effort += 1;
+        if fact_args.len() != atom.args.len() {
+            continue;
+        }
+        if let Some(dv) = delta {
+            if i < dv.position {
+                let probe: Fact = (atom.pred, fact_args.clone());
+                if dv.set.contains(&probe) {
+                    continue;
+                }
+            }
+        }
+        let mut trail: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (a, &v) in atom.args.iter().zip(fact_args.iter()) {
+            match a {
+                CArg::Const(s) => {
+                    if *s != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                CArg::Slot(s) => match env[*s] {
+                    Some(bound) => {
+                        if bound != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env[*s] = Some(v);
+                        trail.push(*s);
+                    }
+                },
+            }
+        }
+        if ok {
+            join(fb, c, i + 1, delta, unindexed, env, out, effort);
+        }
+        for s in trail {
+            env[s] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::horn::HornProgram;
+
+    #[test]
+    fn reference_engine_still_computes_closures() {
+        let prog = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut fb = FactBase::new();
+        for i in 0..8 {
+            fb.add("p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        }
+        for strat in [Strategy::SemiNaive, Strategy::Naive, Strategy::FullClosure] {
+            let mut f = fb.clone();
+            InferenceEngine::new(prog.clone()).with_strategy(strat).run(&mut f).unwrap();
+            assert_eq!(f.len(), 8 * 9 / 2, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn reference_budgets_still_fire() {
+        let prog = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut fb = FactBase::new();
+        for i in 0..40 {
+            fb.add("p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        }
+        let err = InferenceEngine::new(prog).with_budget(5, 0).run(&mut fb).unwrap_err();
+        assert!(matches!(err, RuleError::BudgetExceeded { .. }));
+    }
+}

@@ -1,0 +1,92 @@
+//! Fact-base seeding helpers for inference tests and bench B12.
+//!
+//! Both functions seed `subclassof(src, dst)` facts — one per live
+//! `SubclassOf` edge of the ontology's graph, endpoints qualified by the
+//! ontology name — exactly the way the articulation generator's
+//! inference expansion does. The two paths exist to be *compared*:
+//!
+//! * [`seed_subclass_facts`] drives the interned engine through
+//!   [`AtomTable::graph_atoms`] — no string is formatted or hashed per
+//!   fact;
+//! * [`seed_subclass_facts_strings`] replays the pre-refactor string
+//!   path (`format!("{onto}.{label}")` per endpoint) into the frozen
+//!   [`mod@reference`] fact base.
+//!
+//! The `inference_props` suite asserts the two fact sets are identical;
+//! B12 records their build-time gap.
+
+use onion_graph::rel;
+use onion_ontology::Ontology;
+use onion_rules::infer::FactBase;
+use onion_rules::{reference, AtomTable};
+
+/// Seeds `fb` with one interned `subclassof` fact per live subclass
+/// edge; returns how many facts were added.
+pub fn seed_subclass_facts(onto: &Ontology, atoms: &mut AtomTable, fb: &mut FactBase) -> usize {
+    let g = onto.graph();
+    let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { return 0 };
+    let pred = atoms.intern("subclassof");
+    let mut cursor = atoms.graph_atoms(g);
+    let mut added = 0;
+    for (_, src, lid, dst) in g.edge_entries() {
+        if lid != sub {
+            continue;
+        }
+        let (Some(s), Some(d)) = (cursor.node_atom(src), cursor.node_atom(dst)) else { continue };
+        if fb.add_fact(pred, vec![s, d]) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Seeds the string-keyed reference fact base the pre-refactor way;
+/// returns how many facts were added.
+pub fn seed_subclass_facts_strings(onto: &Ontology, fb: &mut reference::FactBase) -> usize {
+    let g = onto.graph();
+    let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { return 0 };
+    let mut added = 0;
+    for (_, src, lid, dst) in g.edge_entries() {
+        if lid != sub {
+            continue;
+        }
+        let (Some(sl), Some(dl)) = (g.node_label(src), g.node_label(dst)) else { continue };
+        let s = format!("{}.{}", g.name(), sl);
+        let d = format!("{}.{}", g.name(), dl);
+        if fb.add("subclassof", &[&s, &d]) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_ontology, OntologySpec};
+
+    #[test]
+    fn interned_and_string_seeding_agree() {
+        let onto = generate_ontology(&OntologySpec::sized("seedcheck", 7, 80));
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let n1 = seed_subclass_facts(&onto, &mut atoms, &mut fb);
+        let mut sref = reference::FactBase::new();
+        let n2 = seed_subclass_facts_strings(&onto, &mut sref);
+        assert_eq!(n1, n2);
+        assert_eq!(fb.len(), sref.len());
+        let mut a: Vec<(String, String)> = fb
+            .query2(&atoms, "subclassof", None, None)
+            .into_iter()
+            .map(|(x, y)| (x.to_string(), y.to_string()))
+            .collect();
+        let mut b: Vec<(String, String)> = sref
+            .query2("subclassof", None, None)
+            .into_iter()
+            .map(|(x, y)| (x.to_string(), y.to_string()))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "both paths seed the identical fact set");
+    }
+}

@@ -17,12 +17,14 @@
 
 pub mod baseline;
 pub mod gen;
+pub mod infer;
 pub mod metrics;
 pub mod overlap;
 pub mod workload;
 
 pub use baseline::GlobalMerge;
 pub use gen::{generate_dag, generate_graph, generate_ontology, GraphSpec, OntologySpec};
+pub use infer::{seed_subclass_facts, seed_subclass_facts_strings};
 pub use metrics::{precision_recall, PrMetrics};
 pub use overlap::{overlap_pair, OverlapPair, OverlapSpec};
 pub use workload::{closure_sources, random_queries, update_stream, UpdateSpec};

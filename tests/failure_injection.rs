@@ -139,13 +139,15 @@ fn facade_reports_each_missing_piece() {
 fn rule_budget_prevents_runaway_inference() {
     use onion_core::rules::horn::HornProgram;
     use onion_core::rules::infer::{FactBase, InferenceEngine};
+    use onion_core::rules::AtomTable;
     // pair-doubling program grows quadratically; the budget must stop it
     let prog = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+    let mut atoms = AtomTable::new();
     let mut fb = FactBase::new();
     for i in 0..200 {
-        fb.add("p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        fb.add(&mut atoms, "p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
     }
-    let err = InferenceEngine::new(prog).with_budget(500, 0).run(&mut fb).unwrap_err();
+    let err = InferenceEngine::new(prog).with_budget(500, 0).run(&mut atoms, &mut fb).unwrap_err();
     assert!(matches!(err, onion_core::rules::RuleError::BudgetExceeded { .. }));
 }
 

@@ -1,7 +1,9 @@
-//! Property-based equivalence of the inference strategies (§4.1 / B6):
-//! semi-naive, naive and the full-closure baseline must compute the same
-//! least fixpoint on arbitrary fact bases, and closure inference must
-//! agree with graph reachability.
+//! Property-based equivalence of the inference strategies (§4.1 / B6)
+//! **and** of the two engine generations: the interned-`AtomId` engine
+//! (`onion_rules::infer`) must be observationally identical — derived
+//! fact sets *and* work counters — to the frozen pre-refactor
+//! string-keyed engine (`onion_rules::reference`) on arbitrary Horn
+//! programs built through the textual `parser`/`horn` boundary.
 
 use proptest::prelude::*;
 
@@ -10,14 +12,85 @@ use onion_core::graph::traverse::EdgeFilter;
 use onion_core::prelude::*;
 use onion_core::rules::horn::HornProgram;
 use onion_core::rules::infer::{FactBase, InferenceEngine, Strategy as InferStrategy};
+use onion_core::rules::reference;
+use onion_core::rules::AtomTable;
+use onion_core::testkit::seed_subclass_facts;
 
 fn edge_list() -> impl Strategy<Value = Vec<(u8, u8)>> {
     prop::collection::vec((0u8..10, 0u8..10), 0..30)
 }
 
-fn sorted_facts(fb: &FactBase, pred: &str) -> Vec<(String, String)> {
+/// Symbol vocabulary mixing unqualified, qualified and multi-dot names,
+/// so the differential test exercises the atom table's namespace split.
+fn sym(i: u8) -> String {
+    match i % 3 {
+        0 => format!("n{i}"),
+        1 => format!("o1.t{i}"),
+        _ => format!("o2.sub.t{i}"),
+    }
+}
+
+/// Known-safe clause templates over the shared vocabulary; programs are
+/// random subsequences, composed and re-parsed through the text form.
+const CLAUSES: &[&str] = &[
+    "p(X, Z) :- p(X, Y), p(Y, Z).",
+    "q(Y, X) :- p(X, Y).",
+    "si(X, Y) :- p(X, Y).",
+    "si(X, Z) :- si(X, Y), si(Y, Z).",
+    "r(X) :- p(X, \"o1.t1\").",
+    "si(X, Y) :- p(X, Y), q(X, Y).",
+    "p(\"o1.t4\", \"o2.sub.t5\").",
+    "touched(X) :- q(X, Y), si(Y, X).",
+];
+
+const PREDS: &[&str] = &["p", "q", "r", "si", "touched"];
+
+fn program_text() -> impl Strategy<Value = String> {
+    // bitmask subset of the templates (1.. so programs are non-empty);
+    // the vendored proptest shim has no prop::sample
+    (1usize..(1 << CLAUSES.len())).prop_map(|mask| {
+        CLAUSES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| *c)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+/// Every predicate's fact set, resolved to strings and sorted.
+fn interned_facts(fb: &FactBase, atoms: &AtomTable) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for pred in PREDS {
+        let mut rows: Vec<Vec<String>> = fb
+            .facts_of(atoms, pred)
+            .into_iter()
+            .map(|args| args.into_iter().map(str::to_string).collect())
+            .collect();
+        rows.sort();
+        out.push(rows.into_iter().flatten().collect());
+    }
+    out
+}
+
+fn reference_facts(fb: &reference::FactBase) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for pred in PREDS {
+        let mut rows: Vec<Vec<String>> = fb
+            .facts_of(pred)
+            .into_iter()
+            .map(|args| args.into_iter().map(str::to_string).collect())
+            .collect();
+        rows.sort();
+        out.push(rows.into_iter().flatten().collect());
+    }
+    out
+}
+
+fn sorted_facts(atoms: &AtomTable, fb: &FactBase, pred: &str) -> Vec<(String, String)> {
     let mut v: Vec<(String, String)> = fb
-        .query2(pred, None, None)
+        .query2(atoms, pred, None, None)
         .into_iter()
         .map(|(a, b)| (a.to_string(), b.to_string()))
         .collect();
@@ -28,21 +101,104 @@ fn sorted_facts(fb: &FactBase, pred: &str) -> Vec<(String, String)> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
+    /// THE differential property of the AtomId port: on random programs
+    /// (through the parser text form) and random fact sets, the interned
+    /// engine and the frozen string-keyed reference derive identical
+    /// fact sets with identical `InferenceStats`, for every strategy.
+    #[test]
+    fn interned_engine_matches_string_reference(
+        text in program_text(),
+        edges in edge_list(),
+        strat_ix in 0usize..3,
+    ) {
+        let strat = [InferStrategy::SemiNaive, InferStrategy::Naive, InferStrategy::FullClosure]
+            [strat_ix];
+        let program = HornProgram::parse(&text).unwrap();
+
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let mut rfb = reference::FactBase::new();
+        for (a, b) in &edges {
+            let (sa, sb) = (sym(*a), sym(*b));
+            fb.add(&mut atoms, "p", &[&sa, &sb]);
+            rfb.add("p", &[&sa, &sb]);
+        }
+        let stats = InferenceEngine::new(program.clone())
+            .with_strategy(strat)
+            .run(&mut atoms, &mut fb)
+            .unwrap();
+        let ref_stats = reference::InferenceEngine::new(program)
+            .with_strategy(strat)
+            .run(&mut rfb)
+            .unwrap();
+
+        prop_assert_eq!(stats, ref_stats, "work counters must match exactly ({:?})", strat);
+        prop_assert_eq!(fb.len(), rfb.len());
+        prop_assert_eq!(
+            interned_facts(&fb, &atoms),
+            reference_facts(&rfb),
+            "derived fact sets must match ({:?})", strat
+        );
+    }
+
+    /// Interning is stable across `FactBase` reuse (the shared-table
+    /// churn shape): re-seeding the same graph into a fresh base interns
+    /// nothing new and yields the identical fact set; growing the graph
+    /// interns exactly the new vocabulary.
+    #[test]
+    fn interning_stable_across_factbase_reuse(edges in edge_list(), extra in 0u8..10) {
+        let mut g = OntGraph::new("churn");
+        // anchor edge so the initial seeding always interns the
+        // predicate, the namespace and n0 (the growth step's target)
+        g.ensure_edge_by_labels("n0", rel::SUBCLASS_OF, "n1").unwrap();
+        for (a, b) in &edges {
+            if a != b {
+                let _ = g.ensure_edge_by_labels(&format!("n{a}"), rel::SUBCLASS_OF, &format!("n{b}"));
+            }
+        }
+        let mut atoms = AtomTable::new();
+        let mut fb1 = FactBase::new();
+        let o = Ontology::from_graph(g.clone()).unwrap();
+        seed_subclass_facts(&o, &mut atoms, &mut fb1);
+        let warm = atoms.len();
+
+        let mut fb2 = FactBase::new();
+        seed_subclass_facts(&o, &mut atoms, &mut fb2);
+        prop_assert_eq!(atoms.len(), warm, "re-seeding interns nothing new");
+        prop_assert_eq!(fb1.len(), fb2.len());
+        prop_assert_eq!(
+            sorted_facts(&atoms, &fb1, "subclassof"),
+            sorted_facts(&atoms, &fb2, "subclassof")
+        );
+
+        // grow the graph by one fresh node: exactly one new name atom
+        let fresh = format!("fresh{extra}");
+        let root = g.ensure_node("n0").unwrap();
+        let f = g.ensure_node(&fresh).unwrap();
+        g.add_edge(f, rel::SUBCLASS_OF, root).unwrap();
+        let o2 = Ontology::from_graph(g).unwrap();
+        let mut fb3 = FactBase::new();
+        seed_subclass_facts(&o2, &mut atoms, &mut fb3);
+        prop_assert_eq!(atoms.len(), warm + 1, "one new symbol for the fresh node");
+        prop_assert!(fb3.contains(&atoms, "subclassof", &[&format!("churn.{fresh}"), "churn.n0"]));
+    }
+
     /// All three strategies derive identical fixpoints.
     #[test]
     fn strategies_agree(edges in edge_list()) {
         let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
         let mut results = Vec::new();
         for strat in [InferStrategy::SemiNaive, InferStrategy::Naive, InferStrategy::FullClosure] {
+            let mut atoms = AtomTable::new();
             let mut fb = FactBase::new();
             for (a, b) in &edges {
-                fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+                fb.add(&mut atoms, "p", &[&format!("n{a}"), &format!("n{b}")]);
             }
             InferenceEngine::new(program.clone())
                 .with_strategy(strat)
-                .run(&mut fb)
+                .run(&mut atoms, &mut fb)
                 .unwrap();
-            results.push(sorted_facts(&fb, "p"));
+            results.push(sorted_facts(&atoms, &fb, "p"));
         }
         prop_assert_eq!(&results[0], &results[1]);
         prop_assert_eq!(&results[1], &results[2]);
@@ -74,14 +230,15 @@ proptest! {
 
         // horn side
         let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
         for (a, b) in &edges {
             if a != b {
-                fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+                fb.add(&mut atoms, "p", &[&format!("n{a}"), &format!("n{b}")]);
             }
         }
-        InferenceEngine::new(program).run(&mut fb).unwrap();
-        let horn_pairs: Vec<(String, String)> = sorted_facts(&fb, "p")
+        InferenceEngine::new(program).run(&mut atoms, &mut fb).unwrap();
+        let horn_pairs: Vec<(String, String)> = sorted_facts(&atoms, &fb, "p")
             .into_iter()
             .filter(|(a, b)| a != b)
             .collect();
@@ -92,20 +249,22 @@ proptest! {
     #[test]
     fn inference_monotone(edges in edge_list(), extra in (0u8..10, 0u8..10)) {
         let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut a1 = AtomTable::new();
         let mut fb1 = FactBase::new();
         for (a, b) in &edges {
-            fb1.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+            fb1.add(&mut a1, "p", &[&format!("n{a}"), &format!("n{b}")]);
         }
-        InferenceEngine::new(program.clone()).run(&mut fb1).unwrap();
-        let small = sorted_facts(&fb1, "p");
+        InferenceEngine::new(program.clone()).run(&mut a1, &mut fb1).unwrap();
+        let small = sorted_facts(&a1, &fb1, "p");
 
+        let mut a2 = AtomTable::new();
         let mut fb2 = FactBase::new();
         for (a, b) in &edges {
-            fb2.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+            fb2.add(&mut a2, "p", &[&format!("n{a}"), &format!("n{b}")]);
         }
-        fb2.add("p", &[&format!("n{}", extra.0), &format!("n{}", extra.1)]);
-        InferenceEngine::new(program).run(&mut fb2).unwrap();
-        let big = sorted_facts(&fb2, "p");
+        fb2.add(&mut a2, "p", &[&format!("n{}", extra.0), &format!("n{}", extra.1)]);
+        InferenceEngine::new(program).run(&mut a2, &mut fb2).unwrap();
+        let big = sorted_facts(&a2, &fb2, "p");
         for fact in &small {
             prop_assert!(big.contains(fact), "lost fact {fact:?}");
         }
@@ -118,13 +277,14 @@ proptest! {
             "p(X, Z) :- p(X, Y), p(Y, Z). q(Y, X) :- p(X, Y).",
         )
         .unwrap();
+        let mut atoms = AtomTable::new();
         let mut fb = FactBase::new();
         for (a, b) in &edges {
-            fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+            fb.add(&mut atoms, "p", &[&format!("n{a}"), &format!("n{b}")]);
         }
-        InferenceEngine::new(program.clone()).run(&mut fb).unwrap();
+        InferenceEngine::new(program.clone()).run(&mut atoms, &mut fb).unwrap();
         let size = fb.len();
-        let stats = InferenceEngine::new(program).run(&mut fb).unwrap();
+        let stats = InferenceEngine::new(program).run(&mut atoms, &mut fb).unwrap();
         prop_assert_eq!(fb.len(), size);
         prop_assert_eq!(stats.derived, 0);
     }
@@ -135,13 +295,14 @@ proptest! {
         let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
         let mut effort = Vec::new();
         for strat in [InferStrategy::SemiNaive, InferStrategy::FullClosure] {
+            let mut atoms = AtomTable::new();
             let mut fb = FactBase::new();
             for (a, b) in &edges {
-                fb.add("p", &[&format!("n{a}"), &format!("n{b}")]);
+                fb.add(&mut atoms, "p", &[&format!("n{a}"), &format!("n{b}")]);
             }
             let stats = InferenceEngine::new(program.clone())
                 .with_strategy(strat)
-                .run(&mut fb)
+                .run(&mut atoms, &mut fb)
                 .unwrap();
             effort.push(stats.atoms_examined);
         }
