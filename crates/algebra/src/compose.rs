@@ -85,7 +85,7 @@ pub fn add_source(
     let left = composition.top().ontology.clone();
     let (art, report) = engine.run(&left, source, expert, RuleSet::new())?;
     composition.steps.push(art);
-    composition.reports.push(report);
+    composition.reports.push(report.clone());
     Ok(report)
 }
 

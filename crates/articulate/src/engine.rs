@@ -33,7 +33,7 @@ impl Default for EngineConfig {
 }
 
 /// Outcome counters for one engine run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineReport {
     /// Propose/confirm rounds executed.
     pub rounds: usize,

@@ -66,6 +66,14 @@ pub struct GeneratorConfig {
     /// `FactBase` from an already-seen graph is pure array lookups;
     /// when `None` the generator interns into a run-local table.
     pub atoms: Option<Arc<Mutex<AtomTable>>>,
+    /// Executor for shard-parallel inference expansion. When set,
+    /// graph-edge fact seeding partitions by snapshot shard and
+    /// saturation runs semi-naive on the pool
+    /// (`onion_exec::inference`); derived fact sets, bridge output,
+    /// and the round counters equal the sequential path's at every
+    /// shard and thread count. When `None` (default) expansion is
+    /// fully sequential.
+    pub executor: Option<Arc<onion_exec::Executor>>,
 }
 
 impl Default for GeneratorConfig {
@@ -77,13 +85,23 @@ impl Default for GeneratorConfig {
             inherit_structure: true,
             strict_terms: true,
             atoms: None,
+            executor: None,
         }
     }
 }
 
 /// Observability counters for one generation run (populated by the
 /// inference-expansion pass; zero when `expand_with_inference` is off).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// On the parallel path the counters are merged deterministically:
+/// `skipped_dead_nodes` sums per-shard counts in ascending shard order
+/// per ontology, ontologies in `sources` order then the articulation
+/// ontology; `inference.rounds` comes from the single merged
+/// saturation loop (see `onion_exec::inference` for the merge-order
+/// contract). Equal configurations therefore reproduce equal stats —
+/// `expansion_reports_stats_and_reuses_shared_table` and the
+/// `seminaive_props` suite assert this by direct comparison.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GeneratorStats {
     /// Ground facts seeded into the `FactBase` (bridges, subclass
     /// edges, lowered rules).
@@ -561,21 +579,36 @@ impl ArticulationGenerator {
         }
         // seed: source subclass edges and articulation-internal subclass
         // edges — edge-label compared by id, endpoints resolved through
-        // the per-graph label→atom memo
-        for o in sources.iter().copied().chain([&art.ontology]) {
-            let g = o.graph();
-            let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { continue };
-            let mut cursor = atoms.graph_atoms(g);
-            for (_, src, lid, dst) in g.edge_entries() {
-                if lid != sub {
-                    continue;
+        // the per-graph label→atom memo. With an executor configured
+        // the scan partitions by snapshot shard instead (ontologies
+        // still in sources-then-articulation order, so the dead-node
+        // counter merges deterministically either way).
+        match &self.config.executor {
+            Some(exec) => {
+                for o in sources.iter().copied().chain([&art.ontology]) {
+                    let s = onion_exec::par_seed_subclass_facts(exec, o.graph(), atoms, &mut fb);
+                    stats.seeded_facts += s.seeded;
+                    stats.skipped_dead_nodes += s.skipped_dead_nodes;
                 }
-                let (Some(s), Some(d)) = (cursor.node_atom(src), cursor.node_atom(dst)) else {
-                    stats.skipped_dead_nodes += 1;
-                    continue;
-                };
-                if fb.add_fact(subclassof, vec![s, d]) {
-                    stats.seeded_facts += 1;
+            }
+            None => {
+                for o in sources.iter().copied().chain([&art.ontology]) {
+                    let g = o.graph();
+                    let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { continue };
+                    let mut cursor = atoms.graph_atoms(g);
+                    for (_, src, lid, dst) in g.edge_entries() {
+                        if lid != sub {
+                            continue;
+                        }
+                        let (Some(s), Some(d)) = (cursor.node_atom(src), cursor.node_atom(dst))
+                        else {
+                            stats.skipped_dead_nodes += 1;
+                            continue;
+                        };
+                        if fb.add_fact(subclassof, vec![s, d]) {
+                            stats.seeded_facts += 1;
+                        }
+                    }
                 }
             }
         }
@@ -586,7 +619,10 @@ impl ArticulationGenerator {
             }
         }
         let program = HornProgram::standard(&RelationRegistry::onion_default());
-        stats.inference = InferenceEngine::new(program).run(atoms, &mut fb)?;
+        stats.inference = match &self.config.executor {
+            Some(exec) => onion_exec::ParallelEngine::new(program).run(exec, atoms, &mut fb)?,
+            None => InferenceEngine::new(program).run(atoms, &mut fb)?,
+        };
 
         // keep source-term → articulation-term implications. An
         // ontology name keys under the atom table's canonical split

@@ -173,7 +173,7 @@ fn emit_json(path: &str) {
     eprintln!("running B12 inference seam (string/interned fact-set identity asserted) …");
     let b12 = onion_bench::inference::run_b12();
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"onion-bench/v4\",\n");
+    body.push_str("{\n  \"schema\": \"onion-bench/v5\",\n");
     body.push_str(&format!(
         "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
         tier.seed, tier.nodes, tier.edges
@@ -251,10 +251,20 @@ fn emit_json(path: &str) {
         "  \"b12_inference\": {{\n    \"note\": \"seeded FactBase build + saturation on the \
          10k-class tree tier; b12_seed_string_10k is the frozen pre-refactor string engine \
          (onion_rules::reference), the interned series are the AtomId path (cold = empty \
-         table, warm = shared-table steady state); fact sets and derivation counts are \
-         asserted identical across engines before timing\",\n    \"classes\": {}, \
-         \"seeded_facts\": {}, \"derived\": {},\n    \"rows\": [\n",
-        b12.classes, b12.seeded_facts, b12.derived
+         table, warm = shared-table steady state); the *_deep10k rows saturate the 10k-class \
+         deep-hierarchy tier (500 chains x 20 deep) with the naive loop, the semi-naive \
+         engine, and the 4-thread shard-parallel engine; fact sets, checksums, and \
+         derivation counts are asserted identical across engines (and across thread counts) \
+         before timing\",\n    \"classes\": {}, \
+         \"seeded_facts\": {}, \"derived\": {},\n    \"deep_classes\": {}, \
+         \"deep_seeded\": {}, \"deep_derived\": {}, \"deep_rounds\": {},\n    \"rows\": [\n",
+        b12.classes,
+        b12.seeded_facts,
+        b12.derived,
+        b12.deep_classes,
+        b12.deep_seeded,
+        b12.deep_derived,
+        b12.deep_rounds
     ));
     for (i, r) in b12.rows.iter().enumerate() {
         body.push_str(&format!(
@@ -339,6 +349,15 @@ fn emit_json(path: &str) {
         string_build / interned_warm,
         b12.seeded_facts,
         b12.derived
+    );
+    let (naive_deep, semi_deep) = (b12.rows[4].median_us, b12.rows[6].median_us);
+    println!(
+        "b12 deep tier: semi-naive warm is {:.2}x the naive loop ({} seeds, {} derived, {} \
+         rounds)",
+        naive_deep / semi_deep,
+        b12.deep_seeded,
+        b12.deep_derived,
+        b12.deep_rounds
     );
     let worst_spread =
         results.iter().map(onion_bench::hotpaths::BenchResult::spread).fold(1.0f64, f64::max);

@@ -17,21 +17,42 @@
 //! * `b12_saturate_10k` — seeded build plus a semi-naive run of the
 //!   standard ONION program to fixpoint.
 //!
+//! The shard-parallel semi-naive PR adds the **10k-class
+//! deep-hierarchy tier** ([`deep_chain_ontology`]: 500 chains × 20
+//! deep — the saturation-adversarial shape, where transitive closure
+//! derives ~10× the seed count):
+//!
+//! * `b12_naive_deep10k` — the naive loop: every round re-joins the
+//!   entire growing fact base;
+//! * `b12_seminaive_cold_deep10k` / `b12_seminaive_warm_deep10k` —
+//!   the semi-naive production engine from a cold / warm atom table;
+//! * `b12_parallel_saturation_deep10k` — shard-parallel seeding plus
+//!   the `onion-exec` work-unit engine on 4 threads.
+//!
 //! The string and interned fact sets are asserted identical before any
-//! timing is recorded, and the saturation derivation counts of the two
-//! engines are asserted equal — the series measure the same work.
+//! timing is recorded, the saturation derivation counts of all engines
+//! are asserted equal, and the deep tier additionally asserts
+//! fact-set checksums and thread-count-invariant `InferenceStats`
+//! (as B10 does for closure) — the series measure the same work.
 
+use onion_core::exec::{fact_set_checksum, par_seed_subclass_facts, Executor, ParallelEngine};
 use onion_core::ontology::Ontology;
 use onion_core::rules::atoms::AtomTable;
 use onion_core::rules::horn::HornProgram;
-use onion_core::rules::infer::FactBase;
+use onion_core::rules::infer::{FactBase, Strategy};
 use onion_core::rules::properties::RelationRegistry;
-use onion_core::rules::{reference, InferenceEngine};
+use onion_core::rules::{reference, InferenceEngine, InferenceStats};
 use onion_core::testkit::{
-    generate_ontology, seed_subclass_facts, seed_subclass_facts_strings, OntologySpec,
+    deep_chain_ontology, generate_ontology, seed_subclass_facts, seed_subclass_facts_strings,
+    OntologySpec,
 };
 
 use crate::hotpaths::{run_series, BenchResult};
+
+/// Threads for the parallel saturation row — fixed (not
+/// `available_parallelism`) so the row is comparable across machines
+/// via the machine-factor gate.
+const PARALLEL_THREADS: usize = 4;
 
 /// The B12 report: tier shape plus the measured series.
 pub struct B12Report {
@@ -42,6 +63,15 @@ pub struct B12Report {
     /// Facts derived by the saturation run (identical across engines,
     /// asserted).
     pub derived: usize,
+    /// Classes in the deep-hierarchy tier.
+    pub deep_classes: usize,
+    /// Seed facts of the deep tier.
+    pub deep_seeded: usize,
+    /// Facts derived saturating the deep tier (identical across the
+    /// naive, semi-naive, parallel, and reference engines — asserted).
+    pub deep_derived: usize,
+    /// Fixpoint rounds on the deep tier (semi-naive ledger).
+    pub deep_rounds: usize,
     /// The measured series, in emission order.
     pub rows: Vec<BenchResult>,
 }
@@ -106,7 +136,105 @@ pub fn run_b12() -> B12Report {
         stats.derived as u64
     }));
 
-    B12Report { classes: onto.term_count(), seeded_facts, derived: stats.derived, rows }
+    // --- the deep-hierarchy tier: 500 chains × 20 deep, ~10k classes.
+    // Transitive closure here derives ~10× the seed count, so the naive
+    // re-join of the full fact base each round is the adversarial case
+    // semi-naive exists for.
+    let deep = deep_chain_ontology("deep", 500, 20);
+
+    // deep-tier identity gate, before any timing (as B10 does): naive,
+    // semi-naive, and the parallel engine at two thread counts must all
+    // reach the same fixpoint — same derived count, same round count,
+    // same fact-set checksum — and the parallel InferenceStats must be
+    // byte-identical across thread counts.
+    let mut deep_atoms = AtomTable::new();
+    let mut deep_fb = FactBase::new();
+    let deep_seeded = seed_subclass_facts(&deep, &mut deep_atoms, &mut deep_fb);
+    let deep_stats =
+        InferenceEngine::new(program.clone()).run(&mut deep_atoms, &mut deep_fb).unwrap();
+    let deep_checksum = fact_set_checksum(&deep_atoms, &deep_fb);
+    {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        assert_eq!(seed_subclass_facts(&deep, &mut atoms, &mut fb), deep_seeded);
+        let naive = InferenceEngine::new(program.clone())
+            .with_strategy(Strategy::Naive)
+            .run(&mut atoms, &mut fb)
+            .unwrap();
+        assert_eq!(naive.derived, deep_stats.derived, "naive and semi-naive fixpoints differ");
+        assert_eq!(fact_set_checksum(&atoms, &fb), deep_checksum);
+    }
+    let mut par_baseline: Option<InferenceStats> = None;
+    for threads in [1, PARALLEL_THREADS] {
+        let exec = Executor::new(threads);
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let seed = par_seed_subclass_facts(&exec, deep.graph(), &mut atoms, &mut fb);
+        assert_eq!(seed.seeded, deep_seeded, "parallel seeding must load the same facts");
+        let stats = ParallelEngine::new(program.clone()).run(&exec, &mut atoms, &mut fb).unwrap();
+        assert_eq!(stats.derived, deep_stats.derived);
+        assert_eq!(stats.iterations, deep_stats.iterations);
+        assert_eq!(fact_set_checksum(&atoms, &fb), deep_checksum);
+        match &par_baseline {
+            None => par_baseline = Some(stats),
+            Some(base) => {
+                assert_eq!(&stats, base, "parallel stats must be thread-count-invariant")
+            }
+        }
+    }
+
+    // naive loop on a warm table — the comparison point the semi-naive
+    // rows are measured against
+    let mut deep_warm = AtomTable::new();
+    {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&deep, &mut deep_warm, &mut fb);
+    }
+    rows.push(run_series("b12_naive_deep10k", 3, || {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&deep, &mut deep_warm, &mut fb);
+        let stats = InferenceEngine::new(program.clone())
+            .with_strategy(Strategy::Naive)
+            .run(&mut deep_warm, &mut fb)
+            .unwrap();
+        stats.derived as u64
+    }));
+    // semi-naive from a cold atom table (first-run shape)
+    rows.push(run_series("b12_seminaive_cold_deep10k", 3, || {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&deep, &mut atoms, &mut fb);
+        let stats = InferenceEngine::new(program.clone()).run(&mut atoms, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+    // semi-naive on the warm table — the row the naive loop is judged
+    // against
+    rows.push(run_series("b12_seminaive_warm_deep10k", 3, || {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&deep, &mut deep_warm, &mut fb);
+        let stats = InferenceEngine::new(program.clone()).run(&mut deep_warm, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+    // shard-parallel seeding + work-unit saturation on 4 threads
+    let par_exec = Executor::new(PARALLEL_THREADS);
+    rows.push(run_series("b12_parallel_saturation_deep10k", 3, || {
+        let mut fb = FactBase::new();
+        par_seed_subclass_facts(&par_exec, deep.graph(), &mut deep_warm, &mut fb);
+        let stats =
+            ParallelEngine::new(program.clone()).run(&par_exec, &mut deep_warm, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+
+    B12Report {
+        classes: onto.term_count(),
+        seeded_facts,
+        derived: stats.derived,
+        deep_classes: deep.term_count(),
+        deep_seeded,
+        deep_derived: deep_stats.derived,
+        deep_rounds: deep_stats.iterations,
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,10 @@ pub struct OnionSystem {
     /// per-graph label memos persist across articulation and
     /// maintenance cycles.
     atoms: Arc<Mutex<AtomTable>>,
+    /// Executor for shard-parallel inference expansion; `None` (the
+    /// default) keeps expansion sequential. Threaded into every
+    /// generator the facade builds.
+    inference_executor: Option<Arc<onion_exec::Executor>>,
 }
 
 impl OnionSystem {
@@ -86,6 +90,7 @@ impl OnionSystem {
             shard_count: 0,
             stores: BTreeMap::new(),
             atoms: Arc::new(Mutex::new(AtomTable::new())),
+            inference_executor: None,
         }
     }
 
@@ -221,11 +226,33 @@ impl OnionSystem {
         Arc::clone(&self.atoms)
     }
 
+    /// Runs inference expansion shard-parallel on `threads` threads
+    /// (`0` = one per available CPU). Expansion output is identical to
+    /// the sequential path at every shard and thread count — this is a
+    /// throughput knob, not a semantics knob.
+    pub fn set_parallel_inference(&mut self, threads: usize) {
+        let exec = match threads {
+            0 => onion_exec::Executor::with_default_parallelism(),
+            n => onion_exec::Executor::new(n),
+        };
+        self.inference_executor = Some(Arc::new(exec));
+    }
+
+    /// Reverts [`OnionSystem::set_parallel_inference`] to the
+    /// sequential expansion path.
+    pub fn clear_parallel_inference(&mut self) {
+        self.inference_executor = None;
+    }
+
     /// The configured generator settings with the system's shared atom
-    /// table threaded in.
+    /// table (and parallel-inference executor, when enabled) threaded
+    /// in.
     fn generator_config(&self) -> GeneratorConfig {
         let mut config = self.engine_config.generator.clone();
         config.atoms = Some(Arc::clone(&self.atoms));
+        if config.executor.is_none() {
+            config.executor = self.inference_executor.clone();
+        }
         config
     }
 
@@ -425,6 +452,35 @@ mod tests {
 
         let plan = s.explain("find Vehicle(Price) where Price < 5000").unwrap();
         assert!(plan.contains("carrier"));
+    }
+
+    #[test]
+    fn parallel_inference_through_facade_matches_sequential() {
+        let articulated = |threads: Option<usize>| {
+            let mut s = loaded();
+            if let Some(t) = threads {
+                s.set_parallel_inference(t);
+            }
+            s.add_rules(fig2_rules_text()).unwrap();
+            let report = s.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+            let mut bridges: Vec<String> =
+                s.articulation().unwrap().bridges.iter().map(|b| format!("{b:?}")).collect();
+            bridges.sort();
+            (report, bridges)
+        };
+        let (seq_report, seq_bridges) = articulated(None);
+        for t in [1, 4] {
+            let (report, bridges) = articulated(Some(t));
+            assert_eq!(report, seq_report, "threads={t}");
+            assert_eq!(bridges, seq_bridges, "threads={t}");
+        }
+        // clearing restores the sequential path
+        let mut s = loaded();
+        s.set_parallel_inference(2);
+        s.clear_parallel_inference();
+        s.add_rules(fig2_rules_text()).unwrap();
+        let report = s.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+        assert_eq!(report, seq_report);
     }
 
     #[test]

@@ -43,10 +43,12 @@
 //! ```
 
 pub mod closure;
+pub mod inference;
 
 pub use closure::{
     par_closure_pairs, par_descendants, par_frontier_bfs, par_reachable, par_subclass_closure,
 };
+pub use inference::{fact_set_checksum, par_seed_subclass_facts, ParallelEngine, ShardSeedStats};
 
 use onion_graph::ShardedSnapshot;
 

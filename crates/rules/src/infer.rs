@@ -34,7 +34,10 @@ use crate::horn::{Atom, HornClause, HornProgram, TermArg};
 use crate::{Result, RuleError};
 
 /// A ground fact: interned predicate and argument atoms.
-type Fact = (AtomId, Vec<AtomId>);
+///
+/// Public so `onion-exec` can shuttle per-round deltas between the
+/// engine and its worker pool without re-encoding.
+pub type Fact = (AtomId, Vec<AtomId>);
 
 /// A deduplicated set of ground facts with per-argument indexes.
 ///
@@ -158,6 +161,26 @@ impl FactBase {
             .collect()
     }
 
+    /// All facts in the canonical deterministic order: predicates by
+    /// ascending atom id, then per-predicate insertion order.
+    ///
+    /// `by_pred` is a `HashMap` whose iteration order is seeded
+    /// per-process, so every path that needs a reproducible fact
+    /// sequence — semi-naive round-one delta seeding, the parallel
+    /// engine's work-unit grid in `onion-exec` — goes through this
+    /// instead of iterating the map directly.
+    pub fn facts_in_pred_order(&self) -> Vec<Fact> {
+        let mut preds: Vec<AtomId> = self.by_pred.keys().copied().collect();
+        preds.sort_unstable_by_key(|p| p.index());
+        let mut out = Vec::with_capacity(self.facts.len());
+        for p in preds {
+            for args in &self.by_pred[&p] {
+                out.push((p, args.clone()));
+            }
+        }
+        out
+    }
+
     /// Binary-predicate query over pre-interned atoms — the id-path
     /// variant the articulation generator filters on.
     pub fn query2_ids(
@@ -191,7 +214,7 @@ pub enum Strategy {
 }
 
 /// Work and outcome counters for one inference run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InferenceStats {
     /// Fixpoint rounds executed.
     pub iterations: usize,
@@ -199,6 +222,23 @@ pub struct InferenceStats {
     pub derived: usize,
     /// Candidate facts examined during joins — the effort proxy.
     pub atoms_examined: usize,
+    /// Per-round breakdown; `rounds.len() == iterations` (the final
+    /// entry is the empty round that proves the fixpoint, unless the
+    /// run aborted on budget) and the `derived` fields sum to
+    /// `derived` minus ground-clause fires.
+    pub rounds: Vec<RoundStats>,
+}
+
+/// Counters for one fixpoint round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Facts the round joined against: the delta carried into the
+    /// round (semi-naive) or the whole fact base (naive/full-closure).
+    pub delta: usize,
+    /// New facts the round added.
+    pub derived: usize,
+    /// Candidate facts examined during the round's joins.
+    pub examined: usize,
 }
 
 /// Compiled clause: variables resolved to dense slots.
@@ -271,45 +311,20 @@ impl InferenceEngine {
         self
     }
 
-    fn compile(&self, atoms: &mut AtomTable) -> Result<Vec<CClause>> {
-        let mut out = Vec::with_capacity(self.program.clauses.len());
-        for clause in &self.program.clauses {
-            out.push(compile_clause(clause, atoms)?);
-        }
-        Ok(out)
-    }
-
     /// Runs the program to fixpoint on `fb`, adding derived facts.
     /// Clause predicates and constants are interned through `atoms` —
     /// the only interning an inference run performs.
     pub fn run(&self, atoms: &mut AtomTable, fb: &mut FactBase) -> Result<InferenceStats> {
-        let clauses = self.compile(atoms)?;
+        let compiled = CompiledProgram::compile(&self.program, atoms)?;
         // Ground-fact clauses fire once up front.
         let mut stats = InferenceStats::default();
-        let mut delta: Vec<Fact> = Vec::new();
-        for c in &clauses {
-            if c.body.is_empty() {
-                let args: Vec<AtomId> = c
-                    .head_args
-                    .iter()
-                    .map(|a| match a {
-                        CArg::Const(s) => *s,
-                        CArg::Slot(_) => unreachable!("safety: ground head"),
-                    })
-                    .collect();
-                if fb.add_fact(c.head_pred, args.clone()) {
-                    stats.derived += 1;
-                    delta.push((c.head_pred, args));
-                }
-            }
-        }
-        // Seed delta with everything for semi-naive round one.
+        let mut delta: Vec<Fact> = compiled.fire_ground(fb);
+        stats.derived = delta.len();
+        // Seed delta with everything for semi-naive round one, in the
+        // canonical pred-then-insertion order so the round-one delta
+        // sequence is reproducible across processes.
         if self.strategy == Strategy::SemiNaive {
-            delta = fb
-                .by_pred
-                .iter()
-                .flat_map(|(&p, list)| list.iter().map(move |a| (p, a.clone())))
-                .collect();
+            delta = fb.facts_in_pred_order();
         }
 
         loop {
@@ -317,12 +332,16 @@ impl InferenceEngine {
             if self.max_iterations != 0 && stats.iterations > self.max_iterations {
                 return Err(RuleError::BudgetExceeded { derived: stats.derived });
             }
+            let round_delta = match self.strategy {
+                Strategy::SemiNaive => delta.len(),
+                Strategy::Naive | Strategy::FullClosure => fb.len(),
+            };
+            let examined_before = stats.atoms_examined;
             let mut new_facts: Vec<Fact> = Vec::new();
             match self.strategy {
                 Strategy::SemiNaive => {
-                    let delta_set: HashSet<&Fact> = delta.iter().collect();
                     let dix = DeltaIndex::build(&delta);
-                    for c in &clauses {
+                    for c in &compiled.clauses {
                         if c.body.is_empty() {
                             continue;
                         }
@@ -330,7 +349,7 @@ impl InferenceEngine {
                             eval_clause(
                                 fb,
                                 c,
-                                Some(DeltaView { index: &dix, set: &delta_set, position: d }),
+                                Some(DeltaView { index: &dix, position: d }),
                                 false,
                                 &mut new_facts,
                                 &mut stats.atoms_examined,
@@ -340,7 +359,7 @@ impl InferenceEngine {
                 }
                 Strategy::Naive | Strategy::FullClosure => {
                     let unindexed = self.strategy == Strategy::FullClosure;
-                    for c in &clauses {
+                    for c in &compiled.clauses {
                         if c.body.is_empty() {
                             continue;
                         }
@@ -365,12 +384,146 @@ impl InferenceEngine {
                     added.push(f);
                 }
             }
+            stats.rounds.push(RoundStats {
+                delta: round_delta,
+                derived: added.len(),
+                examined: stats.atoms_examined - examined_before,
+            });
             if added.is_empty() {
                 break;
             }
             delta = added;
         }
         Ok(stats)
+    }
+}
+
+/// A Horn program compiled against an [`AtomTable`]: variables resolved
+/// to dense slots, predicates and constants interned.
+///
+/// [`InferenceEngine::run`] compiles on entry and keeps the result
+/// private; `onion-exec`'s parallel engine compiles once up front and
+/// then drives [`CompiledProgram::eval_delta_range`] work units across
+/// its pool — the compiled form is `Sync`, so workers share one copy.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    clauses: Vec<CClause>,
+}
+
+impl CompiledProgram {
+    /// Compiles every clause of `program`, interning through `atoms`.
+    pub fn compile(program: &HornProgram, atoms: &mut AtomTable) -> Result<CompiledProgram> {
+        let mut clauses = Vec::with_capacity(program.clauses.len());
+        for clause in &program.clauses {
+            clauses.push(compile_clause(clause, atoms)?);
+        }
+        Ok(CompiledProgram { clauses })
+    }
+
+    /// Fires every ground-fact (empty-body) clause into `fb`; returns
+    /// the facts that were new.
+    pub fn fire_ground(&self, fb: &mut FactBase) -> Vec<Fact> {
+        let mut fired = Vec::new();
+        for c in &self.clauses {
+            if c.body.is_empty() {
+                let args: Vec<AtomId> = c
+                    .head_args
+                    .iter()
+                    .map(|a| match a {
+                        CArg::Const(s) => *s,
+                        CArg::Slot(_) => unreachable!("safety: ground head"),
+                    })
+                    .collect();
+                if fb.add_fact(c.head_pred, args.clone()) {
+                    fired.push((c.head_pred, args));
+                }
+            }
+        }
+        fired
+    }
+
+    /// `(clause index, body length)` for every clause with a non-empty
+    /// body — the per-round work-unit grid a parallel driver partitions
+    /// into `(clause, delta position, delta range)` units.
+    pub fn rule_shapes(&self) -> Vec<(usize, usize)> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.body.is_empty())
+            .map(|(i, c)| (i, c.body.len()))
+            .collect()
+    }
+
+    /// Evaluates one semi-naive work unit: clause `clause` with the
+    /// delta at body position `position`, restricted to delta facts
+    /// whose index falls in `lo..hi`.
+    ///
+    /// The delta atom is evaluated *outermost* (delta-first), then the
+    /// remaining body atoms join in clause order against the full
+    /// store, with the standard semi-naive skip rule (atoms before
+    /// `position` must not match delta facts). Because every candidate
+    /// examined and every head emitted belongs to exactly one delta
+    /// index, partitioning `0..delta.len()` into disjoint ranges
+    /// changes neither the union of emitted facts nor the summed
+    /// `effort` — the invariant the parallel engine's determinism
+    /// contract rests on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval_delta_range(
+        &self,
+        fb: &FactBase,
+        dix: &DeltaIndex<'_>,
+        clause: usize,
+        position: usize,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<Fact>,
+        effort: &mut usize,
+    ) {
+        let c = &self.clauses[clause];
+        let atom = &c.body[position];
+        let mut env: Vec<Option<AtomId>> = vec![None; c.nvars];
+        let idxs = dix.pred_indices(atom.pred);
+        // index lists are built in ascending order — binary-search the
+        // unit's window instead of scanning the whole predicate list
+        let start = idxs.partition_point(|&i| (i as usize) < lo);
+        let end = idxs.partition_point(|&i| (i as usize) < hi);
+        for &fi in &idxs[start..end] {
+            *effort += 1;
+            let fact_args = &dix.facts[fi as usize].1;
+            if fact_args.len() != atom.args.len() {
+                continue;
+            }
+            let mut trail: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (a, &v) in atom.args.iter().zip(fact_args.iter()) {
+                match a {
+                    CArg::Const(s) => {
+                        if *s != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    CArg::Slot(s) => match env[*s] {
+                        Some(bound) => {
+                            if bound != v {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            env[*s] = Some(v);
+                            trail.push(*s);
+                        }
+                    },
+                }
+            }
+            if ok {
+                join_skip(fb, c, 0, position, dix, &mut env, out, effort);
+            }
+            for s in trail {
+                env[s] = None;
+            }
+        }
     }
 }
 
@@ -411,24 +564,41 @@ fn compile_clause(clause: &HornClause, atoms: &mut AtomTable) -> Result<CClause>
 
 /// Per-round index over the delta facts (same atom ids as the main
 /// store), giving the delta-constrained body position the same
-/// index-driven candidate generation as the full store.
-struct DeltaIndex<'d> {
+/// index-driven candidate generation as the full store. Public so the
+/// parallel engine in `onion-exec` can build it once per round and
+/// share it (read-only) across work units.
+pub struct DeltaIndex<'d> {
     facts: &'d [Fact],
+    set: HashSet<&'d Fact>,
     by_pred: HashMap<AtomId, Vec<u32>>,
     by_arg: HashMap<(AtomId, u8, AtomId), Vec<u32>>,
 }
 
 impl<'d> DeltaIndex<'d> {
-    fn build(facts: &'d [Fact]) -> Self {
+    /// Indexes `facts` by predicate and by every argument position.
+    pub fn build(facts: &'d [Fact]) -> Self {
+        let mut set: HashSet<&'d Fact> = HashSet::with_capacity(facts.len());
         let mut by_pred: HashMap<AtomId, Vec<u32>> = HashMap::new();
         let mut by_arg: HashMap<(AtomId, u8, AtomId), Vec<u32>> = HashMap::new();
-        for (i, (p, args)) in facts.iter().enumerate() {
+        for (i, fact) in facts.iter().enumerate() {
+            let (p, args) = fact;
+            set.insert(fact);
             by_pred.entry(*p).or_default().push(i as u32);
             for (pos, &sym) in args.iter().enumerate() {
                 by_arg.entry((*p, pos as u8, sym)).or_default().push(i as u32);
             }
         }
-        DeltaIndex { facts, by_pred, by_arg }
+        DeltaIndex { facts, set, by_pred, by_arg }
+    }
+
+    /// Number of indexed delta facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
     }
 
     /// Candidates for `atom` under `env`: tightest index available.
@@ -444,13 +614,22 @@ impl<'d> DeltaIndex<'d> {
         };
         idxs.map(|v| v.iter().map(|&i| &self.facts[i as usize].1).collect()).unwrap_or_default()
     }
+
+    /// Ascending delta indices of facts with predicate `pred`.
+    fn pred_indices(&self, pred: AtomId) -> &[u32] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is the fact a member of this round's delta?
+    fn contains(&self, fact: &Fact) -> bool {
+        self.set.contains(fact)
+    }
 }
 
 /// The semi-naive restriction handed down the join: body atom
 /// `position` draws candidates from the delta only.
 struct DeltaView<'a, 'd> {
     index: &'a DeltaIndex<'d>,
-    set: &'a HashSet<&'a Fact>,
     position: usize,
 }
 
@@ -483,15 +662,7 @@ fn join(
     effort: &mut usize,
 ) {
     if i == c.body.len() {
-        let args: Vec<AtomId> = c
-            .head_args
-            .iter()
-            .map(|a| match a {
-                CArg::Const(s) => *s,
-                CArg::Slot(s) => env[*s].expect("head slots bound (safety)"),
-            })
-            .collect();
-        out.push((c.head_pred, args));
+        emit_head(c, env, out);
         return;
     }
     let atom = &c.body[i];
@@ -499,39 +670,7 @@ fn join(
     // Enumerate candidate facts for this atom.
     let candidates: Vec<&Vec<AtomId>> = match delta {
         Some(dv) if dv.position == i => dv.index.candidates(atom, env),
-        _ => {
-            if unindexed {
-                // full-closure: scan EVERYTHING, filter by predicate
-                fb.by_pred
-                    .iter()
-                    .flat_map(|(&p, list)| list.iter().map(move |a| (p, a)))
-                    .filter(|(p, _)| *p == atom.pred)
-                    .map(|(_, a)| a)
-                    .collect()
-            } else {
-                // use the tightest available index
-                let bound: Option<(u8, AtomId)> =
-                    atom.args.iter().enumerate().find_map(|(pos, a)| match a {
-                        CArg::Const(s) => Some((pos as u8, *s)),
-                        CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
-                    });
-                match bound {
-                    Some((pos, sym)) => {
-                        let list = fb.by_pred.get(&atom.pred);
-                        fb.index
-                            .get(&(atom.pred, pos, sym))
-                            .map(|idxs| {
-                                let list = list.expect("index implies pred list");
-                                idxs.iter().map(|&j| &list[j as usize]).collect()
-                            })
-                            .unwrap_or_default()
-                    }
-                    None => {
-                        fb.by_pred.get(&atom.pred).map(|l| l.iter().collect()).unwrap_or_default()
-                    }
-                }
-            }
-        }
+        _ => fb_candidates(fb, atom, env, unindexed),
     };
 
     for fact_args in candidates {
@@ -546,7 +685,7 @@ fn join(
         if let Some(dv) = delta {
             if i < dv.position {
                 let probe: Fact = (atom.pred, fact_args.clone());
-                if dv.set.contains(&probe) {
+                if dv.index.contains(&probe) {
                     continue;
                 }
             }
@@ -582,6 +721,128 @@ fn join(
         for s in trail {
             env[s] = None;
         }
+    }
+}
+
+/// The delta-first companion of [`join`], used by
+/// [`CompiledProgram::eval_delta_range`]: body atom `skip` was already
+/// bound to a delta fact by the caller, the remaining atoms join in
+/// clause order against the full store. Atoms before `skip` apply the
+/// same semi-naive skip rule as [`join`], so the two evaluation orders
+/// derive the identical per-round fact set.
+#[allow(clippy::too_many_arguments)]
+fn join_skip(
+    fb: &FactBase,
+    c: &CClause,
+    i: usize,
+    skip: usize,
+    dix: &DeltaIndex<'_>,
+    env: &mut Vec<Option<AtomId>>,
+    out: &mut Vec<Fact>,
+    effort: &mut usize,
+) {
+    if i == c.body.len() {
+        emit_head(c, env, out);
+        return;
+    }
+    if i == skip {
+        join_skip(fb, c, i + 1, skip, dix, env, out, effort);
+        return;
+    }
+    let atom = &c.body[i];
+    for fact_args in fb_candidates(fb, atom, env, false) {
+        *effort += 1;
+        if fact_args.len() != atom.args.len() {
+            continue;
+        }
+        if i < skip {
+            let probe: Fact = (atom.pred, fact_args.clone());
+            if dix.contains(&probe) {
+                continue;
+            }
+        }
+        let mut trail: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (a, &v) in atom.args.iter().zip(fact_args.iter()) {
+            match a {
+                CArg::Const(s) => {
+                    if *s != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                CArg::Slot(s) => match env[*s] {
+                    Some(bound) => {
+                        if bound != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env[*s] = Some(v);
+                        trail.push(*s);
+                    }
+                },
+            }
+        }
+        if ok {
+            join_skip(fb, c, i + 1, skip, dix, env, out, effort);
+        }
+        for s in trail {
+            env[s] = None;
+        }
+    }
+}
+
+/// Instantiates the clause head under `env` and appends it to `out`.
+fn emit_head(c: &CClause, env: &[Option<AtomId>], out: &mut Vec<Fact>) {
+    let args: Vec<AtomId> = c
+        .head_args
+        .iter()
+        .map(|a| match a {
+            CArg::Const(s) => *s,
+            CArg::Slot(s) => env[*s].expect("head slots bound (safety)"),
+        })
+        .collect();
+    out.push((c.head_pred, args));
+}
+
+/// Candidate facts for `atom` from the main store under `env`: the
+/// tightest available index, or a full scan for the full-closure
+/// baseline.
+fn fb_candidates<'f>(
+    fb: &'f FactBase,
+    atom: &CAtom,
+    env: &[Option<AtomId>],
+    unindexed: bool,
+) -> Vec<&'f Vec<AtomId>> {
+    if unindexed {
+        // full-closure: scan EVERYTHING, filter by predicate
+        return fb
+            .by_pred
+            .iter()
+            .flat_map(|(&p, list)| list.iter().map(move |a| (p, a)))
+            .filter(|(p, _)| *p == atom.pred)
+            .map(|(_, a)| a)
+            .collect();
+    }
+    // use the tightest available index
+    let bound: Option<(u8, AtomId)> = atom.args.iter().enumerate().find_map(|(pos, a)| match a {
+        CArg::Const(s) => Some((pos as u8, *s)),
+        CArg::Slot(s) => env[*s].map(|v| (pos as u8, v)),
+    });
+    match bound {
+        Some((pos, sym)) => {
+            let list = fb.by_pred.get(&atom.pred);
+            fb.index
+                .get(&(atom.pred, pos, sym))
+                .map(|idxs| {
+                    let list = list.expect("index implies pred list");
+                    idxs.iter().map(|&j| &list[j as usize]).collect()
+                })
+                .unwrap_or_default()
+        }
+        None => fb.by_pred.get(&atom.pred).map(|l| l.iter().collect()).unwrap_or_default(),
     }
 }
 

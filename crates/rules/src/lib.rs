@@ -46,7 +46,10 @@ pub use ast::{ArticulationRule, RuleExpr, RuleSet, Term};
 pub use atoms::{AtomId, AtomTable};
 pub use convert::{ConversionRegistry, Converter};
 pub use horn::{Atom, HornClause, HornProgram, TermArg};
-pub use infer::{FactBase, InferenceEngine, InferenceStats, Strategy};
+pub use infer::{
+    CompiledProgram, DeltaIndex, Fact, FactBase, InferenceEngine, InferenceStats, RoundStats,
+    Strategy,
+};
 pub use parser::parse_rules;
 pub use properties::{RelationProperties, RelationRegistry};
 

@@ -258,6 +258,15 @@ impl InferenceEngine {
             if self.max_iterations != 0 && stats.iterations > self.max_iterations {
                 return Err(RuleError::BudgetExceeded { derived: stats.derived });
             }
+            // Round bookkeeping mirrors the interned engine exactly —
+            // the one post-freeze addition, required because the
+            // differential suite asserts InferenceStats equality
+            // field-for-field (including `rounds`).
+            let round_delta = match self.strategy {
+                Strategy::SemiNaive => delta.len(),
+                Strategy::Naive | Strategy::FullClosure => fb.len(),
+            };
+            let examined_before = stats.atoms_examined;
             let mut new_facts: Vec<Fact> = Vec::new();
             match self.strategy {
                 Strategy::SemiNaive => {
@@ -306,6 +315,11 @@ impl InferenceEngine {
                     added.push(f);
                 }
             }
+            stats.rounds.push(crate::infer::RoundStats {
+                delta: round_delta,
+                derived: added.len(),
+                examined: stats.atoms_examined - examined_before,
+            });
             if added.is_empty() {
                 break;
             }

@@ -16,9 +16,37 @@
 //! B12 records their build-time gap.
 
 use onion_graph::rel;
-use onion_ontology::Ontology;
+use onion_ontology::{Ontology, OntologyBuilder};
 use onion_rules::infer::FactBase;
 use onion_rules::{reference, AtomTable};
+
+/// A deep-hierarchy ontology: `chains` disjoint `SubclassOf` chains,
+/// each `depth` classes deep, hanging off one shared root —
+/// `chains × depth + 1` classes in total, class `c{i}_{j}` being the
+/// `j`-th link of chain `i`.
+///
+/// This is the adversarial shape for saturation: transitive closure
+/// over a depth-`d` chain derives `Θ(d²)` facts, and a naive engine
+/// re-derives all of them every round while semi-naive's per-round
+/// delta shrinks to the frontier. The `seminaive_props` regression
+/// test and bench B12's deep tier both build on this, pinning round
+/// counts and per-round deltas via [`InferenceStats`]
+/// (semi-naive doubles the reachable path length each round, so the
+/// fixpoint lands in `O(log depth)` rounds).
+///
+/// [`InferenceStats`]: onion_rules::InferenceStats
+pub fn deep_chain_ontology(name: &str, chains: usize, depth: usize) -> Ontology {
+    let mut builder = OntologyBuilder::new(name).class("Root");
+    for c in 0..chains {
+        let mut parent = "Root".to_string();
+        for j in 0..depth {
+            let label = format!("c{c}_{j}");
+            builder = builder.class_under(&label, &parent);
+            parent = label;
+        }
+    }
+    builder.build().expect("deep-chain ontology is consistent by construction")
+}
 
 /// Seeds `fb` with one interned `subclassof` fact per live subclass
 /// edge; returns how many facts were added.
@@ -64,6 +92,15 @@ pub fn seed_subclass_facts_strings(onto: &Ontology, fb: &mut reference::FactBase
 mod tests {
     use super::*;
     use crate::gen::{generate_ontology, OntologySpec};
+
+    #[test]
+    fn deep_chain_seeds_one_edge_per_class() {
+        let onto = deep_chain_ontology("deep", 3, 5);
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let n = seed_subclass_facts(&onto, &mut atoms, &mut fb);
+        assert_eq!(n, 3 * 5, "every non-root class contributes exactly one subclass edge");
+    }
 
     #[test]
     fn interned_and_string_seeding_agree() {

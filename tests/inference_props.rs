@@ -1,12 +1,16 @@
 //! Property-based equivalence of the inference strategies (§4.1 / B6)
-//! **and** of the two engine generations: the interned-`AtomId` engine
+//! **and** of the engine generations: the interned-`AtomId` engine
 //! (`onion_rules::infer`) must be observationally identical — derived
 //! fact sets *and* work counters — to the frozen pre-refactor
 //! string-keyed engine (`onion_rules::reference`) on arbitrary Horn
-//! programs built through the textual `parser`/`horn` boundary.
+//! programs built through the textual `parser`/`horn` boundary, and
+//! the shard-parallel engine (`onion_exec::ParallelEngine`) must match
+//! both on fact sets and round counters at every thread count (the
+//! shard/thread matrix lives in `seminaive_props.rs`).
 
 use proptest::prelude::*;
 
+use onion_core::exec::ParallelEngine;
 use onion_core::graph::closure::transitive_pairs;
 use onion_core::graph::traverse::EdgeFilter;
 use onion_core::prelude::*;
@@ -287,6 +291,123 @@ proptest! {
         let stats = InferenceEngine::new(program).run(&mut atoms, &mut fb).unwrap();
         prop_assert_eq!(fb.len(), size);
         prop_assert_eq!(stats.derived, 0);
+    }
+
+    /// The per-round ledger is internally consistent for every
+    /// strategy: one entry per iteration, a zero-derivation final
+    /// round at fixpoint, examined totals that add up, and (semi-naive)
+    /// each round's delta being exactly the previous round's output.
+    #[test]
+    fn round_ledger_is_consistent(
+        text in program_text(),
+        edges in edge_list(),
+        strat_ix in 0usize..3,
+    ) {
+        let strat = [InferStrategy::SemiNaive, InferStrategy::Naive, InferStrategy::FullClosure]
+            [strat_ix];
+        let program = HornProgram::parse(&text).unwrap();
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        for (a, b) in &edges {
+            let (sa, sb) = (sym(*a), sym(*b));
+            fb.add(&mut atoms, "p", &[&sa, &sb]);
+        }
+        let stats = InferenceEngine::new(program)
+            .with_strategy(strat)
+            .run(&mut atoms, &mut fb)
+            .unwrap();
+        prop_assert_eq!(stats.rounds.len(), stats.iterations);
+        let last = stats.rounds.last().unwrap();
+        prop_assert_eq!(last.derived, 0, "final round proves the fixpoint");
+        let examined: usize = stats.rounds.iter().map(|r| r.examined).sum();
+        prop_assert_eq!(examined, stats.atoms_examined);
+        let derived: usize = stats.rounds.iter().map(|r| r.derived).sum();
+        prop_assert!(derived <= stats.derived, "rounds exclude ground-clause fires");
+        if strat == InferStrategy::SemiNaive {
+            for r in 1..stats.rounds.len() {
+                prop_assert_eq!(
+                    stats.rounds[r].delta, stats.rounds[r - 1].derived,
+                    "round {}'s delta is round {}'s output", r, r - 1
+                );
+            }
+        }
+    }
+
+    /// Naive and semi-naive add the *same fact set in the same round*:
+    /// the per-round derivation profile — not just the fixpoint — is
+    /// strategy-independent.
+    #[test]
+    fn naive_and_seminaive_round_profiles_agree(text in program_text(), edges in edge_list()) {
+        let program = HornProgram::parse(&text).unwrap();
+        let mut profiles = Vec::new();
+        for strat in [InferStrategy::SemiNaive, InferStrategy::Naive] {
+            let mut atoms = AtomTable::new();
+            let mut fb = FactBase::new();
+            for (a, b) in &edges {
+                let (sa, sb) = (sym(*a), sym(*b));
+                fb.add(&mut atoms, "p", &[&sa, &sb]);
+            }
+            let stats = InferenceEngine::new(program.clone())
+                .with_strategy(strat)
+                .run(&mut atoms, &mut fb)
+                .unwrap();
+            profiles.push((
+                stats.iterations,
+                stats.derived,
+                stats.rounds.iter().map(|r| r.derived).collect::<Vec<_>>(),
+            ));
+        }
+        prop_assert_eq!(&profiles[0], &profiles[1]);
+    }
+
+    /// The parallel engine is a drop-in semi-naive: identical fact
+    /// sets, totals, and per-round delta/derived counters vs both the
+    /// sequential interned engine and the frozen string reference, and
+    /// byte-identical `InferenceStats` across thread counts.
+    #[test]
+    fn parallel_engine_matches_reference(text in program_text(), edges in edge_list()) {
+        let program = HornProgram::parse(&text).unwrap();
+
+        let mut rfb = reference::FactBase::new();
+        for (a, b) in &edges {
+            let (sa, sb) = (sym(*a), sym(*b));
+            rfb.add("p", &[&sa, &sb]);
+        }
+        let ref_stats = reference::InferenceEngine::new(program.clone()).run(&mut rfb).unwrap();
+        let expected = reference_facts(&rfb);
+
+        let mut baseline: Option<onion_core::rules::InferenceStats> = None;
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new(threads);
+            let mut atoms = AtomTable::new();
+            let mut fb = FactBase::new();
+            for (a, b) in &edges {
+                let (sa, sb) = (sym(*a), sym(*b));
+                fb.add(&mut atoms, "p", &[&sa, &sb]);
+            }
+            let stats = ParallelEngine::new(program.clone())
+                .run(&exec, &mut atoms, &mut fb)
+                .unwrap();
+            prop_assert_eq!(stats.iterations, ref_stats.iterations, "threads={}", threads);
+            prop_assert_eq!(stats.derived, ref_stats.derived, "threads={}", threads);
+            let rounds: Vec<(usize, usize)> =
+                stats.rounds.iter().map(|r| (r.delta, r.derived)).collect();
+            let ref_rounds: Vec<(usize, usize)> =
+                ref_stats.rounds.iter().map(|r| (r.delta, r.derived)).collect();
+            prop_assert_eq!(rounds, ref_rounds, "threads={}", threads);
+            prop_assert_eq!(
+                interned_facts(&fb, &atoms),
+                expected.clone(),
+                "parallel fact set matches reference (threads={})", threads
+            );
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(first) => prop_assert_eq!(
+                    &stats, first,
+                    "InferenceStats byte-identical across thread counts"
+                ),
+            }
+        }
     }
 
     /// Semi-naive never examines more candidate atoms than full-closure.

@@ -1,0 +1,326 @@
+//! Differential fuzzing of shard-parallel semi-naive inference.
+//!
+//! The determinism contract under test (see `onion_exec::inference`):
+//! seeding partitions subclass edges by snapshot shard and merges by a
+//! canonical id-remap, saturation splits each round's delta into work
+//! units merged in unit order — so the seeded/derived fact bases
+//! (atom ids included) and the full [`InferenceStats`] must be
+//! **byte-identical across shard counts {1, 2, 7, 64} and thread
+//! counts {1, 2, 4}**, and must agree with the sequential engines on
+//! fact sets, conflict verdicts, totals, and per-round counters.
+//!
+//! Also here: the deep-hierarchy regression test pinning semi-naive's
+//! O(log depth) round count and per-round deltas through the
+//! [`RoundStats`] ledger (never wall-clock), and the generator-level
+//! determinism of `GeneratorStats` through the parallel expand path.
+
+use proptest::prelude::*;
+
+use onion_core::articulate::{ArticulationGenerator, GeneratorConfig};
+use onion_core::exec::{par_seed_subclass_facts, ParallelEngine};
+use onion_core::ontology::examples::{carrier, factory};
+use onion_core::prelude::*;
+use onion_core::rules::conflict::Disjointness;
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::infer::{FactBase, InferenceEngine, RoundStats, Strategy as InferStrategy};
+use onion_core::rules::properties::RelationRegistry;
+use onion_core::rules::{parse_rules, AtomTable, InferenceStats};
+use onion_core::testkit::deep_chain_ontology;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 64];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn edge_list() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..24, 0u8..24), 1..40)
+}
+
+/// A subclass graph from the edge list (self-loops dropped: subclass
+/// cycles would be rejected by ontology validation and are not the
+/// subject here).
+fn build_graph(edges: &[(u8, u8)], shards: usize) -> OntGraph {
+    let mut g = OntGraph::new("g");
+    for (a, b) in edges {
+        if a != b {
+            let _ = g.ensure_edge_by_labels(&format!("n{a}"), rel::SUBCLASS_OF, &format!("n{b}"));
+        }
+    }
+    g.set_shard_count(shards);
+    g
+}
+
+/// Sequential seeding over a raw graph — the exact per-edge cursor walk
+/// the generator's sequential path uses.
+fn seq_seed(g: &OntGraph, atoms: &mut AtomTable, fb: &mut FactBase) -> usize {
+    let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { return 0 };
+    let pred = atoms.intern("subclassof");
+    let mut cursor = atoms.graph_atoms(g);
+    let mut added = 0;
+    for (_, src, lid, dst) in g.edge_entries() {
+        if lid != sub {
+            continue;
+        }
+        let (Some(s), Some(d)) = (cursor.node_atom(src), cursor.node_atom(dst)) else { continue };
+        if fb.add_fact(pred, vec![s, d]) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Every `pred` fact resolved to strings, sorted — the
+/// interning-order-independent view.
+fn resolved(atoms: &AtomTable, fb: &FactBase, pred: &str) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = fb
+        .query2(atoms, pred, None, None)
+        .into_iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Conflict verdicts: the sorted list of derived `si` pairs that
+/// violate a disjointness declaration. Differential across engines —
+/// a missing or extra derivation flips a verdict.
+fn disjointness_verdicts(
+    atoms: &AtomTable,
+    fb: &FactBase,
+    disjoint: &Disjointness,
+) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> =
+        resolved(atoms, fb, "si").into_iter().filter(|(a, b)| disjoint.contains(a, b)).collect();
+    v.sort();
+    v
+}
+
+fn round_profile(stats: &InferenceStats) -> Vec<(usize, usize)> {
+    stats.rounds.iter().map(|r| (r.delta, r.derived)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// THE matrix property: seed + saturate on every (shard count,
+    /// thread count) combination. Within the parallel family
+    /// everything is byte-identical — seeded facts with their atom
+    /// ids, the full `InferenceStats`, the final fact base order.
+    /// Against the sequential engine: identical resolved fact sets,
+    /// conflict verdicts, totals, and per-round counters.
+    #[test]
+    fn shard_thread_matrix_is_deterministic(edges in edge_list()) {
+        let program = HornProgram::standard(&RelationRegistry::onion_default());
+        let mut disjoint = Disjointness::new();
+        disjoint.declare("g.n1", "g.n2");
+        disjoint.declare("g.n3", "g.n17");
+
+        // Sequential baseline.
+        let g0 = build_graph(&edges, 1);
+        let mut seq_atoms = AtomTable::new();
+        let mut seq_fb = FactBase::new();
+        let seq_seeded = seq_seed(&g0, &mut seq_atoms, &mut seq_fb);
+        let seq_stats = InferenceEngine::new(program.clone())
+            .run(&mut seq_atoms, &mut seq_fb)
+            .unwrap();
+        let seq_facts = (resolved(&seq_atoms, &seq_fb, "subclassof"),
+                         resolved(&seq_atoms, &seq_fb, "si"));
+        let seq_verdicts = disjointness_verdicts(&seq_atoms, &seq_fb, &disjoint);
+
+        // byte-identity baseline within the parallel family
+        let mut family: Option<(usize, Vec<onion_core::rules::Fact>, InferenceStats)> = None;
+        for shards in SHARD_COUNTS {
+            let g = build_graph(&edges, shards);
+            for threads in THREAD_COUNTS {
+                let exec = Executor::new(threads);
+                let mut atoms = AtomTable::new();
+                let mut fb = FactBase::new();
+                let seed = par_seed_subclass_facts(&exec, &g, &mut atoms, &mut fb);
+                prop_assert_eq!(seed.seeded, seq_seeded,
+                    "seed count (shards={}, threads={})", shards, threads);
+                let stats = ParallelEngine::new(program.clone())
+                    .run(&exec, &mut atoms, &mut fb)
+                    .unwrap();
+
+                // vs sequential: sets, verdicts, totals, rounds
+                prop_assert_eq!(stats.iterations, seq_stats.iterations);
+                prop_assert_eq!(stats.derived, seq_stats.derived);
+                prop_assert_eq!(round_profile(&stats), round_profile(&seq_stats),
+                    "per-round counters (shards={}, threads={})", shards, threads);
+                prop_assert_eq!(
+                    (resolved(&atoms, &fb, "subclassof"), resolved(&atoms, &fb, "si")),
+                    seq_facts.clone(),
+                    "fact sets (shards={}, threads={})", shards, threads
+                );
+                prop_assert_eq!(
+                    disjointness_verdicts(&atoms, &fb, &disjoint),
+                    seq_verdicts.clone(),
+                    "conflict verdicts (shards={}, threads={})", shards, threads
+                );
+
+                // within the family: byte identity, atom ids included
+                let snapshot = (seed.seeded, fb.facts_in_pred_order(), stats);
+                match &family {
+                    None => family = Some(snapshot),
+                    Some(first) => prop_assert_eq!(
+                        &snapshot, first,
+                        "byte-identical at shards={}, threads={}", shards, threads
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The generator's parallel expand path reproduces the sequential
+    /// path's articulation exactly — same bridges, same seed counts,
+    /// same round profile — and its `GeneratorStats` are identical at
+    /// every thread count (satellite: counters survive the parallel
+    /// merge deterministically).
+    #[test]
+    fn generator_parallel_expand_is_deterministic(threads_ix in 0usize..3) {
+        let threads = THREAD_COUNTS[threads_ix];
+        let c = carrier();
+        let f = factory();
+        let rules = parse_rules("carrier.Cars => transport.Vehicle\n").unwrap();
+
+        let seq_gen = ArticulationGenerator::with_config(GeneratorConfig {
+            expand_with_inference: true,
+            ..Default::default()
+        });
+        let (seq_art, seq_stats) = seq_gen.generate_with_stats(&rules, &[&c, &f]).unwrap();
+
+        let par_gen = ArticulationGenerator::with_config(GeneratorConfig {
+            expand_with_inference: true,
+            executor: Some(std::sync::Arc::new(Executor::new(threads))),
+            ..Default::default()
+        });
+        let (par_art, par_stats) = par_gen.generate_with_stats(&rules, &[&c, &f]).unwrap();
+
+        prop_assert_eq!(par_art.bridges, seq_art.bridges, "threads={}", threads);
+        prop_assert_eq!(par_stats.seeded_facts, seq_stats.seeded_facts);
+        prop_assert_eq!(par_stats.skipped_dead_nodes, seq_stats.skipped_dead_nodes);
+        prop_assert_eq!(par_stats.derived_bridges, seq_stats.derived_bridges);
+        prop_assert_eq!(par_stats.inference.derived, seq_stats.inference.derived);
+        prop_assert_eq!(par_stats.inference.iterations, seq_stats.inference.iterations);
+        prop_assert_eq!(
+            round_profile(&par_stats.inference),
+            round_profile(&seq_stats.inference)
+        );
+
+        // and the parallel path agrees with itself at another thread count
+        let par_gen2 = ArticulationGenerator::with_config(GeneratorConfig {
+            expand_with_inference: true,
+            executor: Some(std::sync::Arc::new(Executor::new(THREAD_COUNTS[(threads_ix + 1) % 3]))),
+            ..Default::default()
+        });
+        let (_, par_stats2) = par_gen2.generate_with_stats(&rules, &[&c, &f]).unwrap();
+        prop_assert_eq!(par_stats, par_stats2, "GeneratorStats byte-identical across threads");
+    }
+}
+
+/// Deep-hierarchy regression (satellite): semi-naive reaches the
+/// fixpoint of a depth-`d` chain in O(log d) rounds — transitivity
+/// doubles the reachable path length every round — with the shrinking
+/// per-round deltas recorded in the ledger, while the naive loop
+/// re-derives from the full fact set each round. Pinned entirely on
+/// the `RoundStats` counters, never wall-clock.
+#[test]
+fn deep_chain_saturation_rounds_are_logarithmic() {
+    let (chains, depth) = (4usize, 64usize);
+    let onto = deep_chain_ontology("deep", chains, depth);
+    let program =
+        HornProgram::parse("subclassof(X, Z) :- subclassof(X, Y), subclassof(Y, Z).").unwrap();
+
+    let run = |strategy: InferStrategy| -> (AtomTable, FactBase, InferenceStats) {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let seeded = onion_core::testkit::seed_subclass_facts(&onto, &mut atoms, &mut fb);
+        assert_eq!(seeded, chains * depth);
+        let stats = InferenceEngine::new(program.clone())
+            .with_strategy(strategy)
+            .run(&mut atoms, &mut fb)
+            .unwrap();
+        (atoms, fb, stats)
+    };
+
+    let (_, semi_fb, semi) = run(InferStrategy::SemiNaive);
+    let (_, naive_fb, naive) = run(InferStrategy::Naive);
+    assert_eq!(semi_fb.len(), naive_fb.len(), "identical fixpoint");
+    assert_eq!(semi.derived, naive.derived);
+
+    // O(log depth) rounds, not O(depth): path length doubles per round,
+    // so ceil(log2(depth)) productive rounds + the fixpoint round.
+    let log_bound = (usize::BITS - (depth - 1).leading_zeros()) as usize + 1;
+    assert!(
+        semi.iterations <= log_bound,
+        "semi-naive took {} rounds for depth {depth} (log bound {log_bound})",
+        semi.iterations
+    );
+    assert!(semi.iterations >= 4, "deep chain is genuinely multi-round");
+
+    // The ledger: round 0 joins against every seeded fact, the deltas
+    // then track exactly what the previous round derived, and the
+    // derived column sums to the total.
+    assert_eq!(semi.rounds.len(), semi.iterations);
+    assert_eq!(semi.rounds[0].delta, chains * depth);
+    for r in 1..semi.rounds.len() {
+        assert_eq!(semi.rounds[r].delta, semi.rounds[r - 1].derived);
+    }
+    let ledger_total: usize = semi.rounds.iter().map(|r| r.derived).sum();
+    assert_eq!(ledger_total, semi.derived);
+    assert_eq!(semi.rounds.last().unwrap().derived, 0);
+
+    // Naive's per-round derivations match (same fixpoint trajectory) …
+    let semi_derived: Vec<usize> = semi.rounds.iter().map(|r| r.derived).collect();
+    let naive_derived: Vec<usize> = naive.rounds.iter().map(|r| r.derived).collect();
+    assert_eq!(semi_derived, naive_derived);
+    // … but the delta columns separate the complexity classes: under
+    // semi-naive every fact enters the delta exactly once, so the
+    // column sums to the final fact count — O(total facts) join input
+    // across the whole run. Naive feeds the entire growing base back
+    // in every round — O(rounds × total facts) join input — and its
+    // fixpoint-proving final round re-examines everything while
+    // semi-naive's only chases the last (shrinking) delta.
+    let semi_delta_sum: usize = semi.rounds.iter().map(|r| r.delta).sum();
+    assert_eq!(semi_delta_sum, semi_fb.len(), "each fact is delta input exactly once");
+    let naive_delta_sum: usize = naive.rounds.iter().map(|r| r.delta).sum();
+    assert!(
+        naive_delta_sum >= 2 * naive_fb.len(),
+        "naive rederivation: {naive_delta_sum} delta input over {} facts",
+        naive_fb.len()
+    );
+    let last: &RoundStats = naive.rounds.last().unwrap();
+    assert_eq!(last.delta, naive_fb.len(), "naive joins the full base every round");
+    assert!(
+        last.examined >= 2 * semi.rounds.last().unwrap().examined,
+        "final naive round re-examines the closure ({} vs {})",
+        last.examined,
+        semi.rounds.last().unwrap().examined
+    );
+    assert!(
+        naive.atoms_examined * 2 >= semi.atoms_examined * 3,
+        "naive total effort ({}) should clearly exceed semi-naive ({})",
+        naive.atoms_examined,
+        semi.atoms_examined
+    );
+
+    // The parallel engine walks the same trajectory, byte-identically
+    // at every thread count.
+    let mut first: Option<InferenceStats> = None;
+    for threads in THREAD_COUNTS {
+        let exec = Executor::new(threads);
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        onion_core::testkit::seed_subclass_facts(&onto, &mut atoms, &mut fb);
+        let stats = ParallelEngine::new(program.clone()).run(&exec, &mut atoms, &mut fb).unwrap();
+        assert_eq!(fb.len(), semi_fb.len());
+        assert_eq!(stats.iterations, semi.iterations);
+        assert_eq!(stats.derived, semi.derived);
+        assert_eq!(
+            stats.rounds.iter().map(|r| (r.delta, r.derived)).collect::<Vec<_>>(),
+            semi.rounds.iter().map(|r| (r.delta, r.derived)).collect::<Vec<_>>()
+        );
+        match &first {
+            None => first = Some(stats),
+            Some(f) => assert_eq!(&stats, f, "threads={threads}"),
+        }
+    }
+}
