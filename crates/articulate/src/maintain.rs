@@ -92,7 +92,7 @@ pub fn apply_delta(
     let mut touched_labels: HashSet<String> = HashSet::new();
     for op in &relevant {
         match op {
-            GraphOp::NodeDelete { label } => {
+            GraphOp::NodeDelete { label, .. } => {
                 // 1. drop every rule mentioning the deleted term, and
                 //    retract the bridges only those rules supported
                 let dropped: Vec<String> = art

@@ -1,0 +1,24 @@
+//! B13 — durability stack: WAL group-flush append, shard-incremental
+//! checkpoint at a fixed dirty fraction, and WAL-only recovery. Each
+//! iteration runs the corresponding B13 series row once (with its
+//! exactness asserts live — dropped records or inexact checkpoint
+//! accounting panic rather than score). The `b13_durability` section
+//! `experiments --json` records in `BENCH_onion.json` carries the
+//! committed medians the `--compare` gate checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_bench::durability::run_b13_sized;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b13_durability");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("append_checkpoint_recover_round", |b| {
+        b.iter(|| std::hint::black_box(run_b13_sized(&[1], &[1_000], 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -172,8 +172,10 @@ fn emit_json(path: &str) {
     let b11 = onion_bench::publish::run_b11();
     eprintln!("running B12 inference seam (string/interned fact-set identity asserted) …");
     let b12 = onion_bench::inference::run_b12();
+    eprintln!("running B13 durability (WAL append / checkpoint / recovery, exactness asserted) …");
+    let b13 = onion_bench::durability::run_b13();
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"onion-bench/v5\",\n");
+    body.push_str("{\n  \"schema\": \"onion-bench/v6\",\n");
     body.push_str(&format!(
         "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
         tier.seed, tier.nodes, tier.edges
@@ -282,6 +284,37 @@ fn emit_json(path: &str) {
     }
     body.push_str("    ]\n  },\n");
     body.push_str(&format!(
+        "  \"b13_durability\": {{\n    \"note\": \"durable WAL stack on the tier: \
+         b13_wal_append_1k_ops is one group-flushed committed batch of {} EdgeAdd ops \
+         (Begin..Commit, one write + sync_data; checksum = final LSN); the checkpoint rows \
+         dirty k of 64 shards with the B11 content-neutral self-loop probe and assert the \
+         checkpoint rewrote exactly k shards and reused 64-k; the recover rows reopen a \
+         WAL-only directory (no manifest shortcut) and assert the replayed edge count\",\n    \
+         \"nodes\": {}, \"edges\": {}, \"shards\": {}, \"reps\": {}, \"batch_ops\": {},\n    \
+         \"rows\": [\n",
+        onion_bench::durability::B13_BATCH_OPS,
+        b13.nodes,
+        b13.edges,
+        b13.shards,
+        b13.reps,
+        onion_bench::durability::B13_BATCH_OPS
+    ));
+    for (i, r) in b13.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"median_us\": {:.1}, \"min_us\": {:.1}, \"max_us\": \
+             {:.1}, \"spread\": {:.2}, \"reps\": {}, \"checksum\": {} }}{}\n",
+            r.name,
+            r.median_us,
+            r.min_us,
+            r.max_us,
+            r.spread(),
+            r.reps,
+            r.checksum,
+            if i + 1 == b13.rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  },\n");
+    body.push_str(&format!(
         "  \"point_probe_reference\": {{\n    \"note\": \"pre/post find_edge_all_triples \
          medians for the open-addressed inline-key edge index, both measured on the same \
          dev machine when it landed; same-machine speedup — do not compare against the \
@@ -359,6 +392,9 @@ fn emit_json(path: &str) {
         b12.deep_derived,
         b12.deep_rounds
     );
+    for r in &b13.rows {
+        println!("{:<32} {}", r.name, fmt_us(r.median_us));
+    }
     let worst_spread =
         results.iter().map(onion_bench::hotpaths::BenchResult::spread).fold(1.0f64, f64::max);
     println!(

@@ -32,7 +32,7 @@
 
 pub mod system;
 
-pub use system::OnionSystem;
+pub use system::{DurableOpen, OnionSystem};
 
 // Re-export the subsystem crates under their short names.
 pub use onion_algebra as algebra;
@@ -56,8 +56,9 @@ pub mod prelude {
     };
     pub use onion_exec::Executor;
     pub use onion_graph::{
-        rel, EdgeId, GraphOp, GraphSnapshot, LabelEquiv, MatchConfig, Matcher, NodeId, OntGraph,
-        Pattern, PublishStats, ShardedSnapshot, SnapshotStore,
+        rel, CheckpointStats, Durability, EdgeId, GraphOp, GraphSnapshot, LabelEquiv, Lsn,
+        MatchConfig, Matcher, NodeId, OntGraph, Pattern, PublishStats, RecoveryStats,
+        ShardedSnapshot, SnapshotStore, WalError,
     };
     pub use onion_lexicon::{builtin::transport_lexicon, Lexicon};
     pub use onion_ontology::{examples, Ontology, OntologyBuilder};

@@ -1,13 +1,15 @@
 //! [`OnionSystem`]: the assembled architecture of the paper's Fig. 1.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use onion_articulate::{
     Articulation, ArticulationEngine, ArticulationGenerator, EngineConfig, EngineReport, Expert,
     GeneratorConfig, MatcherPipeline,
 };
-use onion_graph::{OntGraph, PublishStats, ShardedSnapshot, SnapshotStore};
+use onion_graph::wal::{CheckpointStats, Durability, Lsn, RecoveryStats, WalError};
+use onion_graph::{GraphOp, OntGraph, PublishStats, ShardedSnapshot, SnapshotStore};
 use onion_lexicon::Lexicon;
 use onion_ontology::Ontology;
 use onion_query::{InMemoryWrapper, KnowledgeBase, Query, ResultSet, Wrapper};
@@ -28,6 +30,8 @@ pub enum SystemError {
     Algebra(onion_algebra::AlgebraError),
     /// Query failed.
     Query(onion_query::QueryError),
+    /// WAL / checkpoint / recovery failed.
+    Durability(WalError),
 }
 
 impl std::fmt::Display for SystemError {
@@ -39,6 +43,7 @@ impl std::fmt::Display for SystemError {
             SystemError::Articulate(e) => write!(f, "{e}"),
             SystemError::Algebra(e) => write!(f, "{e}"),
             SystemError::Query(e) => write!(f, "{e}"),
+            SystemError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -74,6 +79,31 @@ pub struct OnionSystem {
     /// default) keeps expansion sequential. Threaded into every
     /// generator the facade builds.
     inference_executor: Option<Arc<onion_exec::Executor>>,
+    /// Per-source durability handles ([`OnionSystem::open_durable`]).
+    /// A durable source's journal is drained into its WAL (and
+    /// group-flushed) at every publish, so the in-memory journal only
+    /// ever holds the unflushed tail.
+    durables: BTreeMap<String, DurableSource>,
+}
+
+/// Durable state attached to one source.
+struct DurableSource {
+    dur: Durability,
+    /// Commit LSN covering everything included in the latest publish —
+    /// the `last_lsn` the next checkpoint records.
+    publish_lsn: Lsn,
+}
+
+/// What [`OnionSystem::open_durable`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOpen {
+    /// True when the source was recovered from existing durable state;
+    /// false when the loaded source bootstrapped a fresh directory.
+    pub recovered: bool,
+    /// Recovery accounting (recovered case).
+    pub recovery: Option<RecoveryStats>,
+    /// The initial full checkpoint (bootstrap case).
+    pub checkpoint: Option<CheckpointStats>,
 }
 
 impl OnionSystem {
@@ -91,6 +121,7 @@ impl OnionSystem {
             stores: BTreeMap::new(),
             atoms: Arc::new(Mutex::new(AtomTable::new())),
             inference_executor: None,
+            durables: BTreeMap::new(),
         }
     }
 
@@ -177,7 +208,13 @@ impl OnionSystem {
     /// a graph grown substantially between load and first publish still
     /// gets a right-sized layout; later publishes keep it stable to
     /// preserve incremental rebuilds.
+    /// For a durable source ([`OnionSystem::open_durable`]), every
+    /// publish first drains the journal tail into the WAL as one
+    /// committed batch and group-flushes it — write-ahead of the
+    /// snapshot becoming visible, so the published state is always a
+    /// recoverable cut.
     pub fn publish_source(&mut self, name: &str) -> Result<(Arc<ShardedSnapshot>, PublishStats)> {
+        let flushed = self.flush_durable(name)?;
         if self.shard_count == 0 && !self.stores.contains_key(name) {
             let ontology = self
                 .sources
@@ -189,7 +226,11 @@ impl OnionSystem {
             self.sources.get(name).ok_or_else(|| SystemError::UnknownSource(name.to_string()))?;
         let g = ontology.graph();
         let store = self.stores.entry(name.to_string()).or_insert_with(|| SnapshotStore::new(g));
-        Ok(store.publish_stats(g))
+        let out = store.publish_stats(g);
+        if let Some(lsn) = flushed {
+            self.durables.get_mut(name).expect("flushed implies durable").publish_lsn = lsn;
+        }
+        Ok(out)
     }
 
     /// The latest published snapshot of a source — a mutex-free load;
@@ -197,6 +238,138 @@ impl OnionSystem {
     /// call from any thread while another publishes.
     pub fn source_snapshot(&self, name: &str) -> Option<Arc<ShardedSnapshot>> {
         self.stores.get(name).map(SnapshotStore::load)
+    }
+
+    // ------------------------------------------------------------------
+    // durability: WAL + checkpoints + recovery
+    // ------------------------------------------------------------------
+
+    /// Attaches durable storage under `dir` to the source `name`.
+    ///
+    /// * If `dir` already holds durable state, the source is
+    ///   **recovered** from it — newest complete checkpoint manifest,
+    ///   clean shards restored, committed WAL suffix replayed — loaded
+    ///   (replacing any in-memory source of the same name), and
+    ///   re-published.
+    /// * Otherwise the already-loaded source **bootstraps** `dir`: its
+    ///   full content is logged as the first committed batch, published,
+    ///   and checkpointed, so recovery works even if the first manifest
+    ///   is later torn.
+    ///
+    /// From then on the source's journal is the unflushed WAL tail:
+    /// every [`OnionSystem::publish_source`] drains and group-flushes
+    /// it, and [`OnionSystem::checkpoint_source`] bounds both the
+    /// journal and the WAL itself.
+    ///
+    /// Durable sources must be consistent ontologies (unique labels) —
+    /// ops are journaled and replayed label-addressed (§3), so recovery
+    /// is identity-preserving at the label level (node ids may compact).
+    pub fn open_durable(&mut self, name: &str, dir: impl AsRef<Path>) -> Result<DurableOpen> {
+        let dir = dir.as_ref();
+        if Durability::has_state(dir) {
+            let (mut g, dur, recovery) = Durability::open(dir).map_err(SystemError::Durability)?;
+            if dur.name() != name {
+                return Err(SystemError::Durability(WalError::Unsupported(format!(
+                    "durable directory belongs to source {:?}, not {name:?}",
+                    dur.name()
+                ))));
+            }
+            g.enable_journal();
+            let ontology = onion_ontology::Ontology::from_graph(g).map_err(|e| {
+                SystemError::Durability(WalError::Unsupported(format!(
+                    "recovered graph is not a valid ontology: {e}"
+                )))
+            })?;
+            self.add_source(ontology);
+            self.durables.insert(name.to_string(), DurableSource { dur, publish_lsn: Lsn::ZERO });
+            self.publish_source(name)?;
+            Ok(DurableOpen { recovered: true, recovery: Some(recovery), checkpoint: None })
+        } else {
+            let ontology = self.get_source(name)?;
+            let g = ontology.graph();
+            if !g.unique_labels() {
+                return Err(SystemError::Durability(WalError::Unsupported(
+                    "durable sources require consistent (unique-label) mode".into(),
+                )));
+            }
+            // Bootstrap batch: the source's full content as ops, so the
+            // WAL alone can rebuild it if the first manifest tears.
+            let mut ops: Vec<GraphOp> =
+                g.node_ids().map(|n| GraphOp::node_add(g.node_label(n).expect("live"))).collect();
+            let triples: Vec<(String, String, String)> = g
+                .edges()
+                .map(|e| {
+                    (
+                        g.node_label(e.src).expect("live").to_string(),
+                        e.label.to_string(),
+                        g.node_label(e.dst).expect("live").to_string(),
+                    )
+                })
+                .collect();
+            for chunk in triples.chunks(4096) {
+                ops.push(GraphOp::EdgeAdd { edges: chunk.to_vec() });
+            }
+            let mut dur = Durability::create(dir, name, true).map_err(SystemError::Durability)?;
+            dur.log_batch(&ops);
+            let lsn = dur.flush().map_err(SystemError::Durability)?;
+            let graph = self.sources.get_mut(name).expect("checked above").graph_mut();
+            // Any pre-durability journal is already covered by the
+            // bootstrap batch; journaling starts fresh from here.
+            graph.take_journal();
+            graph.enable_journal();
+            self.durables.insert(name.to_string(), DurableSource { dur, publish_lsn: lsn });
+            self.publish_source(name)?;
+            let stats = self.checkpoint_source(name)?;
+            Ok(DurableOpen { recovered: false, recovery: None, checkpoint: Some(stats) })
+        }
+    }
+
+    /// Flushes and checkpoints a durable source: journal tail → WAL
+    /// (committed + group-flushed), incremental publish, then a
+    /// **shard-incremental** checkpoint — only shards whose version
+    /// stamps changed since the previous checkpoint are rewritten, and
+    /// WAL segments no longer needed for recovery are retired.
+    pub fn checkpoint_source(&mut self, name: &str) -> Result<CheckpointStats> {
+        if !self.durables.contains_key(name) {
+            return Err(SystemError::Durability(WalError::Unsupported(format!(
+                "source {name:?} is not durable; call open_durable first"
+            ))));
+        }
+        let (snap, _) = self.publish_source(name)?;
+        let ds = self.durables.get_mut(name).expect("checked above");
+        ds.dur.checkpoint(&snap, ds.publish_lsn).map_err(SystemError::Durability)
+    }
+
+    /// Recovers a graph from a durable directory without loading it
+    /// into a system — the raw recovery entry point (inspection,
+    /// tests, offline tooling). Equivalent to what
+    /// [`OnionSystem::open_durable`] does internally for existing state.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(OntGraph, RecoveryStats)> {
+        let (g, _dur, stats) = Durability::open(dir).map_err(SystemError::Durability)?;
+        Ok((g, stats))
+    }
+
+    /// The durability handle of a source, if `open_durable` attached
+    /// one (observability: manifests, WAL segments, unflushed bytes).
+    pub fn durable(&self, name: &str) -> Option<&Durability> {
+        self.durables.get(name).map(|ds| &ds.dur)
+    }
+
+    /// Drains a durable source's journal tail into its WAL as one
+    /// committed, group-flushed batch. Returns the durable LSN, or
+    /// `None` when `name` isn't durable.
+    fn flush_durable(&mut self, name: &str) -> Result<Option<Lsn>> {
+        let Some(ds) = self.durables.get_mut(name) else {
+            return Ok(None);
+        };
+        let ontology = self
+            .sources
+            .get_mut(name)
+            .ok_or_else(|| SystemError::UnknownSource(name.to_string()))?;
+        let ops = ontology.graph_mut().drain_journal();
+        ds.dur.log_batch(&ops);
+        let lsn = ds.dur.flush().map_err(SystemError::Durability)?;
+        Ok(Some(lsn))
     }
 
     /// Adds expert articulation rules in the textual syntax.
@@ -632,6 +805,85 @@ mod tests {
         late.set_name("late");
         s.add_source(Ontology::from_graph(late).unwrap());
         assert_eq!(s.source("late").unwrap().graph().shard_count(), 2);
+    }
+
+    fn label_shape(g: &OntGraph) -> (Vec<String>, Vec<(String, String, String)>) {
+        let mut nodes: Vec<String> =
+            g.node_ids().map(|n| g.node_label(n).unwrap().to_string()).collect();
+        nodes.sort();
+        let mut edges: Vec<(String, String, String)> = g
+            .edges()
+            .map(|e| {
+                (
+                    g.node_label(e.src).unwrap().to_string(),
+                    e.label.to_string(),
+                    g.node_label(e.dst).unwrap().to_string(),
+                )
+            })
+            .collect();
+        edges.sort();
+        (nodes, edges)
+    }
+
+    #[test]
+    fn durable_lifecycle_bootstrap_checkpoint_recover() {
+        let td = onion_testkit::fs::TempDir::new("sys-durable");
+        let mut s = loaded();
+        let open = s.open_durable("carrier", td.path()).unwrap();
+        assert!(!open.recovered);
+        let ck0 = open.checkpoint.expect("bootstrap writes a full checkpoint");
+        assert_eq!(ck0.shards_reused, 0, "first checkpoint is full");
+
+        // Checkpointed mutations…
+        let g = s.source_mut("carrier").unwrap().graph_mut();
+        g.ensure_edge_by_labels("Bikes", "SubclassOf", "Vehicles").unwrap();
+        let ck1 = s.checkpoint_source("carrier").unwrap();
+        assert!(ck1.shards_written >= 1 && ck1.seq == ck0.seq + 1);
+        assert!(
+            s.source("carrier").unwrap().graph().journal().is_empty(),
+            "checkpoint drains the journal tail"
+        );
+
+        // …plus flushed-but-uncheckpointed mutations (replayed from WAL).
+        let g = s.source_mut("carrier").unwrap().graph_mut();
+        g.ensure_edge_by_labels("Scooters", "SubclassOf", "Bikes").unwrap();
+        g.delete_node_by_label("Scooters").unwrap();
+        s.publish_source("carrier").unwrap();
+        let want = label_shape(s.source("carrier").unwrap().graph());
+        drop(s);
+
+        let mut s2 = OnionSystem::with_transport_lexicon();
+        s2.add_source(factory());
+        let open = s2.open_durable("carrier", td.path()).unwrap();
+        assert!(open.recovered);
+        assert_eq!(label_shape(s2.source("carrier").unwrap().graph()), want);
+        assert!(s2.source_snapshot("carrier").is_some(), "recovery re-publishes");
+
+        // The recovered source articulates like any loaded one.
+        s2.add_rules(fig2_rules_text()).unwrap();
+        let report = s2.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+        assert!(report.accepted > 0);
+
+        // Raw recovery entry point agrees with the loaded state.
+        let (rg, stats) = OnionSystem::recover(td.path()).unwrap();
+        assert_eq!(label_shape(&rg), want);
+        assert!(stats.manifest_seq.is_some());
+    }
+
+    #[test]
+    fn checkpoint_requires_open_durable() {
+        let mut s = loaded();
+        assert!(matches!(s.checkpoint_source("carrier"), Err(SystemError::Durability(_))));
+    }
+
+    #[test]
+    fn open_durable_rejects_wrong_source_name() {
+        let td = onion_testkit::fs::TempDir::new("sys-durable-name");
+        let mut s = loaded();
+        s.open_durable("carrier", td.path()).unwrap();
+        drop(s);
+        let mut s2 = loaded();
+        assert!(matches!(s2.open_durable("factory", td.path()), Err(SystemError::Durability(_))));
     }
 
     #[test]

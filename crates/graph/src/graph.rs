@@ -444,6 +444,19 @@ impl OntGraph {
         self.journal.take().unwrap_or_default()
     }
 
+    /// Drains the recorded ops while **keeping the journal enabled**.
+    ///
+    /// This is the durability seam: the WAL layer drains the journal at
+    /// every flush point, so the in-memory `Vec<GraphOp>` is only ever
+    /// the unflushed tail of the log — it no longer grows for the
+    /// lifetime of the graph.
+    pub fn drain_journal(&mut self) -> Vec<GraphOp> {
+        match self.journal.as_mut() {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
     /// Returns the ops recorded so far without stopping the journal.
     pub fn journal(&self) -> &[GraphOp] {
         self.journal.as_deref().unwrap_or(&[])
@@ -513,6 +526,15 @@ impl OntGraph {
         if !self.is_live_node(id) {
             return Err(GraphError::NodeNotFound(format!("{id:?}")));
         }
+        // Capture the node's neighbourhood *before* the cascade empties
+        // it, so the journaled ND op is lossless (its inverse restores
+        // the node and every incident edge from the op alone).
+        let captured = if self.journal.is_some() {
+            let label = self.interner.resolve(self.nodes[id.index()].label).to_string();
+            Some(GraphOp::capture_node_delete_at(self, id, &label))
+        } else {
+            None
+        };
         // Collect incident edges first (both directions), then kill them.
         // Incident lists hold only live edges; a self-loop appears in
         // both, so dedup through the liveness check in the loop.
@@ -528,7 +550,6 @@ impl OntGraph {
             }
         }
         let lid = self.nodes[id.index()].label;
-        let label = self.interner.resolve(lid).to_string();
         let node = &mut self.nodes[id.index()];
         node.alive = false;
         // cascaded edge deletion already emptied these; release the
@@ -545,7 +566,9 @@ impl OntGraph {
         }
         self.live_nodes -= 1;
         self.touch_shard(id);
-        self.record(|_| GraphOp::node_delete(label.clone()));
+        if let Some(op) = captured {
+            self.record(|_| op);
+        }
         Ok(())
     }
 

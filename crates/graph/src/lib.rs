@@ -28,6 +28,11 @@
 //!   matching (synonym node labels, relaxed edge labels);
 //! * traversals, reachability, strongly connected components and per-label
 //!   transitive [`closure`];
+//! * **durability** ([`wal`]): an LSN-stamped, CRC-framed write-ahead
+//!   log of `GraphOp` records with group flush and segment rotation,
+//!   fuzzy shard-incremental checkpoints of the published snapshot, and
+//!   crash recovery (torn-tail truncation, torn-manifest fallback,
+//!   committed-batch replay) behind the [`wal::Durability`] handle;
 //! * snapshot isolation for concurrent readers: [`snapshot::ShardedSnapshot`]
 //!   (an immutable, `Send + Sync` frozen view, partitioned into
 //!   node-range [`snapshot::SnapshotShard`]s that rebuild independently)
@@ -57,6 +62,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod text;
 pub mod traverse;
+pub mod wal;
 pub mod xml;
 
 pub use error::GraphError;
@@ -69,6 +75,7 @@ pub use matcher::{CaseInsensitiveEquiv, ExactEquiv, LabelEquiv, Match, MatchConf
 pub use ops::GraphOp;
 pub use pattern::{EdgeConstraint, NodeConstraint, Pattern, PatternEdge, PatternNode};
 pub use snapshot::{GraphSnapshot, PublishStats, ShardedSnapshot, SnapshotShard, SnapshotStore};
+pub use wal::{CheckpointStats, Durability, Lsn, RecoveryStats, WalError};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

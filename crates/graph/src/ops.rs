@@ -24,9 +24,22 @@ pub enum GraphOp {
         in_edges: Vec<(String, String)>,
     },
     /// `ND`: delete the node carrying `label` (and incident edges).
+    ///
+    /// The op carries the node's neighbourhood *captured at delete time*
+    /// so it is lossless: [`GraphOp::inverse`] can rebuild the node and
+    /// every incident edge from the op alone. Blind construction via
+    /// [`GraphOp::node_delete`] leaves the capture empty (the inverse
+    /// then restores a bare node); the journal always records the
+    /// captured form (see [`GraphOp::capture_node_delete`]).
     NodeDelete {
         /// Label of the node to delete.
         label: String,
+        /// Outgoing edges `(edge-label, target-node-label)` the node had
+        /// when it was deleted.
+        out_edges: Vec<(String, String)>,
+        /// Incoming edges `(source-node-label, edge-label)` the node had
+        /// when it was deleted.
+        in_edges: Vec<(String, String)>,
     },
     /// `EA`: add the edge set `{(mᵢ, αⱼ, mₖ)}`.
     EdgeAdd {
@@ -55,9 +68,9 @@ impl GraphOp {
         GraphOp::NodeAdd { label: label.into(), out_edges, in_edges }
     }
 
-    /// Shorthand for a node deletion.
+    /// Shorthand for a blind node deletion (no captured neighbourhood).
     pub fn node_delete(label: impl Into<String>) -> Self {
-        GraphOp::NodeDelete { label: label.into() }
+        GraphOp::NodeDelete { label: label.into(), out_edges: Vec::new(), in_edges: Vec::new() }
     }
 
     /// Shorthand for a single edge addition.
@@ -99,7 +112,9 @@ impl GraphOp {
                 }
                 Ok(())
             }
-            GraphOp::NodeDelete { label } => g.delete_node_by_label(label),
+            // The captured neighbourhood is for `inverse`; application
+            // only needs the label (deletion cascades incident edges).
+            GraphOp::NodeDelete { label, .. } => g.delete_node_by_label(label),
             GraphOp::EdgeAdd { edges } => {
                 for (s, l, d) in edges {
                     g.ensure_edge_by_labels(s, l, d)?;
@@ -115,33 +130,38 @@ impl GraphOp {
         }
     }
 
-    /// The inverse primitive, where derivable.
-    ///
-    /// `NodeDelete` is not invertible from the op alone (the incident
-    /// edges are lost), so it returns `None`; callers needing undo must
-    /// capture the node's neighbourhood first (see
-    /// [`GraphOp::capture_node_delete`]).
+    /// The inverse primitive. Every op is invertible: a `NodeDelete`
+    /// inverts into the `NodeAdd` that restores the node plus its
+    /// captured neighbourhood (empty for blind-constructed deletes,
+    /// which then restore a bare node).
     pub fn inverse(&self) -> Option<GraphOp> {
         match self {
-            GraphOp::NodeAdd { label, out_edges, in_edges } => {
-                if out_edges.is_empty() && in_edges.is_empty() {
-                    Some(GraphOp::node_delete(label.clone()))
-                } else {
-                    // Deleting the node also removes the adjacent edges.
-                    Some(GraphOp::node_delete(label.clone()))
-                }
-            }
-            GraphOp::NodeDelete { .. } => None,
+            // Deleting the node also removes the adjacent edges, so the
+            // bare delete undoes the add in both cases.
+            GraphOp::NodeAdd { label, .. } => Some(GraphOp::node_delete(label.clone())),
+            GraphOp::NodeDelete { label, out_edges, in_edges } => Some(GraphOp::NodeAdd {
+                label: label.clone(),
+                out_edges: out_edges.clone(),
+                in_edges: in_edges.clone(),
+            }),
             GraphOp::EdgeAdd { edges } => Some(GraphOp::EdgeDelete { edges: edges.clone() }),
             GraphOp::EdgeDelete { edges } => Some(GraphOp::EdgeAdd { edges: edges.clone() }),
         }
     }
 
-    /// Builds a `NodeAdd` op that would restore `label`'s node and its
-    /// current neighbourhood in `g`; the undo record for a `NodeDelete`.
+    /// Builds the **captured** `NodeDelete` op for `label`'s node: the
+    /// full op `delete_node` journals, carrying the node's current
+    /// neighbourhood so replay is lossless and `inverse` restores it.
     pub fn capture_node_delete(g: &OntGraph, label: &str) -> Result<GraphOp> {
         let n =
             g.node_by_label(label).ok_or_else(|| GraphError::NodeNotFound(label.to_string()))?;
+        Ok(Self::capture_node_delete_at(g, n, label))
+    }
+
+    /// Id-addressed [`GraphOp::capture_node_delete`], for callers that
+    /// already resolved the node (in multi-label mode the label alone is
+    /// ambiguous).
+    pub(crate) fn capture_node_delete_at(g: &OntGraph, n: crate::NodeId, label: &str) -> GraphOp {
         let out_edges = g
             .out_edges(n)
             .map(|e| (e.label.to_string(), g.node_label(e.dst).expect("live").to_string()))
@@ -150,7 +170,7 @@ impl GraphOp {
             .in_edges(n)
             .map(|e| (g.node_label(e.src).expect("live").to_string(), e.label.to_string()))
             .collect();
-        Ok(GraphOp::NodeAdd { label: label.to_string(), out_edges, in_edges })
+        GraphOp::NodeDelete { label: label.to_string(), out_edges, in_edges }
     }
 
     /// Labels this op touches (used by the maintenance engine to decide
@@ -163,7 +183,12 @@ impl GraphOp {
                 v.extend(in_edges.iter().map(|(s, _)| s.as_str()));
                 v
             }
-            GraphOp::NodeDelete { label } => vec![label.as_str()],
+            GraphOp::NodeDelete { label, out_edges, in_edges } => {
+                let mut v = vec![label.as_str()];
+                v.extend(out_edges.iter().map(|(_, d)| d.as_str()));
+                v.extend(in_edges.iter().map(|(s, _)| s.as_str()));
+                v
+            }
             GraphOp::EdgeAdd { edges } | GraphOp::EdgeDelete { edges } => {
                 edges.iter().flat_map(|(s, _, d)| [s.as_str(), d.as_str()]).collect()
             }
@@ -236,8 +261,9 @@ mod tests {
     }
 
     #[test]
-    fn node_delete_has_no_blind_inverse() {
-        assert!(GraphOp::node_delete("X").inverse().is_none());
+    fn blind_node_delete_inverts_to_bare_node_add() {
+        let inv = GraphOp::node_delete("X").inverse().unwrap();
+        assert_eq!(inv, GraphOp::node_add("X"));
     }
 
     #[test]
@@ -245,12 +271,32 @@ mod tests {
         let mut g = OntGraph::new("t");
         g.ensure_edge_by_labels("Car", "SubclassOf", "Vehicle").unwrap();
         g.ensure_edge_by_labels("Price", "AttributeOf", "Car").unwrap();
-        let undo = GraphOp::capture_node_delete(&g, "Car").unwrap();
-        g.delete_node_by_label("Car").unwrap();
+        let del = GraphOp::capture_node_delete(&g, "Car").unwrap();
+        del.apply(&mut g).unwrap();
         assert_eq!(g.edge_count(), 0);
-        undo.apply(&mut g).unwrap();
+        del.inverse().unwrap().apply(&mut g).unwrap();
         assert!(g.has_edge("Car", "SubclassOf", "Vehicle"));
         assert!(g.has_edge("Price", "AttributeOf", "Car"));
+    }
+
+    #[test]
+    fn journaled_node_delete_carries_capture() {
+        let mut g = OntGraph::new("t");
+        g.ensure_edge_by_labels("Car", "SubclassOf", "Vehicle").unwrap();
+        g.enable_journal();
+        g.delete_node_by_label("Car").unwrap();
+        let journal = g.take_journal();
+        let nd = journal.last().unwrap();
+        match nd {
+            GraphOp::NodeDelete { label, out_edges, .. } => {
+                assert_eq!(label, "Car");
+                assert_eq!(out_edges, &[("SubclassOf".to_string(), "Vehicle".to_string())]);
+            }
+            other => panic!("expected captured NodeDelete, got {other:?}"),
+        }
+        // The journaled op alone undoes the delete, edges included.
+        nd.inverse().unwrap().apply(&mut g).unwrap();
+        assert!(g.has_edge("Car", "SubclassOf", "Vehicle"));
     }
 
     #[test]

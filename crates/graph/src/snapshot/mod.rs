@@ -36,7 +36,7 @@
 //! serialise among themselves on a writer-side mutex and defer freeing
 //! a replaced snapshot until no reader is mid-pin.
 
-mod shard;
+pub(crate) mod shard;
 
 pub use shard::SnapshotShard;
 

@@ -1,0 +1,598 @@
+//! Fuzzy, shard-incremental checkpoints of the published snapshot.
+//!
+//! A checkpoint serializes a [`ShardedSnapshot`] — the *published
+//! immutable* view, never the live graph — so taking one cannot block
+//! readers or the writer. Incrementality reuses the machinery that
+//! already drives incremental publish: shard files are named by
+//! `(graph_id, shard index, version stamp)`, so a shard whose stamp is
+//! unchanged since the previous checkpoint is simply re-referenced by
+//! the new manifest instead of rewritten. The **fuzzy-checkpoint
+//! invariant**: a manifest with `last_lsn = L` plus replay of every
+//! committed batch with commit LSN `> L` reconstructs exactly the graph
+//! state the snapshot was published from, because the snapshot is
+//! itself a consistent cut at a publish (= flush) boundary.
+//!
+//! On-disk layout (all files CRC-framed like WAL records —
+//! `[u32 len][u32 crc][payload]`):
+//!
+//! * `ckpt-{seq:020}.mf` — the manifest: `{seq, graph name,
+//!   unique_labels, graph_id, epoch, shard_count, last_lsn, per-shard
+//!   version stamps}`. Written to a temp file, synced, then renamed —
+//!   the rename is the checkpoint's commit point; a torn manifest is
+//!   skipped at recovery, falling back to the previous one.
+//! * `strings-{seq:020}.bin` — the snapshot interner (label table).
+//! * `shard-{graph_id:016x}-{idx:05}-v{version:020}.bin` — one CSR
+//!   shard: per-slot labels plus out-edge rows. In-edges are not
+//!   stored; restore re-derives them (edge insertion maintains both
+//!   directions).
+//!
+//! The two newest manifests are retained (so the newest can always be
+//! abandoned for its predecessor); everything unreferenced is GC'd.
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use super::record::{put_str, put_u32, put_u64, Reader};
+use super::{crc32, Lsn, WalError, WalResult};
+use crate::snapshot::{shard::owned_slots, ShardedSnapshot};
+use crate::{LabelId, OntGraph};
+
+const MAGIC_MANIFEST: u32 = 0x4F4E_4D46; // "ONMF"
+const MAGIC_STRINGS: u32 = 0x4F4E_5354; // "ONST"
+const MAGIC_SHARD: u32 = 0x4F4E_5348; // "ONSH"
+const FORMAT_VERSION: u32 = 1;
+
+/// Sentinel for a dead / never-used node slot in a shard file.
+const DEAD_SLOT: u32 = u32::MAX;
+
+/// A durably committed checkpoint description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotone checkpoint sequence number.
+    pub seq: u64,
+    /// Graph name.
+    pub name: String,
+    /// Consistent-ontology mode flag (must be true for durable graphs).
+    pub unique_labels: bool,
+    /// Identity of the graph the shard stamps belong to. Process-local:
+    /// a recovered graph gets a fresh id, so the first checkpoint after
+    /// recovery is a full one by construction.
+    pub graph_id: u64,
+    /// Snapshot epoch the checkpoint serialized (informational).
+    pub epoch: u64,
+    /// Shard count of the serialized snapshot.
+    pub shard_count: usize,
+    /// Replay resumes after this committed LSN.
+    pub last_lsn: Lsn,
+    /// Per-shard version stamps — the incremental-reuse key.
+    pub shard_versions: Vec<u64>,
+}
+
+impl Manifest {
+    pub(crate) fn manifest_file(seq: u64) -> String {
+        format!("ckpt-{seq:020}.mf")
+    }
+
+    pub(crate) fn strings_file(&self) -> String {
+        format!("strings-{:020}.bin", self.seq)
+    }
+
+    pub(crate) fn shard_file(&self, s: usize) -> String {
+        format!("shard-{:016x}-{:05}-v{:020}.bin", self.graph_id, s, self.shard_versions[s])
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_u32(&mut p, MAGIC_MANIFEST);
+        put_u32(&mut p, FORMAT_VERSION);
+        put_u64(&mut p, self.seq);
+        put_str(&mut p, &self.name);
+        p.push(self.unique_labels as u8);
+        put_u64(&mut p, self.graph_id);
+        put_u64(&mut p, self.epoch);
+        put_u32(&mut p, self.shard_count as u32);
+        put_u64(&mut p, self.last_lsn.0);
+        put_u32(&mut p, self.shard_versions.len() as u32);
+        for &v in &self.shard_versions {
+            put_u64(&mut p, v);
+        }
+        p
+    }
+
+    fn decode(payload: &[u8], what: &str) -> WalResult<Manifest> {
+        let mut r = Reader::new(payload, what);
+        let corrupt =
+            |detail: &str| WalError::Corrupt { file: what.to_string(), detail: detail.to_string() };
+        if r.u32()? != MAGIC_MANIFEST {
+            return Err(corrupt("bad manifest magic"));
+        }
+        if r.u32()? != FORMAT_VERSION {
+            return Err(corrupt("unknown manifest format version"));
+        }
+        let seq = r.u64()?;
+        let name = r.str()?;
+        let unique_labels = r.u8()? != 0;
+        let graph_id = r.u64()?;
+        let epoch = r.u64()?;
+        let shard_count = r.u32()? as usize;
+        let last_lsn = Lsn(r.u64()?);
+        let n = r.count(8)?;
+        if n != shard_count {
+            return Err(corrupt("shard version count != shard count"));
+        }
+        let mut shard_versions = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_versions.push(r.u64()?);
+        }
+        r.expect_end()?;
+        Ok(Manifest {
+            seq,
+            name,
+            unique_labels,
+            graph_id,
+            epoch,
+            shard_count,
+            last_lsn,
+            shard_versions,
+        })
+    }
+}
+
+/// What one checkpoint did — the exact-accounting surface the
+/// incremental invariant is asserted against (mirroring B11's
+/// `PublishStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Manifest sequence number written.
+    pub seq: u64,
+    /// Shards serialized to disk this checkpoint.
+    pub shards_written: usize,
+    /// Shards re-referenced from the previous checkpoint.
+    pub shards_reused: usize,
+    /// Payload bytes written (shards + strings + manifest).
+    pub bytes_written: u64,
+    /// Committed LSN the checkpoint covers.
+    pub last_lsn: Lsn,
+    /// WAL segments deleted after the checkpoint committed (filled in
+    /// by [`super::Durability`]; 0 from the raw writer).
+    pub wal_segments_retired: usize,
+}
+
+// ---------------------------------------------------------------------
+// framed file io
+// ---------------------------------------------------------------------
+
+fn write_framed(path: &Path, payload: &[u8]) -> WalResult<u64> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    let mut f = File::create(path)?;
+    f.write_all(&out)?;
+    f.sync_all()?;
+    Ok(out.len() as u64)
+}
+
+fn read_framed(path: &Path) -> WalResult<Vec<u8>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let what = path.display().to_string();
+    let corrupt = |detail: String| WalError::Corrupt { file: what.clone(), detail };
+    if bytes.len() < 8 {
+        return Err(corrupt(format!("file too short ({} bytes)", bytes.len())));
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if bytes.len() != 8 + len {
+        return Err(corrupt(format!("frame length {len} != file length {}", bytes.len() - 8)));
+    }
+    let payload = bytes.split_off(8);
+    if crc32(&payload) != crc {
+        return Err(corrupt("crc mismatch".into()));
+    }
+    Ok(payload)
+}
+
+/// Fsyncs the directory so renames/creates within it are durable.
+fn sync_dir(dir: &Path) -> WalResult<()> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// shard / strings serialization
+// ---------------------------------------------------------------------
+
+fn encode_strings(snap: &ShardedSnapshot) -> Vec<u8> {
+    let interner = snap.interner();
+    let mut p = Vec::new();
+    put_u32(&mut p, MAGIC_STRINGS);
+    put_u32(&mut p, interner.len() as u32);
+    for i in 0..interner.len() {
+        put_str(&mut p, interner.resolve(LabelId(i as u32)));
+    }
+    p
+}
+
+fn decode_strings(payload: &[u8], what: &str) -> WalResult<Vec<String>> {
+    let mut r = Reader::new(payload, what);
+    if r.u32()? != MAGIC_STRINGS {
+        return Err(WalError::Corrupt { file: what.into(), detail: "bad strings magic".into() });
+    }
+    let n = r.count(4)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(r.str()?);
+    }
+    r.expect_end()?;
+    Ok(v)
+}
+
+fn encode_shard(snap: &ShardedSnapshot, s: usize) -> Vec<u8> {
+    let shard = snap.shard(s);
+    let slots = owned_slots(snap.node_capacity(), s, snap.shard_count());
+    let mut p = Vec::new();
+    put_u32(&mut p, MAGIC_SHARD);
+    put_u32(&mut p, s as u32);
+    put_u32(&mut p, snap.shard_count() as u32);
+    put_u64(&mut p, shard.version());
+    put_u32(&mut p, slots as u32);
+    for local in 0..slots {
+        match shard.label_local(local) {
+            Some(lid) => put_u32(&mut p, lid.index() as u32),
+            None => put_u32(&mut p, DEAD_SLOT),
+        }
+    }
+    for local in 0..slots {
+        let row = shard.entries_local(local, true);
+        put_u32(&mut p, row.len() as u32);
+        for &(lid, dst) in row {
+            put_u32(&mut p, lid.index() as u32);
+            put_u32(&mut p, dst.index() as u32);
+        }
+    }
+    p
+}
+
+/// A decoded shard file: per-slot labels and out-edge rows, all as raw
+/// u32 indexes into the checkpoint's strings table / global slot space.
+struct ShardDump {
+    labels: Vec<u32>,
+    rows: Vec<Vec<(u32, u32)>>,
+}
+
+fn decode_shard(
+    payload: &[u8],
+    what: &str,
+    idx: usize,
+    count: usize,
+    version: u64,
+) -> WalResult<ShardDump> {
+    let mut r = Reader::new(payload, what);
+    let corrupt = |detail: String| WalError::Corrupt { file: what.to_string(), detail };
+    if r.u32()? != MAGIC_SHARD {
+        return Err(corrupt("bad shard magic".into()));
+    }
+    if (r.u32()? as usize, r.u32()? as usize, r.u64()?) != (idx, count, version) {
+        return Err(corrupt("shard header disagrees with manifest".into()));
+    }
+    let slots = r.count(4)?;
+    let mut labels = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        labels.push(r.u32()?);
+    }
+    let mut rows = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        let n = r.count(8)?;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push((r.u32()?, r.u32()?));
+        }
+        rows.push(row);
+    }
+    r.expect_end()?;
+    Ok(ShardDump { labels, rows })
+}
+
+// ---------------------------------------------------------------------
+// checkpoint write / load / restore / gc
+// ---------------------------------------------------------------------
+
+/// Writes a checkpoint of `snap` into `dir`, reusing every shard file
+/// whose version stamp is unchanged since `prev`. The rename of the
+/// manifest is the commit point.
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    snap: &ShardedSnapshot,
+    unique_labels: bool,
+    last_lsn: Lsn,
+    prev: Option<&Manifest>,
+) -> WalResult<(Manifest, CheckpointStats)> {
+    let seq = prev.map(|m| m.seq + 1).unwrap_or(1);
+    let manifest = Manifest {
+        seq,
+        name: snap.name().to_string(),
+        unique_labels,
+        graph_id: snap.graph_id(),
+        epoch: snap.epoch(),
+        shard_count: snap.shard_count(),
+        last_lsn,
+        shard_versions: (0..snap.shard_count()).map(|s| snap.shard(s).version()).collect(),
+    };
+    // A shard is reusable only when the previous *committed* manifest
+    // references the same (graph_id, version) — trusting arbitrary
+    // same-named files on disk would resurrect torn writes from a
+    // crashed checkpoint.
+    let comparable =
+        prev.filter(|p| p.graph_id == manifest.graph_id && p.shard_count == manifest.shard_count);
+    let mut written = 0usize;
+    let mut reused = 0usize;
+    let mut bytes = 0u64;
+    for s in 0..manifest.shard_count {
+        let reusable = comparable
+            .map(|p| {
+                p.shard_versions[s] == manifest.shard_versions[s]
+                    && dir.join(p.shard_file(s)).exists()
+            })
+            .unwrap_or(false);
+        if reusable {
+            reused += 1;
+        } else {
+            bytes += write_framed(&dir.join(manifest.shard_file(s)), &encode_shard(snap, s))?;
+            written += 1;
+        }
+    }
+    bytes += write_framed(&dir.join(manifest.strings_file()), &encode_strings(snap))?;
+    // Commit point: temp + sync + rename + dir sync.
+    let final_path = dir.join(Manifest::manifest_file(seq));
+    let tmp_path = dir.join(format!("ckpt-{seq:020}.tmp"));
+    bytes += write_framed(&tmp_path, &manifest.encode())?;
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    let stats = CheckpointStats {
+        seq,
+        shards_written: written,
+        shards_reused: reused,
+        bytes_written: bytes,
+        last_lsn,
+        wal_segments_retired: 0,
+    };
+    Ok((manifest, stats))
+}
+
+/// Loads every manifest under `dir` that parses and CRC-validates,
+/// newest first. Torn or corrupt manifests are skipped — that is the
+/// fallback path, not an error.
+pub(crate) fn load_manifests(dir: &Path) -> WalResult<Vec<Manifest>> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(digits) = name.strip_prefix("ckpt-").and_then(|n| n.strip_suffix(".mf")) {
+            if let Ok(seq) = digits.parse::<u64>() {
+                found.push((seq, entry.path()));
+            }
+        }
+    }
+    found.sort_by(|a, b| b.0.cmp(&a.0));
+    let mut manifests = Vec::new();
+    for (seq, path) in found {
+        let what = path.display().to_string();
+        match read_framed(&path).and_then(|p| Manifest::decode(&p, &what)) {
+            Ok(m) if m.seq == seq => manifests.push(m),
+            _ => continue,
+        }
+    }
+    Ok(manifests)
+}
+
+/// Rebuilds the live graph a manifest describes. Fails with
+/// [`WalError::Corrupt`] if any referenced file is missing or invalid —
+/// the caller then falls back to an older manifest.
+pub(crate) fn restore_graph(dir: &Path, m: &Manifest) -> WalResult<OntGraph> {
+    if !m.unique_labels {
+        return Err(WalError::Unsupported(
+            "durable graphs require consistent (unique-label) mode".into(),
+        ));
+    }
+    let strings_path = dir.join(m.strings_file());
+    let strings =
+        decode_strings(&read_framed(&strings_path)?, &strings_path.display().to_string())?;
+    let mut shards = Vec::with_capacity(m.shard_count);
+    for s in 0..m.shard_count {
+        let path = dir.join(m.shard_file(s));
+        let dump = decode_shard(
+            &read_framed(&path)?,
+            &path.display().to_string(),
+            s,
+            m.shard_count,
+            m.shard_versions[s],
+        )?;
+        shards.push(dump);
+    }
+    let resolve = |lid: u32, what: &str| -> WalResult<&str> {
+        strings.get(lid as usize).map(|s| s.as_str()).ok_or_else(|| WalError::Corrupt {
+            file: what.to_string(),
+            detail: format!("label id {lid} out of range"),
+        })
+    };
+    let mut g = OntGraph::new(m.name.clone());
+    // Nodes in ascending *global slot* order — global slot id is the
+    // original arena index, so restored NodeIds are the original ids
+    // compacted over tombstones (exactly what `compact()` would give).
+    let count = m.shard_count.max(1);
+    let max_slots = shards.iter().map(|d| d.labels.len()).max().unwrap_or(0);
+    for local in 0..max_slots {
+        for dump in &shards {
+            if let Some(&lid) = dump.labels.get(local) {
+                if lid != DEAD_SLOT {
+                    g.add_node(resolve(lid, "shard labels")?)?;
+                }
+            }
+        }
+    }
+    // Out-edge rows; per-node row order preserves the original
+    // adjacency order, so traversal visit order survives recovery.
+    for (s, dump) in shards.iter().enumerate() {
+        for (local, row) in dump.rows.iter().enumerate() {
+            if row.is_empty() {
+                continue;
+            }
+            let src_lid = dump.labels[local];
+            if src_lid == DEAD_SLOT {
+                return Err(WalError::Corrupt {
+                    file: format!("shard {s}"),
+                    detail: format!("dead slot {local} has {} out edges", row.len()),
+                });
+            }
+            let src = resolve(src_lid, "shard labels")?.to_string();
+            for &(elid, dst_global) in row {
+                let dst_shard = dst_global as usize % count;
+                let dst_local = dst_global as usize / count;
+                let dst_lid = shards
+                    .get(dst_shard)
+                    .and_then(|d| d.labels.get(dst_local))
+                    .copied()
+                    .filter(|&l| l != DEAD_SLOT)
+                    .ok_or_else(|| WalError::Corrupt {
+                        file: format!("shard {s}"),
+                        detail: format!("edge target slot {dst_global} is dead or out of range"),
+                    })?;
+                let label = resolve(elid, "edge labels")?.to_string();
+                let dst = resolve(dst_lid, "shard labels")?.to_string();
+                g.ensure_edge_by_labels(&src, &label, &dst)?;
+            }
+        }
+    }
+    g.set_shard_count(m.shard_count);
+    Ok(g)
+}
+
+/// Deletes every checkpoint artifact not referenced by `keep`.
+pub(crate) fn gc(dir: &Path, keep: &[Manifest]) -> WalResult<usize> {
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for m in keep {
+        referenced.insert(Manifest::manifest_file(m.seq));
+        referenced.insert(m.strings_file());
+        for s in 0..m.shard_count {
+            referenced.insert(m.shard_file(s));
+        }
+    }
+    let mut removed = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_ckpt_artifact =
+            name.starts_with("ckpt-") || name.starts_with("strings-") || name.starts_with("shard-");
+        if is_ckpt_artifact && !referenced.contains(name) {
+            std::fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testdir::TestDir;
+    use super::*;
+    use crate::snapshot::SnapshotStore;
+
+    fn sample_graph() -> OntGraph {
+        let mut g = OntGraph::new("ckpt");
+        g.ensure_edge_by_labels("Car", "SubclassOf", "Vehicle").unwrap();
+        g.ensure_edge_by_labels("Truck", "SubclassOf", "Vehicle").unwrap();
+        g.ensure_edge_by_labels("Price", "AttributeOf", "Car").unwrap();
+        g.ensure_edge_by_labels("Car", "Uses", "Fuel").unwrap();
+        g.delete_node_by_label("Truck").unwrap();
+        g.set_shard_count(4);
+        g
+    }
+
+    /// Label-level fingerprint: sorted node labels + sorted edge triples.
+    fn shape(g: &OntGraph) -> (Vec<String>, Vec<(String, String, String)>) {
+        let mut nodes: Vec<String> =
+            g.node_ids().map(|n| g.node_label(n).unwrap().to_string()).collect();
+        nodes.sort();
+        let mut edges: Vec<(String, String, String)> = g
+            .edges()
+            .map(|e| {
+                (
+                    g.node_label(e.src).unwrap().to_string(),
+                    e.label.to_string(),
+                    g.node_label(e.dst).unwrap().to_string(),
+                )
+            })
+            .collect();
+        edges.sort();
+        (nodes, edges)
+    }
+
+    #[test]
+    fn checkpoint_then_restore_reproduces_graph() {
+        let td = TestDir::new("ckpt-roundtrip");
+        let g = sample_graph();
+        let snap = crate::ShardedSnapshot::of(&g);
+        let (m, stats) = write_checkpoint(&td.0, &snap, true, Lsn(9), None).unwrap();
+        assert_eq!(stats.shards_written, 4, "first checkpoint is full");
+        assert_eq!(m.last_lsn, Lsn(9));
+        let restored = restore_graph(&td.0, &m).unwrap();
+        assert_eq!(shape(&restored), shape(&g));
+        assert_eq!(restored.shard_count(), g.shard_count());
+        assert_eq!(restored.name(), g.name());
+    }
+
+    #[test]
+    fn second_checkpoint_rewrites_only_dirty_shards() {
+        let td = TestDir::new("ckpt-incremental");
+        let mut g = sample_graph();
+        let store = SnapshotStore::new(&g);
+        let snap = store.load();
+        let (m1, s1) = write_checkpoint(&td.0, &snap, true, Lsn(4), None).unwrap();
+        assert_eq!((s1.shards_written, s1.shards_reused), (4, 0));
+
+        // One edit dirties at most two shards (src + dst).
+        let car = g.node_by_label("Car").unwrap();
+        let e = g.add_edge(car, "dirty", car).unwrap();
+        g.delete_edge(e).unwrap();
+        let snap2 = store.publish(&g);
+        let (m2, s2) = write_checkpoint(&td.0, &snap2, true, Lsn(6), Some(&m1)).unwrap();
+        assert_eq!(s2.shards_written, 1, "single same-shard edit rewrites exactly one shard");
+        assert_eq!(s2.shards_reused, 3);
+        let restored = restore_graph(&td.0, &m2).unwrap();
+        assert_eq!(shape(&restored), shape(&g));
+        // The reused shard files still back the older manifest too.
+        let restored1 = restore_graph(&td.0, &m1).unwrap();
+        assert_eq!(shape(&restored1), shape(&sample_graph()));
+    }
+
+    #[test]
+    fn torn_manifest_is_skipped_and_gc_keeps_referenced_files() {
+        let td = TestDir::new("ckpt-torn");
+        let g = sample_graph();
+        let store = SnapshotStore::new(&g);
+        let (m1, _) = write_checkpoint(&td.0, &store.load(), true, Lsn(4), None).unwrap();
+        let (m2, _) = write_checkpoint(&td.0, &store.load(), true, Lsn(8), Some(&m1)).unwrap();
+        // Tear the newest manifest mid-file.
+        let p2 = td.0.join(Manifest::manifest_file(m2.seq));
+        let len = std::fs::metadata(&p2).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&p2).unwrap();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+        let loaded = load_manifests(&td.0).unwrap();
+        assert_eq!(loaded.len(), 1, "torn manifest skipped");
+        assert_eq!(loaded[0].seq, m1.seq);
+        let restored = restore_graph(&td.0, &loaded[0]).unwrap();
+        assert_eq!(shape(&restored), shape(&g));
+
+        // GC with only m1 kept removes the torn manifest but keeps
+        // every file m1 references.
+        gc(&td.0, &[m1.clone()]).unwrap();
+        assert!(!p2.exists());
+        assert!(restore_graph(&td.0, &m1).is_ok());
+    }
+}

@@ -1,0 +1,83 @@
+//! Filesystem fixtures: unique-per-test temp directories.
+//!
+//! The durability suites (WAL round-trips, kill-and-restart recovery
+//! proptests, the B13 bench) all need scratch directories that are (a)
+//! unique per test so parallel test threads never collide, and (b)
+//! removed when the test ends, even on panic (drop still runs during
+//! unwinding). [`TempDir`] is that: a directory under the system temp
+//! root named by tag, pid, and a process-wide counter.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temp directory, deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    cleanup: bool,
+}
+
+impl TempDir {
+    /// Creates `{system-temp}/onion-{tag}-{pid}-{n}`, which is
+    /// guaranteed fresh: the per-process counter `n` never repeats and
+    /// the pid separates concurrent processes.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("onion-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path, cleanup: true }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, rel: impl AsRef<Path>) -> PathBuf {
+        self.path.join(rel)
+    }
+
+    /// Disables cleanup (debugging a failing test: the directory
+    /// survives for inspection).
+    pub fn keep(mut self) -> PathBuf {
+        self.cleanup = false;
+        self.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if self.cleanup {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_cleaned_up() {
+        let a = TempDir::new("fs");
+        let b = TempDir::new("fs");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.join("x.txt"), b"content").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop removes the tree including contents");
+        drop(b);
+    }
+
+    #[test]
+    fn keep_disables_cleanup() {
+        let d = TempDir::new("fs-keep");
+        let path = d.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}

@@ -16,6 +16,7 @@
 //! * [`metrics`] — precision/recall against planted truth.
 
 pub mod baseline;
+pub mod fs;
 pub mod gen;
 pub mod infer;
 pub mod metrics;

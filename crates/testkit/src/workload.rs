@@ -187,7 +187,7 @@ mod tests {
         let spec = UpdateSpec { delete_fraction: 0.5, ops: 100, ..Default::default() };
         let ops = update_stream(&c, &art, &spec);
         for op in &ops {
-            if let GraphOp::NodeDelete { label } = op {
+            if let GraphOp::NodeDelete { label, .. } = op {
                 assert!(label.starts_with("New"), "deletes only touch generated nodes");
             }
         }

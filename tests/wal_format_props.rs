@@ -1,0 +1,162 @@
+//! WAL wire-format properties (the durable encoding of [`GraphOp`]):
+//!
+//! * `encode_op` / `decode_op` round-trip every op shape — labels with
+//!   dots (the pattern notation's separator), non-ASCII labels, empty
+//!   labels, and empty edge lists;
+//! * a golden-bytes test pins the exact little-endian layout so the
+//!   on-disk format cannot drift silently between versions;
+//! * decoding is total: arbitrary byte soup and truncated encodings
+//!   yield errors, never panics or misparses.
+
+use proptest::prelude::*;
+
+use onion_core::graph::wal::{decode_op, encode_op};
+use onion_core::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Plain identifiers.
+        "[a-zA-Z0-9_]{1,10}",
+        // Dotted, like the paper's `carrier:car.driver` notation.
+        "[a-z]{1,4}\\.[a-z]{1,4}",
+        // Non-ASCII (multi-byte UTF-8): Latin Extended-A, Greek, Cyrillic.
+        "[\u{100}-\u{17F}α-ωа-я]{1,6}",
+        // The empty string is representable on the wire even though the
+        // graph layer never emits it.
+        Just(String::new()),
+    ]
+}
+
+fn pairs() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((label(), label()), 0..4)
+}
+
+fn triples() -> impl Strategy<Value = Vec<(String, String, String)>> {
+    proptest::collection::vec((label(), label(), label()), 0..4)
+}
+
+fn op() -> impl Strategy<Value = GraphOp> {
+    prop_oneof![
+        (label(), pairs(), pairs()).prop_map(|(label, out_edges, in_edges)| GraphOp::NodeAdd {
+            label,
+            out_edges,
+            in_edges
+        }),
+        (label(), pairs(), pairs()).prop_map(|(label, out_edges, in_edges)| GraphOp::NodeDelete {
+            label,
+            out_edges,
+            in_edges
+        }),
+        triples().prop_map(|edges| GraphOp::EdgeAdd { edges }),
+        triples().prop_map(|edges| GraphOp::EdgeDelete { edges }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Every op survives an encode/decode round trip bit-exactly.
+    #[test]
+    fn ops_roundtrip(op in op()) {
+        let mut buf = Vec::new();
+        encode_op(&op, &mut buf);
+        let back = decode_op(&buf).expect("decode of fresh encoding");
+        prop_assert_eq!(back, op);
+    }
+
+    /// Any strict prefix of a valid encoding is rejected — a torn write
+    /// can never silently decode to a different op.
+    #[test]
+    fn truncated_encodings_are_rejected(op in op()) {
+        let mut buf = Vec::new();
+        encode_op(&op, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(decode_op(&buf[..cut]).is_err(), "prefix of {} bytes decoded", cut);
+        }
+    }
+
+    /// Decoding arbitrary bytes returns an error or an op — it never
+    /// panics, whatever the corruption looks like.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_op(&bytes);
+    }
+}
+
+/// Pins the exact wire layout: `[u8 tag]` then little-endian `u32`
+/// length-prefixed UTF-8 strings and `u32` count-prefixed lists.
+#[test]
+fn golden_bytes() {
+    // NodeAdd, non-ASCII dotted label, no adjacent edges.
+    let op =
+        GraphOp::NodeAdd { label: "caf\u{e9}.x".to_string(), out_edges: vec![], in_edges: vec![] };
+    let want: Vec<u8> = [
+        &[1u8][..],          // tag: NodeAdd
+        &7u32.to_le_bytes(), // label byte length (é is 2 bytes)
+        "caf\u{e9}.x".as_bytes(),
+        &0u32.to_le_bytes(), // out-edge count
+        &0u32.to_le_bytes(), // in-edge count
+    ]
+    .concat();
+    let mut buf = Vec::new();
+    encode_op(&op, &mut buf);
+    assert_eq!(buf, want);
+    assert_eq!(decode_op(&want).unwrap(), op);
+
+    // NodeDelete with a captured neighbourhood.
+    let op = GraphOp::NodeDelete {
+        label: "n".to_string(),
+        out_edges: vec![("e".to_string(), "m".to_string())],
+        in_edges: vec![],
+    };
+    let want: Vec<u8> = [
+        &[2u8][..], // tag: NodeDelete
+        &1u32.to_le_bytes(),
+        b"n",
+        &1u32.to_le_bytes(), // out-edge count
+        &1u32.to_le_bytes(),
+        b"e",
+        &1u32.to_le_bytes(),
+        b"m",
+        &0u32.to_le_bytes(), // in-edge count
+    ]
+    .concat();
+    let mut buf = Vec::new();
+    encode_op(&op, &mut buf);
+    assert_eq!(buf, want);
+    assert_eq!(decode_op(&want).unwrap(), op);
+
+    // EdgeAdd with one triple.
+    let op = GraphOp::EdgeAdd {
+        edges: vec![("a".to_string(), "SubclassOf".to_string(), "b".to_string())],
+    };
+    let want: Vec<u8> = [
+        &[3u8][..],          // tag: EdgeAdd
+        &1u32.to_le_bytes(), // triple count
+        &1u32.to_le_bytes(),
+        b"a",
+        &10u32.to_le_bytes(),
+        b"SubclassOf",
+        &1u32.to_le_bytes(),
+        b"b",
+    ]
+    .concat();
+    let mut buf = Vec::new();
+    encode_op(&op, &mut buf);
+    assert_eq!(buf, want);
+    assert_eq!(decode_op(&want).unwrap(), op);
+
+    // EdgeDelete with an empty edge list.
+    let op = GraphOp::EdgeDelete { edges: vec![] };
+    let want: Vec<u8> = [&[4u8][..], &0u32.to_le_bytes()].concat();
+    let mut buf = Vec::new();
+    encode_op(&op, &mut buf);
+    assert_eq!(buf, want);
+    assert_eq!(decode_op(&want).unwrap(), op);
+}
+
+/// The empty input is not a valid op.
+#[test]
+fn empty_input_is_rejected() {
+    assert!(decode_op(&[]).is_err());
+}
