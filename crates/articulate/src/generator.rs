@@ -612,6 +612,8 @@ impl ArticulationGenerator {
                 }
             }
         }
+        // the dead-node skips are final after seeding — surface them
+        onion_obs::count!("onion_generator_skipped_dead_nodes_total", stats.skipped_dead_nodes);
         // seed: rule lowering (synthesised classes appear as synth.*)
         for (a, b) in lower_rules_interned(atoms, &art.rules.rules) {
             if fb.add_fact(si, vec![a, b]) {

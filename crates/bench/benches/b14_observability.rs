@@ -1,0 +1,37 @@
+//! B14 — observability overhead: the instrumented publish / inference
+//! / macro-burst workloads with recording disabled (the production
+//! default: one relaxed load per site) and enabled (striped atomic
+//! recording). The committed medians live in `BENCH_onion.json`'s
+//! `b14_observability` section via `experiments --json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_bench::observability::{
+    count_burst, infer_chain, B14Fixture, B14_BURST, B14_CHAIN, B14_PUBLISH_ROUNDS,
+};
+use onion_core::obs;
+
+fn bench(c: &mut Criterion) {
+    let was_enabled = obs::enabled();
+    let mut group = c.benchmark_group("b14_observability");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let mut fixture = B14Fixture::new();
+    for enabled in [false, true] {
+        obs::set_enabled(enabled);
+        let suffix = if enabled { "enabled" } else { "disabled" };
+        group.bench_function(format!("publish_{suffix}"), |b| {
+            b.iter(|| fixture.publish_rounds(B14_PUBLISH_ROUNDS))
+        });
+        group.bench_function(format!("infer_{suffix}"), |b| {
+            b.iter(|| std::hint::black_box(infer_chain(B14_CHAIN)))
+        });
+        group
+            .bench_function(format!("count_burst_{suffix}"), |b| b.iter(|| count_burst(B14_BURST)));
+    }
+    obs::set_enabled(was_enabled);
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

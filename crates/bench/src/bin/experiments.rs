@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p onion-bench --release --bin experiments
 //! cargo run -p onion-bench --release --bin experiments -- --json [PATH]
+//! cargo run -p onion-bench --release --bin experiments -- --metrics
 //! ```
 //!
 //! Each section regenerates one DESIGN.md experiment (E1–E2, B1–B8) and
@@ -27,6 +28,11 @@
 //! recorded per-series spreads (slowest/fastest repetition) sit well
 //! under 2× on an idle host, so a 3× median regression is signal, not
 //! noise — see the committed `spread` fields for the measured margin.
+//!
+//! `--metrics` (composable with either mode) turns `onion-obs`
+//! recording on before the run and dumps the Prometheus text export of
+//! the global registry after it — the quickest way to see what the
+//! instrumented layers observed during a full experiment sweep.
 
 use onion_bench::{articulated, instance_kbs, median_micros, pair, truth_rules};
 use onion_core::algebra::compose::{add_source, compose_all};
@@ -77,7 +83,12 @@ const INDEX_LAYER_REFERENCE_US: &[(&str, f64, f64)] = &[
 const POINT_PROBE_REFERENCE_US: (f64, f64) = (4013.5, 3224.4);
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--metrics");
+    if metrics {
+        onion_core::obs::set_enabled(true);
+    }
     if args.first().map(String::as_str) == Some("--json") {
         let compare_at = args.iter().position(|a| a == "--compare");
         let base = compare_at.and_then(|i| args.get(i + 1)).cloned();
@@ -87,6 +98,9 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_onion.json");
         emit_json(path);
+        if metrics {
+            dump_metrics();
+        }
         if let Some(base) = base {
             compare_baselines(&base, path);
         }
@@ -104,7 +118,19 @@ fn main() {
     b6_inference();
     b7_compose();
     b8_triage();
+    b14_observability();
+    if metrics {
+        dump_metrics();
+    }
     println!("\ndone.");
+}
+
+/// Prints the Prometheus text export of the global `onion-obs`
+/// registry — the `--metrics` payload, emitted after the selected run
+/// so the samples reflect the whole sweep.
+fn dump_metrics() {
+    println!("\n## onion-obs metrics (Prometheus text format)\n");
+    print!("{}", onion_core::obs::global().snapshot().to_prometheus());
 }
 
 /// One end-to-end median series entry for the baseline file.
@@ -155,8 +181,9 @@ fn b4_end_to_end_median() -> EndToEnd {
 
 /// Runs the baseline suite (hot paths + end-to-end medians + the B10
 /// parallel matrix + the B11 incremental-publish curve + the B12
-/// inference-seam series) and writes `BENCH_onion.json`. Hand-rolled
-/// JSON: the workspace is offline, no serde.
+/// inference-seam series + the B13 durability series + the B14
+/// observability-overhead pairs) and writes `BENCH_onion.json`.
+/// Hand-rolled JSON: the workspace is offline, no serde.
 fn emit_json(path: &str) {
     let tier = onion_bench::hotpaths::tier();
     eprintln!(
@@ -174,8 +201,10 @@ fn emit_json(path: &str) {
     let b12 = onion_bench::inference::run_b12();
     eprintln!("running B13 durability (WAL append / checkpoint / recovery, exactness asserted) …");
     let b13 = onion_bench::durability::run_b13();
+    eprintln!("running B14 observability overhead (disabled vs enabled recording) …");
+    let b14 = onion_bench::observability::run_b14(5);
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"onion-bench/v6\",\n");
+    body.push_str("{\n  \"schema\": \"onion-bench/v7\",\n");
     body.push_str(&format!(
         "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
         tier.seed, tier.nodes, tier.edges
@@ -315,6 +344,40 @@ fn emit_json(path: &str) {
     }
     body.push_str("    ]\n  },\n");
     body.push_str(&format!(
+        "  \"b14_observability\": {{\n    \"note\": \"onion-obs recording overhead: each \
+         workload timed with recording disabled (the production default — one relaxed atomic \
+         load per instrumented site) and enabled (striped relaxed fetch_add); publish = {} \
+         one-dirty-shard publish rounds on the B11 fixture, infer = semi-naive saturation of \
+         a {}-node transitivity chain (derivation count asserted identical in both modes), \
+         count_burst = {} bare count!+observe_us! macro hits; overhead_* = enabled/disabled \
+         median ratio\",\n    \"publish_rounds\": {}, \"chain\": {}, \"burst\": {}, \"reps\": \
+         {},\n    \"overhead_publish\": {:.2}, \"overhead_infer\": {:.2}, \
+         \"overhead_count_burst\": {:.2},\n    \"rows\": [\n",
+        onion_bench::observability::B14_PUBLISH_ROUNDS,
+        onion_bench::observability::B14_CHAIN,
+        onion_bench::observability::B14_BURST,
+        onion_bench::observability::B14_PUBLISH_ROUNDS,
+        onion_bench::observability::B14_CHAIN,
+        onion_bench::observability::B14_BURST,
+        b14.rows[0].reps,
+        b14.overhead("publish"),
+        b14.overhead("infer"),
+        b14.overhead("count_burst"),
+    ));
+    for (i, r) in b14.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"median_us\": {:.1}, \"min_us\": {:.1}, \"max_us\": \
+             {:.1}, \"reps\": {} }}{}\n",
+            r.name,
+            r.median_us,
+            r.min_us,
+            r.max_us,
+            r.reps,
+            if i + 1 == b14.rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  },\n");
+    body.push_str(&format!(
         "  \"point_probe_reference\": {{\n    \"note\": \"pre/post find_edge_all_triples \
          medians for the open-addressed inline-key edge index, both measured on the same \
          dev machine when it landed; same-machine speedup — do not compare against the \
@@ -395,6 +458,15 @@ fn emit_json(path: &str) {
     for r in &b13.rows {
         println!("{:<32} {}", r.name, fmt_us(r.median_us));
     }
+    for r in &b14.rows {
+        println!("{:<32} {}", r.name, fmt_us(r.median_us));
+    }
+    println!(
+        "b14 overhead (enabled/disabled): publish {:.2}x  infer {:.2}x  count_burst {:.2}x",
+        b14.overhead("publish"),
+        b14.overhead("infer"),
+        b14.overhead("count_burst")
+    );
     let worst_spread =
         results.iter().map(onion_bench::hotpaths::BenchResult::spread).fold(1.0f64, f64::max);
     println!(
@@ -522,6 +594,28 @@ fn compare_baselines(base_path: &str, new_path: &str) {
     if failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// B14 table: observability overhead, recording disabled vs enabled,
+/// per instrumented workload.
+fn b14_observability() {
+    println!("## B14 — observability overhead\n");
+    let report = onion_bench::observability::run_b14(5);
+    println!("| series | median | min | max |");
+    println!("|---|---|---|---|");
+    for row in &report.rows {
+        println!(
+            "| {} | {} | {} | {} |",
+            row.name,
+            fmt_us(row.median_us),
+            fmt_us(row.min_us),
+            fmt_us(row.max_us)
+        );
+    }
+    for workload in ["publish", "infer", "count_burst"] {
+        println!("b14 {workload}: enabled/disabled = {:.2}x", report.overhead(workload));
+    }
+    println!();
 }
 
 fn e1_fig2() {

@@ -11,6 +11,7 @@ use onion_core::testkit::{overlap_pair, OverlapPair, OverlapSpec};
 pub mod durability;
 pub mod hotpaths;
 pub mod inference;
+pub mod observability;
 pub mod parallel;
 pub mod publish;
 

@@ -1,0 +1,193 @@
+//! B14 — observability overhead, enabled vs disabled.
+//!
+//! The `onion-obs` cost contract says an instrumented hot path pays
+//! one relaxed atomic load per site while recording is disabled and a
+//! striped relaxed `fetch_add` while it is enabled. B14 measures both
+//! steady states on three workloads that hit the instrumented layers:
+//!
+//! * **publish** — 50 one-dirty-shard publish rounds on the B11
+//!   fixture (span + counters + per-shard rebuild timing per round);
+//! * **infer** — semi-naive saturation of a transitivity chain
+//!   (per-run counters + a per-round delta histogram);
+//! * **count burst** — one million bare `count!` + `observe_us!`
+//!   macro hits, the microbenchmark of the macro fast path itself.
+//!
+//! Each workload is run with recording disabled and enabled; the row
+//! pairs land in `BENCH_onion.json` so the disabled-path overhead
+//! stays on the record. The inference workload asserts its derivation
+//! count in both modes — instrumentation must be strictly
+//! observational.
+
+use onion_core::obs;
+use onion_core::rules::{AtomTable, FactBase, HornProgram, InferenceEngine};
+
+use crate::publish::B11Fixture;
+
+/// Chain length for the inference workload (`derived = n(n-1)/2`).
+pub const B14_CHAIN: usize = 128;
+/// Publish rounds per timed repetition.
+pub const B14_PUBLISH_ROUNDS: usize = 50;
+/// Macro hits per count-burst repetition.
+pub const B14_BURST: usize = 1_000_000;
+
+/// The B11 publish fixture wrapped for repeated one-dirty-shard
+/// rounds.
+pub struct B14Fixture(B11Fixture);
+
+impl Default for B14Fixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl B14Fixture {
+    /// Builds the tier fixture (10k nodes / 50k edges, 64 shards).
+    pub fn new() -> Self {
+        B14Fixture(B11Fixture::new())
+    }
+
+    /// Runs `rounds` dirty-one-shard-then-publish cycles, asserting
+    /// each publish rebuilt exactly one shard.
+    pub fn publish_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.0.publish_dirty(1);
+        }
+    }
+}
+
+/// Builds a fixture and runs [`B14Fixture::publish_rounds`] — bench
+/// targets should hold their own fixture and call it directly.
+pub fn publish_loop(rounds: usize) {
+    B14Fixture::new().publish_rounds(rounds);
+}
+
+/// Saturates `p(X,Z) :- p(X,Y), p(Y,Z)` on an `n`-node chain with the
+/// sequential semi-naive engine; returns (and asserts) the derivation
+/// count, which must be identical whether or not recording is on.
+pub fn infer_chain(n: usize) -> usize {
+    let program = HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").expect("fixed program");
+    let mut atoms = AtomTable::new();
+    let mut fb = FactBase::new();
+    for i in 0..n {
+        fb.add(&mut atoms, "p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+    }
+    let stats = InferenceEngine::new(program).run(&mut atoms, &mut fb).expect("no budget");
+    assert_eq!(stats.derived, n * (n - 1) / 2, "instrumentation must not change inference");
+    stats.derived
+}
+
+/// `n` hits of the `count!` + `observe_us!` macro pair — the raw
+/// per-site cost in whichever recording state is active.
+pub fn count_burst(n: usize) {
+    for i in 0..n as u64 {
+        obs::count!("onion_b14_burst_total");
+        obs::observe_us!("onion_b14_burst_us", i & 1023);
+    }
+}
+
+/// One measured B14 series.
+#[derive(Debug, Clone)]
+pub struct B14Row {
+    /// Series name (`b14_<workload>_<disabled|enabled>`).
+    pub name: String,
+    /// Median wall time over the repetitions, µs.
+    pub median_us: f64,
+    /// Fastest repetition, µs.
+    pub min_us: f64,
+    /// Slowest repetition, µs.
+    pub max_us: f64,
+    /// Timed repetitions.
+    pub reps: usize,
+}
+
+/// The full B14 record: disabled/enabled row pairs per workload.
+#[derive(Debug, Clone)]
+pub struct B14Report {
+    /// All rows, disabled before enabled per workload.
+    pub rows: Vec<B14Row>,
+}
+
+impl B14Report {
+    /// `enabled_median / disabled_median` for `workload` — the
+    /// recording overhead factor (1.0 = free).
+    pub fn overhead(&self, workload: &str) -> f64 {
+        let m = |suffix: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.name == format!("b14_{workload}_{suffix}"))
+                .map(|r| r.median_us)
+        };
+        match (m("disabled"), m("enabled")) {
+            (Some(d), Some(e)) if d > 0.0 => e / d,
+            _ => f64::NAN,
+        }
+    }
+}
+
+fn timed(name: &str, reps: usize, mut f: impl FnMut()) -> B14Row {
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    B14Row {
+        name: name.to_string(),
+        median_us: samples[samples.len() / 2],
+        min_us: samples[0],
+        max_us: *samples.last().expect("non-empty"),
+        reps,
+    }
+}
+
+/// Runs B14 with `reps` repetitions per row, restoring the recording
+/// state it found.
+pub fn run_b14(reps: usize) -> B14Report {
+    let was_enabled = obs::enabled();
+    let mut fixture = B14Fixture::new();
+    let mut rows = Vec::new();
+    for enabled in [false, true] {
+        obs::set_enabled(enabled);
+        let suffix = if enabled { "enabled" } else { "disabled" };
+        rows.push(timed(&format!("b14_publish_{suffix}"), reps, || {
+            fixture.publish_rounds(B14_PUBLISH_ROUNDS)
+        }));
+        rows.push(timed(&format!("b14_infer_{suffix}"), reps, || {
+            infer_chain(B14_CHAIN);
+        }));
+        rows.push(timed(&format!("b14_count_burst_{suffix}"), reps, || count_burst(B14_BURST)));
+    }
+    obs::set_enabled(was_enabled);
+    // disabled rows first, enabled second, workload order preserved
+    rows.sort_by_key(|r| r.name.ends_with("_enabled"));
+    B14Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_chain_counts_are_mode_independent() {
+        let was = obs::enabled();
+        obs::set_enabled(false);
+        let off = infer_chain(24);
+        obs::set_enabled(true);
+        let on = infer_chain(24);
+        obs::set_enabled(was);
+        assert_eq!(off, on);
+        assert_eq!(off, 24 * 23 / 2);
+    }
+
+    #[test]
+    fn run_b14_produces_paired_rows() {
+        let report = run_b14(1);
+        assert_eq!(report.rows.len(), 6);
+        assert!(report.rows[..3].iter().all(|r| r.name.ends_with("_disabled")));
+        assert!(report.rows[3..].iter().all(|r| r.name.ends_with("_enabled")));
+        let oh = report.overhead("count_burst");
+        assert!(oh.is_finite() && oh > 0.0);
+    }
+}

@@ -40,6 +40,7 @@ pub use onion_articulate as articulate;
 pub use onion_exec as exec;
 pub use onion_graph as graph;
 pub use onion_lexicon as lexicon;
+pub use onion_obs as obs;
 pub use onion_ontology as ontology;
 pub use onion_query as query;
 pub use onion_rules as rules;
@@ -61,6 +62,7 @@ pub mod prelude {
         ShardedSnapshot, SnapshotStore, WalError,
     };
     pub use onion_lexicon::{builtin::transport_lexicon, Lexicon};
+    pub use onion_obs::{MetricsSnapshot, TraceEvent};
     pub use onion_ontology::{examples, Ontology, OntologyBuilder};
     pub use onion_query::{
         execute, CmpOp, InMemoryWrapper, Instance, KnowledgeBase, Query, ResultSet, Value, Wrapper,

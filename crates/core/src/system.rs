@@ -241,6 +241,33 @@ impl OnionSystem {
     }
 
     // ------------------------------------------------------------------
+    // observability
+    // ------------------------------------------------------------------
+
+    /// Turns observability recording on or off (process-wide; recording
+    /// is off by default and every instrumented hot path then costs one
+    /// relaxed atomic load). Everything recorded so far stays readable
+    /// through [`OnionSystem::metrics_snapshot`].
+    pub fn set_observability(&self, on: bool) {
+        onion_obs::set_enabled(on);
+    }
+
+    /// The process-wide metrics registry every instrumented layer
+    /// (publish, WAL, checkpoints, inference, query batches) records
+    /// into while observability is enabled.
+    pub fn metrics(&self) -> &'static onion_obs::Registry {
+        onion_obs::global()
+    }
+
+    /// A point-in-time read of every recorded metric; render it with
+    /// [`MetricsSnapshot::to_json`](onion_obs::MetricsSnapshot::to_json)
+    /// or
+    /// [`to_prometheus`](onion_obs::MetricsSnapshot::to_prometheus).
+    pub fn metrics_snapshot(&self) -> onion_obs::MetricsSnapshot {
+        onion_obs::global().snapshot()
+    }
+
+    // ------------------------------------------------------------------
     // durability: WAL + checkpoints + recovery
     // ------------------------------------------------------------------
 
@@ -548,6 +575,8 @@ impl OnionSystem {
         exec: &onion_exec::Executor,
         queries: &[Query],
     ) -> Vec<Result<ResultSet>> {
+        let _span = onion_obs::span!("query_batch");
+        onion_obs::count!("onion_query_batch_queries_total", queries.len());
         exec.par_map(queries, |q| self.run_query(q))
     }
 
@@ -559,6 +588,8 @@ impl OnionSystem {
         exec: &onion_exec::Executor,
         texts: &[&str],
     ) -> Vec<Result<ResultSet>> {
+        let _span = onion_obs::span!("query_batch");
+        onion_obs::count!("onion_query_batch_queries_total", texts.len());
         exec.par_map(texts, |t| {
             let q = Query::parse(t).map_err(SystemError::Query)?;
             self.run_query(&q)

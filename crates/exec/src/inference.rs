@@ -222,6 +222,16 @@ impl ParallelEngine {
                 (out, effort)
             });
             drop(dix);
+            // Work-unit imbalance: the hottest unit's effort relative
+            // to the mean, in percent (100 = perfectly balanced).
+            // Observational only — partition-invariant like the stats.
+            if onion_obs::enabled() && !results.is_empty() {
+                let max = results.iter().map(|&(_, e)| e).max().unwrap_or(0);
+                let avg = results.iter().map(|&(_, e)| e).sum::<usize>() / results.len();
+                if avg > 0 {
+                    onion_obs::observe_val!("onion_inference_unit_imbalance_pct", max * 100 / avg);
+                }
+            }
 
             // Merge in unit order: effort sums are partition-invariant,
             // and add_fact dedup fixes the next delta's order.
@@ -250,6 +260,7 @@ impl ParallelEngine {
             }
             delta = added;
         }
+        onion_rules::infer::record_run_metrics(&stats);
         Ok(stats)
     }
 }

@@ -111,6 +111,8 @@ impl Executor {
         T: Sync,
         R: Send,
     {
+        let _span = onion_obs::span!("exec_batch");
+        onion_obs::gauge_set!("onion_exec_batch_items", items.len());
         let chunk = self.chunk_size(items.len());
         let chunks =
             self.pool.par_chunk_map(items, chunk, |c| c.iter().map(&f).collect::<Vec<R>>());

@@ -114,7 +114,17 @@ impl ShardedSnapshot {
                     Arc::clone(&prev.shards[s])
                 } else {
                     rebuilt += 1;
-                    Arc::new(SnapshotShard::build(g, s, count))
+                    if onion_obs::enabled() {
+                        let t = std::time::Instant::now();
+                        let shard = Arc::new(SnapshotShard::build(g, s, count));
+                        onion_obs::observe_us!(
+                            "onion_publish_shard_rebuild_us",
+                            t.elapsed().as_micros()
+                        );
+                        shard
+                    } else {
+                        Arc::new(SnapshotShard::build(g, s, count))
+                    }
                 }
             })
             .collect();
@@ -564,6 +574,7 @@ impl SnapshotStore {
     /// publishers are serialised and the stored epoch sequence is
     /// strictly increasing.
     pub fn publish_stats(&self, g: &OntGraph) -> (Arc<ShardedSnapshot>, PublishStats) {
+        let _span = onion_obs::span!("publish");
         let mut retired = self.writer.lock().expect("snapshot store writer lock");
         // SAFETY: only publishers swap/free `current` and we hold the
         // writer lock, so the pointer stays valid for this borrow.
@@ -577,6 +588,10 @@ impl SnapshotStore {
         // a reader may still be inside its pin window holding `old`
         // raw; defer releasing the store's count instead of blocking
         retired.push(old);
+        onion_obs::count!("onion_publish_total");
+        onion_obs::count!("onion_publish_shards_rebuilt_total", stats.rebuilt);
+        onion_obs::count!("onion_publish_shards_reused_total", stats.reused);
+        onion_obs::gauge_set!("onion_publish_retired_depth", retired.len());
         Self::reclaim(&self.pins, &mut retired);
         drop(retired);
         (snap, stats)
@@ -609,6 +624,7 @@ impl SnapshotStore {
                 }
                 return;
             }
+            onion_obs::count!("onion_publish_pin_waits_total");
             std::hint::spin_loop();
         }
     }

@@ -346,11 +346,18 @@ pub(crate) fn write_checkpoint(
     }
     bytes += write_framed(&dir.join(manifest.strings_file()), &encode_strings(snap))?;
     // Commit point: temp + sync + rename + dir sync.
+    let commit_start = onion_obs::enabled().then(std::time::Instant::now);
     let final_path = dir.join(Manifest::manifest_file(seq));
     let tmp_path = dir.join(format!("ckpt-{seq:020}.tmp"));
     bytes += write_framed(&tmp_path, &manifest.encode())?;
     std::fs::rename(&tmp_path, &final_path)?;
     sync_dir(dir)?;
+    if let Some(t) = commit_start {
+        onion_obs::observe_us!("onion_checkpoint_manifest_commit_us", t.elapsed().as_micros());
+    }
+    onion_obs::count!("onion_checkpoint_total");
+    onion_obs::count!("onion_checkpoint_shards_written_total", written);
+    onion_obs::count!("onion_checkpoint_shards_reused_total", reused);
     let stats = CheckpointStats {
         seq,
         shards_written: written,

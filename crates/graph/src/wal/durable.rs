@@ -175,6 +175,17 @@ impl Durability {
             replayed_batches: batches.len(),
             replayed_ops,
         };
+        onion_obs::count!("onion_recovery_total");
+        onion_obs::count!("onion_recovery_replayed_batches_total", stats.replayed_batches);
+        onion_obs::count!("onion_recovery_replayed_ops_total", stats.replayed_ops);
+        onion_obs::event!(
+            "recovery",
+            source = name,
+            manifest_seq = manifest_seq.unwrap_or(0),
+            checkpoint_lsn = from.0,
+            replayed_batches = stats.replayed_batches,
+            replayed_ops = stats.replayed_ops,
+        );
         Ok((g, Durability { dir, log, manifests, name, unique_labels }, stats))
     }
 

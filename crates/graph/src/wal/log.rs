@@ -131,6 +131,8 @@ impl LogManager {
                 let f = OpenOptions::new().write(true).open(&seg.path)?;
                 f.set_len(valid)?;
                 f.sync_all()?;
+                onion_obs::count!("onion_wal_torn_tail_truncations_total");
+                onion_obs::count!("onion_wal_torn_tail_bytes_total", seg.bytes - valid);
                 seg.bytes = valid;
             }
             if let Some(&(lsn, _)) = records.last() {
@@ -159,7 +161,9 @@ impl LogManager {
         if self.buf_first_lsn.is_none() {
             self.buf_first_lsn = Some(lsn);
         }
+        let before = self.buf.len();
         encode_record(lsn, rec, &mut self.buf);
+        onion_obs::count!("onion_wal_append_bytes_total", self.buf.len() - before);
         lsn
     }
 
@@ -177,7 +181,10 @@ impl LogManager {
             self.file.sync_all()?;
             self.file = file;
             self.seg = SegmentInfo { path, first_lsn: first, bytes: 0 };
+            onion_obs::count!("onion_wal_segment_rotations_total");
         }
+        let _span = onion_obs::span!("wal_flush");
+        onion_obs::count!("onion_wal_flush_total");
         self.file.write_all(&self.buf)?;
         self.file.sync_data()?;
         self.seg.bytes += self.buf.len() as u64;

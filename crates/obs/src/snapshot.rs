@@ -1,0 +1,290 @@
+//! Reading and exporting metrics: [`MetricsSnapshot`] plus the JSON
+//! and Prometheus text renderers and a format linter for the latter.
+
+use std::fmt::Write as _;
+
+/// A point-in-time read of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket upper bounds (inclusive), excluding the `+Inf` overflow.
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts, `bounds.len() + 1` entries; the
+    /// last is the `+Inf` overflow bucket. Non-cumulative.
+    pub buckets: Vec<u64>,
+    /// Total observations (always the sum of `buckets`).
+    pub count: u64,
+    /// Sum of observed values (may lag `count` by in-flight
+    /// observations; see the crate consistency contract).
+    pub sum: u64,
+}
+
+/// A point-in-time read of a whole [`Registry`](crate::Registry),
+/// sorted by metric name. Counters are monotone across successive
+/// snapshots of the same registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// Every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as a JSON document (hand-rolled, like the
+    /// bench baseline writer — the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{n}\": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{n}\": {v}");
+        }
+        out.push_str("\n  },\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{ \"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.name, h.count, h.sum
+            );
+            for (j, (&le, &c)) in h.bounds.iter().zip(&h.buckets).enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}{{ \"le\": \"{le}\", \"count\": {c} }}");
+            }
+            let _ = write!(
+                out,
+                ", {{ \"le\": \"+Inf\", \"count\": {} }}] }}",
+                h.buckets.last().copied().unwrap_or(0)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` comments, cumulative histogram
+    /// buckets with `le` labels, `_sum`/`_count` series. The output
+    /// passes [`lint_prometheus`] by construction.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cum = 0u64;
+            for (&le, &c) in h.bounds.iter().zip(&h.buckets) {
+                cum += c;
+                let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cum}", h.name);
+            }
+            cum += h.buckets.last().copied().unwrap_or(0);
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cum}", h.name);
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates Prometheus text exposition output: every sample line is
+/// `name[{labels}] value`, every metric name is legal and declared by
+/// a preceding `# TYPE` line, histogram buckets are cumulative
+/// (non-decreasing), and the `+Inf` bucket equals `_count`. Returns
+/// the first violation found.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    // name → (last cumulative bucket value, saw +Inf, +Inf value)
+    let mut hist_state: BTreeMap<String, (u64, bool, u64)> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {lineno}: malformed TYPE comment: {line:?}"));
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: bad metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+            }
+            types.insert(name, kind);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or other comment
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample without value: {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: unparseable sample value: {line:?}"))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => {
+                let l = l
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated labels: {line:?}"))?;
+                (n, Some(l))
+            }
+            None => (series, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        // Resolve the declaring family: a histogram declares its
+        // _bucket/_sum/_count series.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|suf| name.strip_suffix(suf))
+            .find(|base| types.get(base) == Some(&"histogram"));
+        if family.is_none() && !types.contains_key(name) {
+            return Err(format!("line {lineno}: series {name:?} has no preceding # TYPE"));
+        }
+        match name.strip_suffix("_bucket") {
+            Some(b) if types.get(b) == Some(&"histogram") => {
+                let le = labels
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: bucket without le label: {line:?}"))?;
+                let st = hist_state.entry(b.to_string()).or_insert((0, false, 0));
+                if value < st.0 as f64 {
+                    return Err(format!("line {lineno}: bucket counts not cumulative: {line:?}"));
+                }
+                st.0 = value as u64;
+                if le == "+Inf" {
+                    st.1 = true;
+                    st.2 = value as u64;
+                } else if le.parse::<f64>().is_err() {
+                    return Err(format!("line {lineno}: unparseable le bound {le:?}"));
+                }
+            }
+            _ => {
+                if let Some(b) = name.strip_suffix("_count") {
+                    if let Some(st) = hist_state.get(b) {
+                        if !st.1 {
+                            return Err(format!("histogram {b:?} has no +Inf bucket"));
+                        }
+                        if st.2 != value as u64 {
+                            return Err(format!(
+                                "histogram {b:?}: +Inf bucket {} != _count {}",
+                                st.2, value
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (name, (_, saw_inf, _)) in &hist_state {
+        if !saw_inf {
+            return Err(format!("histogram {name:?} has no +Inf bucket"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistKind, Registry};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.counter("onion_test_total").add(12);
+        reg.gauge("onion_test_depth").set(-3);
+        let h = reg.histogram("onion_test_us", HistKind::LatencyUs);
+        h.observe(3);
+        h.observe(700);
+        h.observe(9_000_000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_render_passes_lint() {
+        let text = sample_snapshot().to_prometheus();
+        lint_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE onion_test_total counter"));
+        assert!(text.contains("onion_test_total 12"));
+        assert!(text.contains("onion_test_depth -3"));
+        assert!(text.contains("onion_test_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("onion_test_us_count 3"));
+    }
+
+    #[test]
+    fn json_render_is_well_formed_enough() {
+        let json = sample_snapshot().to_json();
+        assert!(json.contains("\"onion_test_total\": 12"));
+        assert!(json.contains("\"onion_test_depth\": -3"));
+        assert!(json.contains("\"le\": \"+Inf\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn lint_rejects_malformed_exports() {
+        assert!(lint_prometheus("no_type_decl 1").is_err());
+        assert!(lint_prometheus("# TYPE x counter\nx notanumber").is_err());
+        assert!(lint_prometheus("# TYPE 9bad counter\n").is_err());
+        assert!(lint_prometheus("# TYPE x widget\n").is_err());
+        // non-cumulative buckets
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n";
+        assert!(lint_prometheus(bad).is_err());
+        // +Inf != count
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 4\n";
+        assert!(lint_prometheus(bad).is_err());
+        // missing +Inf entirely
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 0\n";
+        assert!(lint_prometheus(bad).is_err());
+    }
+
+    #[test]
+    fn snapshot_accessors_find_metrics() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("onion_test_total"), Some(12));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("onion_test_depth"), Some(-3));
+        let h = snap.histogram("onion_test_us").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 3 + 700 + 9_000_000);
+    }
+}

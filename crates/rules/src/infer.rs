@@ -394,7 +394,22 @@ impl InferenceEngine {
             }
             delta = added;
         }
+        record_run_metrics(&stats);
         Ok(stats)
+    }
+}
+
+/// Reports one finished inference run to the observability registry
+/// (strictly observational — shared by the sequential engine here and
+/// the shard-parallel engine in `onion-exec`).
+pub fn record_run_metrics(stats: &InferenceStats) {
+    onion_obs::count!("onion_inference_runs_total");
+    onion_obs::count!("onion_inference_rounds_total", stats.iterations);
+    onion_obs::count!("onion_inference_derived_total", stats.derived);
+    if onion_obs::enabled() {
+        for r in &stats.rounds {
+            onion_obs::observe_val!("onion_inference_round_delta", r.delta);
+        }
     }
 }
 

@@ -319,16 +319,16 @@ fn recovered_source_articulates_identically() {
     assert_eq!(art1, render(s2.articulation().unwrap()));
 }
 
-/// Renders the deterministic parts of an articulation for byte-exact
-/// comparison: the articulation ontology's full Debug form (interner
-/// layout, adjacency, shard versions) and the ordered bridge list. Two
-/// process-local artifacts are excluded: `graph_id` (recovery
+/// Renders an articulation's **full** Debug form for byte-exact
+/// comparison — ontology (interner layout, adjacency, shard versions),
+/// bridges, rules, and the bridge-support map, which is ordered
+/// (`BTreeMap`/`BTreeSet`) precisely so this rendering is
+/// deterministic. The only masked artifact is `graph_id`: recovery
 /// deliberately assigns the restored graph a fresh identity, so its
-/// first checkpoint is full by construction) and the hidden `support`
-/// map (a `HashMap` whose Debug order is per-instance).
+/// first checkpoint is full by construction.
 fn render(a: &Articulation) -> String {
     let mut out = String::new();
-    let s = format!("ontology: {:?} bridges: {:?}", a.ontology, a.bridges);
+    let s = format!("{a:?}");
     let mut rest = s.as_str();
     while let Some(i) = rest.find("graph_id: ") {
         let tail = &rest[i + "graph_id: ".len()..];
