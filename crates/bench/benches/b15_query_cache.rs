@@ -1,0 +1,50 @@
+//! B15 — query-cache serving path: cold miss vs warm hit vs
+//! publish-storm mixed workload. Checksums and the warm hit ratio are
+//! asserted inside every iteration (see `onion_bench::cache`); the
+//! committed medians live in `BENCH_onion.json`'s `b15_query_cache`
+//! section via `experiments --json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_bench::cache::B15Fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b15_query_cache");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let mut fixture = B15Fixture::new(4096);
+    let want = fixture.checksum(&fixture.batch());
+
+    group.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            fixture.edit_and_publish();
+            let out = fixture.batch();
+            assert_eq!(fixture.checksum(&out), want);
+        })
+    });
+
+    // prime once; every iteration below is all hits at a pinned epoch
+    fixture.batch();
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| {
+            let out = fixture.batch();
+            assert_eq!(fixture.checksum(&out), want);
+        })
+    });
+
+    group.bench_function("publish_storm", |b| {
+        b.iter(|| {
+            fixture.edit_and_publish();
+            let fresh = fixture.batch();
+            let cached = fixture.batch();
+            assert_eq!(fixture.checksum(&fresh), want);
+            assert_eq!(fixture.checksum(&cached), want);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

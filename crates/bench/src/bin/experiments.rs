@@ -119,6 +119,7 @@ fn main() {
     b7_compose();
     b8_triage();
     b14_observability();
+    b15_query_cache();
     if metrics {
         dump_metrics();
     }
@@ -203,8 +204,10 @@ fn emit_json(path: &str) {
     let b13 = onion_bench::durability::run_b13();
     eprintln!("running B14 observability overhead (disabled vs enabled recording) …");
     let b14 = onion_bench::observability::run_b14(5);
+    eprintln!("running B15 query cache (checksums + hit ratio + 10x warm bar asserted) …");
+    let b15 = onion_bench::cache::run_b15(5);
     let mut body = String::new();
-    body.push_str("{\n  \"schema\": \"onion-bench/v7\",\n");
+    body.push_str("{\n  \"schema\": \"onion-bench/v8\",\n");
     body.push_str(&format!(
         "  \"tier\": {{ \"seed\": {}, \"nodes\": {}, \"edges\": {} }},\n",
         tier.seed, tier.nodes, tier.edges
@@ -378,6 +381,39 @@ fn emit_json(path: &str) {
     }
     body.push_str("    ]\n  },\n");
     body.push_str(&format!(
+        "  \"b15_query_cache\": {{\n    \"note\": \"epoch-keyed hot-result cache on the \
+         serving path: cold_miss republishes before every rep (fresh state epoch, so every \
+         lookup misses and pays full plan + execute), warm_hit repeats the identical \
+         {}-query batch at a pinned epoch (every result served from cache; hit ratio \
+         asserted > 0.999), publish_storm edits + publishes then runs the batch twice per \
+         rep (re-execute, then hit) with per-rep checksum equality asserted — the \
+         stale-read kill-switch. The >=10x warm-vs-cold bar and all checksums are asserted \
+         inside the run, not just recorded\",\n    \"queries\": {}, \"concepts\": {}, \
+         \"instances\": {}, \"reps\": {},\n    \"speedup_warm_vs_cold\": {:.1}, \
+         \"warm_hit_ratio\": {:.4}, \"checksum\": \"{:#018x}\",\n    \"rows\": [\n",
+        onion_bench::cache::B15_QUERIES,
+        onion_bench::cache::B15_QUERIES,
+        onion_bench::cache::B15_CONCEPTS,
+        onion_bench::cache::B15_INSTANCES,
+        b15.rows[0].reps,
+        b15.speedup,
+        b15.warm_hit_ratio,
+        b15.checksum,
+    ));
+    for (i, r) in b15.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"median_us\": {:.1}, \"min_us\": {:.1}, \"max_us\": \
+             {:.1}, \"reps\": {} }}{}\n",
+            r.name,
+            r.median_us,
+            r.min_us,
+            r.max_us,
+            r.reps,
+            if i + 1 == b15.rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  },\n");
+    body.push_str(&format!(
         "  \"point_probe_reference\": {{\n    \"note\": \"pre/post find_edge_all_triples \
          medians for the open-addressed inline-key edge index, both measured on the same \
          dev machine when it landed; same-machine speedup — do not compare against the \
@@ -466,6 +502,13 @@ fn emit_json(path: &str) {
         b14.overhead("publish"),
         b14.overhead("infer"),
         b14.overhead("count_burst")
+    );
+    for r in &b15.rows {
+        println!("{:<32} {}", r.name, fmt_us(r.median_us));
+    }
+    println!(
+        "b15 query cache: warm hits {:.1}x faster than cold misses (hit ratio {:.4})",
+        b15.speedup, b15.warm_hit_ratio
     );
     let worst_spread =
         results.iter().map(onion_bench::hotpaths::BenchResult::spread).fold(1.0f64, f64::max);
@@ -615,6 +658,29 @@ fn b14_observability() {
     for workload in ["publish", "infer", "count_burst"] {
         println!("b14 {workload}: enabled/disabled = {:.2}x", report.overhead(workload));
     }
+    println!();
+}
+
+/// B15 table: query-cache serving path — cold miss vs warm hit vs
+/// publish storm, checksums and hit ratio asserted inside the run.
+fn b15_query_cache() {
+    println!("## B15 — query cache serving path\n");
+    let report = onion_bench::cache::run_b15(5);
+    println!("| series | median | min | max |");
+    println!("|---|---|---|---|");
+    for row in &report.rows {
+        println!(
+            "| {} | {} | {} | {} |",
+            row.name,
+            fmt_us(row.median_us),
+            fmt_us(row.min_us),
+            fmt_us(row.max_us)
+        );
+    }
+    println!(
+        "b15: warm hits {:.1}x faster than cold misses (hit ratio {:.4})",
+        report.speedup, report.warm_hit_ratio
+    );
     println!();
 }
 

@@ -1,0 +1,253 @@
+//! B15 — query-cache serving path: cold miss vs warm hit vs
+//! publish-storm mixed workload.
+//!
+//! The serving-tier contract under test:
+//!
+//! * **cold miss** — a batch of distinct queries against a system with
+//!   the cache enabled but nothing cached (the epoch is bumped before
+//!   every repetition, so every lookup misses and pays full plan +
+//!   execute). This is the baseline the warm path is compared against.
+//! * **warm hit** — the identical batch repeated at an unchanged
+//!   epoch: every query is served from the cache. The acceptance bar
+//!   (warm median ≥ 10× faster than cold median) is asserted inside
+//!   [`run_b15`], not just eyeballed in the table.
+//! * **publish storm** — the mixed workload: every repetition edits a
+//!   source, publishes it (bumping the state epoch), then runs the
+//!   batch twice — the first run re-executes (the bump retired every
+//!   cached entry), the second hits. The per-repetition checksum
+//!   equality of those two runs is the stale-read kill-switch, checked
+//!   inside the timed loop.
+//!
+//! Result checksums (row/attr aware, order sensitive) and the cache
+//! hit ratio are asserted in all three workloads — a cache that serves
+//! a byte-different result fails the bench, not just the proptests.
+
+use std::sync::Arc;
+
+use onion_core::prelude::*;
+use onion_core::testkit::random_queries;
+
+/// Queries per batch.
+pub const B15_QUERIES: usize = 64;
+/// Instances per knowledge-base side.
+pub const B15_INSTANCES: usize = 2000;
+/// Concepts in the generated source pair.
+pub const B15_CONCEPTS: usize = 400;
+
+/// The B15 workload: an articulated system with instance data, a
+/// fixed query batch, and the query cache enabled.
+pub struct B15Fixture {
+    system: onion_core::OnionSystem,
+    queries: Vec<Query>,
+    exec: Executor,
+    probe_round: usize,
+}
+
+impl B15Fixture {
+    /// Builds the standard fixture with `capacity` cache entries.
+    pub fn new(capacity: usize) -> Self {
+        Self::sized(capacity, B15_CONCEPTS, B15_QUERIES, B15_INSTANCES)
+    }
+
+    /// Parameterised fixture (smaller tiers for tests).
+    pub fn sized(capacity: usize, concepts: usize, queries: usize, instances: usize) -> Self {
+        let pair = crate::pair(31, concepts, 0.25);
+        let art = crate::articulated(&pair);
+        let (lkb, rkb) = crate::instance_kbs(&pair, instances);
+        let queries = random_queries(&art, "Price", queries, 23);
+        let mut system = onion_core::OnionSystem::new(pair.lexicon.clone());
+        system.add_source(pair.left.clone());
+        system.add_source(pair.right.clone());
+        system.add_knowledge_base(lkb);
+        system.add_knowledge_base(rkb);
+        system.set_articulation(art);
+        system.set_query_cache(capacity);
+        B15Fixture { system, queries, exec: Executor::new(4), probe_round: 0 }
+    }
+
+    /// Number of queries in the batch.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Runs the batch once, returning the shared results.
+    pub fn batch(&self) -> Vec<Arc<ResultSet>> {
+        self.system
+            .run_batch(&self.exec, &self.queries)
+            .into_iter()
+            .map(|r| r.expect("generated queries execute"))
+            .collect()
+    }
+
+    /// Order-sensitive checksum of one batch's results.
+    pub fn checksum(&self, results: &[Arc<ResultSet>]) -> u64 {
+        let mut h = onion_core::exec::Fnv::new();
+        for rs in results {
+            h.mix(rs.len() as u64);
+            for row in &rs.rows {
+                h.mix_bytes(row.id.as_bytes());
+                h.mix(row.attrs.len() as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Cache counters (the fixture always has a cache).
+    pub fn stats(&self) -> CacheStats {
+        self.system.query_cache_stats().expect("fixture cache enabled")
+    }
+
+    /// Bumps the state epoch without changing any query's answer: adds
+    /// a uniquely-labelled self-loop probe edge to the left source and
+    /// republishes it — an edit + publish with inert query semantics,
+    /// so checksums must stay identical across the storm.
+    pub fn edit_and_publish(&mut self) {
+        self.probe_round += 1;
+        let label = format!("b15probe{}", self.probe_round);
+        let g = self.system.source_mut("left").expect("left source").graph_mut();
+        let n = g.node_ids().next().expect("non-empty");
+        g.add_edge(n, &label, n).expect("fresh probe label");
+        self.system.publish_source("left").expect("left publishes");
+    }
+
+    /// The facade state epoch (monotonic across edits/publishes).
+    pub fn epoch(&self) -> u64 {
+        self.system.query_epoch()
+    }
+}
+
+/// One measured B15 series.
+#[derive(Debug, Clone)]
+pub struct B15Row {
+    /// Series name (`b15_cold_miss`, `b15_warm_hit`,
+    /// `b15_publish_storm`).
+    pub name: String,
+    /// Median wall time over the repetitions, µs.
+    pub median_us: f64,
+    /// Fastest repetition, µs.
+    pub min_us: f64,
+    /// Slowest repetition, µs.
+    pub max_us: f64,
+    /// Timed repetitions.
+    pub reps: usize,
+}
+
+/// The full B15 record.
+#[derive(Debug, Clone)]
+pub struct B15Report {
+    /// All rows (cold, warm, storm).
+    pub rows: Vec<B15Row>,
+    /// Checksum every workload's batches agreed on.
+    pub checksum: u64,
+    /// `cold_median / warm_median` — the cache speedup factor.
+    pub speedup: f64,
+    /// Hit ratio observed across the warm workload (1.0 = every
+    /// lookup served from cache).
+    pub warm_hit_ratio: f64,
+}
+
+fn timed(name: &str, reps: usize, mut f: impl FnMut()) -> B15Row {
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    B15Row {
+        name: name.to_string(),
+        median_us: samples[samples.len() / 2],
+        min_us: samples[0],
+        max_us: *samples.last().expect("non-empty"),
+        reps,
+    }
+}
+
+/// Runs B15 on the standard tier with `reps` repetitions per row,
+/// asserting checksums, the warm hit ratio, and the ≥10× warm-vs-cold
+/// bar inside the run.
+pub fn run_b15(reps: usize) -> B15Report {
+    run_b15_sized(reps, B15_CONCEPTS, B15_QUERIES, B15_INSTANCES, true)
+}
+
+/// Parameterised B15. `assert_speedup` gates the ≥10× warm-hit bar
+/// (kept on for the recorded run; tiny test tiers may switch it off —
+/// at a handful of concepts the cold path is too cheap to clear 10×).
+pub fn run_b15_sized(
+    reps: usize,
+    concepts: usize,
+    queries: usize,
+    instances: usize,
+    assert_speedup: bool,
+) -> B15Report {
+    let mut fx = B15Fixture::sized(4096, concepts, queries, instances);
+    let want = fx.checksum(&fx.batch());
+
+    // cold: every rep starts at a fresh epoch, so every lookup misses
+    let cold = timed("b15_cold_miss", reps, || {
+        fx.edit_and_publish();
+        let out = fx.batch();
+        assert_eq!(fx.checksum(&out), want, "cold batch checksum");
+    });
+
+    // warm: prime once, then every rep is all hits at a pinned epoch
+    fx.batch();
+    let before = fx.stats();
+    let warm = timed("b15_warm_hit", reps, || {
+        let out = fx.batch();
+        assert_eq!(fx.checksum(&out), want, "warm batch checksum");
+    });
+    let after = fx.stats();
+    let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+    let warm_hit_ratio =
+        if lookups == 0 { 0.0 } else { (after.hits - before.hits) as f64 / lookups as f64 };
+    assert!(warm_hit_ratio > 0.999, "warm workload must be all hits (got ratio {warm_hit_ratio})");
+
+    // publish storm: edit + publish, then miss-run and hit-run; the
+    // two runs of each rep must agree byte-for-byte
+    let storm = timed("b15_publish_storm", reps, || {
+        fx.edit_and_publish();
+        let fresh = fx.batch();
+        let cached = fx.batch();
+        assert_eq!(fx.checksum(&fresh), want, "post-publish batch checksum");
+        assert_eq!(fx.checksum(&cached), want, "cached batch serves identical bytes");
+    });
+
+    let speedup = if warm.median_us > 0.0 { cold.median_us / warm.median_us } else { f64::NAN };
+    if assert_speedup {
+        assert!(
+            speedup >= 10.0,
+            "warm hits must be >=10x faster than cold misses (got {speedup:.1}x: cold {:.0}us, warm {:.0}us)",
+            cold.median_us,
+            warm.median_us
+        );
+    }
+    B15Report { rows: vec![cold, warm, storm], checksum: want, speedup, warm_hit_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b15_small_tier_runs_and_validates() {
+        let report = run_b15_sized(2, 60, 12, 150, false);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].name, "b15_cold_miss");
+        assert_eq!(report.rows[1].name, "b15_warm_hit");
+        assert_eq!(report.rows[2].name, "b15_publish_storm");
+        assert!(report.warm_hit_ratio > 0.999);
+        assert!(report.speedup.is_finite() && report.speedup > 0.0);
+    }
+
+    #[test]
+    fn edit_and_publish_bumps_the_epoch_without_changing_results() {
+        let mut fx = B15Fixture::sized(64, 60, 8, 100);
+        let before = fx.epoch();
+        let want = fx.checksum(&fx.batch());
+        fx.edit_and_publish();
+        assert!(fx.epoch() > before);
+        assert_eq!(fx.checksum(&fx.batch()), want, "probe edits are query-inert");
+    }
+}

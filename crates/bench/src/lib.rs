@@ -8,6 +8,7 @@
 use onion_core::prelude::*;
 use onion_core::testkit::{overlap_pair, OverlapPair, OverlapSpec};
 
+pub mod cache;
 pub mod durability;
 pub mod hotpaths;
 pub mod inference;

@@ -121,8 +121,9 @@ impl ParallelFixture {
         par_reachable(exec, &self.snapshot, &self.sources, Direction::Forward, &EdgeFilter::All)
     }
 
-    /// One query batch on `exec`; returns per-query result sets.
-    pub fn query_batch(&self, exec: &Executor) -> Vec<ResultSet> {
+    /// One query batch on `exec`; returns per-query result sets
+    /// (shared `Arc`s — duplicate queries in the batch alias).
+    pub fn query_batch(&self, exec: &Executor) -> Vec<std::sync::Arc<ResultSet>> {
         self.system
             .run_batch(exec, &self.queries)
             .into_iter()
@@ -136,7 +137,7 @@ impl ParallelFixture {
     }
 
     /// Checksum of a query batch (row/attr aware, order sensitive).
-    pub fn query_checksum(&self, results: &[ResultSet]) -> u64 {
+    pub fn query_checksum(&self, results: &[std::sync::Arc<ResultSet>]) -> u64 {
         let mut h = Fnv::new();
         for rs in results {
             h.mix(rs.len() as u64);

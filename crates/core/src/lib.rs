@@ -55,7 +55,7 @@ pub mod prelude {
         CandidateRule, EngineConfig, EngineReport, Expert, GeneratorConfig, GeneratorStats,
         MatcherPipeline, OracleExpert, ScriptedExpert, ThresholdExpert, Verdict,
     };
-    pub use onion_exec::Executor;
+    pub use onion_exec::{CacheKey, CacheStats, Executor, ResultCache};
     pub use onion_graph::{
         rel, CheckpointStats, Durability, EdgeId, GraphOp, GraphSnapshot, LabelEquiv, Lsn,
         MatchConfig, Matcher, NodeId, OntGraph, Pattern, PublishStats, RecoveryStats,

@@ -1,6 +1,6 @@
 //! [`OnionSystem`]: the assembled architecture of the paper's Fig. 1.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -8,11 +8,12 @@ use onion_articulate::{
     Articulation, ArticulationEngine, ArticulationGenerator, EngineConfig, EngineReport, Expert,
     GeneratorConfig, MatcherPipeline,
 };
+use onion_exec::{CacheKey, CacheStats, ResultCache};
 use onion_graph::wal::{CheckpointStats, Durability, Lsn, RecoveryStats, WalError};
 use onion_graph::{GraphOp, OntGraph, PublishStats, ShardedSnapshot, SnapshotStore};
 use onion_lexicon::Lexicon;
 use onion_ontology::Ontology;
-use onion_query::{InMemoryWrapper, KnowledgeBase, Query, ResultSet, Wrapper};
+use onion_query::{InMemoryWrapper, KnowledgeBase, Query, ResultSet, Value, Wrapper};
 use onion_rules::{parse_rules, AtomTable, ConversionRegistry, RuleSet};
 
 /// Errors surfaced by the facade.
@@ -53,6 +54,29 @@ impl std::error::Error for SystemError {}
 /// Result alias for the facade.
 pub type Result<T> = std::result::Result<T, SystemError>;
 
+/// Scope component of the facade's query-cache keys. The cache is
+/// per-system and the state epoch is per-system too, so a constant
+/// scope suffices; it exists so a future shared/multi-tenant cache can
+/// partition by system identity without a key-schema change.
+const CACHE_SCOPE: &str = "onion-system";
+
+/// Byte estimate of a cached [`ResultSet`] (rows, strings, attribute
+/// maps) for the cache's memory accounting.
+fn result_weight(rs: &ResultSet) -> usize {
+    let mut bytes = std::mem::size_of::<ResultSet>();
+    for row in &rs.rows {
+        bytes += std::mem::size_of_val(row);
+        bytes += row.id.len() + row.source.len() + row.local_class.len();
+        for (k, v) in &row.attrs {
+            bytes += k.len() + std::mem::size_of_val(v);
+            if let Value::Str(s) = v {
+                bytes += s.len();
+            }
+        }
+    }
+    bytes
+}
+
 /// The assembled ONION system: data layer + articulation engine +
 /// algebra + query system (paper Fig. 1).
 pub struct OnionSystem {
@@ -84,6 +108,15 @@ pub struct OnionSystem {
     /// group-flushed) at every publish, so the in-memory journal only
     /// ever holds the unflushed tail.
     durables: BTreeMap<String, DurableSource>,
+    /// Monotonic facade **state epoch**: bumped by every mutation that
+    /// can change a query's answer (sources, KBs, rules, conversions,
+    /// articulation, publishes). Part of every query-cache key, so a
+    /// bump makes all cached results unaddressable — stale reads are
+    /// structurally impossible, no explicit invalidation path exists.
+    state_epoch: u64,
+    /// Optional hot-result cache ([`OnionSystem::set_query_cache`]).
+    /// `None` (the default) keeps the serving path allocation-free.
+    query_cache: Option<ResultCache<ResultSet>>,
 }
 
 /// Durable state attached to one source.
@@ -122,7 +155,15 @@ impl OnionSystem {
             atoms: Arc::new(Mutex::new(AtomTable::new())),
             inference_executor: None,
             durables: BTreeMap::new(),
+            state_epoch: 0,
+            query_cache: None,
         }
+    }
+
+    /// Records that query-visible state changed: bumps the state epoch,
+    /// which retires every cached query result at once.
+    fn touch(&mut self) {
+        self.state_epoch += 1;
     }
 
     /// System with the built-in transportation lexicon (the Fig. 2
@@ -140,6 +181,7 @@ impl OnionSystem {
     /// Replaces the conversion registry.
     pub fn set_conversions(&mut self, conversions: ConversionRegistry) {
         self.conversions = conversions;
+        self.touch();
     }
 
     // ------------------------------------------------------------------
@@ -151,11 +193,13 @@ impl OnionSystem {
     pub fn add_source(&mut self, mut ontology: Ontology) {
         ontology.graph_mut().set_shard_count(self.shard_count);
         self.sources.insert(ontology.name().to_string(), ontology);
+        self.touch();
     }
 
     /// Loads instance data for a source.
     pub fn add_knowledge_base(&mut self, kb: KnowledgeBase) {
         self.kbs.insert(kb.name().to_string(), InMemoryWrapper::new(kb));
+        self.touch();
     }
 
     /// Loaded source names.
@@ -168,8 +212,14 @@ impl OnionSystem {
         self.sources.get(name)
     }
 
-    /// Mutable access to a loaded source (to apply updates).
+    /// Mutable access to a loaded source (to apply updates). Handing
+    /// the handle out counts as an edit for cache purposes: the state
+    /// epoch is bumped, so no stale cached result can survive whatever
+    /// the caller does with it.
     pub fn source_mut(&mut self, name: &str) -> Option<&mut Ontology> {
+        if self.sources.contains_key(name) {
+            self.touch();
+        }
         self.sources.get_mut(name)
     }
 
@@ -230,6 +280,7 @@ impl OnionSystem {
         if let Some(lsn) = flushed {
             self.durables.get_mut(name).expect("flushed implies durable").publish_lsn = lsn;
         }
+        self.touch();
         Ok(out)
     }
 
@@ -238,6 +289,49 @@ impl OnionSystem {
     /// call from any thread while another publishes.
     pub fn source_snapshot(&self, name: &str) -> Option<Arc<ShardedSnapshot>> {
         self.stores.get(name).map(SnapshotStore::load)
+    }
+
+    /// The monotonic publish epoch of a source's snapshot store —
+    /// strictly increasing with every [`OnionSystem::publish_source`],
+    /// so any artifact derived from a snapshot can be validated with
+    /// one integer compare (`None` until the first publish). The same
+    /// value is on the snapshot itself via
+    /// [`ShardedSnapshot::epoch`](onion_graph::ShardedSnapshot::epoch).
+    pub fn source_epoch(&self, name: &str) -> Option<u64> {
+        self.stores.get(name).map(SnapshotStore::epoch)
+    }
+
+    // ------------------------------------------------------------------
+    // query cache
+    // ------------------------------------------------------------------
+
+    /// The facade-level state epoch: monotonic, bumped by every
+    /// mutation that can change a query's answer (loading sources or
+    /// KBs, rules, conversions, articulation, `source_mut` access,
+    /// publishes). This is the epoch component of every query-cache
+    /// key, so comparing two readings tells whether cached results
+    /// from the first reading are still servable.
+    pub fn query_epoch(&self) -> u64 {
+        self.state_epoch
+    }
+
+    /// Enables the hot-result query cache, bounded at `capacity`
+    /// entries (`0` disables and drops it). Cached entries are keyed by
+    /// `(scope, state epoch, canonical query text)`; any mutation bumps
+    /// the epoch and thereby retires every cached result — a stale hit
+    /// after an edit is structurally impossible. Cache-served results
+    /// are byte-identical to re-execution (the stored value *is* the
+    /// executed `ResultSet`, shared by `Arc`).
+    pub fn set_query_cache(&mut self, capacity: usize) {
+        self.query_cache = if capacity == 0 { None } else { Some(ResultCache::new(capacity)) };
+    }
+
+    /// The cache's counters (hits, misses, insertions, evictions, live
+    /// entries / bytes), or `None` while the cache is disabled. The
+    /// same counts flow into the `onion_query_cache_*` series of
+    /// [`OnionSystem::metrics_snapshot`] when observability is on.
+    pub fn query_cache_stats(&self) -> Option<CacheStats> {
+        self.query_cache.as_ref().map(ResultCache::stats)
     }
 
     // ------------------------------------------------------------------
@@ -402,6 +496,7 @@ impl OnionSystem {
     /// Adds expert articulation rules in the textual syntax.
     pub fn add_rules(&mut self, text: &str) -> Result<usize> {
         let rs = parse_rules(text).map_err(SystemError::Rules)?;
+        self.touch();
         Ok(self.rules.extend_dedup(&rs))
     }
 
@@ -475,6 +570,7 @@ impl OnionSystem {
             engine.run(l, r, expert, self.rules.clone()).map_err(SystemError::Articulate)?;
         self.rules = articulation.rules.clone();
         self.articulation = Some(articulation);
+        self.touch();
         Ok(report)
     }
 
@@ -487,6 +583,7 @@ impl OnionSystem {
         let articulation =
             generator.generate(&self.rules, &[l, r]).map_err(SystemError::Articulate)?;
         self.articulation = Some(articulation);
+        self.touch();
         Ok(self.articulation.as_ref().expect("just set"))
     }
 
@@ -502,6 +599,7 @@ impl OnionSystem {
     pub fn set_articulation(&mut self, articulation: Articulation) {
         self.rules = articulation.rules.clone();
         self.articulation = Some(articulation);
+        self.touch();
     }
 
     // ------------------------------------------------------------------
@@ -561,39 +659,134 @@ impl OnionSystem {
     }
 
     /// Executes a batch of pre-built queries in parallel on `exec`,
-    /// returning per-query results in input order.
+    /// returning per-query results in input order. Equal results are
+    /// shared: a query appearing `k` times in the batch is planned and
+    /// executed once and its `Arc` handed to all `k` slots.
+    ///
+    /// The batch scheduler: queries are **canonicalised** (display
+    /// form, which round-trips through the parser), exact duplicates
+    /// **deduped** within the batch, the whole batch pinned to one
+    /// state epoch, only unique cache misses executed in parallel, and
+    /// the shared results scattered back in input order. With a cache
+    /// enabled ([`OnionSystem::set_query_cache`]), repeats across
+    /// batches at an unchanged epoch are served without executing
+    /// anything.
     ///
     /// The system is read-only for the whole batch (`&self`), so every
     /// worker plans and executes against the same articulation state —
     /// the facade-level counterpart of snapshot isolation (the
     /// graph-level machinery is `OntGraph::snapshot` /
-    /// `SnapshotStore`). Results are identical to calling
+    /// `SnapshotStore`). Result *values* are identical to calling
     /// [`OnionSystem::run_query`] per query sequentially, for every
-    /// thread count.
+    /// thread count, cache on or off.
     pub fn run_batch(
         &self,
         exec: &onion_exec::Executor,
         queries: &[Query],
-    ) -> Vec<Result<ResultSet>> {
+    ) -> Vec<Result<Arc<ResultSet>>> {
         let _span = onion_obs::span!("query_batch");
         onion_obs::count!("onion_query_batch_queries_total", queries.len());
-        exec.par_map(queries, |q| self.run_query(q))
+        let refs: Vec<&Query> = queries.iter().collect();
+        self.run_batch_scheduled(exec, &refs)
     }
 
     /// Parses and executes a batch of textual queries in parallel
     /// (per-query errors stay per-query; a parse failure does not
-    /// affect its batch siblings).
+    /// affect its batch siblings). Parsed queries go through the same
+    /// dedup + cache scheduler as [`OnionSystem::run_batch`].
     pub fn query_batch(
         &self,
         exec: &onion_exec::Executor,
         texts: &[&str],
-    ) -> Vec<Result<ResultSet>> {
+    ) -> Vec<Result<Arc<ResultSet>>> {
         let _span = onion_obs::span!("query_batch");
         onion_obs::count!("onion_query_batch_queries_total", texts.len());
-        exec.par_map(texts, |t| {
-            let q = Query::parse(t).map_err(SystemError::Query)?;
-            self.run_query(&q)
-        })
+        let parsed: Vec<Result<Query>> =
+            texts.iter().map(|t| Query::parse(t).map_err(SystemError::Query)).collect();
+        let ok_refs: Vec<&Query> = parsed.iter().filter_map(|p| p.as_ref().ok()).collect();
+        let mut executed = self.run_batch_scheduled(exec, &ok_refs).into_iter();
+        parsed
+            .into_iter()
+            .map(|p| match p {
+                Ok(_) => executed.next().expect("one executed result per parsed query"),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// The shared batch scheduler: canonicalise → dedup → probe the
+    /// cache under the pinned epoch → execute unique misses in
+    /// parallel → fill the cache → scatter `Arc`s in input order.
+    ///
+    /// `SystemError` is not `Clone`, so when a deduped query fails the
+    /// first occurrence takes the original error and later occurrences
+    /// re-execute individually (execution under `&self` is
+    /// deterministic, so they fail the same way).
+    fn run_batch_scheduled(
+        &self,
+        exec: &onion_exec::Executor,
+        queries: &[&Query],
+    ) -> Vec<Result<Arc<ResultSet>>> {
+        let epoch = self.state_epoch;
+        let keys: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+        // key → unique slot; uniq_first[slot] = first input index
+        let mut slot_of: HashMap<&str, usize> = HashMap::new();
+        let mut uniq_first: Vec<usize> = Vec::new();
+        let mut assign: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, key) in keys.iter().enumerate() {
+            let slot = *slot_of.entry(key.as_str()).or_insert_with(|| {
+                uniq_first.push(i);
+                uniq_first.len() - 1
+            });
+            assign.push(slot);
+        }
+        let duplicates = queries.len() - uniq_first.len();
+        if duplicates > 0 {
+            onion_obs::count!("onion_query_batch_dedup_total", duplicates);
+        }
+
+        // probe the cache under the pinned epoch
+        let mut slot_results: Vec<Option<Result<Arc<ResultSet>>>> = Vec::new();
+        slot_results.resize_with(uniq_first.len(), || None);
+        let mut misses: Vec<usize> = Vec::new();
+        for (slot, &i) in uniq_first.iter().enumerate() {
+            match self
+                .query_cache
+                .as_ref()
+                .and_then(|c| c.get(&CacheKey::new(CACHE_SCOPE, epoch, keys[i].clone())))
+            {
+                Some(hit) => slot_results[slot] = Some(Ok(hit)),
+                None => misses.push(slot),
+            }
+        }
+
+        // execute only the unique misses in parallel
+        let computed = exec.par_map(&misses, |&slot| self.run_query(queries[uniq_first[slot]]));
+        for (&slot, res) in misses.iter().zip(computed) {
+            let res = res.map(Arc::new);
+            if let (Some(cache), Ok(v)) = (self.query_cache.as_ref(), &res) {
+                cache.insert(
+                    CacheKey::new(CACHE_SCOPE, epoch, keys[uniq_first[slot]].clone()),
+                    Arc::clone(v),
+                    result_weight(v),
+                );
+            }
+            slot_results[slot] = Some(res);
+        }
+
+        // scatter in input order; an erred slot is taken by its first
+        // occurrence and re-executed for the rest
+        assign
+            .into_iter()
+            .map(|slot| {
+                let entry = &mut slot_results[slot];
+                match entry {
+                    Some(Ok(v)) => Ok(Arc::clone(v)),
+                    Some(Err(_)) => entry.take().expect("checked Some"),
+                    None => self.run_query(queries[uniq_first[slot]]).map(Arc::new),
+                }
+            })
+            .collect()
     }
 
     /// Renders the query plan for a textual query (the viewer's
@@ -724,9 +917,70 @@ mod tests {
             let batch = s.run_batch(&exec, &queries);
             assert_eq!(batch.len(), queries.len());
             for (got, want) in batch.into_iter().zip(&sequential) {
-                assert_eq!(&got.unwrap(), want, "threads={threads}");
+                assert_eq!(got.unwrap().as_ref(), want, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn run_batch_dedups_exact_duplicates() {
+        let mut s = loaded();
+        s.add_rules(fig2_rules_text()).unwrap();
+        s.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+        let mut ckb = KnowledgeBase::new("carrier");
+        ckb.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+        s.add_knowledge_base(ckb);
+        let q = |t: &str| Query::parse(t).unwrap();
+        let queries =
+            vec![q("find Vehicle(Price)"), q("find Truck(Price)"), q("find Vehicle(Price)")];
+        let exec = onion_exec::Executor::new(2);
+        // dedup is on even with the cache disabled: duplicate slots
+        // share one Arc
+        let out = s.run_batch(&exec, &queries);
+        let a = out[0].as_ref().unwrap();
+        let c = out[2].as_ref().unwrap();
+        assert!(Arc::ptr_eq(a, c), "duplicates share the executed result");
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn query_cache_hits_repeat_batches_and_epoch_bump_invalidates() {
+        let mut s = loaded();
+        s.add_rules(fig2_rules_text()).unwrap();
+        s.articulate("carrier", "factory", &mut AcceptAll).unwrap();
+        let mut ckb = KnowledgeBase::new("carrier");
+        ckb.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+        s.add_knowledge_base(ckb);
+        s.set_query_cache(64);
+        let exec = onion_exec::Executor::new(2);
+        let queries = vec![Query::parse("find Vehicle(Price)").unwrap()];
+
+        let cold = s.run_batch(&exec, &queries);
+        let stats = s.query_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let warm = s.run_batch(&exec, &queries);
+        let stats = s.query_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cold[0].as_ref().unwrap(), warm[0].as_ref().unwrap());
+        assert!(
+            Arc::ptr_eq(cold[0].as_ref().unwrap(), warm[0].as_ref().unwrap()),
+            "warm hit serves the cached Arc"
+        );
+
+        // any mutation bumps the state epoch: the next batch misses
+        // and reflects the new data
+        let before = s.query_epoch();
+        let mut ckb2 = KnowledgeBase::new("carrier");
+        ckb2.add(Instance::new("MyCar", "Cars").with("Price", Value::Num(2203.71)));
+        ckb2.add(Instance::new("suv9", "Cars").with("Price", Value::Num(440.742)));
+        s.add_knowledge_base(ckb2);
+        assert!(s.query_epoch() > before);
+        let fresh = s.run_batch(&exec, &queries);
+        assert_eq!(fresh[0].as_ref().unwrap().len(), 2, "stale hit after an edit is forbidden");
+
+        // disabling drops the cache
+        s.set_query_cache(0);
+        assert!(s.query_cache_stats().is_none());
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Epoch-keyed hot-result cache for the query serving path.
+//!
+//! A [`ResultCache`] memoises expensive per-query artifacts (the facade
+//! stores whole `ResultSet`s) under a [`CacheKey`] of
+//! `(scope, epoch, canonical query)`. The epoch is the invalidation
+//! contract: every publish or mutation bumps it, so a cached value can
+//! be validated with one integer compare and stale entries simply stop
+//! being addressable — there is no explicit invalidation path to get
+//! wrong. The full canonical query string (not a hash of it) lives in
+//! the key, so a 64-bit hash collision can never alias two different
+//! queries to the same entry.
+//!
+//! Internally the cache is **striped**: the key hash picks one of up to
+//! 16 independently locked stripes, so concurrent readers on a batch
+//! executor rarely contend on the same mutex. Each stripe bounds its
+//! entry count and evicts with the **CLOCK** (second-chance) sweep — a
+//! ref bit per slot, set on hit, cleared as the hand passes; the first
+//! un-referenced slot is replaced. CLOCK gives LRU-like retention with
+//! O(1) amortised eviction and no per-access list surgery.
+//!
+//! Hit/miss/insert/evict counts are kept in relaxed atomics (cheap
+//! enough to leave always-on) and mirrored to `onion-obs` counters
+//! (`onion_query_cache_*`) when recording is enabled, which puts them
+//! in the Prometheus and JSON exports for free.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: scope (graph / system id) + epoch + canonical query text.
+///
+/// Equality is exact on all three fields; the epoch component is what
+/// makes invalidation free (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Which graph or system the entry belongs to.
+    pub scope: String,
+    /// The state epoch the value was computed at.
+    pub epoch: u64,
+    /// The canonical (display-form) query text.
+    pub query: String,
+}
+
+impl CacheKey {
+    /// Builds a key from its three components.
+    pub fn new(scope: impl Into<String>, epoch: u64, query: impl Into<String>) -> Self {
+        CacheKey { scope: scope.into(), epoch, query: query.into() }
+    }
+}
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (including epoch-mismatched keys).
+    pub misses: u64,
+    /// Values stored (first insert or overwrite of a live key).
+    pub insertions: u64,
+    /// Entries displaced by the CLOCK sweep to make room.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Estimated bytes held by live entries right now.
+    pub bytes: usize,
+    /// Maximum entries the cache will hold.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, `0.0` when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot<V> {
+    key: CacheKey,
+    value: Arc<V>,
+    bytes: usize,
+    referenced: bool,
+}
+
+struct Stripe<V> {
+    /// CLOCK ring; bounded at the stripe's share of the capacity.
+    slots: Vec<Slot<V>>,
+    /// Key → slot index within `slots`.
+    index: HashMap<CacheKey, usize>,
+    /// The CLOCK hand: next slot the eviction sweep examines.
+    hand: usize,
+}
+
+impl<V> Stripe<V> {
+    fn new() -> Self {
+        Stripe { slots: Vec::new(), index: HashMap::new(), hand: 0 }
+    }
+}
+
+/// Sharded, bounded, epoch-keyed result cache. See the module docs.
+pub struct ResultCache<V> {
+    stripes: Vec<Mutex<Stripe<V>>>,
+    /// Entry bound per stripe (total capacity / stripe count).
+    per_stripe: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl<V> std::fmt::Debug for ResultCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("stripes", &self.stripes.len())
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl<V> ResultCache<V> {
+    /// A cache bounded at `capacity` entries (min 1), striped across up
+    /// to 16 locks.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // no more stripes than capacity, so every stripe holds >= 1
+        let stripes = capacity.min(16).next_power_of_two().min(16);
+        let per_stripe = capacity.div_ceil(stripes);
+        ResultCache {
+            stripes: (0..stripes).map(|_| Mutex::new(Stripe::new())).collect(),
+            per_stripe,
+            capacity: per_stripe * stripes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry bound (rounded up to a multiple of the stripe count).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stripe_of(&self, key: &CacheKey) -> &Mutex<Stripe<V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) & (self.stripes.len() - 1)]
+    }
+
+    /// Looks `key` up, marking the entry recently-used on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<V>> {
+        let mut stripe = self.stripe_of(key).lock().expect("cache stripe poisoned");
+        match stripe.index.get(key).copied() {
+            Some(i) => {
+                stripe.slots[i].referenced = true;
+                let v = Arc::clone(&stripe.slots[i].value);
+                drop(stripe);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                onion_obs::count!("onion_query_cache_hits_total");
+                Some(v)
+            }
+            None => {
+                drop(stripe);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                onion_obs::count!("onion_query_cache_misses_total");
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting (CLOCK second-chance) if
+    /// the stripe is at its bound. `bytes` is the caller's size
+    /// estimate, tracked in [`CacheStats::bytes`] and the
+    /// `onion_query_cache_bytes` gauge.
+    pub fn insert(&self, key: CacheKey, value: Arc<V>, bytes: usize) {
+        let mut evicted = false;
+        {
+            let mut stripe = self.stripe_of(&key).lock().expect("cache stripe poisoned");
+            if let Some(&i) = stripe.index.get(&key) {
+                // overwrite in place (same key, e.g. re-computed value)
+                let old = std::mem::replace(
+                    &mut stripe.slots[i],
+                    Slot { key, value, bytes, referenced: true },
+                );
+                self.bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            } else if stripe.slots.len() < self.per_stripe {
+                let i = stripe.slots.len();
+                stripe.slots.push(Slot { key: key.clone(), value, bytes, referenced: true });
+                stripe.index.insert(key, i);
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            } else {
+                // CLOCK sweep: clear ref bits until an unreferenced
+                // victim turns up (bounded: after one full lap every
+                // bit is clear)
+                loop {
+                    let h = stripe.hand;
+                    stripe.hand = (h + 1) % stripe.slots.len();
+                    if stripe.slots[h].referenced {
+                        stripe.slots[h].referenced = false;
+                    } else {
+                        let old = std::mem::replace(
+                            &mut stripe.slots[h],
+                            Slot { key: key.clone(), value, bytes, referenced: true },
+                        );
+                        stripe.index.remove(&old.key);
+                        stripe.index.insert(key, h);
+                        self.bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
+                        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                        evicted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        onion_obs::count!("onion_query_cache_insertions_total");
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            onion_obs::count!("onion_query_cache_evictions_total");
+        }
+        onion_obs::gauge_set!("onion_query_cache_entries", self.entries.load(Ordering::Relaxed));
+        onion_obs::gauge_set!("onion_query_cache_bytes", self.bytes.load(Ordering::Relaxed));
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters, coherent enough for monitoring (each field is
+    /// an independent relaxed load).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed) as usize,
+            bytes: self.bytes.load(Ordering::Relaxed) as usize,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters other than `entries`/`bytes` keep
+    /// accumulating).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            let mut s = stripe.lock().expect("cache stripe poisoned");
+            let freed: usize = s.slots.iter().map(|slot| slot.bytes).sum();
+            self.entries.fetch_sub(s.slots.len() as u64, Ordering::Relaxed);
+            self.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+            s.slots.clear();
+            s.index.clear();
+            s.hand = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(epoch: u64, q: &str) -> CacheKey {
+        CacheKey::new("test", epoch, q)
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_epoch_bump_misses() {
+        let cache: ResultCache<u64> = ResultCache::new(8);
+        cache.insert(key(1, "q"), Arc::new(42), 8);
+        assert_eq!(cache.get(&key(1, "q")).as_deref(), Some(&42));
+        assert_eq!(cache.get(&key(2, "q")), None, "new epoch never sees old entries");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!(s.hit_ratio() > 0.49 && s.hit_ratio() < 0.51);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_and_counts_evictions() {
+        let cache: ResultCache<u64> = ResultCache::new(4);
+        for i in 0..100u64 {
+            cache.insert(key(1, &format!("q{i}")), Arc::new(i), 16);
+        }
+        let s = cache.stats();
+        assert!(s.entries <= cache.capacity(), "entries {} > capacity {}", s.entries, s.capacity);
+        assert_eq!(s.insertions, 100);
+        assert!(s.evictions > 0, "churn past capacity must evict");
+        assert_eq!(s.entries + s.evictions as usize, 100, "every insert lives or was evicted");
+        assert_eq!(s.bytes, s.entries * 16);
+    }
+
+    #[test]
+    fn clock_keeps_recently_hit_entries() {
+        // capacity 1..16 rounds stripes to 1 only at capacity 1; use a
+        // single-stripe cache so the sweep is deterministic
+        let cache: ResultCache<u64> = ResultCache::new(1);
+        cache.insert(key(1, "hot"), Arc::new(1), 1);
+        assert!(cache.get(&key(1, "hot")).is_some());
+        cache.insert(key(1, "cold"), Arc::new(2), 1);
+        // the single slot was replaced (capacity 1): hot is gone
+        assert!(cache.get(&key(1, "hot")).is_none());
+        assert!(cache.get(&key(1, "cold")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_same_key_updates_bytes_without_eviction() {
+        let cache: ResultCache<u64> = ResultCache::new(8);
+        cache.insert(key(1, "q"), Arc::new(1), 100);
+        cache.insert(key(1, "q"), Arc::new(2), 40);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 40);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(cache.get(&key(1, "q")).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn clear_empties_and_zeroes_gauges() {
+        let cache: ResultCache<u64> = ResultCache::new(8);
+        for i in 0..5u64 {
+            cache.insert(key(1, &format!("q{i}")), Arc::new(i), 10);
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
+        assert!(cache.get(&key(1, "q0")).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        let cache: Arc<ResultCache<u64>> = Arc::new(ResultCache::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = key(1, &format!("q{}", i % 32));
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, Arc::new(t * 1000 + i), 8);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.entries <= 32);
+    }
+}

@@ -113,7 +113,9 @@ pub fn par_descendants(
                 if !snapshot.is_live_node(s) {
                     return Vec::new();
                 }
-                let mut visited = vec![false; snapshot.node_capacity()];
+                // dense scratch: visited is sized to live nodes, not
+                // node_capacity, via the snapshot's per-shard remap
+                let mut visited = vec![false; snapshot.scratch_len()];
                 let mut reached: Vec<NodeId> = Vec::new();
                 let mut frontier: Vec<NodeId> = vec![s];
                 let mut scan = 0;
@@ -121,8 +123,9 @@ pub fn par_descendants(
                     let n = frontier[scan];
                     scan += 1;
                     snapshot.for_each_neighbor(n, Direction::Backward, &rf, |m| {
-                        if !visited[m.index()] {
-                            visited[m.index()] = true;
+                        let d = snapshot.dense_of(m);
+                        if !visited[d] {
+                            visited[d] = true;
                             reached.push(m);
                             frontier.push(m);
                         }
@@ -185,8 +188,9 @@ pub fn par_frontier_bfs(
     if !snapshot.is_live_node(start) {
         return Vec::new();
     }
-    let mut visited = vec![false; snapshot.node_capacity()];
-    visited[start.index()] = true;
+    // dense scratch: visited is sized to live nodes, not node_capacity
+    let mut visited = vec![false; snapshot.scratch_len()];
+    visited[snapshot.dense_of(start)] = true;
     let mut order = vec![start];
     let mut frontier = vec![start];
     while !frontier.is_empty() {
@@ -195,7 +199,7 @@ pub fn par_frontier_bfs(
             let mut found = Vec::new();
             for &n in chunk {
                 snapshot.for_each_neighbor(n, dir, &rf, |m| {
-                    if !seen[m.index()] {
+                    if !seen[snapshot.dense_of(m)] {
                         found.push(m);
                     }
                 });
@@ -204,8 +208,9 @@ pub fn par_frontier_bfs(
         });
         let mut next = Vec::new();
         for m in per_chunk.into_iter().flatten() {
-            if !visited[m.index()] {
-                visited[m.index()] = true;
+            let d = snapshot.dense_of(m);
+            if !visited[d] {
+                visited[d] = true;
                 order.push(m);
                 next.push(m);
             }

@@ -42,9 +42,11 @@
 //! assert_eq!(reach.len(), sources.len());
 //! ```
 
+pub mod cache;
 pub mod closure;
 pub mod inference;
 
+pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use closure::{
     par_closure_pairs, par_descendants, par_frontier_bfs, par_reachable, par_subclass_closure,
 };

@@ -71,6 +71,10 @@ pub struct ShardedSnapshot {
     /// defaults are), letting the per-node-expansion owner lookup be a
     /// mask+shift instead of a runtime div/mod; `u32::MAX` otherwise.
     shard_shift: u32,
+    /// `scratch_base[s]` = number of live nodes owned by shards `< s`:
+    /// the offset of shard `s`'s dense segment in the snapshot-wide
+    /// scratch index space (see [`ShardedSnapshot::dense_of`]).
+    scratch_base: Vec<u32>,
     node_cap: usize,
     live_nodes: usize,
     live_edges: usize,
@@ -149,6 +153,12 @@ impl ShardedSnapshot {
         let live_nodes = shards.iter().map(|s| s.live_nodes()).sum();
         let live_edges = shards.iter().map(|s| s.out_edges()).sum();
         let count = shards.len();
+        let mut scratch_base = Vec::with_capacity(count);
+        let mut base = 0u32;
+        for s in &shards {
+            scratch_base.push(base);
+            base += s.live_nodes() as u32;
+        }
         ShardedSnapshot {
             name: g.name().to_string(),
             epoch,
@@ -156,6 +166,7 @@ impl ShardedSnapshot {
             interner,
             shard_count: count,
             shard_shift: if count.is_power_of_two() { count.trailing_zeros() } else { u32::MAX },
+            scratch_base,
             shards,
             node_cap: g.node_capacity(),
             live_nodes,
@@ -246,6 +257,56 @@ impl ShardedSnapshot {
         } else {
             (&self.shards[idx % self.shard_count], idx / self.shard_count)
         }
+    }
+
+    // ------------------------------------------------------------------
+    // dense scratch remap
+    // ------------------------------------------------------------------
+
+    /// Size of the **dense scratch** index space: one slot per live
+    /// node, shard segments laid out consecutively. Traversal kernels
+    /// size their visited stamps and frontier buffers by this instead
+    /// of [`ShardedSnapshot::node_capacity`] — on a long-lived graph
+    /// the capacity spans every tombstone ever allocated, while the
+    /// dense space is exactly the live set, so per-query scratch stays
+    /// proportional to the data it can actually touch.
+    #[inline]
+    pub fn scratch_len(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// The dense scratch index of a **live** node: its owning shard's
+    /// segment offset plus its dense rank within that shard (the
+    /// per-shard global→dense remap frozen at build time). The map is
+    /// a bijection live nodes → `0..scratch_len()`; it says nothing
+    /// about dead ids — callers must only pass nodes that were live at
+    /// freeze time (traversal only ever reaches live nodes).
+    #[inline]
+    pub fn dense_of(&self, n: NodeId) -> usize {
+        let idx = n.index();
+        let (s, local) = if self.shard_shift != u32::MAX {
+            (idx & (self.shard_count - 1), idx >> self.shard_shift)
+        } else {
+            (idx % self.shard_count, idx / self.shard_count)
+        };
+        let rank = self.shards[s].dense_local(local);
+        debug_assert_ne!(rank, u32::MAX, "dense_of called on a dead node {n:?}");
+        self.scratch_base[s] as usize + rank as usize
+    }
+
+    /// [`ShardedSnapshot::dense_of`] for possibly-dead ids: `None` for
+    /// tombstones, unallocated slots, and out-of-range ids.
+    #[inline]
+    pub fn dense_of_checked(&self, n: NodeId) -> Option<usize> {
+        if n.index() >= self.node_cap {
+            return None;
+        }
+        let (shard, local) = self.shard_slot(n);
+        let rank = shard.dense_local(local);
+        if rank == u32::MAX {
+            return None;
+        }
+        Some(self.scratch_base[shard.shard_index()] as usize + rank as usize)
     }
 
     /// True if `id` was a live node at freeze time.
@@ -399,22 +460,25 @@ impl ShardedSnapshot {
     }
 
     /// Breadth-first order from `start` (inclusive) — deterministic:
-    /// neighbours are visited in sorted `(label, id)` order.
+    /// neighbours are visited in sorted `(label, id)` order. Visited
+    /// stamps are dense-indexed ([`ShardedSnapshot::dense_of`]), so the
+    /// scratch is sized to the live set, not the node capacity.
     pub fn bfs(&self, start: NodeId, dir: Direction, filter: &ResolvedFilter) -> Vec<NodeId> {
         let mut order = Vec::new();
         if !self.is_live_node(start) {
             return order;
         }
-        let mut visited = vec![false; self.node_capacity()];
-        visited[start.index()] = true;
+        let mut visited = vec![false; self.scratch_len()];
+        visited[self.dense_of(start)] = true;
         order.push(start);
         let mut scan = 0;
         while scan < order.len() {
             let n = order[scan];
             scan += 1;
             self.for_each_neighbor(n, dir, filter, |m| {
-                if !visited[m.index()] {
-                    visited[m.index()] = true;
+                let d = self.dense_of(m);
+                if !visited[d] {
+                    visited[d] = true;
                     order.push(m);
                 }
             });
@@ -425,15 +489,16 @@ impl ShardedSnapshot {
     /// Per-start closure runs: `runs[i]` holds the pairs `(starts[i],
     /// m)` for every `m` with a non-empty admitted path `starts[i] →*
     /// m`, in discovery order. One stamp vector serves all starts (the
-    /// per-chunk scratch-sharing the parallel executor relies on).
+    /// per-chunk scratch-sharing the parallel executor relies on); it
+    /// is dense-indexed ([`ShardedSnapshot::dense_of`]), so its size is
+    /// the live node count, not the arena capacity.
     pub fn closure_runs_from(
         &self,
         starts: &[NodeId],
         filter: &ResolvedFilter,
     ) -> Vec<Vec<(NodeId, NodeId)>> {
-        let cap = self.node_capacity();
         let mut runs = Vec::with_capacity(starts.len());
-        let mut stamp: Vec<u32> = vec![0; cap];
+        let mut stamp: Vec<u32> = vec![0; self.scratch_len()];
         let mut epoch: u32 = 0;
         let mut frontier: Vec<NodeId> = Vec::new();
         for &start in starts {
@@ -452,8 +517,9 @@ impl ShardedSnapshot {
                 let n = frontier[scan];
                 scan += 1;
                 self.for_each_neighbor(n, Direction::Forward, filter, |m| {
-                    if stamp[m.index()] != epoch {
-                        stamp[m.index()] = epoch;
+                    let d = self.dense_of(m);
+                    if stamp[d] != epoch {
+                        stamp[d] = epoch;
                         pairs.push((start, m));
                         frontier.push(m);
                     }
@@ -849,6 +915,32 @@ mod tests {
         assert_eq!(s.shard(0).out_edges(), 1);
         assert_eq!(s.shard(1).out_edges(), 0);
         assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn dense_remap_is_a_bijection_over_live_nodes() {
+        let mut g = hierarchy();
+        g.ensure_edge_by_labels("Bike", rel::SUBCLASS_OF, "Vehicle").unwrap();
+        g.delete_node_by_label("Truck").unwrap(); // leave a tombstone
+        for count in [1usize, 2, 7, 64] {
+            g.set_shard_count(count);
+            let s = g.snapshot();
+            assert_eq!(s.scratch_len(), s.node_count(), "shards={count}");
+            let mut seen = vec![false; s.scratch_len()];
+            for n in s.node_ids() {
+                let d = s.dense_of(n);
+                assert_eq!(Some(d), s.dense_of_checked(n));
+                assert!(!seen[d], "dense index {d} assigned twice (shards={count})");
+                seen[d] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "every dense slot covered (shards={count})");
+            // dead and out-of-range ids have no dense slot
+            let dead = g.node_capacity() as u32;
+            assert_eq!(s.dense_of_checked(NodeId(dead)), None);
+            let truck_slot =
+                (0..g.node_capacity() as u32).map(NodeId).find(|&n| !s.is_live_node(n)).unwrap();
+            assert_eq!(s.dense_of_checked(truck_slot), None);
+        }
     }
 
     #[test]

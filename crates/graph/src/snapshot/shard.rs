@@ -68,6 +68,14 @@ pub struct SnapshotShard {
     /// Per owned slot (local index): the node's label, `None` for
     /// tombstones and never-allocated tail slots.
     labels: Vec<Option<LabelId>>,
+    /// Per owned slot: the node's **dense rank** among the shard's live
+    /// nodes (ascending by local slot, so ranks follow id order within
+    /// the shard); `u32::MAX` for tombstones and unallocated tail
+    /// slots. This is the per-shard global→dense remap the traversal
+    /// kernels use to size visited stamps and frontier scratch to live
+    /// nodes instead of `node_capacity` (see
+    /// [`ShardedSnapshot::dense_of`](crate::ShardedSnapshot::dense_of)).
+    dense: Vec<u32>,
     out: Csr,
     inc: Csr,
     /// Owned live nodes per label, ascending by global id.
@@ -83,12 +91,14 @@ impl SnapshotShard {
         let cap = g.node_capacity();
         let owned = owned_slots(cap, shard, count);
         let mut labels: Vec<Option<LabelId>> = vec![None; owned];
+        let mut dense: Vec<u32> = vec![u32::MAX; owned];
         let mut by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
         let mut live_nodes = 0usize;
         for local in 0..owned {
             let n = NodeId((shard + local * count) as u32);
             if let Some(lid) = g.node_label_id(n) {
                 labels[local] = Some(lid);
+                dense[local] = live_nodes as u32;
                 by_label.entry(lid).or_default().push(n);
                 live_nodes += 1;
             }
@@ -98,6 +108,7 @@ impl SnapshotShard {
         SnapshotShard {
             shard,
             labels,
+            dense,
             out,
             inc,
             by_label,
@@ -167,6 +178,13 @@ impl SnapshotShard {
     #[inline]
     pub(crate) fn label_local(&self, local: usize) -> Option<LabelId> {
         self.labels.get(local).copied().flatten()
+    }
+
+    /// The dense rank of the shard's `local`-th slot among its live
+    /// nodes, or `u32::MAX` for a tombstone / unallocated slot.
+    #[inline]
+    pub(crate) fn dense_local(&self, local: usize) -> u32 {
+        self.dense.get(local).copied().unwrap_or(u32::MAX)
     }
 
     #[inline]

@@ -1,0 +1,127 @@
+//! Properties of the per-shard dense scratch remap
+//! ([`ShardedSnapshot::dense_of`] and friends) that the parallel
+//! traversal kernels size their visited/frontier buffers with:
+//!
+//! * on graphs with tombstones (deleted nodes), `dense_of` is a
+//!   **bijection** from live nodes onto `0..scratch_len()` at every
+//!   shard count in {1, 2, 7, 64}, and `dense_of_checked` rejects dead
+//!   ids;
+//! * the dense-indexed traversal kernels (`par_reachable`,
+//!   `par_descendants`, `par_frontier_bfs`, `par_closure_pairs`)
+//!   return results **identical** to the 1-shard sequential baseline
+//!   on those same holey graphs — remapping the scratch space must
+//!   never change an answer;
+//! * the scratch space actually shrinks: after deletions,
+//!   `scratch_len()` tracks live nodes, not `node_capacity()`.
+
+use proptest::prelude::*;
+
+use onion_core::exec::{
+    par_closure_pairs, par_descendants, par_frontier_bfs, par_reachable, Executor,
+};
+use onion_core::graph::rel;
+use onion_core::graph::traverse::{Direction, EdgeFilter};
+use onion_core::prelude::*;
+use onion_core::testkit::{closure_sources, generate_graph, GraphSpec};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 64];
+
+/// A generated graph with `deletions` tombstoned nodes; returns the
+/// deleted ids so tests can assert they have no dense slot.
+fn holey_graph(seed: u64, deletions: usize) -> (OntGraph, Vec<NodeId>) {
+    let mut g = generate_graph(&GraphSpec::sized(seed, 120, 500));
+    let victims: Vec<NodeId> = g.node_ids().step_by(4).take(deletions).collect();
+    for &v in &victims {
+        g.delete_node(v).unwrap();
+    }
+    (g, victims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// `dense_of` is a bijection live nodes → `0..scratch_len()` at
+    /// every shard count, even with tombstones scattered through the
+    /// id space; dead ids have no dense slot.
+    #[test]
+    fn dense_remap_is_bijective_with_tombstones(seed in 0u64..16, deletions in 1usize..30) {
+        let (mut g, victims) = holey_graph(seed, deletions);
+        for &count in &SHARD_COUNTS {
+            g.set_shard_count(count);
+            let snap = g.snapshot();
+            prop_assert_eq!(snap.scratch_len(), snap.node_count(), "shards={}", count);
+            let mut seen = vec![false; snap.scratch_len()];
+            for n in snap.node_ids() {
+                let d = snap.dense_of(n);
+                prop_assert_eq!(Some(d), snap.dense_of_checked(n));
+                prop_assert!(!seen[d], "dense slot {} assigned twice (shards={})", d, count);
+                seen[d] = true;
+            }
+            prop_assert!(seen.iter().all(|&b| b), "every dense slot covered (shards={})", count);
+            for &v in &victims {
+                prop_assert_eq!(snap.dense_of_checked(v), None, "dead id keeps no slot");
+            }
+        }
+    }
+
+    /// The dense-indexed kernels answer identically to the 1-shard
+    /// sequential baseline on holey graphs, at every shard and thread
+    /// count — the remap is invisible to results.
+    #[test]
+    fn traversals_identical_on_holey_graphs(
+        seed in 0u64..16,
+        deletions in 1usize..30,
+        nsrc in 1usize..16,
+    ) {
+        let (mut g, _) = holey_graph(seed, deletions);
+        let sources = closure_sources(&g, nsrc, seed ^ 0xd15e);
+        let root = g.node_ids().next().unwrap();
+        let filter = EdgeFilter::label(rel::SUBCLASS_OF);
+
+        g.set_shard_count(1);
+        let mono = g.snapshot();
+        let seq = Executor::sequential();
+        let want_reach = par_reachable(&seq, &mono, &sources, Direction::Forward, &filter);
+        let want_desc = par_descendants(&seq, &mono, &sources, rel::SUBCLASS_OF);
+        let want_pairs = par_closure_pairs(&seq, &mono, &sources, &filter);
+        let want_bfs = {
+            let rf = mono.resolve_filter(&EdgeFilter::All);
+            mono.bfs(root, Direction::Forward, &rf)
+        };
+
+        for &count in &SHARD_COUNTS {
+            g.set_shard_count(count);
+            let snap = g.snapshot();
+            for threads in [1usize, 4] {
+                let exec = Executor::new(threads);
+                let reach = par_reachable(&exec, &snap, &sources, Direction::Forward, &filter);
+                prop_assert_eq!(&reach, &want_reach, "reach shards={} threads={}", count, threads);
+                let desc = par_descendants(&exec, &snap, &sources, rel::SUBCLASS_OF);
+                prop_assert_eq!(&desc, &want_desc, "desc shards={} threads={}", count, threads);
+                let pairs = par_closure_pairs(&exec, &snap, &sources, &filter);
+                prop_assert_eq!(&pairs, &want_pairs, "pairs shards={} threads={}", count, threads);
+                let bfs = par_frontier_bfs(&exec, &snap, root, Direction::Forward, &EdgeFilter::All);
+                prop_assert_eq!(&bfs, &want_bfs, "bfs shards={} threads={}", count, threads);
+            }
+        }
+    }
+}
+
+/// The point of the remap: scratch buffers are sized to live nodes,
+/// strictly below the (tombstone-padded) id capacity.
+#[test]
+fn scratch_space_tracks_live_nodes_not_capacity() {
+    let (mut g, victims) = holey_graph(3, 20);
+    assert!(!victims.is_empty());
+    for &count in &SHARD_COUNTS {
+        g.set_shard_count(count);
+        let snap = g.snapshot();
+        assert_eq!(snap.scratch_len(), snap.node_count(), "shards={count}");
+        assert!(
+            snap.scratch_len() < g.node_capacity(),
+            "shards={count}: scratch {} must undercut capacity {}",
+            snap.scratch_len(),
+            g.node_capacity()
+        );
+    }
+}

@@ -258,7 +258,7 @@ fn run_batch_equals_sequential_on_generated_sources() {
     for threads in [1usize, 2, 4] {
         let exec = Executor::new(threads);
         let batch = system.run_batch(&exec, &queries);
-        let got: Vec<ResultSet> = batch.into_iter().map(|r| r.unwrap()).collect();
+        let got: Vec<ResultSet> = batch.into_iter().map(|r| r.unwrap().as_ref().clone()).collect();
         assert_eq!(got, sequential, "threads={threads}");
     }
 }

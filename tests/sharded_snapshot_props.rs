@@ -177,8 +177,11 @@ fn query_batches_are_identical_across_shard_counts() {
         let system = build(shards);
         for threads in [1usize, 4] {
             let exec = Executor::new(threads);
-            let got: Vec<ResultSet> =
-                system.run_batch(&exec, &queries).into_iter().map(|r| r.unwrap()).collect();
+            let got: Vec<ResultSet> = system
+                .run_batch(&exec, &queries)
+                .into_iter()
+                .map(|r| r.unwrap().as_ref().clone())
+                .collect();
             assert_eq!(got, want, "shards={shards} threads={threads}");
         }
     }
