@@ -1,0 +1,32 @@
+//! B16 — shard-local saturation on the deep-hierarchy tier: worker
+//! partitions with local atom tables, per-pair delta mailboxes, one
+//! canonical fold at fixpoint. The identity gate (fixpoint equality
+//! with the sequential engine, merge-stream conservation against the
+//! parallel engine's single barrier) runs inside `run_b16` before any
+//! series is timed; the committed medians live in `BENCH_onion.json`'s
+//! `b16_shardlocal_saturation` section via `experiments --json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onion_bench::shardlocal::run_b16;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b16_shardlocal_saturation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // run_b16 gates identity, then times cold/warm/partseed series
+    // with the shared run_series helper; criterion wraps the whole
+    // family so `cargo bench b16` tracks it over time.
+    group.bench_function("family", |b| {
+        b.iter(|| {
+            let report = run_b16();
+            assert!(report.derived > report.seeded, "closure grows the base");
+            report.rows.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,6 +15,7 @@ pub mod inference;
 pub mod observability;
 pub mod parallel;
 pub mod publish;
+pub mod shardlocal;
 
 /// Median wall time (µs) of `reps` runs of `f` — the one in-process
 /// timing helper shared by the experiment tables, the B10 runner, and

@@ -1,0 +1,231 @@
+//! B16 — shard-local saturation end to end on the deep-hierarchy tier.
+//!
+//! The shard-parallel engine (B12's `b12_parallel_saturation_deep10k`)
+//! parallelises each round's joins but serialises every derived fact
+//! through one shared atom table and one global merge barrier per
+//! round. The shard-local engine removes both: workers seed and
+//! saturate private partitions (own atom table, own store replica),
+//! exchange per-round deltas through per-pair mailboxes, and fold into
+//! the canonical table once, at fixpoint. This experiment measures that
+//! path on the same 10k-class deep-hierarchy tier B12 uses
+//! ([`deep_chain_ontology`]: 500 chains × 20 deep, closure ≈ 10× seed):
+//!
+//! * `b16_shardlocal_cold_deep10k` — canonical seeding from a cold
+//!   atom table, then the shard-local engine (shards = threads = 4);
+//! * `b16_shardlocal_warm_deep10k` — same on a warm shared table (the
+//!   `OnionSystem` steady state, directly comparable to
+//!   `b12_parallel_saturation_deep10k`);
+//! * `b16_shardlocal_partseed_deep10k` — the full generator path:
+//!   partitioned seeding into worker-local tables
+//!   ([`par_seed_subclass_partitions`]) plus `run_partitioned`, so the
+//!   canonical table is touched exactly once per repetition.
+//!
+//! ## Identity gate
+//!
+//! Before any timing, the gate asserts — at shards {1, 4} × threads
+//! {1, 4} — that the shard-local engine reproduces the sequential
+//! engine's derivation count, round count, and fact-set checksum; that
+//! its `InferenceStats` are byte-identical across thread counts; that
+//! the **sum** of its per-worker merge ledger equals the parallel
+//! engine's single-barrier push count (the same merge stream,
+//! distributed); and that with shards > 1 the busiest owner handles
+//! strictly less than the whole stream — the per-round global merge
+//! work is provably split, even on a single-core host.
+
+use onion_core::exec::{
+    fact_set_checksum, par_seed_subclass_facts, par_seed_subclass_partitions, Executor,
+    ParallelEngine, ShardLocalEngine,
+};
+use onion_core::rules::atoms::AtomTable;
+use onion_core::rules::horn::HornProgram;
+use onion_core::rules::infer::FactBase;
+use onion_core::rules::properties::RelationRegistry;
+use onion_core::rules::{InferenceEngine, InferenceStats, ShardedFactBase};
+use onion_core::testkit::{deep_chain_ontology, seed_subclass_facts};
+
+use crate::hotpaths::{run_series, BenchResult};
+
+/// Threads and shards for the timed rows — fixed (not
+/// `available_parallelism`) so rows compare across machines via the
+/// machine-factor gate.
+const PARALLEL_THREADS: usize = 4;
+const SHARDS: usize = 4;
+
+/// The B16 report: tier shape, the merge-distribution evidence, and
+/// the measured series.
+pub struct B16Report {
+    /// Classes in the deep-hierarchy tier.
+    pub classes: usize,
+    /// Seed facts of the tier.
+    pub seeded: usize,
+    /// Facts derived at fixpoint (identical across engines, asserted).
+    pub derived: usize,
+    /// Fixpoint rounds.
+    pub rounds: usize,
+    /// The parallel engine's single-barrier merge pushes (its one
+    /// `worker_merge_facts` entry).
+    pub barrier_merge_facts: usize,
+    /// The shard-local engine's busiest owner at `SHARDS` (4)
+    /// partitions — strictly less than `barrier_merge_facts`
+    /// (asserted).
+    pub max_owner_merge_facts: usize,
+    /// Symbols interned into worker-local tables during partitioned
+    /// seeding, summed.
+    pub local_interned: usize,
+    /// The measured series, in emission order.
+    pub rows: Vec<BenchResult>,
+}
+
+/// Runs B16 and returns the report.
+pub fn run_b16() -> B16Report {
+    let deep = deep_chain_ontology("deep", 500, 20);
+    let program = HornProgram::standard(&RelationRegistry::onion_default());
+
+    // sequential baseline for the identity gate
+    let mut seq_atoms = AtomTable::new();
+    let mut seq_fb = FactBase::new();
+    let seeded = seed_subclass_facts(&deep, &mut seq_atoms, &mut seq_fb);
+    let seq_stats = InferenceEngine::new(program.clone()).run(&mut seq_atoms, &mut seq_fb).unwrap();
+    let checksum = fact_set_checksum(&seq_atoms, &seq_fb);
+
+    // parallel engine's barrier ledger: the stream the owners split
+    let par_exec = Executor::new(PARALLEL_THREADS);
+    let barrier_merge_facts = {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        par_seed_subclass_facts(&par_exec, deep.graph(), &mut atoms, &mut fb);
+        let stats =
+            ParallelEngine::new(program.clone()).run(&par_exec, &mut atoms, &mut fb).unwrap();
+        assert_eq!(stats.worker_merge_facts.len(), 1, "one worker, one barrier");
+        stats.worker_merge_facts[0]
+    };
+
+    // ---- identity gate: shards × threads, before any timing ----
+    let mut max_owner_merge_facts = 0;
+    for shards in [1usize, SHARDS] {
+        let mut first: Option<InferenceStats> = None;
+        for threads in [1usize, PARALLEL_THREADS] {
+            let exec = Executor::new(threads);
+            let mut atoms = AtomTable::new();
+            let mut fb = FactBase::new();
+            let seed = par_seed_subclass_facts(&exec, deep.graph(), &mut atoms, &mut fb);
+            assert_eq!(seed.seeded, seeded);
+            let stats = ShardLocalEngine::new(program.clone())
+                .with_shards(shards)
+                .run(&exec, &mut atoms, &mut fb)
+                .unwrap();
+            assert_eq!(stats.derived, seq_stats.derived, "shards={shards} threads={threads}");
+            assert_eq!(stats.iterations, seq_stats.iterations);
+            assert_eq!(fact_set_checksum(&atoms, &fb), checksum);
+            let total: usize = stats.worker_merge_facts.iter().sum();
+            assert_eq!(total, barrier_merge_facts, "same merge stream, distributed");
+            if shards > 1 {
+                let max = stats.worker_merge_facts.iter().copied().max().unwrap();
+                assert!(
+                    max < total,
+                    "busiest owner ({max}) must see less than the whole stream ({total})"
+                );
+                max_owner_merge_facts = max;
+            }
+            match &first {
+                None => first = Some(stats),
+                Some(f) => assert_eq!(&stats, f, "thread-count-invariant at shards={shards}"),
+            }
+        }
+    }
+
+    // partitioned seeding (worker-local tables) for the reported
+    // intern split and the partseed row's correctness
+    let local_interned = {
+        let mut sfb = ShardedFactBase::new(SHARDS);
+        let seed = par_seed_subclass_partitions(&par_exec, deep.graph(), &mut sfb);
+        assert_eq!(seed.seeded, seeded);
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let stats = ShardLocalEngine::new(program.clone())
+            .with_shards(SHARDS)
+            .run_partitioned(&par_exec, &mut sfb, &mut atoms, &mut fb)
+            .unwrap();
+        assert_eq!(stats.derived, seq_stats.derived);
+        assert_eq!(fact_set_checksum(&atoms, &fb), checksum);
+        assert_eq!(stats.worker_interned.len(), SHARDS);
+        assert!(stats.worker_interned.iter().all(|&n| n > 0), "every worker interned locally");
+        stats.worker_interned.iter().sum()
+    };
+
+    // ---- timed rows ----
+    let mut rows = Vec::new();
+    let engine = || ShardLocalEngine::new(program.clone()).with_shards(SHARDS);
+    // cold: canonical seeding from an empty table (first-run shape)
+    rows.push(run_series("b16_shardlocal_cold_deep10k", 3, || {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        par_seed_subclass_facts(&par_exec, deep.graph(), &mut atoms, &mut fb);
+        let stats = engine().run(&par_exec, &mut atoms, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+    // warm: the OnionSystem steady state — compare against
+    // b12_parallel_saturation_deep10k, same tier, same threads
+    let mut warm = AtomTable::new();
+    {
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&deep, &mut warm, &mut fb);
+    }
+    rows.push(run_series("b16_shardlocal_warm_deep10k", 3, || {
+        let mut fb = FactBase::new();
+        par_seed_subclass_facts(&par_exec, deep.graph(), &mut warm, &mut fb);
+        let stats = engine().run(&par_exec, &mut warm, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+    // the generator path: worker-local seeding + partitioned run —
+    // the canonical table is touched once, at the fixpoint fold
+    rows.push(run_series("b16_shardlocal_partseed_deep10k", 3, || {
+        let mut sfb = ShardedFactBase::new(SHARDS);
+        par_seed_subclass_partitions(&par_exec, deep.graph(), &mut sfb);
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let stats = engine().run_partitioned(&par_exec, &mut sfb, &mut atoms, &mut fb).unwrap();
+        stats.derived as u64
+    }));
+
+    B16Report {
+        classes: deep.term_count(),
+        seeded,
+        derived: seq_stats.derived,
+        rounds: seq_stats.iterations,
+        barrier_merge_facts,
+        max_owner_merge_facts,
+        local_interned,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b16_gate_holds_on_a_small_tier() {
+        // same assertions, toy size, so the suite stays fast
+        let deep = deep_chain_ontology("t", 8, 6);
+        let program = HornProgram::standard(&RelationRegistry::onion_default());
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        seed_subclass_facts(&deep, &mut atoms, &mut fb);
+        let seq = InferenceEngine::new(program.clone()).run(&mut atoms, &mut fb).unwrap();
+        let sum = fact_set_checksum(&atoms, &fb);
+        let exec = Executor::new(2);
+        for shards in [1usize, 4] {
+            let mut a = AtomTable::new();
+            let mut f = FactBase::new();
+            par_seed_subclass_facts(&exec, deep.graph(), &mut a, &mut f);
+            let stats = ShardLocalEngine::new(program.clone())
+                .with_shards(shards)
+                .run(&exec, &mut a, &mut f)
+                .unwrap();
+            assert_eq!(stats.derived, seq.derived);
+            assert_eq!(fact_set_checksum(&a, &f), sum);
+            assert_eq!(stats.worker_merge_facts.len(), shards);
+        }
+    }
+}

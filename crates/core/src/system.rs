@@ -521,10 +521,14 @@ impl OnionSystem {
         Arc::clone(&self.atoms)
     }
 
-    /// Runs inference expansion shard-parallel on `threads` threads
-    /// (`0` = one per available CPU). Expansion output is identical to
-    /// the sequential path at every shard and thread count — this is a
-    /// throughput knob, not a semantics knob.
+    /// Runs inference expansion shard-local on `threads` threads
+    /// (`0` = one per available CPU): each worker seeds and saturates
+    /// its own fact partition with a **worker-local atom table**,
+    /// exchanging per-round deltas through per-pair mailboxes, and the
+    /// shared table is touched once, at fixpoint (see
+    /// `onion_exec::ShardLocalEngine`). Expansion output is identical
+    /// to the sequential path at every shard and thread count — this
+    /// is a throughput knob, not a semantics knob.
     pub fn set_parallel_inference(&mut self, threads: usize) {
         let exec = match threads {
             0 => onion_exec::Executor::with_default_parallelism(),

@@ -189,6 +189,7 @@ impl ParallelEngine {
         // order as the sequential engine.
         let mut delta: Vec<Fact> = fb.facts_in_pred_order();
         let shapes = compiled.rule_shapes();
+        let mut merge_pushes = 0usize;
 
         loop {
             stats.iterations += 1;
@@ -234,12 +235,16 @@ impl ParallelEngine {
             }
 
             // Merge in unit order: effort sums are partition-invariant,
-            // and add_fact dedup fixes the next delta's order.
+            // and add_fact dedup fixes the next delta's order. Every
+            // fact pushed through this single barrier (duplicates
+            // included) counts toward the one-entry merge ledger —
+            // the serial work the shard-local engine distributes.
             let mut round_examined = 0usize;
             let mut added: Vec<Fact> = Vec::new();
             for (new_facts, effort) in results {
                 round_examined += effort;
                 for f in new_facts {
+                    merge_pushes += 1;
                     if fb.add_fact(f.0, f.1.clone()) {
                         stats.derived += 1;
                         if self.max_derived != 0 && stats.derived > self.max_derived {
@@ -260,6 +265,9 @@ impl ParallelEngine {
             }
             delta = added;
         }
+        // One worker, one barrier: the whole emitted stream funnelled
+        // through the serial merge above.
+        stats.worker_merge_facts = vec![merge_pushes];
         onion_rules::infer::record_run_metrics(&stats);
         Ok(stats)
     }

@@ -1,0 +1,590 @@
+//! Shard-local semi-naive saturation: per-worker atom tables, per-pair
+//! delta mailboxes, one canonical fold at fixpoint.
+//!
+//! [`ParallelEngine`](crate::ParallelEngine) parallelises each round's
+//! *joins* but still funnels every derived fact through one shared
+//! [`AtomTable`] and one global [`FactBase`] at a per-round barrier —
+//! the merge grows with the delta and serialises exactly the part the
+//! work units parallelised. [`ShardLocalEngine`] removes that barrier:
+//!
+//! * **Partitioned seeding** ([`par_seed_subclass_partitions`]): worker
+//!   `k` owns every edge whose source node lives in snapshot shard `k`
+//!   (the same `src.index() % shards` partitioning as
+//!   [`par_seed_subclass_facts`](crate::par_seed_subclass_facts)) and
+//!   interns endpoints into **its own** [`AtomTable`] — no shared
+//!   table, no lock, and per-worker intern counts are recorded.
+//! * **One sync point**: partition tables fold into an internal *wire*
+//!   table via [`AtomTable::merge_remap`] (ascending partition order),
+//!   the program compiles once against it, and per-atom fact ownership
+//!   (`hash(subject parts) % shards`, see
+//!   [`onion_rules::sharded::owner_of_parts`]) is precomputed.
+//! * **Shard-local rounds**: each worker runs the semi-naive delta
+//!   evaluation for the delta facts *it owns* against its own full
+//!   replica of the store, then routes emitted facts into **per-pair
+//!   mailboxes** (one `sender → owner` list per worker pair). Owners
+//!   drain their mailboxes in ascending sender order (the fixed-order
+//!   drain that keeps round profiles deterministic) and dedup against
+//!   their replica — so global per-round dedup work is split by
+//!   ownership instead of serialised through one store.
+//! * **Remap at fixpoint**: the only touch of the canonical table is
+//!   one [`AtomTable::merge_remap`] fold after saturation; novel facts
+//!   are inserted into the canonical [`FactBase`] sorted by canonical
+//!   `(pred, args)` ids, so the final fact sequence is identical at
+//!   every shard and thread count.
+//!
+//! ## Determinism contract (tested by `seminaive_props`)
+//!
+//! Derived fact *sets*, the canonical table after the fold, and the
+//! whole per-round ledger (`delta`/`derived`/`examined`) are functions
+//! of (delta set, store set) per round — invariant under any
+//! partitioning — so they are byte-identical across every shard count
+//! {1, 2, 7, 64} and thread count {1, 2, 4}, equal to
+//! [`ParallelEngine`](crate::ParallelEngine)'s (same delta-first join),
+//! and equal to the sequential engine's on `iterations`, `derived`,
+//! and per-round `delta`/`derived` (`atoms_examined` differs from the
+//! sequential body-order join by design — the documented
+//! [`ParallelEngine`](crate::ParallelEngine) precedent). On the engine
+//! path (`run`), the canonical [`AtomTable`] ends byte-identical to a
+//! sequential run's: saturation introduces no symbols beyond the seeds
+//! and the program's own constants, so the fixpoint fold interns
+//! nothing new.
+//!
+//! The per-worker ledgers land in
+//! [`InferenceStats::worker_merge_facts`] (owned arrivals scanned at
+//! each owner's dedup; sums to the parallel engine's single-barrier
+//! push count) and [`InferenceStats::worker_interned`] (symbols
+//! interned per worker-local table during seeding) — the counters B16
+//! asserts to show the global merge work eliminated even on a
+//! single-core host.
+
+use std::collections::HashSet;
+
+use onion_graph::hash::FxHashSet;
+use onion_graph::{rel, LabelId, OntGraph};
+use onion_rules::infer::{CompiledProgram, DeltaIndex, Fact, RoundStats};
+use onion_rules::sharded::owner_map;
+use onion_rules::ShardedFactBase;
+use onion_rules::{AtomId, AtomTable, FactBase, HornProgram, InferenceStats, RuleError};
+
+use crate::inference::ShardSeedStats;
+use crate::Executor;
+
+/// Seeds one `subclassof` fact per live subclass edge of `g` into the
+/// partitions of `sfb`, each worker interning into **its own**
+/// partition-local table (module docs). The partition a fact lands in
+/// is the snapshot shard of its source node — the same partitioning as
+/// [`par_seed_subclass_facts`](crate::par_seed_subclass_facts) — which
+/// is independent of the ownership hash the engine routes by; the
+/// engine unions all partitions before round one, so initial placement
+/// only determines *which worker does the interning*.
+///
+/// Per-partition contents are a function of the graph and the
+/// partition count alone (pairs sorted, labels interned in ascending
+/// `LabelId` order), never of the thread count.
+pub fn par_seed_subclass_partitions(
+    exec: &Executor,
+    g: &OntGraph,
+    sfb: &mut ShardedFactBase,
+) -> ShardSeedStats {
+    let shards = sfb.shards();
+    let mut out = ShardSeedStats { seeded: 0, skipped_dead_nodes: 0, shards };
+    let Some(sub) = g.label_id(rel::SUBCLASS_OF) else { return out };
+    let mut counters = vec![(0usize, 0usize); shards];
+    exec.pool().scope(|s| {
+        for (k, (part, ctr)) in sfb.partitions_mut().iter_mut().zip(counters.iter_mut()).enumerate()
+        {
+            s.spawn(move |_| {
+                let mut seen: FxHashSet<(LabelId, LabelId)> = FxHashSet::default();
+                let mut pairs: Vec<(LabelId, LabelId)> = Vec::new();
+                let mut skipped = 0usize;
+                for (_, src, lid, dst) in g.edge_entries() {
+                    if lid != sub || src.index() % shards != k {
+                        continue;
+                    }
+                    match (g.node_label_id(src), g.node_label_id(dst)) {
+                        (Some(sl), Some(dl)) => {
+                            if seen.insert((sl, dl)) {
+                                pairs.push((sl, dl));
+                            }
+                        }
+                        _ => skipped += 1,
+                    }
+                }
+                pairs.sort_unstable();
+                // intern into the PARTITION'S table: predicate first,
+                // then endpoint labels ascending, then facts in sorted
+                // pair order — same canonical sub-order as the shared
+                // -table seeder, applied per partition
+                let before = part.atoms.len();
+                let pred = part.atoms.intern("subclassof");
+                let mut cursor = part.atoms.graph_atoms(g);
+                let mut labels: Vec<LabelId> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+                labels.sort_unstable();
+                labels.dedup();
+                for l in labels {
+                    cursor.atom(l);
+                }
+                let mut seeded = 0usize;
+                for (sl, dl) in pairs {
+                    let (a, b) = (cursor.atom(sl), cursor.atom(dl));
+                    if part.facts.add_fact(pred, vec![a, b]) {
+                        seeded += 1;
+                    }
+                }
+                drop(cursor);
+                part.interned += part.atoms.len() - before;
+                *ctr = (seeded, skipped);
+            });
+        }
+    });
+    for (seeded, skipped) in counters {
+        out.seeded += seeded;
+        out.skipped_dead_nodes += skipped;
+    }
+    out
+}
+
+/// Per-worker state during saturation: a full replica of the (wire-id)
+/// store plus round-scoped scratch.
+struct Worker {
+    /// Full replica of the global store — local joins never touch a
+    /// shared structure.
+    store: FactBase,
+    /// Per-pair mailboxes: `outbox[j]` holds the facts this worker
+    /// emitted this round that partition `j` owns.
+    outbox: Vec<Vec<Fact>>,
+    /// Flat emission scratch, routed into `outbox` after evaluation.
+    emit: Vec<Fact>,
+    /// Join effort this round (candidate facts examined).
+    effort: usize,
+    /// Cumulative owned arrivals scanned at this worker's dedup —
+    /// `InferenceStats::worker_merge_facts[k]`.
+    merge_facts: usize,
+    /// Same-round duplicate filter (facts not yet in the replica).
+    seen: HashSet<Fact>,
+}
+
+/// Semi-naive saturation with shard-local stores, per-pair delta
+/// mailboxes, and a single canonical fold at fixpoint (module docs).
+#[derive(Debug, Clone)]
+pub struct ShardLocalEngine {
+    program: HornProgram,
+    shards: usize,
+    /// Abort once this many facts have been derived (0 = unlimited).
+    pub max_derived: usize,
+    /// Abort after this many rounds (0 = unlimited).
+    pub max_iterations: usize,
+}
+
+impl ShardLocalEngine {
+    /// Engine for `program`, one partition, no budget.
+    pub fn new(program: HornProgram) -> Self {
+        ShardLocalEngine { program, shards: 1, max_derived: 0, max_iterations: 0 }
+    }
+
+    /// Sets the partition count (min 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the derivation budget (same semantics as the other
+    /// engines' `with_budget`).
+    pub fn with_budget(mut self, max_derived: usize, max_iterations: usize) -> Self {
+        self.max_derived = max_derived;
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Runs the program to fixpoint on `fb`, adding derived facts —
+    /// the drop-in counterpart of the other engines' `run`. Partitions
+    /// `fb` by ownership internally, saturates shard-locally, and
+    /// folds back (module docs for what is byte-identical to whom).
+    pub fn run(
+        &self,
+        exec: &Executor,
+        atoms: &mut AtomTable,
+        fb: &mut FactBase,
+    ) -> onion_rules::Result<InferenceStats> {
+        let mut sfb = ShardedFactBase::new(self.shards);
+        self.run_partitioned(exec, &mut sfb, atoms, fb)
+    }
+
+    /// Runs to fixpoint over pre-seeded partitions (the generator
+    /// path: [`par_seed_subclass_partitions`] filled `sfb`, while `fb`
+    /// holds the canonically-interned bridge and rule facts). Facts in
+    /// `fb` are absorbed into their owner partitions first; at
+    /// fixpoint, everything derived lands back in `fb` through the
+    /// canonical remap.
+    pub fn run_partitioned(
+        &self,
+        exec: &Executor,
+        sfb: &mut ShardedFactBase,
+        atoms: &mut AtomTable,
+        fb: &mut FactBase,
+    ) -> onion_rules::Result<InferenceStats> {
+        let shards = sfb.shards();
+        let mut stats = InferenceStats::default();
+
+        // Compile against the CANONICAL table first: this interns the
+        // program's predicates and constants exactly where a
+        // sequential run would, which is what makes the engine path's
+        // final canonical table byte-identical to the sequential
+        // engine's. Ground-fact clauses fire straight into `fb`.
+        let canon_compiled = CompiledProgram::compile(&self.program, atoms)?;
+        stats.derived = canon_compiled.fire_ground(fb).len();
+        sfb.absorb(atoms, fb);
+
+        // ---- the one sync point: local tables → wire table ----
+        let mut wire = AtomTable::new();
+        let remaps: Vec<Vec<AtomId>> =
+            sfb.partitions().iter().map(|p| wire.merge_remap(&p.atoms)).collect();
+        let compiled = CompiledProgram::compile(&self.program, &mut wire)?;
+        let shapes = compiled.rule_shapes();
+        // ownership of every wire atom, precomputed (saturation derives
+        // no new symbols — heads recombine seed atoms and compiled
+        // constants)
+        let owner: Vec<u32> = owner_map(&wire, shards);
+
+        // The union store in wire ids, folded in ascending partition
+        // order; every worker gets a full replica.
+        let mut base = FactBase::new();
+        let mut scratch: Vec<Fact> = Vec::new();
+        for (part, remap) in sfb.partitions().iter().zip(&remaps) {
+            part.facts.facts_in_pred_order_into(&mut scratch);
+            for (p, args) in scratch.drain(..) {
+                let wargs: Vec<AtomId> = args.iter().map(|&a| remap[a.index()]).collect();
+                base.add_fact(remap[p.index()], wargs);
+            }
+        }
+        let mut workers: Vec<Worker> = (0..shards)
+            .map(|_| Worker {
+                store: base.clone(),
+                outbox: vec![Vec::new(); shards],
+                emit: Vec::new(),
+                effort: 0,
+                merge_facts: 0,
+                seen: HashSet::new(),
+            })
+            .collect();
+
+        // Round-one delta: the whole store, grouped by owner (contiguous
+        // per-owner ranges), pred-order preserved within each owner.
+        let mut per_owner: Vec<Vec<Fact>> = vec![Vec::new(); shards];
+        base.facts_in_pred_order_into(&mut scratch);
+        for f in scratch.drain(..) {
+            let k = f.1.first().map(|a| owner[a.index()] as usize).unwrap_or(0);
+            per_owner[k].push(f);
+        }
+
+        let mut round_delta: Vec<Fact> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(shards);
+        loop {
+            stats.iterations += 1;
+            if self.max_iterations != 0 && stats.iterations > self.max_iterations {
+                return Err(RuleError::BudgetExceeded { derived: stats.derived });
+            }
+            // Concatenate per-owner deltas in ascending owner order;
+            // worker k's slice is `ranges[k]`.
+            round_delta.clear();
+            ranges.clear();
+            for v in per_owner.iter_mut() {
+                let lo = round_delta.len();
+                round_delta.append(v);
+                ranges.push((lo, round_delta.len()));
+            }
+            let dix = DeltaIndex::build(&round_delta);
+
+            // Evaluate: worker k joins ITS delta facts against ITS
+            // replica, routing emissions into per-pair mailboxes.
+            exec.pool().scope(|s| {
+                for (k, w) in workers.iter_mut().enumerate() {
+                    let (lo, hi) = ranges[k];
+                    let (compiled, dix, shapes, owner) = (&compiled, &dix, &shapes, &owner);
+                    s.spawn(move |_| {
+                        let Worker { store, outbox, emit, effort, .. } = w;
+                        *effort = 0;
+                        for &(ci, blen) in shapes {
+                            for d in 0..blen {
+                                compiled.eval_delta_range(store, dix, ci, d, lo, hi, emit, effort);
+                            }
+                        }
+                        for mb in outbox.iter_mut() {
+                            mb.clear();
+                        }
+                        for f in emit.drain(..) {
+                            let to = f.1.first().map(|a| owner[a.index()] as usize).unwrap_or(0);
+                            outbox[to].push(f);
+                        }
+                    });
+                }
+            });
+            drop(dix);
+            let round_examined: usize = workers.iter().map(|w| w.effort).sum();
+
+            // Exchange: owner k drains mailbox (j → k) for j ascending
+            // — the fixed drain order — deduping against its replica.
+            let outboxes: Vec<Vec<Vec<Fact>>> =
+                workers.iter_mut().map(|w| std::mem::take(&mut w.outbox)).collect();
+            exec.pool().scope(|s| {
+                for ((k, w), slot) in workers.iter_mut().enumerate().zip(per_owner.iter_mut()) {
+                    let outboxes = &outboxes;
+                    s.spawn(move |_| {
+                        let Worker { store, merge_facts, seen, .. } = w;
+                        seen.clear();
+                        for sender in outboxes {
+                            for f in &sender[k] {
+                                *merge_facts += 1;
+                                if store.contains_fact(f.0, &f.1) || seen.contains(f) {
+                                    continue;
+                                }
+                                seen.insert(f.clone());
+                                slot.push(f.clone());
+                            }
+                        }
+                    });
+                }
+            });
+            for (w, ob) in workers.iter_mut().zip(outboxes) {
+                w.outbox = ob; // reuse mailbox allocations next round
+            }
+
+            let derived_round: usize = per_owner.iter().map(Vec::len).sum();
+            stats.derived += derived_round;
+            if self.max_derived != 0 && stats.derived > self.max_derived {
+                return Err(RuleError::BudgetExceeded { derived: stats.derived });
+            }
+            stats.atoms_examined += round_examined;
+            stats.rounds.push(RoundStats {
+                delta: round_delta.len(),
+                derived: derived_round,
+                examined: round_examined,
+            });
+            if derived_round == 0 {
+                break;
+            }
+            // Fold the round's accepted facts into every replica
+            // (ascending owner order). Owner routing guarantees the
+            // lists are disjoint and globally novel.
+            exec.pool().scope(|s| {
+                for w in workers.iter_mut() {
+                    let per_owner = &per_owner;
+                    s.spawn(move |_| {
+                        for list in per_owner {
+                            for f in list {
+                                w.store.add_fact(f.0, f.1.clone());
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // ---- remap at fixpoint: the only canonical-table touch ----
+        let remap = atoms.merge_remap(&wire);
+        let mut novel: Vec<Fact> = Vec::new();
+        workers[0].store.facts_in_pred_order_into(&mut scratch);
+        for (p, args) in scratch.drain(..) {
+            let cargs: Vec<AtomId> = args.iter().map(|&a| remap[a.index()]).collect();
+            let cp = remap[p.index()];
+            if !fb.contains_fact(cp, &cargs) {
+                novel.push((cp, cargs));
+            }
+        }
+        // canonical-id sort: the insertion order is a function of the
+        // derived set alone, identical at every shard/thread count
+        novel.sort_unstable();
+        for (p, args) in novel {
+            fb.add_fact(p, args);
+        }
+        stats.worker_merge_facts = workers.iter().map(|w| w.merge_facts).collect();
+        stats.worker_interned = sfb.interned_per_partition();
+        onion_rules::infer::record_run_metrics(&stats);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact_set_checksum;
+
+    fn chain(n: usize) -> (AtomTable, FactBase) {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        for i in 0..n {
+            fb.add(&mut atoms, "p", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        }
+        (atoms, fb)
+    }
+
+    fn transitivity() -> HornProgram {
+        HornProgram::parse("p(X, Z) :- p(X, Y), p(Y, Z).").unwrap()
+    }
+
+    #[test]
+    fn shardlocal_closure_matches_sequential() {
+        let n = 24;
+        let (mut atoms_seq, mut fb_seq) = chain(n);
+        let seq = onion_rules::InferenceEngine::new(transitivity())
+            .run(&mut atoms_seq, &mut fb_seq)
+            .unwrap();
+        for shards in [1usize, 2, 7] {
+            for threads in [1usize, 2, 4] {
+                let exec = Executor::new(threads);
+                let (mut atoms, mut fb) = chain(n);
+                let sl = ShardLocalEngine::new(transitivity())
+                    .with_shards(shards)
+                    .run(&exec, &mut atoms, &mut fb)
+                    .unwrap();
+                let tag = format!("shards={shards} threads={threads}");
+                assert_eq!(fb.len(), fb_seq.len(), "{tag}");
+                assert_eq!(sl.derived, seq.derived, "{tag}");
+                assert_eq!(sl.iterations, seq.iterations, "{tag}");
+                let seq_rounds: Vec<(usize, usize)> =
+                    seq.rounds.iter().map(|r| (r.delta, r.derived)).collect();
+                let sl_rounds: Vec<(usize, usize)> =
+                    sl.rounds.iter().map(|r| (r.delta, r.derived)).collect();
+                assert_eq!(sl_rounds, seq_rounds, "{tag}");
+                assert_eq!(
+                    fact_set_checksum(&atoms, &fb),
+                    fact_set_checksum(&atoms_seq, &fb_seq),
+                    "{tag}"
+                );
+                // engine path: canonical table byte-identical too
+                assert_eq!(atoms.len(), atoms_seq.len(), "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn shardlocal_rounds_match_parallel_engine_exactly() {
+        // same delta-first join ⇒ the full per-round ledger (examined
+        // included) and the merge-stream total equal ParallelEngine's
+        let (mut pa, mut pf) = chain(40);
+        let par = crate::ParallelEngine::new(transitivity())
+            .run(&Executor::new(2), &mut pa, &mut pf)
+            .unwrap();
+        for shards in [1usize, 4] {
+            let (mut a, mut f) = chain(40);
+            let sl = ShardLocalEngine::new(transitivity())
+                .with_shards(shards)
+                .run(&Executor::new(2), &mut a, &mut f)
+                .unwrap();
+            assert_eq!(sl.rounds, par.rounds, "shards={shards}");
+            assert_eq!(sl.atoms_examined, par.atoms_examined, "shards={shards}");
+            assert_eq!(
+                sl.worker_merge_facts.iter().sum::<usize>(),
+                par.worker_merge_facts.iter().sum::<usize>(),
+                "same merge stream, distributed (shards={shards})"
+            );
+            assert_eq!(sl.worker_merge_facts.len(), shards);
+        }
+    }
+
+    #[test]
+    fn shardlocal_stats_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let (mut a, mut f) = chain(40);
+            let s = ShardLocalEngine::new(transitivity())
+                .with_shards(4)
+                .run(&Executor::new(threads), &mut a, &mut f)
+                .unwrap();
+            (s, f.facts_in_pred_order())
+        };
+        let (s1, f1) = run(1);
+        let (s4, f4) = run(4);
+        assert_eq!(s1, s4, "full stats (worker vectors included) across thread counts");
+        assert_eq!(f1, f4, "same facts, same ids, same order");
+    }
+
+    #[test]
+    fn shardlocal_budget_errors_match_sequential() {
+        let (mut atoms, mut fb) = chain(50);
+        let err = ShardLocalEngine::new(transitivity())
+            .with_shards(4)
+            .with_budget(10, 0)
+            .run(&Executor::new(2), &mut atoms, &mut fb)
+            .unwrap_err();
+        assert!(matches!(err, RuleError::BudgetExceeded { derived } if derived > 10));
+        let (mut atoms, mut fb) = chain(50);
+        let err = ShardLocalEngine::new(transitivity())
+            .with_shards(4)
+            .with_budget(0, 2)
+            .run(&Executor::new(2), &mut atoms, &mut fb)
+            .unwrap_err();
+        assert!(matches!(err, RuleError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn partition_seeding_matches_shared_table_seeding() {
+        let mut g = OntGraph::new("s");
+        for i in 0..30 {
+            let (a, b) = (format!("c{i}"), format!("c{}", (i * 7) % 30));
+            g.ensure_edge_by_labels(&a, rel::SUBCLASS_OF, &b).unwrap();
+        }
+        // shared-table baseline
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let base = crate::par_seed_subclass_facts(&Executor::new(2), &g, &mut atoms, &mut fb);
+        let base_sum = fact_set_checksum(&atoms, &fb);
+        for shards in [1usize, 2, 7, 64] {
+            for threads in [1usize, 4] {
+                let mut sfb = ShardedFactBase::new(shards);
+                let s = par_seed_subclass_partitions(&Executor::new(threads), &g, &mut sfb);
+                assert_eq!(s.seeded, base.seeded, "shards={shards}");
+                assert_eq!(s.skipped_dead_nodes, base.skipped_dead_nodes);
+                assert_eq!(sfb.total_facts(), fb.len());
+                // fold through an empty engine run: the fact set must
+                // equal the shared-table seeding's
+                let mut catoms = AtomTable::new();
+                let mut cfb = FactBase::new();
+                ShardLocalEngine::new(HornProgram::new())
+                    .with_shards(shards)
+                    .run_partitioned(&Executor::new(threads), &mut sfb, &mut catoms, &mut cfb)
+                    .unwrap();
+                assert_eq!(
+                    fact_set_checksum(&catoms, &cfb),
+                    base_sum,
+                    "shards={shards} threads={threads}"
+                );
+                let interned: usize = sfb.interned_per_partition().iter().sum();
+                assert!(interned >= 30, "workers interned locally (shards={shards})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partition_run_is_a_fixpoint_noop() {
+        let mut atoms = AtomTable::new();
+        let mut fb = FactBase::new();
+        let stats = ShardLocalEngine::new(transitivity())
+            .with_shards(4)
+            .run(&Executor::new(2), &mut atoms, &mut fb)
+            .unwrap();
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.iterations, 1);
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn merge_counters_distribute_with_shards() {
+        let (mut a1, mut f1) = chain(40);
+        let one = ShardLocalEngine::new(transitivity())
+            .with_shards(1)
+            .run(&Executor::new(1), &mut a1, &mut f1)
+            .unwrap();
+        let (mut a4, mut f4) = chain(40);
+        let four = ShardLocalEngine::new(transitivity())
+            .with_shards(4)
+            .run(&Executor::new(1), &mut a4, &mut f4)
+            .unwrap();
+        let total: usize = one.worker_merge_facts.iter().sum();
+        assert_eq!(total, four.worker_merge_facts.iter().sum::<usize>());
+        let max4 = four.worker_merge_facts.iter().copied().max().unwrap();
+        assert!(
+            max4 < total,
+            "the per-round merge work is split across owners: max {max4} vs total {total}"
+        );
+    }
+}

@@ -41,6 +41,7 @@ pub mod infer;
 pub mod parser;
 pub mod properties;
 pub mod reference;
+pub mod sharded;
 
 pub use ast::{ArticulationRule, RuleExpr, RuleSet, Term};
 pub use atoms::{AtomId, AtomTable};
@@ -52,6 +53,7 @@ pub use infer::{
 };
 pub use parser::parse_rules;
 pub use properties::{RelationProperties, RelationRegistry};
+pub use sharded::{FactPartition, ShardedFactBase};
 
 /// Errors for rule parsing and evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,286 @@
+//! A partitioned [`FactBase`] for shard-local saturation.
+//!
+//! The shard-parallel engine in `onion-exec` still funnels every
+//! derived fact through one shared [`AtomTable`] and one global
+//! [`FactBase`] at a per-round barrier. This module provides the data
+//! side of the alternative: a [`ShardedFactBase`] whose partitions each
+//! carry a **worker-local** [`AtomTable`] and fact store, so seeding and
+//! saturation can intern and dedup without ever touching a shared
+//! table, and the canonical fold happens **once, at fixpoint**, through
+//! [`AtomTable::merge_remap`].
+//!
+//! ## Ownership
+//!
+//! A fact is owned by the partition `hash(subject) % shards`, where the
+//! subject is the fact's first argument and the hash runs over the
+//! atom's canonical `(namespace, name)` **string parts**
+//! ([`owner_of_parts`]). Hashing text rather than ids makes ownership a
+//! property of the symbol itself: every table in play — worker-local,
+//! the engine's wire table, the canonical table — assigns the same
+//! owner to the same symbol, whatever ids each table happened to hand
+//! out. Facts with no arguments are owned by partition 0.
+//!
+//! ## The remap-at-fixpoint contract
+//!
+//! [`AtomTable::merge_remap`] interns the other table's symbols in
+//! ascending `(namespace, name)` order, so the canonical ids assigned
+//! after a partitioned run depend only on the symbol *set*, never on
+//! the shard count, thread count, or interning order of the run that
+//! produced them. A partitioned saturation folded through `merge_remap`
+//! therefore lands on a canonical table byte-identical to the
+//! sequential engine's (which interned the same set).
+
+use std::hash::Hasher;
+
+use onion_graph::hash::FxHasher;
+
+use crate::atoms::{AtomId, AtomTable};
+use crate::infer::{Fact, FactBase};
+
+/// One worker's private partition: a local symbol table plus the facts
+/// this partition owns, keyed by **local** atom ids (valid only against
+/// `atoms`).
+#[derive(Debug, Default, Clone)]
+pub struct FactPartition {
+    /// The worker-local symbol table. Ids here are meaningless outside
+    /// this partition until remapped through [`AtomTable::merge_remap`].
+    pub atoms: AtomTable,
+    /// The facts this partition holds, in local ids.
+    pub facts: FactBase,
+    /// Symbols interned into the local table while seeding/absorbing —
+    /// the per-worker share of interning work that the shard-local
+    /// engine reports in `InferenceStats::worker_interned`.
+    pub interned: usize,
+}
+
+/// A [`FactBase`] split into per-worker partitions, each with its own
+/// [`AtomTable`] (see the module docs for ownership and the
+/// remap-at-fixpoint contract).
+#[derive(Debug, Default, Clone)]
+pub struct ShardedFactBase {
+    parts: Vec<FactPartition>,
+}
+
+impl ShardedFactBase {
+    /// An empty partitioned base with `shards` partitions (min 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedFactBase { parts: (0..shards.max(1)).map(|_| FactPartition::default()).collect() }
+    }
+
+    /// Partitions `fb` by fact ownership, re-interning every symbol
+    /// into its owner's local table.
+    pub fn from_fact_base(atoms: &AtomTable, fb: &FactBase, shards: usize) -> Self {
+        let mut s = Self::new(shards);
+        s.absorb(atoms, fb);
+        s
+    }
+
+    /// The partition count.
+    pub fn shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Read access to the partitions, ascending.
+    pub fn partitions(&self) -> &[FactPartition] {
+        &self.parts
+    }
+
+    /// Mutable access to the partitions — the seam a parallel seeder
+    /// uses to hand each pool worker its own partition.
+    pub fn partitions_mut(&mut self) -> &mut [FactPartition] {
+        &mut self.parts
+    }
+
+    /// Total facts across all partitions.
+    pub fn total_facts(&self) -> usize {
+        self.parts.iter().map(|p| p.facts.len()).sum()
+    }
+
+    /// Per-partition intern counters, ascending partition order.
+    pub fn interned_per_partition(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.interned).collect()
+    }
+
+    /// Routes every fact of `fb` (resolved against `atoms`) into its
+    /// owner partition, re-interning predicate and argument symbols
+    /// into the owner's local table. Facts already present in their
+    /// partition are left alone; each partition's intern counter grows
+    /// by the symbols that were new to its table.
+    pub fn absorb(&mut self, atoms: &AtomTable, fb: &FactBase) {
+        let shards = self.parts.len();
+        let mut scratch: Vec<Fact> = Vec::new();
+        fb.facts_in_pred_order_into(&mut scratch);
+        for (pred, args) in scratch.drain(..) {
+            let owner = match args.first() {
+                Some(&subject) => owner_of(atoms, subject, shards),
+                None => 0,
+            };
+            let part = &mut self.parts[owner];
+            let before = part.atoms.len();
+            let (pns, pname) = atoms.parts(pred);
+            let lp = part.atoms.intern_parts(pns, pname);
+            let largs: Vec<AtomId> = args
+                .iter()
+                .map(|&a| {
+                    let (ns, name) = atoms.parts(a);
+                    part.atoms.intern_parts(ns, name)
+                })
+                .collect();
+            part.interned += part.atoms.len() - before;
+            part.facts.add_fact(lp, largs);
+        }
+    }
+}
+
+/// The owner partition of an atom of `atoms` (see [`owner_of_parts`]).
+pub fn owner_of(atoms: &AtomTable, subject: AtomId, shards: usize) -> usize {
+    let (ns, name) = atoms.parts(subject);
+    owner_of_parts(ns, name, shards)
+}
+
+/// The owner partition of a symbol given its canonical string parts:
+/// FxHash over the namespace bytes, a separator, and the name bytes,
+/// modulo `shards`. Text-based on purpose — every table agrees on
+/// ownership regardless of the ids it assigned (module docs).
+pub fn owner_of_parts(ns: Option<&str>, name: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    if let Some(ns) = ns {
+        h.write(ns.as_bytes());
+    }
+    h.write_u8(0xfe);
+    h.write(name.as_bytes());
+    // FxHash's multiply pushes entropy into the HIGH bits; a bare
+    // `% shards` with a power-of-two shard count would read only the
+    // weak low bits (observed: every `n<i>` symbol landing in one
+    // partition). Fold the high half down before reducing.
+    let mut x = h.finish();
+    x ^= x >> 32;
+    x ^= x >> 16;
+    (x as usize) % shards
+}
+
+/// The owner partition of every atom in `atoms`, indexed by
+/// [`AtomId::index`] — precomputed once by the shard-local engine so
+/// per-fact routing during saturation is an array load, not a hash.
+pub fn owner_map(atoms: &AtomTable, shards: usize) -> Vec<u32> {
+    (0..atoms.len())
+        .map(|i| {
+            let (ns, name) = atoms.parts(AtomId::from_index(i));
+            owner_of_parts(ns, name, shards) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(atoms: &mut AtomTable) -> FactBase {
+        let mut fb = FactBase::new();
+        for (a, b) in [
+            ("carrier.Car", "factory.Vehicle"),
+            ("carrier.SUV", "carrier.Car"),
+            ("factory.Truck", "factory.Vehicle"),
+            ("x.A", "x.B"),
+        ] {
+            fb.add(atoms, "si", &[a, b]);
+        }
+        fb.add(atoms, "marker", &[]);
+        fb
+    }
+
+    #[test]
+    fn absorb_routes_by_subject_owner_and_preserves_the_set() {
+        let mut atoms = AtomTable::new();
+        let fb = sample(&mut atoms);
+        for shards in [1usize, 2, 7] {
+            let sfb = ShardedFactBase::from_fact_base(&atoms, &fb, shards);
+            assert_eq!(sfb.shards(), shards);
+            assert_eq!(sfb.total_facts(), fb.len(), "shards={shards}");
+            // every fact sits in the partition its subject hashes to,
+            // and resolves to the same strings as the original
+            let mut resolved: Vec<String> = Vec::new();
+            for (k, part) in sfb.partitions().iter().enumerate() {
+                for (p, args) in part.facts.facts_in_pred_order() {
+                    match args.first() {
+                        Some(&s) => {
+                            assert_eq!(owner_of(&part.atoms, s, shards), k, "shards={shards}")
+                        }
+                        None => assert_eq!(k, 0, "no-subject facts live in partition 0"),
+                    }
+                    let mut line = part.atoms.resolve(p).to_string();
+                    for a in args {
+                        line.push(' ');
+                        line.push_str(part.atoms.resolve(a));
+                    }
+                    resolved.push(line);
+                }
+            }
+            resolved.sort();
+            let mut expected: Vec<String> = fb
+                .facts_in_pred_order()
+                .into_iter()
+                .map(|(p, args)| {
+                    let mut line = atoms.resolve(p).to_string();
+                    for a in args {
+                        line.push(' ');
+                        line.push_str(atoms.resolve(a));
+                    }
+                    line
+                })
+                .collect();
+            expected.sort();
+            assert_eq!(resolved, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let mut atoms = AtomTable::new();
+        let fb = sample(&mut atoms);
+        let sfb = ShardedFactBase::from_fact_base(&atoms, &fb, 1);
+        assert_eq!(sfb.partitions()[0].facts.len(), fb.len());
+        assert!(sfb.partitions()[0].interned > 0, "local table was populated");
+    }
+
+    #[test]
+    fn ownership_is_table_independent() {
+        // two tables assigning different ids to the same text agree on
+        // the owner — ownership hashes parts, not ids
+        let mut t1 = AtomTable::new();
+        let mut t2 = AtomTable::new();
+        t2.intern("filler.Pad"); // skew t2's id assignment
+        let a1 = t1.intern("carrier.Car");
+        let a2 = t2.intern("carrier.Car");
+        assert_ne!(a1.index(), a2.index());
+        for shards in [2usize, 7, 64] {
+            assert_eq!(owner_of(&t1, a1, shards), owner_of(&t2, a2, shards));
+        }
+    }
+
+    #[test]
+    fn owner_map_matches_per_atom_hashing() {
+        let mut atoms = AtomTable::new();
+        let _ = sample(&mut atoms);
+        let map = owner_map(&atoms, 7);
+        assert_eq!(map.len(), atoms.len());
+        for i in 0..atoms.len() {
+            assert_eq!(map[i] as usize, owner_of(&atoms, AtomId::from_index(i), 7));
+        }
+    }
+
+    #[test]
+    fn interned_counters_track_local_tables() {
+        let mut atoms = AtomTable::new();
+        let fb = sample(&mut atoms);
+        let sfb = ShardedFactBase::from_fact_base(&atoms, &fb, 4);
+        let counters = sfb.interned_per_partition();
+        assert_eq!(counters.len(), 4);
+        for (k, part) in sfb.partitions().iter().enumerate() {
+            assert_eq!(counters[k], part.atoms.len(), "absorb interned every local symbol once");
+        }
+    }
+}
